@@ -1,0 +1,9 @@
+// Figure 4: % improvement in execution cycles over the base configuration,
+// four versions x 13 benchmarks, cache-bypassing hardware scheme.
+#include "figure_common.h"
+
+int main() {
+  return selcache::bench::run_figure(
+      selcache::core::base_machine(),
+      "Figure 4: base configuration (bypass scheme)");
+}

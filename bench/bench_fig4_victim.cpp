@@ -1,0 +1,5 @@
+#include "figure_common.h"
+int main() {
+  return selcache::bench::run_figure(selcache::core::base_machine(),
+      "victim check", selcache::hw::SchemeKind::Victim);
+}

@@ -1,0 +1,8 @@
+// Figure 5: larger memory latency (200 cycles) — % improvement in execution cycles over this configuration's
+// base run, four versions x 13 benchmarks, cache-bypassing scheme.
+#include "figure_common.h"
+
+int main() {
+  return selcache::bench::run_figure(selcache::core::higher_mem_latency(),
+                                     "Figure 5: larger memory latency (200 cycles) (bypass scheme)");
+}

@@ -1,0 +1,8 @@
+// Figure 6: larger L2 size (1 MB) — % improvement in execution cycles over this configuration's
+// base run, four versions x 13 benchmarks, cache-bypassing scheme.
+#include "figure_common.h"
+
+int main() {
+  return selcache::bench::run_figure(selcache::core::larger_l2(),
+                                     "Figure 6: larger L2 size (1 MB) (bypass scheme)");
+}

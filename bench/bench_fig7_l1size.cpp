@@ -1,0 +1,8 @@
+// Figure 7: larger L1 size (64K) — % improvement in execution cycles over this configuration's
+// base run, four versions x 13 benchmarks, cache-bypassing scheme.
+#include "figure_common.h"
+
+int main() {
+  return selcache::bench::run_figure(selcache::core::larger_l1(),
+                                     "Figure 7: larger L1 size (64K) (bypass scheme)");
+}

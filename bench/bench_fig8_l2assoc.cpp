@@ -1,0 +1,8 @@
+// Figure 8: higher L2 associativity (8) — % improvement in execution cycles over this configuration's
+// base run, four versions x 13 benchmarks, cache-bypassing scheme.
+#include "figure_common.h"
+
+int main() {
+  return selcache::bench::run_figure(selcache::core::higher_l2_assoc(),
+                                     "Figure 8: higher L2 associativity (8) (bypass scheme)");
+}

@@ -1,0 +1,43 @@
+// Diagnostic: dump the full counter set for one (workload, version, scheme)
+// run. Not part of the paper reproduction — a debugging/verification aid.
+//
+//   bench_inspect [workload] [version] [scheme]
+//   bench_inspect Li PureHardware bypass
+#include <cstdio>
+#include <cstring>
+
+#include "core/runner.h"
+
+using namespace selcache;
+
+int main(int argc, char** argv) {
+  const std::string wname = argc > 1 ? argv[1] : "Li";
+  const std::string vname = argc > 2 ? argv[2] : "PureHardware";
+  const std::string sname = argc > 3 ? argv[3] : "bypass";
+
+  core::Version v = core::Version::Base;
+  if (vname == "PureHardware") v = core::Version::PureHardware;
+  else if (vname == "PureSoftware") v = core::Version::PureSoftware;
+  else if (vname == "Combined") v = core::Version::Combined;
+  else if (vname == "Selective") v = core::Version::Selective;
+
+  core::RunOptions opt;
+  opt.scheme = sname == "victim" ? hw::SchemeKind::Victim
+                                 : hw::SchemeKind::Bypass;
+
+  const auto& w = workloads::workload(wname);
+  const core::RunResult base =
+      core::run_version(w, core::base_machine(), core::Version::Base, opt);
+  const core::RunResult r =
+      core::run_version(w, core::base_machine(), v, opt);
+
+  std::printf("%s / %s / %s: %llu cycles (base %llu, %+.2f%%)\n",
+              wname.c_str(), vname.c_str(), sname.c_str(),
+              static_cast<unsigned long long>(r.cycles),
+              static_cast<unsigned long long>(base.cycles),
+              improvement_pct(base.cycles, r.cycles));
+  for (const auto& [k, val] : r.stats.all())
+    std::printf("  %-32s %llu\n", k.c_str(),
+                static_cast<unsigned long long>(val));
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Google-benchmark microbenchmarks for the simulator substrate itself:
+// how fast the building blocks run on the host. Useful when sizing larger
+// experiments (the figure benches simulate ~50M instructions per sweep).
+#include <benchmark/benchmark.h>
+
+#include "codegen/trace_engine.h"
+#include "hw/bypass_scheme.h"
+#include "hw/victim_scheme.h"
+#include "ir/builder.h"
+#include "support/rng.h"
+
+using namespace selcache;
+
+namespace {
+
+void BM_CacheAccess(benchmark::State& state) {
+  memsys::Cache c(memsys::CacheConfig{.name = "c",
+                                      .size_bytes = 32 * 1024,
+                                      .assoc = static_cast<std::uint32_t>(
+                                          state.range(0)),
+                                      .block_size = 32,
+                                      .latency = 2});
+  Rng rng(1);
+  std::vector<Addr> addrs(4096);
+  for (auto& a : addrs) a = rng.below(1 << 20);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const Addr a = addrs[k++ & 4095];
+    if (!c.access(a, false)) c.fill(a, false);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_MatTouch(benchmark::State& state) {
+  hw::Mat mat(hw::MatConfig{});
+  Rng rng(2);
+  std::vector<Addr> addrs(4096);
+  for (auto& a : addrs) a = rng.below(1 << 22);
+  std::size_t k = 0;
+  for (auto _ : state) mat.touch(addrs[k++ & 4095]);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MatTouch);
+
+void BM_VictimCacheChurn(benchmark::State& state) {
+  memsys::VictimCache vc("v", 64, 32);
+  Rng rng(3);
+  for (auto _ : state) {
+    const Addr a = rng.below(1 << 16) * 32;
+    if (!vc.extract(a)) vc.insert(a, false);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VictimCacheChurn);
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  memsys::Hierarchy h((memsys::HierarchyConfig()));
+  Rng rng(4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        h.access(rng.below(1 << 22), memsys::AccessKind::Load));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void BM_TraceEngineStencil(benchmark::State& state) {
+  ir::ProgramBuilder b("bench");
+  const auto A = b.array("A", {64, 64});
+  const auto i = b.begin_loop("i", 0, 64);
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({ir::load_array(A, {b.sub(i), b.sub(j)}),
+          ir::store_array(A, {b.sub(i), b.sub(j)})},
+         2);
+  b.end_loop();
+  b.end_loop();
+  const ir::Program p = b.finish();
+
+  memsys::Hierarchy h((memsys::HierarchyConfig()));
+  hw::Controller ctl(nullptr);
+  cpu::TimingModel cpu(cpu::CpuConfig{}, h, ctl);
+  codegen::DataEnv env(p);
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    codegen::TraceEngine eng(p, env, cpu);
+    eng.run();
+    instrs = cpu.instructions();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+  state.counters["instr_total"] = static_cast<double>(instrs);
+}
+BENCHMARK(BM_TraceEngineStencil);
+
+}  // namespace
+
+BENCHMARK_MAIN();

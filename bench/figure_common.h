@@ -1,0 +1,46 @@
+// Shared driver for the figure/table benches: run the 13-benchmark suite on
+// one machine configuration and print the paper-style improvement table.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/report.h"
+#include "core/runner.h"
+
+namespace selcache::bench {
+
+inline int run_figure(const core::MachineConfig& machine,
+                      const std::string& title,
+                      hw::SchemeKind scheme = hw::SchemeKind::Bypass) {
+  const auto t0 = std::chrono::steady_clock::now();
+  core::RunOptions opt;
+  opt.scheme = scheme;
+  const auto rows = core::sweep_suite(machine, opt);
+  const auto dt = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  std::printf("%s", core::format_machine(machine).c_str());
+  std::printf("%s", core::format_figure(title, rows).c_str());
+  std::printf("(simulated in %.1fs, scheme=%s)\n\n", dt,
+              hw::to_string(scheme));
+
+  // Optional plotting output: SELCACHE_CSV_DIR=<dir> writes one CSV per
+  // figure, named after the title's leading word(s).
+  if (const char* dir = std::getenv("SELCACHE_CSV_DIR")) {
+    std::string slug;
+    for (char c : title) {
+      if (c == ':') break;
+      slug.push_back(isalnum(static_cast<unsigned char>(c))
+                         ? static_cast<char>(tolower(c))
+                         : '_');
+    }
+    const std::string path = std::string(dir) + "/" + slug + ".csv";
+    if (!core::write_text_file(path, core::figure_csv(rows)))
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace selcache::bench

@@ -1,0 +1,37 @@
+// Run the TPC-D query kernels (Q1, Q3, Q6) through all five simulated
+// versions on the Table 1 machine — a miniature of the paper's §5 study on
+// the decision-support benchmarks.
+//
+//   $ ./build/examples/tpcd_query
+#include <cstdio>
+
+#include "core/report.h"
+#include "core/runner.h"
+#include "support/table.h"
+
+using namespace selcache;
+
+int main() {
+  const core::MachineConfig machine = core::base_machine();
+  std::printf("%s\n", core::format_machine(machine).c_str());
+
+  for (const char* name : {"TPC-D,Q1", "TPC-D,Q3", "TPC-D,Q6"}) {
+    const auto& w = workloads::workload(name);
+    const core::RunResult base =
+        core::run_version(w, machine, core::Version::Base);
+    std::printf("%s (%s): base %llu cycles, %s instructions, L1 miss "
+                "%.2f%%, L2 miss %.2f%%\n",
+                w.name.c_str(), to_string(w.category),
+                static_cast<unsigned long long>(base.cycles),
+                selcache::TextTable::count(base.instructions).c_str(),
+                100.0 * base.l1_miss_rate, 100.0 * base.l2_miss_rate);
+    for (core::Version v : core::kEvaluatedVersions) {
+      const core::RunResult r = core::run_version(w, machine, v);
+      std::printf("  %-14s %+7.2f%%  (%llu toggles)\n", to_string(v),
+                  improvement_pct(base.cycles, r.cycles),
+                  static_cast<unsigned long long>(r.toggles));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "analysis/classify.h"
+
+namespace selcache::analysis {
+
+bool is_analyzable(const ir::Reference& r) {
+  return std::visit(
+      [](const auto& t) {
+        using T = std::decay_t<decltype(t)>;
+        if constexpr (std::is_same_v<T, ir::Reference::Scalar>) {
+          return true;
+        } else if constexpr (std::is_same_v<T, ir::Reference::Array>) {
+          for (const auto& s : t.subs)
+            if (!s.is_affine()) return false;
+          return true;
+        } else {
+          // Pointer and struct-field references are never analyzable.
+          return false;
+        }
+      },
+      r.target);
+}
+
+RefCounts count_refs(const ir::Stmt& s) {
+  RefCounts c;
+  for (const auto& r : s.refs) {
+    ++c.total;
+    if (is_analyzable(r)) ++c.analyzable;
+  }
+  return c;
+}
+
+RefCounts count_refs(const ir::Node& n) {
+  RefCounts c;
+  if (n.kind == ir::NodeKind::Stmt) {
+    c += count_refs(static_cast<const ir::StmtNode&>(n).stmt);
+  } else if (n.kind == ir::NodeKind::Loop) {
+    for (const auto& child : static_cast<const ir::LoopNode&>(n).body)
+      c += count_refs(*child);
+  }
+  return c;
+}
+
+}  // namespace selcache::analysis

@@ -1,0 +1,42 @@
+// Reference classification (§2.3): analyzable (compile-time optimizable)
+// vs. non-analyzable references.
+//
+// Analyzable:    scalars (A), affine array references (B[i], C[i+j][k-1]).
+// Non-analyzable: non-affine subscripts (D[i*i], E[i/j], F[3][i*j]),
+//                 indexed/subscripted references (G[IP[j]+2]),
+//                 pointer references (*H[i], *I),
+//                 struct constructs (J.field, K->field).
+#pragma once
+
+#include "ir/program.h"
+
+namespace selcache::analysis {
+
+bool is_analyzable(const ir::Reference& r);
+
+struct RefCounts {
+  std::size_t analyzable = 0;
+  std::size_t total = 0;
+
+  /// Ratio of analyzable references; 1.0 for reference-free code (nothing
+  /// for the hardware to do — treat as compiler-friendly).
+  double ratio() const {
+    return total == 0 ? 1.0
+                      : static_cast<double>(analyzable) /
+                            static_cast<double>(total);
+  }
+
+  RefCounts& operator+=(const RefCounts& o) {
+    analyzable += o.analyzable;
+    total += o.total;
+    return *this;
+  }
+};
+
+/// Counts over every reference in the subtree rooted at `n`.
+RefCounts count_refs(const ir::Node& n);
+
+/// Counts over a bare statement.
+RefCounts count_refs(const ir::Stmt& s);
+
+}  // namespace selcache::analysis

@@ -1,0 +1,129 @@
+#include "analysis/dependence.h"
+#include <algorithm>
+
+namespace selcache::analysis {
+
+std::optional<Dependence> ref_dependence(const ir::Reference& a,
+                                         const ir::Reference& b,
+                                         const std::vector<ir::VarId>& vars,
+                                         bool* analyzable) {
+  *analyzable = true;
+  const auto* aa = std::get_if<ir::Reference::Array>(&a.target);
+  const auto* bb = std::get_if<ir::Reference::Array>(&b.target);
+  if (aa == nullptr || bb == nullptr || aa->id != bb->id) return std::nullopt;
+  if (aa->subs.size() != bb->subs.size()) {
+    *analyzable = false;
+    return std::nullopt;
+  }
+
+  // Accumulate per-variable distances; every dimension must agree.
+  std::vector<std::optional<std::int64_t>> dist(vars.size());
+  for (std::size_t d = 0; d < aa->subs.size(); ++d) {
+    const auto* sa = std::get_if<ir::Subscript::Affine>(&aa->subs[d].value);
+    const auto* sb = std::get_if<ir::Subscript::Affine>(&bb->subs[d].value);
+    if (sa == nullptr || sb == nullptr) {
+      *analyzable = false;
+      return std::nullopt;
+    }
+    // Uniform generation: identical variable parts required.
+    for (std::size_t k = 0; k < vars.size(); ++k)
+      if (sa->expr.coeff(vars[k]) != sb->expr.coeff(vars[k])) {
+        *analyzable = false;
+        return std::nullopt;
+      }
+    // Separability: at most one band variable per dimension.
+    ir::VarId dim_var = ir::kInvalidVar;
+    std::int64_t coeff = 0;
+    for (std::size_t k = 0; k < vars.size(); ++k) {
+      const std::int64_t c = sa->expr.coeff(vars[k]);
+      if (c != 0) {
+        if (dim_var != ir::kInvalidVar) {
+          *analyzable = false;  // coupled subscript (i+j)
+          return std::nullopt;
+        }
+        dim_var = vars[k];
+        coeff = c;
+      }
+    }
+    const std::int64_t delta =
+        sa->expr.constant_term() - sb->expr.constant_term();
+    if (dim_var == ir::kInvalidVar) {
+      if (delta != 0) return std::nullopt;  // constant dims differ: no dep
+      continue;
+    }
+    if (delta % coeff != 0) return std::nullopt;  // GCD test: no solution
+    const std::int64_t dk = delta / coeff;
+    const std::size_t k =
+        static_cast<std::size_t>(std::find(vars.begin(), vars.end(), dim_var) -
+                                 vars.begin());
+    if (dist[k].has_value() && *dist[k] != dk) return std::nullopt;
+    dist[k] = dk;
+  }
+
+  Dependence dep;
+  dep.distance.resize(vars.size(), 0);
+  bool all_zero = true;
+  for (std::size_t k = 0; k < vars.size(); ++k) {
+    dep.distance[k] = dist[k].value_or(0);
+    if (dep.distance[k] != 0) all_zero = false;
+  }
+  if (all_zero) return std::nullopt;  // loop-independent: no ordering limit
+  // Canonicalize to a lexicographically positive vector (a dependence and
+  // its reverse constrain reordering identically).
+  if (!lexicographically_nonnegative(dep.distance))
+    for (auto& v : dep.distance) v = -v;
+  return dep;
+}
+
+DependenceSet collect_dependences(const ir::Node& root,
+                                  const std::vector<ir::VarId>& vars) {
+  std::vector<const ir::Reference*> refs;
+  ir::collect_refs(root, refs);
+
+  DependenceSet out;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    for (std::size_t j = i; j < refs.size(); ++j) {
+      if (!refs[i]->is_write && !refs[j]->is_write) continue;
+      // Only array-vs-array pairs constrain loop reordering; scalars are
+      // registers after scalar replacement and pools are hardware-region
+      // territory.
+      if (!refs[i]->is_array() || !refs[j]->is_array()) continue;
+      bool analyzable = true;
+      if (auto dep = ref_dependence(*refs[i], *refs[j], vars, &analyzable))
+        out.deps.push_back(std::move(*dep));
+      if (!analyzable) {
+        const auto& ai = std::get<ir::Reference::Array>(refs[i]->target);
+        const auto& aj = std::get<ir::Reference::Array>(refs[j]->target);
+        if (ai.id == aj.id) out.unknown = true;
+      }
+    }
+  }
+  return out;
+}
+
+bool lexicographically_nonnegative(const std::vector<std::int64_t>& d) {
+  for (auto v : d) {
+    if (v > 0) return true;
+    if (v < 0) return false;
+  }
+  return true;  // zero vector
+}
+
+bool permutation_legal(const DependenceSet& deps,
+                       const std::vector<std::size_t>& perm) {
+  if (deps.unknown) {
+    // Only the identity is safely legal.
+    for (std::size_t k = 0; k < perm.size(); ++k)
+      if (perm[k] != k) return false;
+    return true;
+  }
+  for (const auto& dep : deps.deps) {
+    std::vector<std::int64_t> permuted(perm.size());
+    for (std::size_t k = 0; k < perm.size(); ++k)
+      permuted[k] = dep.distance[perm[k]];
+    if (!lexicographically_nonnegative(permuted)) return false;
+  }
+  return true;
+}
+
+}  // namespace selcache::analysis

@@ -1,0 +1,55 @@
+// Data-dependence testing for loop-transformation legality.
+//
+// Restricted to the *separable, uniformly generated* affine case: each
+// subscript dimension of both references must be `c*v + k` with the SAME
+// c*v part, so the dependence distance per loop variable is the constant
+// subscript difference divided by the coefficient. That covers the stencil
+// and streaming kernels our workloads use; anything else (coupled
+// subscripts, differing coefficients, non-affine) is reported as UNKNOWN and
+// treated conservatively by the transforms.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace selcache::analysis {
+
+/// Distance vector over an ordered band of loop variables. distances[k] is
+/// the dependence distance carried by band variable k.
+struct Dependence {
+  std::vector<std::int64_t> distance;
+};
+
+struct DependenceSet {
+  std::vector<Dependence> deps;
+  /// True when at least one reference pair could not be analyzed; the
+  /// transforms must then assume any reordering is illegal.
+  bool unknown = false;
+};
+
+/// Dependence between two affine array references (same array) under the
+/// band `vars`. Returns nullopt when independent, a Dependence when a
+/// constant-distance dependence exists, and sets *analyzable=false when the
+/// pair is outside the solvable class.
+std::optional<Dependence> ref_dependence(const ir::Reference& a,
+                                         const ir::Reference& b,
+                                         const std::vector<ir::VarId>& vars,
+                                         bool* analyzable);
+
+/// All dependences among the references in the subtree rooted at `root`,
+/// restricted to pairs where at least one reference writes.
+DependenceSet collect_dependences(const ir::Node& root,
+                                  const std::vector<ir::VarId>& vars);
+
+/// Is a dependence vector lexicographically non-negative?
+bool lexicographically_nonnegative(const std::vector<std::int64_t>& d);
+
+/// Would permuting the band by `perm` (perm[k] = index of the old loop that
+/// moves to position k) keep every dependence lexicographically
+/// non-negative?
+bool permutation_legal(const DependenceSet& deps,
+                       const std::vector<std::size_t>& perm);
+
+}  // namespace selcache::analysis

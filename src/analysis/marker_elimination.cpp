@@ -1,0 +1,101 @@
+#include "analysis/marker_elimination.h"
+
+namespace selcache::analysis {
+
+using ir::LoopNode;
+using ir::Node;
+using ir::NodeKind;
+using ir::ToggleNode;
+
+namespace {
+
+/// Abstract execution without modification: entry state -> exit state.
+HwState simulate(const std::vector<std::unique_ptr<Node>>& body, HwState in) {
+  for (const auto& n : body) {
+    switch (n->kind) {
+      case NodeKind::Toggle:
+        in = static_cast<const ToggleNode&>(*n).on ? HwState::On
+                                                   : HwState::Off;
+        break;
+      case NodeKind::Loop: {
+        const auto& loop = static_cast<const LoopNode&>(*n);
+        HwState body_in = in;
+        const HwState one_pass = simulate(loop.body, body_in);
+        body_in = meet(body_in, one_pass);  // back-edge re-entry
+        const HwState exit = simulate(loop.body, body_in);
+        in = meet(in, exit);  // zero-or-more iterations
+        break;
+      }
+      case NodeKind::Stmt:
+        break;
+    }
+  }
+  return in;
+}
+
+/// One removal sweep; returns exit state, counts removals.
+HwState sweep(std::vector<std::unique_ptr<Node>>& body, HwState in,
+              std::size_t& removed) {
+  for (std::size_t i = 0; i < body.size();) {
+    Node& n = *body[i];
+    switch (n.kind) {
+      case NodeKind::Toggle: {
+        // Peephole: a toggle immediately followed by another toggle has no
+        // observable effect — the later one decides the state and nothing
+        // executes in between. This is what collapses the OFF;ON pair
+        // between two adjacent hardware nests (Figure 2(b) -> 2(c)).
+        if (i + 1 < body.size() && body[i + 1]->kind == NodeKind::Toggle) {
+          body.erase(body.begin() + static_cast<std::ptrdiff_t>(i));
+          ++removed;
+          continue;
+        }
+        const HwState target =
+            static_cast<ToggleNode&>(n).on ? HwState::On : HwState::Off;
+        if (in == target) {
+          body.erase(body.begin() + static_cast<std::ptrdiff_t>(i));
+          ++removed;
+          continue;  // same index now holds the next node
+        }
+        in = target;
+        break;
+      }
+      case NodeKind::Loop: {
+        auto& loop = static_cast<LoopNode&>(n);
+        HwState body_in = in;
+        const HwState one_pass = simulate(loop.body, body_in);
+        body_in = meet(body_in, one_pass);
+        const HwState exit = sweep(loop.body, body_in, removed);
+        in = meet(in, exit);
+        break;
+      }
+      case NodeKind::Stmt:
+        break;
+    }
+    ++i;
+  }
+  return in;
+}
+
+}  // namespace
+
+std::size_t eliminate_redundant_markers(ir::Program& p) {
+  std::size_t total = 0;
+  while (true) {
+    std::size_t removed = 0;
+    // The machine starts with the mechanism off.
+    sweep(p.top(), HwState::Off, removed);
+    total += removed;
+    if (removed == 0) break;
+  }
+  return total;
+}
+
+std::size_t count_markers(const ir::Program& p) {
+  std::size_t n = 0;
+  p.visit([&](const Node& node) {
+    if (node.kind == NodeKind::Toggle) ++n;
+  });
+  return n;
+}
+
+}  // namespace selcache::analysis

@@ -1,0 +1,30 @@
+// Redundant activate/deactivate elimination (Figure 2(b) -> 2(c)).
+//
+// An ON/OFF instruction is redundant when the hardware flag is already in
+// the requested state on EVERY execution path reaching it. The pass runs a
+// forward dataflow over the region tree with the three-point lattice
+// {Off, On, Unknown}: loop bodies meet their entry state with their own exit
+// state (a body may re-enter from the back edge), and a loop's exit state is
+// the meet of its entry (zero iterations) and body exit. Toggles whose known
+// incoming state equals their target are removed; the walk repeats until a
+// fixpoint since each removal can expose the next (OFF-ON pairs collapse
+// pairwise).
+#pragma once
+
+#include "ir/program.h"
+
+namespace selcache::analysis {
+
+enum class HwState { Off, On, Unknown };
+
+inline HwState meet(HwState a, HwState b) {
+  return a == b ? a : HwState::Unknown;
+}
+
+/// Remove redundant toggles; returns how many were removed.
+std::size_t eliminate_redundant_markers(ir::Program& p);
+
+/// Count remaining ToggleNodes (diagnostics / tests).
+std::size_t count_markers(const ir::Program& p);
+
+}  // namespace selcache::analysis

@@ -1,0 +1,15 @@
+#include "analysis/method_selection.h"
+
+namespace selcache::analysis {
+
+Method select_method(const ir::LoopNode& loop, double threshold) {
+  return count_refs(loop).ratio() >= threshold ? Method::Compiler
+                                               : Method::Hardware;
+}
+
+Method select_method(const ir::Stmt& stmt, double threshold) {
+  return count_refs(stmt).ratio() >= threshold ? Method::Compiler
+                                               : Method::Hardware;
+}
+
+}  // namespace selcache::analysis

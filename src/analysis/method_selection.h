@@ -1,0 +1,28 @@
+// Per-loop optimization-method selection (§2.3): if the ratio of analyzable
+// references to total references meets the threshold, the compiler optimizes
+// the loop; otherwise the hardware mechanism handles it at run time.
+#pragma once
+
+#include "analysis/classify.h"
+
+namespace selcache::analysis {
+
+enum class Method { Hardware, Compiler };
+
+inline const char* to_string(Method m) {
+  return m == Method::Hardware ? "hardware" : "compiler";
+}
+
+/// Paper §4.1: "a threshold value of 0.5 was selected".
+inline constexpr double kDefaultThreshold = 0.5;
+
+/// Decide the method for a loop from the references in its whole subtree.
+Method select_method(const ir::LoopNode& loop,
+                     double threshold = kDefaultThreshold);
+
+/// Decide for a bare statement (the "imaginary loop that iterates once"
+/// treatment of §2.2 for statements sandwiched between nests).
+Method select_method(const ir::Stmt& stmt,
+                     double threshold = kDefaultThreshold);
+
+}  // namespace selcache::analysis

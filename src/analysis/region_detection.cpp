@@ -1,0 +1,125 @@
+#include "analysis/region_detection.h"
+
+namespace selcache::analysis {
+
+using ir::LoopNode;
+using ir::Node;
+using ir::NodeKind;
+using ir::StmtNode;
+using ir::ToggleNode;
+
+namespace {
+
+/// Bottom-up decision for one loop (Figure 2 walk, steps 1-7).
+RegionDecision decide(LoopNode& loop, double threshold,
+                      RegionAnalysis& out) {
+  std::vector<RegionDecision> child_decisions;
+  for (auto& child : loop.body)
+    if (child->kind == NodeKind::Loop)
+      child_decisions.push_back(
+          decide(static_cast<LoopNode&>(*child), threshold, out));
+
+  RegionDecision d;
+  if (child_decisions.empty()) {
+    // Innermost loop: decided by its own references (§2.3).
+    d = select_method(loop, threshold) == Method::Compiler
+            ? RegionDecision::Compiler
+            : RegionDecision::Hardware;
+  } else {
+    // Propagate a unanimous child method to the enclosing loop; references
+    // directly inside this loop are swept along with it (§2.2, steps 2-3).
+    bool all_same = true;
+    for (const auto& c : child_decisions)
+      if (c != child_decisions.front()) all_same = false;
+    if (all_same && child_decisions.front() != RegionDecision::Mixed) {
+      d = child_decisions.front();
+    } else {
+      d = RegionDecision::Mixed;
+    }
+  }
+  out.decisions[&loop] = d;
+  return d;
+}
+
+/// Insert ON/OFF markers into a mixed scope: hardware subtrees are
+/// bracketed; compiler subtrees are recorded as roots for the optimizer;
+/// mixed loops recurse.
+void mark_scope(std::vector<std::unique_ptr<Node>>& body, double threshold,
+                RegionAnalysis& out) {
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    Node& n = *body[i];
+    if (n.kind == NodeKind::Stmt) {
+      // Sandwiched statement: imaginary one-iteration loop (§2.2, end).
+      if (select_method(static_cast<StmtNode&>(n).stmt, threshold) ==
+          Method::Hardware) {
+        body.insert(body.begin() + static_cast<std::ptrdiff_t>(i),
+                    std::make_unique<ToggleNode>(true));
+        body.insert(body.begin() + static_cast<std::ptrdiff_t>(i + 2),
+                    std::make_unique<ToggleNode>(false));
+        out.markers_inserted += 2;
+        i += 2;
+      }
+      continue;
+    }
+    if (n.kind != NodeKind::Loop) continue;
+    auto& loop = static_cast<LoopNode&>(n);
+    switch (out.decisions.at(&loop)) {
+      case RegionDecision::Hardware:
+        body.insert(body.begin() + static_cast<std::ptrdiff_t>(i),
+                    std::make_unique<ToggleNode>(true));
+        body.insert(body.begin() + static_cast<std::ptrdiff_t>(i + 2),
+                    std::make_unique<ToggleNode>(false));
+        out.markers_inserted += 2;
+        i += 2;
+        break;
+      case RegionDecision::Compiler:
+        out.compiler_roots.push_back(&loop);
+        break;
+      case RegionDecision::Mixed:
+        mark_scope(loop.body, threshold, out);
+        break;
+    }
+  }
+}
+
+void collect_compiler_roots(std::vector<std::unique_ptr<Node>>& body,
+                            RegionAnalysis& out) {
+  for (auto& n : body) {
+    if (n->kind != NodeKind::Loop) continue;
+    auto& loop = static_cast<LoopNode&>(*n);
+    switch (out.decisions.at(&loop)) {
+      case RegionDecision::Compiler:
+        out.compiler_roots.push_back(&loop);
+        break;
+      case RegionDecision::Mixed:
+        collect_compiler_roots(loop.body, out);
+        break;
+      case RegionDecision::Hardware:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+RegionAnalysis analyze_regions(ir::Program& p, double threshold) {
+  RegionAnalysis out;
+  for (auto& n : p.top())
+    if (n->kind == NodeKind::Loop)
+      decide(static_cast<LoopNode&>(*n), threshold, out);
+  collect_compiler_roots(p.top(), out);
+  return out;
+}
+
+RegionAnalysis detect_and_mark(ir::Program& p, double threshold) {
+  RegionAnalysis out;
+  for (auto& n : p.top())
+    if (n->kind == NodeKind::Loop)
+      decide(static_cast<LoopNode&>(*n), threshold, out);
+  // The program's top level behaves like a mixed region that starts in
+  // software mode.
+  mark_scope(p.top(), threshold, out);
+  return out;
+}
+
+}  // namespace selcache::analysis

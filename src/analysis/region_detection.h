@@ -1,0 +1,62 @@
+// Region detection (§2.2): partition a program into uniform regions, each
+// preferring either the hardware or the compiler optimization, and mark
+// hardware regions with activate/deactivate (ON/OFF) instructions.
+//
+// The algorithm works innermost -> outermost (Figure 2):
+//   * an innermost loop is decided by its references (§2.3);
+//   * a loop whose child loops all agree inherits their method — references
+//     inside it but outside the children are optimized the same way;
+//   * a loop whose children disagree becomes a MIXED region: no unique
+//     method; we switch between techniques as its constituent loops are
+//     encountered;
+//   * statements sandwiched between sibling nests inside a mixed region are
+//     treated as an imaginary single-iteration loop and decided by their own
+//     references.
+//
+// Marker insertion assumes the program starts in software mode (hardware
+// OFF) and brackets every hardware region with ON ... OFF. The resulting
+// markers can be redundant (e.g. OFF immediately followed by ON); the
+// separate marker-elimination pass (Figure 2(b) -> 2(c)) removes those.
+#pragma once
+
+#include <map>
+
+#include "analysis/method_selection.h"
+
+namespace selcache::analysis {
+
+enum class RegionDecision { Hardware, Compiler, Mixed };
+
+inline const char* to_string(RegionDecision d) {
+  switch (d) {
+    case RegionDecision::Hardware: return "hardware";
+    case RegionDecision::Compiler: return "compiler";
+    case RegionDecision::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+struct RegionAnalysis {
+  /// Per-loop decision, filled bottom-up.
+  std::map<const ir::LoopNode*, RegionDecision> decisions;
+  /// Loops (outermost of each compiler region) the software optimizer
+  /// should transform.
+  std::vector<ir::LoopNode*> compiler_roots;
+  std::size_t markers_inserted = 0;
+
+  RegionDecision decision(const ir::LoopNode& l) const {
+    auto it = decisions.find(&l);
+    return it == decisions.end() ? RegionDecision::Compiler : it->second;
+  }
+};
+
+/// Analyze only: compute per-loop decisions without touching the program.
+RegionAnalysis analyze_regions(ir::Program& p,
+                               double threshold = kDefaultThreshold);
+
+/// Analyze and insert ON/OFF ToggleNodes around hardware regions.
+/// Run eliminate_redundant_markers() afterwards to obtain Figure 2(c).
+RegionAnalysis detect_and_mark(ir::Program& p,
+                               double threshold = kDefaultThreshold);
+
+}  // namespace selcache::analysis

@@ -1,0 +1,64 @@
+#include "analysis/reuse.h"
+
+namespace selcache::analysis {
+
+namespace {
+
+/// Index of the fastest-varying (contiguous) dimension under `layout`.
+std::size_t fastest_dim(const ir::ArrayDecl& a) {
+  return a.layout == ir::Layout::RowMajor ? a.dims.size() - 1 : 0;
+}
+
+}  // namespace
+
+ReuseKind ref_reuse(const ir::Program& p, const ir::Reference& r,
+                    ir::VarId v) {
+  const auto* arr = std::get_if<ir::Reference::Array>(&r.target);
+  if (arr == nullptr) return ReuseKind::None;
+
+  const ir::ArrayDecl& decl = p.array(arr->id);
+  bool any_use = false;
+  bool only_fastest = true;
+  std::int64_t fastest_coeff = 0;
+  const std::size_t fd = fastest_dim(decl);
+
+  for (std::size_t d = 0; d < arr->subs.size(); ++d) {
+    const auto* aff = std::get_if<ir::Subscript::Affine>(&arr->subs[d].value);
+    if (aff == nullptr) {
+      // Non-affine subscripts defeat static reuse analysis.
+      if (arr->subs[d].uses(v)) return ReuseKind::None;
+      continue;
+    }
+    const std::int64_t c = aff->expr.coeff(v);
+    if (c != 0) {
+      any_use = true;
+      if (d == fd) {
+        fastest_coeff = c;
+      } else {
+        only_fastest = false;
+      }
+    }
+  }
+
+  if (!any_use) return ReuseKind::Temporal;
+  if (only_fastest && (fastest_coeff == 1 || fastest_coeff == -1))
+    return ReuseKind::Spatial;
+  return ReuseKind::None;
+}
+
+ReuseScore loop_reuse(const ir::Program& p,
+                      const std::vector<const ir::Reference*>& refs,
+                      ir::VarId v) {
+  ReuseScore s;
+  for (const auto* r : refs) {
+    if (!r->is_array()) continue;
+    switch (ref_reuse(p, *r, v)) {
+      case ReuseKind::Temporal: ++s.temporal; break;
+      case ReuseKind::Spatial: ++s.spatial; break;
+      case ReuseKind::None: ++s.none; break;
+    }
+  }
+  return s;
+}
+
+}  // namespace selcache::analysis

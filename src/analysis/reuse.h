@@ -1,0 +1,45 @@
+// Temporal / spatial reuse analysis (after Wolf & Lam [13]), restricted to
+// the separable-affine case our IR generates.
+//
+// For a loop variable v and an affine array reference:
+//   * TEMPORAL reuse w.r.t. v: no subscript mentions v — successive v
+//     iterations touch the same element (e.g. U[j] inside loop i).
+//   * SPATIAL reuse w.r.t. v: only the fastest-varying dimension (under the
+//     array's current layout) mentions v, with |coefficient| == 1 —
+//     successive iterations touch adjacent elements.
+//   * otherwise NONE (column-order walks, large strides).
+//
+// The interchange transform uses these counts to choose the loop with the
+// most reuse as the innermost (§3.2: "the locality optimizations in general
+// try to put as much of the available reuse as possible into the innermost
+// loop positions").
+#pragma once
+
+#include "ir/program.h"
+
+namespace selcache::analysis {
+
+enum class ReuseKind { None, Spatial, Temporal };
+
+/// Reuse of one affine array reference w.r.t. loop variable `v`.
+ReuseKind ref_reuse(const ir::Program& p, const ir::Reference& r, ir::VarId v);
+
+struct ReuseScore {
+  std::size_t temporal = 0;
+  std::size_t spatial = 0;
+  std::size_t none = 0;
+
+  /// Weighted benefit of making this loop innermost. Temporal reuse
+  /// (register/cache-line residency every iteration) dominates spatial.
+  double score() const {
+    return 2.0 * static_cast<double>(temporal) +
+           1.0 * static_cast<double>(spatial);
+  }
+};
+
+/// Score loop variable `v` over all affine array references in `refs`.
+ReuseScore loop_reuse(const ir::Program& p,
+                      const std::vector<const ir::Reference*>& refs,
+                      ir::VarId v);
+
+}  // namespace selcache::analysis

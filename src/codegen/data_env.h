@@ -1,0 +1,65 @@
+// Data environment: the simulated address space for one program run.
+//
+// Allocates every declared array, scalar and pool at deterministic
+// addresses, synthesizes index-array contents and pointer-chase orders from
+// a seeded RNG, and holds the mutable traversal state (current node of each
+// pointer pool). Two program variants (base vs. optimized) build separate
+// environments — their layouts differ by design.
+#pragma once
+
+#include <vector>
+
+#include "codegen/layout.h"
+#include "support/rng.h"
+
+namespace selcache::codegen {
+
+struct DataEnvOptions {
+  std::uint64_t seed = 0x5e1c4c4eULL;
+  Addr data_base = 0x10000000;   ///< arrays/pools allocated upward from here
+  Addr page_align = 4096;        ///< allocation alignment
+};
+
+class DataEnv {
+ public:
+  DataEnv(const ir::Program& p, DataEnvOptions opt = {});
+
+  // ---- addresses ----------------------------------------------------------
+  const ArrayLayout& array_layout(ir::ArrayId a) const {
+    return layouts_.at(a);
+  }
+  Addr scalar_addr(ir::ScalarId s) const { return scalar_addrs_.at(s); }
+  /// Address of field `field_offset` of record `index` (wrapped mod count).
+  Addr record_addr(ir::PoolId pool, std::int64_t index,
+                   std::uint32_t field_offset) const;
+
+  // ---- index-array contents -----------------------------------------------
+  /// Value of index array `a` at flattened position `pos` (wrapped).
+  std::int64_t index_value(ir::ArrayId a, std::int64_t pos) const;
+
+  // ---- pointer chasing ----------------------------------------------------
+  /// Advance pool `pool`'s walk one node; returns the new node's address
+  /// plus `field_offset`.
+  Addr chase_next(ir::PoolId pool, std::uint32_t field_offset);
+
+  /// Reset all traversal cursors (not the synthesized contents).
+  void reset_walks();
+
+  /// Total allocated bytes (diagnostics; drives working-set documentation).
+  std::uint64_t total_footprint() const { return next_free_ - opt_.data_base; }
+
+ private:
+  Addr allocate(std::uint64_t bytes);
+
+  const ir::Program& prog_;
+  DataEnvOptions opt_;
+  Addr next_free_;
+  std::vector<ArrayLayout> layouts_;
+  std::vector<Addr> scalar_addrs_;
+  std::vector<Addr> pool_bases_;
+  std::vector<std::vector<std::int64_t>> index_contents_;  ///< per array
+  std::vector<std::vector<std::uint32_t>> pool_next_;      ///< per pool
+  std::vector<std::uint32_t> pool_cursor_;
+};
+
+}  // namespace selcache::codegen

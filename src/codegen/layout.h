@@ -1,0 +1,35 @@
+// Array address mapping: dimensions x layout x padding -> byte addresses.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ir/program.h"
+#include "support/types.h"
+
+namespace selcache::codegen {
+
+class ArrayLayout {
+ public:
+  ArrayLayout(const ir::ArrayDecl& decl, Addr base);
+
+  /// Byte address of the element at `indices`. Out-of-range indices wrap
+  /// into [0, dim) — synthetic workloads use boundary offsets (j+1 at the
+  /// last iteration) whose exact target does not matter, only its locality.
+  Addr element_addr(std::span<const std::int64_t> indices) const;
+
+  Addr base() const { return base_; }
+  std::uint64_t footprint_bytes() const { return footprint_; }
+  ir::Layout layout() const { return layout_; }
+
+ private:
+  Addr base_;
+  std::vector<std::int64_t> dims_;
+  /// Per-dimension element stride under the chosen layout (incl. padding).
+  std::vector<std::int64_t> strides_;
+  std::uint32_t elem_size_;
+  ir::Layout layout_;
+  std::uint64_t footprint_;
+};
+
+}  // namespace selcache::codegen

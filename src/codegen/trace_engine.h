@@ -1,0 +1,49 @@
+// Trace engine: executes an IR program, driving the CPU timing model (and
+// through it the memory hierarchy) with the instruction/memory stream the
+// program denotes. This is the "run the binary under SimpleScalar" step of
+// the paper's methodology (§4.4) — our binary is the IR.
+//
+// Per loop iteration the engine issues: the body, one index-update compute
+// op, and the back-edge branch (predicted by the bimodal table). Statements
+// issue their I-fetches, compute ops and references in order. Indexed
+// subscripts first load the index array element (an address-generating
+// load), then perform the dependent gather/scatter. Pointer references walk
+// the pool's next-chain with fully serialized (dependent) loads. Toggle
+// nodes execute the activate/deactivate instruction.
+#pragma once
+
+#include "codegen/data_env.h"
+#include "cpu/timing_model.h"
+
+namespace selcache::codegen {
+
+class TraceEngine {
+ public:
+  TraceEngine(const ir::Program& p, DataEnv& env, cpu::TimingModel& cpu);
+
+  /// Execute the whole program once.
+  void run();
+
+  /// Dynamic counts (diagnostics).
+  std::uint64_t loads_executed() const { return loads_; }
+  std::uint64_t stores_executed() const { return stores_; }
+  std::uint64_t iterations_executed() const { return iterations_; }
+
+ private:
+  void exec_body(const std::vector<std::unique_ptr<ir::Node>>& body);
+  void exec_loop(const ir::LoopNode& loop);
+  void exec_stmt(const ir::Stmt& stmt);
+  /// Evaluate one subscript; emits the index-array load for Indexed
+  /// subscripts and reports whether the enclosing access is now
+  /// address-dependent.
+  std::int64_t eval_subscript(const ir::Subscript& s, bool* dependent);
+  void exec_ref(const ir::Reference& r);
+
+  const ir::Program& prog_;
+  DataEnv& env_;
+  cpu::TimingModel& cpu_;
+  std::vector<std::int64_t> vars_;
+  std::uint64_t loads_ = 0, stores_ = 0, iterations_ = 0;
+};
+
+}  // namespace selcache::codegen

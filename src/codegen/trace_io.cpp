@@ -1,0 +1,87 @@
+#include "codegen/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "support/check.h"
+
+namespace selcache::codegen {
+
+void replay_trace(const Trace& trace, cpu::TimingModel& cpu) {
+  for (const TraceEvent& e : trace) {
+    switch (e.kind) {
+      case TraceEvent::Kind::Compute:
+        cpu.compute(e.value);
+        break;
+      case TraceEvent::Kind::Load:
+        cpu.load(e.addr, (e.flags & 1) != 0);
+        break;
+      case TraceEvent::Kind::Store:
+        cpu.store(e.addr);
+        break;
+      case TraceEvent::Kind::Branch:
+        cpu.branch(e.addr, (e.flags & 1) != 0);
+        break;
+      case TraceEvent::Kind::Toggle:
+        cpu.toggle((e.flags & 1) != 0);
+        break;
+      case TraceEvent::Kind::Ifetch:
+        cpu.touch_code(e.addr, e.value);
+        break;
+    }
+  }
+}
+
+namespace {
+constexpr char kMagic[8] = {'S', 'C', 'T', 'R', 'A', 'C', 'E', '1'};
+
+struct Record {
+  std::uint8_t kind;
+  std::uint8_t flags;
+  std::uint16_t pad = 0;
+  std::uint32_t value;
+  std::uint64_t addr;
+};
+static_assert(sizeof(Record) == 16, "stable on-disk layout");
+}  // namespace
+
+bool save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t n = trace.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const TraceEvent& e : trace) {
+    Record r{static_cast<std::uint8_t>(e.kind), e.flags, 0, e.value, e.addr};
+    out.write(reinterpret_cast<const char*>(&r), sizeof(r));
+  }
+  return static_cast<bool>(out);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SELCACHE_CHECK_MSG(static_cast<bool>(in), "cannot open trace " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  SELCACHE_CHECK_MSG(in && std::memcmp(magic, kMagic, 8) == 0,
+                     "bad trace magic in " + path);
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  SELCACHE_CHECK_MSG(static_cast<bool>(in), "truncated trace header");
+
+  Trace trace;
+  trace.reserve(n);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    Record r;
+    in.read(reinterpret_cast<char*>(&r), sizeof(r));
+    SELCACHE_CHECK_MSG(static_cast<bool>(in), "truncated trace body");
+    SELCACHE_CHECK_MSG(
+        r.kind <= static_cast<std::uint8_t>(TraceEvent::Kind::Ifetch),
+        "corrupt trace record kind");
+    trace.push_back({static_cast<TraceEvent::Kind>(r.kind), r.flags, r.value,
+                     r.addr});
+  }
+  return trace;
+}
+
+}  // namespace selcache::codegen

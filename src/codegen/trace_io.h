@@ -1,0 +1,38 @@
+// Trace capture and replay.
+//
+// The timing model can tee every event driven through it (computes, memory
+// references with their dependence flags, branches, toggles, I-fetch
+// groups) into a flat trace; the trace can be saved, reloaded and replayed
+// into any machine configuration. Replaying a trace reproduces the original
+// run's timing exactly — useful for machine-configuration sweeps without
+// re-interpreting the IR, and for exporting workloads to other tools.
+//
+//   cpu::TimingModel model(cfg, hierarchy, controller);
+//   codegen::Trace trace;
+//   model.set_trace_sink(&trace);          // record
+//   engine.run();
+//   codegen::save_trace(trace, "run.sctrace");
+//   ...
+//   codegen::replay_trace(codegen::load_trace("run.sctrace"), other_model);
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpu/timing_model.h"
+
+namespace selcache::codegen {
+
+using cpu::TraceEvent;
+using Trace = cpu::Trace;
+
+/// Drive a timing model with a previously captured trace.
+void replay_trace(const Trace& trace, cpu::TimingModel& cpu);
+
+/// Binary round-trip (fixed-width little-endian records with a versioned
+/// header). save returns false on I/O failure; load throws
+/// std::logic_error on malformed input.
+bool save_trace(const Trace& trace, const std::string& path);
+Trace load_trace(const std::string& path);
+
+}  // namespace selcache::codegen

@@ -1,0 +1,26 @@
+#include "core/energy.h"
+
+namespace selcache::core {
+
+EnergyBreakdown estimate_energy(const StatSet& s, const EnergyParams& p) {
+  EnergyBreakdown e;
+  const auto hits_misses = [&s](const std::string& prefix) {
+    return s.get(prefix + ".hits") + s.get(prefix + ".misses");
+  };
+
+  e.l1 = p.l1_access * static_cast<double>(hits_misses("l1d") +
+                                           hits_misses("l1i"));
+  e.l2 = p.l2_access * static_cast<double>(hits_misses("l2"));
+  e.memory = p.memory_access * static_cast<double>(s.get("mem.reads"));
+  e.tlb = p.tlb_access * static_cast<double>(hits_misses("dtlb") +
+                                             hits_misses("itlb"));
+  e.aux = p.victim_probe * static_cast<double>(hits_misses("victim_l1") +
+                                               hits_misses("victim_l2")) +
+          p.bypass_probe * static_cast<double>(hits_misses("bypass_buffer")) +
+          p.mat_touch * static_cast<double>(s.get("bypass.bypasses")) +
+          p.toggle * static_cast<double>(s.get("controller.toggles_executed"));
+  e.core = p.instruction * static_cast<double>(s.get("cpu.instructions"));
+  return e;
+}
+
+}  // namespace selcache::core

@@ -1,0 +1,39 @@
+// First-order memory-system energy accounting — an extension analysis in
+// the spirit of the paper's reference [2] (An et al., "Analyzing energy
+// behavior of spatial access methods for memory-resident data").
+//
+// Energy is estimated from the run's event counters with per-event costs
+// (defaults are CACTI-era 0.18um-class ballparks, normalized so relative
+// comparisons are meaningful; absolute joules are not the point). The
+// selective scheme's fewer lower-level accesses translate directly into
+// energy savings here.
+#pragma once
+
+#include "support/stats.h"
+
+namespace selcache::core {
+
+struct EnergyParams {
+  // nJ per event.
+  double l1_access = 0.5;
+  double l2_access = 2.5;
+  double memory_access = 30.0;
+  double tlb_access = 0.05;
+  double victim_probe = 0.3;   ///< fully associative, small
+  double bypass_probe = 0.2;
+  double mat_touch = 0.02;     ///< small table update
+  double toggle = 0.01;
+  double instruction = 0.08;   ///< core energy per issued instruction
+};
+
+struct EnergyBreakdown {
+  double l1 = 0, l2 = 0, memory = 0, tlb = 0, aux = 0, core = 0;
+  double total() const { return l1 + l2 + memory + tlb + aux + core; }
+};
+
+/// Estimate energy (nJ) from an exported StatSet (Hierarchy + CPU + scheme
+/// counters, as produced by RunResult::stats).
+EnergyBreakdown estimate_energy(const StatSet& stats,
+                                const EnergyParams& p = {});
+
+}  // namespace selcache::core

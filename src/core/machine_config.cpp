@@ -1,0 +1,55 @@
+#include "core/machine_config.h"
+
+namespace selcache::core {
+
+MachineConfig base_machine() {
+  MachineConfig m;
+  m.name = "Base Confg.";
+  // HierarchyConfig / CpuConfig defaults already encode Table 1.
+  return m;
+}
+
+MachineConfig higher_mem_latency() {
+  MachineConfig m = base_machine();
+  m.name = "Higher Mem. Lat.";
+  m.hierarchy.mem.access_latency = 200;
+  return m;
+}
+
+MachineConfig larger_l2() {
+  MachineConfig m = base_machine();
+  m.name = "Larger L2 Size";
+  m.hierarchy.l2.size_bytes = 1024 * 1024;
+  return m;
+}
+
+MachineConfig larger_l1() {
+  MachineConfig m = base_machine();
+  m.name = "Larger L1 Size";
+  m.hierarchy.l1d.size_bytes = 64 * 1024;
+  return m;
+}
+
+MachineConfig higher_l2_assoc() {
+  MachineConfig m = base_machine();
+  m.name = "Higher L2 Asc.";
+  m.hierarchy.l2.assoc = 8;
+  return m;
+}
+
+MachineConfig higher_l1_assoc() {
+  MachineConfig m = base_machine();
+  m.name = "Higher L1 Asc.";
+  m.hierarchy.l1d.assoc = 8;
+  return m;
+}
+
+const std::vector<MachineConfig>& all_machines() {
+  static const std::vector<MachineConfig> kAll = {
+      base_machine(),    higher_mem_latency(), larger_l2(),
+      larger_l1(),       higher_l2_assoc(),    higher_l1_assoc(),
+  };
+  return kAll;
+}
+
+}  // namespace selcache::core

@@ -1,0 +1,31 @@
+// Machine configurations: the Table 1 baseline and the five variations
+// evaluated in §5 (Figures 5-9 / Table 3 rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpu/timing_model.h"
+#include "memsys/hierarchy.h"
+
+namespace selcache::core {
+
+struct MachineConfig {
+  std::string name;
+  memsys::HierarchyConfig hierarchy;
+  cpu::CpuConfig cpu;
+};
+
+/// Table 1: 4-wide, 32K/4/32B L1s @2, 512K/4/128B L2 @10, 100-cycle memory,
+/// 8B bus, 2 ports, RUU 64, LSQ 32, bimodal 2048.
+MachineConfig base_machine();
+MachineConfig higher_mem_latency();  ///< Figure 5: memory 200 cycles
+MachineConfig larger_l2();           ///< Figure 6: L2 = 1 MB
+MachineConfig larger_l1();           ///< Figure 7: L1D = 64 KB
+MachineConfig higher_l2_assoc();     ///< Figure 8: L2 8-way
+MachineConfig higher_l1_assoc();     ///< Figure 9: L1 8-way
+
+/// Table 3 row order.
+const std::vector<MachineConfig>& all_machines();
+
+}  // namespace selcache::core

@@ -1,0 +1,26 @@
+// Paper-style report formatting for the bench harness.
+#pragma once
+
+#include <string>
+
+#include "core/runner.h"
+
+namespace selcache::core {
+
+/// Figures 4-9 as text: one row per benchmark, one column per version, plus
+/// per-category and overall averages.
+std::string format_figure(const std::string& title,
+                          const std::vector<ImprovementRow>& rows);
+
+/// Table 1 (machine parameters) as text.
+std::string format_machine(const MachineConfig& m);
+
+/// Figures 4-9 as CSV (benchmark,category,pure_hw,pure_sw,combined,
+/// selective) — for plotting the paper's bar charts.
+std::string figure_csv(const std::vector<ImprovementRow>& rows);
+
+/// Write `content` to `path`; returns false (and leaves no partial file
+/// guarantee) on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace selcache::core

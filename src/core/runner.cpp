@@ -1,0 +1,83 @@
+#include "core/runner.h"
+
+#include "codegen/trace_engine.h"
+
+namespace selcache::core {
+
+RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
+                      Version v, const RunOptions& opt) {
+  // 1. Code product (§4.4).
+  const ir::Program base = w.build();
+  ir::Program product = prepare_program(base, v, opt.optimize);
+
+  // 2. Machine: hierarchy + scheme + controller + timing model.
+  memsys::HierarchyConfig hcfg = m.hierarchy;
+  hcfg.classify_misses = opt.classify_misses;
+  memsys::Hierarchy hierarchy(hcfg);
+  std::unique_ptr<memsys::HwScheme> scheme =
+      v == Version::Base || v == Version::PureSoftware
+          ? nullptr
+          : make_scheme(opt.scheme, m);
+  hierarchy.attach_hw(scheme.get());
+  hw::Controller controller(scheme.get());
+  controller.force(hw_always_on(v));  // Selective starts OFF; toggles drive it
+  cpu::TimingModel cpu(m.cpu, hierarchy, controller);
+
+  // 3. Execute.
+  codegen::DataEnv env(product, {.seed = opt.data_seed});
+  codegen::TraceEngine engine(product, env, cpu);
+  engine.run();
+
+  // 4. Collect.
+  RunResult r;
+  r.cycles = cpu.cycles();
+  r.instructions = cpu.instructions();
+  r.l1_miss_rate = hierarchy.l1_miss_rate();
+  r.l2_miss_rate = hierarchy.l2_miss_rate();
+  if (const auto* c = hierarchy.classifier()) r.conflict_share =
+      c->conflict_share();
+  r.toggles = controller.toggles_executed();
+  hierarchy.export_stats(r.stats);
+  cpu.export_stats(r.stats);
+  controller.export_stats(r.stats);
+  return r;
+}
+
+ImprovementRow improvements_for(const workloads::WorkloadInfo& w,
+                                const MachineConfig& m,
+                                const RunOptions& opt) {
+  ImprovementRow row;
+  row.benchmark = w.name;
+  row.category = w.category;
+  const RunResult base = run_version(w, m, Version::Base, opt);
+  row.base_cycles = base.cycles;
+  for (Version v : kEvaluatedVersions) {
+    const RunResult r = run_version(w, m, v, opt);
+    row.pct[v] = improvement_pct(base.cycles, r.cycles);
+  }
+  return row;
+}
+
+std::vector<ImprovementRow> sweep_suite(const MachineConfig& m,
+                                        const RunOptions& opt) {
+  std::vector<ImprovementRow> rows;
+  for (const auto& w : workloads::all_workloads())
+    rows.push_back(improvements_for(w, m, opt));
+  return rows;
+}
+
+double average_improvement(const std::vector<ImprovementRow>& rows, Version v,
+                           const workloads::Category* filter) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& row : rows) {
+    if (filter != nullptr && row.category != *filter) continue;
+    auto it = row.pct.find(v);
+    if (it == row.pct.end()) continue;
+    sum += it->second;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace selcache::core

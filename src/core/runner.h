@@ -1,0 +1,56 @@
+// Experiment runner: execute (workload x machine x version x scheme) and
+// report cycles, miss rates, and improvement over the Base version.
+#pragma once
+
+#include <map>
+
+#include "core/versions.h"
+#include "workloads/registry.h"
+
+namespace selcache::core {
+
+struct RunOptions {
+  hw::SchemeKind scheme = hw::SchemeKind::Bypass;
+  transform::OptimizeOptions optimize{};
+  bool classify_misses = false;  ///< maintain the 3C shadow (Table 2 column)
+  std::uint64_t data_seed = 0x5e1c4c4eULL;
+};
+
+struct RunResult {
+  Cycle cycles = 0;
+  InstrCount instructions = 0;
+  double l1_miss_rate = 0.0;  ///< combined L1 (data + instruction), Table 2
+  double l2_miss_rate = 0.0;
+  double conflict_share = 0.0;  ///< of classified L1D misses (if enabled)
+  std::uint64_t toggles = 0;
+  StatSet stats;
+};
+
+/// Simulate one version of one workload on one machine.
+RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
+                      Version v, const RunOptions& opt = {});
+
+/// Improvements (%) of the four evaluated versions over Base for one
+/// workload on one machine — one bar group of Figures 4-9.
+struct ImprovementRow {
+  std::string benchmark;
+  workloads::Category category = workloads::Category::Mixed;
+  Cycle base_cycles = 0;
+  /// Keyed by version; percent improvement in execution cycles over Base.
+  std::map<Version, double> pct;
+};
+
+ImprovementRow improvements_for(const workloads::WorkloadInfo& w,
+                                const MachineConfig& m,
+                                const RunOptions& opt = {});
+
+/// Whole-suite sweep (all 13 benchmarks) for one machine+scheme.
+std::vector<ImprovementRow> sweep_suite(const MachineConfig& m,
+                                        const RunOptions& opt = {});
+
+/// Average of a version's improvement across rows, optionally filtered by
+/// category (nullptr = all).
+double average_improvement(const std::vector<ImprovementRow>& rows, Version v,
+                           const workloads::Category* filter = nullptr);
+
+}  // namespace selcache::core

@@ -1,0 +1,36 @@
+// Bimodal branch predictor: a table of 2-bit saturating counters indexed by
+// PC (Table 1: "bi-modal with 2048 entries").
+#pragma once
+
+#include <vector>
+
+#include "support/check.h"
+#include "support/saturating.h"
+#include "support/stats.h"
+#include "support/types.h"
+
+namespace selcache::cpu {
+
+class BimodalPredictor {
+ public:
+  explicit BimodalPredictor(std::uint32_t entries = 2048);
+
+  /// Predict the branch at `pc`, then train with the actual outcome.
+  /// Returns true iff the prediction was correct.
+  bool predict_and_train(Addr pc, bool taken);
+
+  const HitMiss& stats() const { return stats_; }  // hits = correct
+  double accuracy() const { return stats_.hit_rate(); }
+  void export_stats(StatSet& out) const;
+
+ private:
+  std::uint32_t index(Addr pc) const {
+    // Drop the low bits (instruction alignment) before hashing.
+    return static_cast<std::uint32_t>((pc >> 2) % table_.size());
+  }
+
+  std::vector<Counter2Bit> table_;
+  HitMiss stats_;
+};
+
+}  // namespace selcache::cpu

@@ -1,0 +1,153 @@
+#include "cpu/timing_model.h"
+
+#include <algorithm>
+
+#include "support/bitutil.h"
+
+namespace selcache::cpu {
+
+using memsys::AccessKind;
+
+TimingModel::TimingModel(CpuConfig cfg, memsys::Hierarchy& hierarchy,
+                         hw::Controller& controller)
+    : cfg_(cfg),
+      hierarchy_(hierarchy),
+      controller_(controller),
+      bpred_(cfg.bimodal_entries) {
+  SELCACHE_CHECK(cfg_.issue_width > 0);
+  SELCACHE_CHECK(cfg_.memory_ports > 0);
+}
+
+Cycle TimingModel::cycles() const {
+  const Cycle issue = (slots_ + cfg_.issue_width - 1) / cfg_.issue_width;
+  return issue + mem_stall_ + branch_stall_ + toggle_stall_;
+}
+
+void TimingModel::compute(std::uint64_t n) {
+  if (trace_ != nullptr)
+    trace_->push_back({TraceEvent::Kind::Compute, 0,
+                       static_cast<std::uint32_t>(n), 0});
+  retire_slots(n);
+}
+
+void TimingModel::charge_memory(Cycle lat, Cycle pipelined_lat,
+                                bool dependent) {
+  const Cycle extra = lat > pipelined_lat ? lat - pipelined_lat : 0;
+  if (extra == 0) return;
+
+  const Cycle now = cycles();
+  if (now >= shadow_end_) inflight_ = 0;
+
+  if (dependent) {
+    // Address-dependent chain: wait out any outstanding shadow, then pay in
+    // full. No MLP for pointer chasing.
+    if (now < shadow_end_) mem_stall_ += shadow_end_ - now;
+    mem_stall_ += extra;
+    shadow_end_ = cycles();
+    inflight_ = 0;
+    ++serialized_misses_;
+    return;
+  }
+
+  const Cycle hide = hide_window();
+  if (inflight_ == 0) {
+    // First miss of a shadow: the RUU keeps issuing under it, hiding up to
+    // `hide` cycles; the remainder is exposed.
+    const Cycle charged = extra > hide ? extra - hide : 0;
+    mem_stall_ += charged;
+    shadow_end_ = cycles() + (extra - charged);
+    inflight_ = 1;
+    ++serialized_misses_;
+    return;
+  }
+
+  if (inflight_ < cfg_.memory_ports) {
+    // Overlaps with the outstanding miss(es): only the bandwidth floor is
+    // exposed, and the shadow extends.
+    ++inflight_;
+    ++overlapped_misses_;
+    mem_stall_ += std::min(extra, cfg_.overlap_bandwidth_cycles);
+    const Cycle completion = now + extra;
+    if (completion > shadow_end_) shadow_end_ = completion;
+    return;
+  }
+
+  // All memory ports busy: stall until the shadow drains, then behave like
+  // a fresh first-miss.
+  mem_stall_ += shadow_end_ - now;
+  const Cycle charged = extra > hide ? extra - hide : 0;
+  mem_stall_ += charged;
+  shadow_end_ = cycles() + (extra - charged);
+  inflight_ = 1;
+  ++serialized_misses_;
+}
+
+void TimingModel::load(Addr addr, bool dependent) {
+  if (trace_ != nullptr)
+    trace_->push_back({TraceEvent::Kind::Load,
+                       static_cast<std::uint8_t>(dependent ? 1 : 0), 0,
+                       addr});
+  retire_slots(1);
+  const Cycle lat = hierarchy_.access(addr, AccessKind::Load);
+  charge_memory(lat, hierarchy_.config().l1d.latency, dependent);
+}
+
+void TimingModel::store(Addr addr) {
+  if (trace_ != nullptr)
+    trace_->push_back({TraceEvent::Kind::Store, 0, 0, addr});
+  retire_slots(1);
+  const Cycle lat = hierarchy_.access(addr, AccessKind::Store);
+  // Stores retire through the store queue; they only expose latency when
+  // the LSQ would back up. Approximate by halving the exposed latency.
+  const Cycle l1 = hierarchy_.config().l1d.latency;
+  const Cycle extra = lat > l1 ? (lat - l1) / 2 : 0;
+  charge_memory(l1 + extra, l1, /*dependent=*/false);
+}
+
+void TimingModel::branch(Addr pc, bool taken) {
+  if (trace_ != nullptr)
+    trace_->push_back({TraceEvent::Kind::Branch,
+                       static_cast<std::uint8_t>(taken ? 1 : 0), 0, pc});
+  retire_slots(1);
+  if (!bpred_.predict_and_train(pc, taken))
+    branch_stall_ += cfg_.mispredict_penalty;
+}
+
+void TimingModel::toggle(bool on) {
+  if (trace_ != nullptr)
+    trace_->push_back({TraceEvent::Kind::Toggle,
+                       static_cast<std::uint8_t>(on ? 1 : 0), 0, 0});
+  retire_slots(1);
+  toggle_stall_ += cfg_.toggle_latency;
+  controller_.toggle(on);
+}
+
+void TimingModel::touch_code(Addr pc, std::uint32_t n_instr) {
+  if (trace_ != nullptr)
+    trace_->push_back({TraceEvent::Kind::Ifetch, 0, n_instr, pc});
+  if (!cfg_.model_ifetch) return;
+  // 4 bytes per instruction; touch each I-cache block the group spans.
+  const std::uint32_t bytes = n_instr * 4;
+  const std::uint32_t bs = hierarchy_.config().l1i.block_size;
+  const Addr first = block_base(pc, bs);
+  const Addr last = block_base(pc + (bytes > 0 ? bytes - 1 : 0), bs);
+  for (Addr a = first; a <= last; a += bs) {
+    const Cycle lat = hierarchy_.access(a, AccessKind::IFetch);
+    const Cycle l1 = hierarchy_.config().l1i.latency;
+    // Frontend stalls are partly absorbed by the fetch queue.
+    if (lat > l1) mem_stall_ += (lat - l1) / 2;
+  }
+}
+
+void TimingModel::export_stats(StatSet& out) const {
+  out.add("cpu.instructions", instructions_);
+  out.add("cpu.cycles", cycles());
+  out.add("cpu.mem_stall_cycles", mem_stall_);
+  out.add("cpu.branch_penalty_cycles", branch_stall_);
+  out.add("cpu.toggle_stall_cycles", toggle_stall_);
+  out.add("cpu.overlapped_misses", overlapped_misses_);
+  out.add("cpu.serialized_misses", serialized_misses_);
+  bpred_.export_stats(out);
+}
+
+}  // namespace selcache::cpu

@@ -1,0 +1,137 @@
+// Interval-style out-of-order timing model — the stand-in for SimpleScalar's
+// sim-outorder.
+//
+// The model charges cycles from three sources:
+//   1. issue bandwidth: every instruction consumes one of `issue_width`
+//      slots per cycle;
+//   2. branch mispredictions: a fixed redirect penalty per miss of the
+//      bimodal predictor;
+//   3. exposed memory latency: each data access pays its hierarchy latency
+//      beyond the pipelined L1 hit time, with bounded overlap.
+//
+// Overlap (memory-level parallelism) follows an interval model: while a miss
+// is outstanding ("shadow"), further *independent* misses overlap with it —
+// up to `memory_ports` in flight — and only extend the shadow instead of
+// stalling; the first miss of a shadow is partially hidden by the RUU window
+// (the out-of-order core keeps issuing ~RUU/width cycles of work under it).
+// *Dependent* accesses (pointer chasing — the load's address comes from the
+// previous load) serialize fully, which is what gives irregular codes their
+// low MLP. This reproduces the first-order behavior the paper's results
+// depend on: miss counts translate to cycles, streams get MLP, chains don't.
+#pragma once
+
+#include <vector>
+
+#include "cpu/branch_predictor.h"
+#include "hw/controller.h"
+#include "memsys/hierarchy.h"
+
+namespace selcache::cpu {
+
+/// One recorded event of the instruction/memory stream (see
+/// codegen/trace_io.h for capture/replay helpers).
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    Compute,  ///< value = instruction count
+    Load,     ///< addr; flags bit0 = dependent
+    Store,    ///< addr
+    Branch,   ///< addr = pc; flags bit0 = taken
+    Toggle,   ///< flags bit0 = on
+    Ifetch    ///< addr = pc; value = instruction count
+  };
+  Kind kind = Kind::Compute;
+  std::uint8_t flags = 0;
+  std::uint32_t value = 0;
+  Addr addr = 0;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+using Trace = std::vector<TraceEvent>;
+
+struct CpuConfig {
+  std::uint32_t issue_width = 4;
+  std::uint32_t ruu_entries = 64;
+  std::uint32_t lsq_entries = 32;
+  std::uint32_t memory_ports = 2;
+  std::uint32_t bimodal_entries = 2048;
+  Cycle mispredict_penalty = 3;
+  /// Bandwidth floor: even a fully overlapped miss occupies the L1-L2 path
+  /// for this long. Bounds the MLP a miss stream can extract — without it,
+  /// pathological miss inflation (e.g. rampant bypassing) would be free.
+  Cycle overlap_bandwidth_cycles = 2;
+  Cycle toggle_latency = 1;  ///< extra decode cycle for an ON/OFF instruction
+  bool model_ifetch = true;  ///< simulate the instruction-fetch stream
+};
+
+class TimingModel {
+ public:
+  TimingModel(CpuConfig cfg, memsys::Hierarchy& hierarchy,
+              hw::Controller& controller);
+
+  /// `n` plain ALU instructions.
+  void compute(std::uint64_t n);
+
+  /// One load instruction. `dependent` marks address-dependent loads
+  /// (pointer chasing) that cannot overlap with outstanding misses.
+  void load(Addr addr, bool dependent = false);
+
+  /// One store instruction (write-allocate; retires through the LSQ).
+  void store(Addr addr);
+
+  /// One conditional branch at `pc` with actual outcome `taken`.
+  void branch(Addr pc, bool taken);
+
+  /// One activate/deactivate instruction: flips the controller and pays the
+  /// documented overhead (§4.1: "the performance overhead of ON/OFF
+  /// instructions have also been taken into account").
+  void toggle(bool on);
+
+  /// Fetch the code block(s) for `n_instr` instructions located at `pc`.
+  void touch_code(Addr pc, std::uint32_t n_instr);
+
+  /// Tee every subsequent event into `sink` (nullptr stops recording).
+  void set_trace_sink(Trace* sink) { trace_ = sink; }
+
+  Cycle cycles() const;
+  InstrCount instructions() const { return instructions_; }
+  /// Cycles lost to exposed memory latency (diagnostic).
+  Cycle memory_stall_cycles() const { return mem_stall_; }
+  Cycle branch_penalty_cycles() const { return branch_stall_; }
+
+  const BimodalPredictor& predictor() const { return bpred_; }
+  const CpuConfig& config() const { return cfg_; }
+
+  void export_stats(StatSet& out) const;
+
+ private:
+  /// Cycles the RUU window can hide under a fresh miss shadow.
+  Cycle hide_window() const { return cfg_.ruu_entries / cfg_.issue_width; }
+
+  void retire_slots(std::uint64_t n) {
+    slots_ += n;
+    instructions_ += n;
+  }
+
+  /// Charge an access whose total latency was `lat`; `pipelined_lat` is the
+  /// portion absorbed by the pipeline (L1 hit time).
+  void charge_memory(Cycle lat, Cycle pipelined_lat, bool dependent);
+
+  CpuConfig cfg_;
+  memsys::Hierarchy& hierarchy_;
+  hw::Controller& controller_;
+  BimodalPredictor bpred_;
+  Trace* trace_ = nullptr;
+
+  std::uint64_t slots_ = 0;        ///< issued instruction slots
+  Cycle mem_stall_ = 0;
+  Cycle branch_stall_ = 0;
+  Cycle toggle_stall_ = 0;
+  InstrCount instructions_ = 0;
+
+  Cycle shadow_end_ = 0;           ///< cycle when outstanding misses resolve
+  std::uint32_t inflight_ = 0;     ///< misses overlapped in current shadow
+  std::uint64_t overlapped_misses_ = 0;
+  std::uint64_t serialized_misses_ = 0;
+};
+
+}  // namespace selcache::cpu

@@ -1,0 +1,51 @@
+#include "hw/bypass_buffer.h"
+
+#include "support/check.h"
+
+namespace selcache::hw {
+
+BypassBuffer::BypassBuffer(std::uint32_t entries, std::uint32_t word_size)
+    : entries_(entries), word_size_(word_size) {
+  SELCACHE_CHECK(entries_ > 0);
+  SELCACHE_CHECK(word_size_ > 0);
+}
+
+bool BypassBuffer::access(Addr addr, bool is_write) {
+  auto it = index_.find(word_of(addr));
+  if (it == index_.end()) {
+    stats_.record(false);
+    return false;
+  }
+  stats_.record(true);
+  it->second->second = it->second->second || is_write;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void BypassBuffer::insert(Addr addr, bool dirty) {
+  const Addr w = word_of(addr);
+  if (auto it = index_.find(w); it != index_.end()) {
+    it->second->second = it->second->second || dirty;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() == entries_) {
+    if (lru_.back().second) ++writebacks_;
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(w, dirty);
+  index_[w] = lru_.begin();
+}
+
+bool BypassBuffer::probe(Addr addr) const {
+  return index_.find(word_of(addr)) != index_.end();
+}
+
+void BypassBuffer::export_stats(StatSet& out) const {
+  out.add("bypass_buffer.hits", stats_.hits);
+  out.add("bypass_buffer.misses", stats_.misses);
+  out.add("bypass_buffer.writebacks", writebacks_);
+}
+
+}  // namespace selcache::hw

@@ -1,0 +1,49 @@
+// Bypass buffer: a tiny fully-associative cache of double words that holds
+// data the MAT decided not to cache. §4.1: "The bypass buffer is a fully-
+// associative cache with 64 double words and uses LRU replacement."
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "support/stats.h"
+#include "support/types.h"
+
+namespace selcache::hw {
+
+class BypassBuffer {
+ public:
+  explicit BypassBuffer(std::uint32_t entries = 64,
+                        std::uint32_t word_size = 8);
+
+  /// Look up the double word containing `addr`; refreshes LRU on hit and
+  /// merges dirtiness on a write hit.
+  bool access(Addr addr, bool is_write);
+
+  /// Insert the double word containing `addr` (after a bypassed fill).
+  /// The LRU entry is displaced when full; displaced dirty words count as
+  /// writebacks.
+  void insert(Addr addr, bool dirty);
+
+  bool probe(Addr addr) const;
+
+  std::uint32_t occupancy() const {
+    return static_cast<std::uint32_t>(lru_.size());
+  }
+  std::uint32_t capacity() const { return entries_; }
+  const HitMiss& stats() const { return stats_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  void export_stats(StatSet& out) const;
+
+ private:
+  Addr word_of(Addr addr) const { return addr / word_size_; }
+
+  std::uint32_t entries_;
+  std::uint32_t word_size_;
+  std::list<std::pair<Addr, bool>> lru_;  ///< front = MRU; (word, dirty)
+  std::unordered_map<Addr, std::list<std::pair<Addr, bool>>::iterator> index_;
+  HitMiss stats_;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace selcache::hw

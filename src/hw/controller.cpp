@@ -1,0 +1,4 @@
+#include "hw/controller.h"
+
+// Header-only today; TU anchors the target.
+namespace selcache::hw {}

@@ -1,0 +1,65 @@
+// Run-time ON/OFF controller for the hardware optimization mechanism.
+//
+// The ISA extension of §4.1 adds activate/deactivate instructions; at
+// execution time each one flips a flag that gates the attached HwScheme.
+// The controller also implements the redundancy semantics the compiler
+// relies on (an activate while already active is a no-op but still costs an
+// instruction slot — which is why the compiler eliminates redundant markers).
+#pragma once
+
+#include <cstdint>
+
+#include "memsys/hw_hooks.h"
+
+namespace selcache::hw {
+
+enum class SchemeKind { None, Bypass, Victim, Prefetch, Composite };
+
+inline const char* to_string(SchemeKind k) {
+  switch (k) {
+    case SchemeKind::None: return "none";
+    case SchemeKind::Bypass: return "bypass";
+    case SchemeKind::Victim: return "victim";
+    case SchemeKind::Prefetch: return "prefetch";
+    case SchemeKind::Composite: return "bypass+victim";
+  }
+  return "?";
+}
+
+class Controller {
+ public:
+  /// `scheme` may be null (machine without the hardware mechanism).
+  explicit Controller(memsys::HwScheme* scheme) : scheme_(scheme) {}
+
+  /// Execute an activate (ON) or deactivate (OFF) instruction.
+  void toggle(bool on) {
+    ++toggles_executed_;
+    if (scheme_ == nullptr) return;
+    if (scheme_->active() != on) ++effective_toggles_;
+    scheme_->set_active(on);
+  }
+
+  /// Force the scheme on for the entire run (PureHardware / Combined
+  /// versions) or off (Base / PureSoftware).
+  void force(bool on) {
+    if (scheme_ != nullptr) scheme_->set_active(on);
+  }
+
+  bool active() const { return scheme_ != nullptr && scheme_->active(); }
+  memsys::HwScheme* scheme() const { return scheme_; }
+
+  std::uint64_t toggles_executed() const { return toggles_executed_; }
+  std::uint64_t effective_toggles() const { return effective_toggles_; }
+
+  void export_stats(StatSet& out) const {
+    out.add("controller.toggles_executed", toggles_executed_);
+    out.add("controller.effective_toggles", effective_toggles_);
+  }
+
+ private:
+  memsys::HwScheme* scheme_;
+  std::uint64_t toggles_executed_ = 0;
+  std::uint64_t effective_toggles_ = 0;
+};
+
+}  // namespace selcache::hw

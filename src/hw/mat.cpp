@@ -1,0 +1,59 @@
+#include "hw/mat.h"
+
+#include "support/check.h"
+
+namespace selcache::hw {
+
+Mat::Mat(MatConfig cfg) : cfg_(cfg) {
+  SELCACHE_CHECK(cfg_.entries > 0);
+  SELCACHE_CHECK(cfg_.macro_block_size > 0);
+  table_.resize(cfg_.entries);
+  for (Entry& e : table_)
+    e.count = SaturatingCounter<std::uint32_t>(cfg_.counter_max, 0);
+}
+
+void Mat::touch(Addr addr) {
+  const Addr mb = macro_block(addr);
+  Entry& e = table_[index_of(mb)];
+  if (!e.valid || e.tag != mb) {
+    // Direct-mapped replacement: the evicted macro-block's history is lost;
+    // the newcomer starts from scratch.
+    if (e.valid) ++replacements_;
+    e.valid = true;
+    e.tag = mb;
+    e.count.reset(0);
+  }
+  e.count.increment();
+
+  if (cfg_.decay_interval != 0 && ++touches_ % cfg_.decay_interval == 0) {
+    ++decays_;
+    for (Entry& t : table_) t.count.decay();
+  }
+}
+
+void Mat::punish(Addr addr, std::uint32_t by) {
+  const Addr mb = macro_block(addr);
+  Entry& e = table_[index_of(mb)];
+  if (e.valid && e.tag == mb) e.count.decrement(by);
+}
+
+std::uint32_t Mat::frequency(Addr addr) const {
+  const Addr mb = macro_block(addr);
+  const Entry& e = table_[index_of(mb)];
+  return (e.valid && e.tag == mb) ? e.count.value() : 0;
+}
+
+void Mat::clear() {
+  for (Entry& e : table_) {
+    e.valid = false;
+    e.count.reset(0);
+  }
+  touches_ = 0;
+}
+
+void Mat::export_stats(StatSet& out) const {
+  out.add("mat.replacements", replacements_);
+  out.add("mat.decays", decays_);
+}
+
+}  // namespace selcache::hw

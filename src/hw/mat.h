@@ -1,0 +1,75 @@
+// Memory Access Table (Johnson & Hwu, ISCA 1997 [8]).
+//
+// Memory is divided into macro-blocks (1 KB in the paper, §4.1); the MAT is
+// a tagged table of saturating access-frequency counters, one per resident
+// macro-block. The cache controller consults it on every fill: if the
+// incoming block's macro-block is accessed less frequently than the
+// would-be victim's, the incoming block BYPASSES the cache (it is served via
+// a small bypass buffer instead), keeping the hot block resident.
+//
+// Counters decay (halve) every `decay_interval` accesses so the table can
+// track phase changes — slowly. That lag is precisely the pathology §5.1 of
+// the DATE'03 paper identifies: after a phase change the stale counters
+// cause useful new-phase blocks to be bypassed until the table re-learns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/saturating.h"
+#include "support/stats.h"
+#include "support/types.h"
+
+namespace selcache::hw {
+
+struct MatConfig {
+  std::uint32_t entries = 4096;          ///< table entries (paper: 4096)
+  std::uint32_t macro_block_size = 1024; ///< bytes per macro-block (paper: 1 KB)
+  std::uint32_t counter_max = 255;       ///< saturating counter ceiling
+  std::uint64_t decay_interval = 262144; ///< halve all counters every N touches
+};
+
+class Mat {
+ public:
+  explicit Mat(MatConfig cfg);
+
+  /// Record one access to the macro-block containing `addr`.
+  void touch(Addr addr);
+
+  /// Penalize the macro-block whose cache block was just evicted ([8]
+  /// adjusts the loser of a replacement decision downward so streams that
+  /// keep losing cache space lose MAT standing too).
+  void punish(Addr addr, std::uint32_t by = 1);
+
+  /// Current frequency estimate for the macro-block containing `addr`.
+  /// A macro-block not resident in the table counts as frequency 0.
+  std::uint32_t frequency(Addr addr) const;
+
+  /// Reset all entries (not normally used at run time; tests only).
+  void clear();
+
+  const MatConfig& config() const { return cfg_; }
+  std::uint64_t replacements() const { return replacements_; }
+  std::uint64_t decays() const { return decays_; }
+  void export_stats(StatSet& out) const;
+
+ private:
+  struct Entry {
+    Addr tag = 0;  ///< macro-block number
+    bool valid = false;
+    SaturatingCounter<std::uint32_t> count;
+  };
+
+  Addr macro_block(Addr addr) const { return addr / cfg_.macro_block_size; }
+  std::uint32_t index_of(Addr mb) const {
+    return static_cast<std::uint32_t>(mb % cfg_.entries);
+  }
+
+  MatConfig cfg_;
+  std::vector<Entry> table_;
+  std::uint64_t touches_ = 0;
+  std::uint64_t replacements_ = 0;
+  std::uint64_t decays_ = 0;
+};
+
+}  // namespace selcache::hw

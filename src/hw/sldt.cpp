@@ -1,0 +1,53 @@
+#include "hw/sldt.h"
+
+#include "support/check.h"
+
+namespace selcache::hw {
+
+Sldt::Sldt(SldtConfig cfg) : cfg_(cfg) {
+  SELCACHE_CHECK(cfg_.entries > 0);
+  SELCACHE_CHECK(cfg_.block_size > 0);
+  SELCACHE_CHECK(cfg_.counter_entries > 0);
+  window_.resize(cfg_.entries);
+  counters_.assign(cfg_.counter_entries,
+                   SaturatingCounter<std::uint32_t>(cfg_.counter_max,
+                                                    cfg_.counter_initial));
+}
+
+bool Sldt::in_window(Addr frame) const {
+  const WindowEntry& e = window_[frame % cfg_.entries];
+  return e.valid && e.frame == frame;
+}
+
+void Sldt::insert_window(Addr frame) {
+  WindowEntry& e = window_[frame % cfg_.entries];
+  e.valid = true;
+  e.frame = frame;
+}
+
+void Sldt::note(Addr addr) {
+  const Addr f = frame_of(addr);
+  auto& ctr = counters_[macro_of(addr) % cfg_.counter_entries];
+  // A spatial hit: either neighbor block was touched within the window.
+  if (in_window(f - 1) || in_window(f + 1)) {
+    ++spatial_hits_;
+    ctr.increment();
+  } else if (!in_window(f)) {
+    // Re-touching the same block is neutral; a genuinely isolated touch
+    // decays the spatial expectation.
+    ++spatial_misses_;
+    ctr.decrement();
+  }
+  insert_window(f);
+}
+
+bool Sldt::spatial(Addr addr) const {
+  return counters_[macro_of(addr) % cfg_.counter_entries].upper_half();
+}
+
+void Sldt::export_stats(StatSet& out) const {
+  out.add("sldt.spatial_hits", spatial_hits_);
+  out.add("sldt.spatial_misses", spatial_misses_);
+}
+
+}  // namespace selcache::hw

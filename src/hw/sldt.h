@@ -1,0 +1,62 @@
+// Spatial Locality Detection Table (Johnson, Merten & Hwu, MICRO 1997 [9]).
+//
+// Tracks, per macro-block, whether accesses exhibit spatial locality: an
+// access whose neighboring cache block was touched recently is a *spatial
+// hit* and increments the macro-block's Spatial Counter; an isolated access
+// decrements it. When the counter is in its upper half the cache controller
+// fetches a larger unit (two blocks instead of one) on a fill.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/saturating.h"
+#include "support/stats.h"
+#include "support/types.h"
+
+namespace selcache::hw {
+
+struct SldtConfig {
+  std::uint32_t entries = 256;           ///< recently-touched-block window
+  std::uint32_t block_size = 32;         ///< cache-block granularity
+  std::uint32_t macro_block_size = 1024; ///< counter granularity (as MAT)
+  std::uint32_t counter_entries = 1024;  ///< spatial-counter table size
+  std::uint32_t counter_max = 15;
+  std::uint32_t counter_initial = 8;     ///< start neutral-positive
+};
+
+class Sldt {
+ public:
+  explicit Sldt(SldtConfig cfg);
+
+  /// Observe an access; updates the recent-block window and the spatial
+  /// counter of the enclosing macro-block.
+  void note(Addr addr);
+
+  /// Does the macro-block containing `addr` currently exhibit spatial
+  /// locality (counter in upper half)?
+  bool spatial(Addr addr) const;
+
+  std::uint64_t spatial_hits() const { return spatial_hits_; }
+  std::uint64_t spatial_misses() const { return spatial_misses_; }
+  void export_stats(StatSet& out) const;
+
+ private:
+  struct WindowEntry {
+    Addr frame = 0;
+    bool valid = false;
+  };
+
+  Addr frame_of(Addr addr) const { return addr / cfg_.block_size; }
+  Addr macro_of(Addr addr) const { return addr / cfg_.macro_block_size; }
+  bool in_window(Addr frame) const;
+  void insert_window(Addr frame);
+
+  SldtConfig cfg_;
+  std::vector<WindowEntry> window_;               ///< direct-mapped by frame
+  std::vector<SaturatingCounter<std::uint32_t>> counters_;  ///< by macro-block
+  std::uint64_t spatial_hits_ = 0;
+  std::uint64_t spatial_misses_ = 0;
+};
+
+}  // namespace selcache::hw

@@ -1,0 +1,79 @@
+// Fluent construction of IR programs — the API the synthetic workloads and
+// the tests use.
+//
+//   ProgramBuilder b("example");
+//   auto U = b.array("U", {N, N});
+//   auto i = b.begin_loop("i", 0, N);
+//   auto j = b.begin_loop("j", 0, N);
+//   b.stmt({ir::load_array(U, {b.sub(j), b.sub(i)})}, /*ops=*/2);
+//   b.end_loop();
+//   b.end_loop();
+//   ir::Program p = b.finish();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace selcache::ir {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) : prog_(std::move(name)) {}
+
+  // ---- declarations -------------------------------------------------------
+  ArrayId array(std::string name, std::vector<std::int64_t> dims,
+                std::uint32_t elem_size = 8, std::int64_t pad_elems = 0);
+  /// 1-D integer array whose contents the data environment synthesizes —
+  /// the subscript source for indexed references.
+  ArrayId index_array(std::string name, std::int64_t length,
+                      ArrayDecl::Content content, double param = 0.0,
+                      std::int64_t range = 0);
+  ScalarId scalar(std::string name);
+  PoolId chase_pool(std::string name, std::int64_t nodes,
+                    std::uint32_t node_size, bool shuffled = true);
+  PoolId record_pool(std::string name, std::int64_t records,
+                     std::uint32_t record_size);
+
+  // ---- structure ----------------------------------------------------------
+  /// Open a loop `for (var = lo; var < hi; var += step)`; returns the
+  /// induction variable. Bounds may reference enclosing loop variables.
+  Var begin_loop(std::string var, AffineExpr lo, AffineExpr hi,
+                 std::int64_t step = 1);
+  Var begin_loop(std::string var, std::int64_t lo, std::int64_t hi,
+                 std::int64_t step = 1);
+  void end_loop();
+
+  /// Append a statement to the innermost open scope.
+  void stmt(std::vector<Reference> refs, std::uint32_t compute_ops = 1,
+            std::string label = "");
+  /// Append a raw Stmt (tests).
+  void stmt(Stmt s);
+  /// Append an explicit ON/OFF marker (tests; normally region detection
+  /// inserts these).
+  void toggle(bool on);
+
+  // ---- subscript sugar ----------------------------------------------------
+  Subscript sub(Var v, std::int64_t offset = 0) const {
+    return Subscript::affine(x(v) + offset);
+  }
+  Subscript sub(AffineExpr e) const { return Subscript::affine(std::move(e)); }
+  Subscript csub(std::int64_t c) const {
+    return Subscript::affine(AffineExpr::constant(c));
+  }
+
+  /// Close the program: checks loop balance and assigns code addresses.
+  Program finish();
+
+  Program& program() { return prog_; }
+
+ private:
+  std::vector<std::unique_ptr<Node>>& scope();
+
+  Program prog_;
+  std::vector<LoopNode*> open_;
+  bool finished_ = false;
+};
+
+}  // namespace selcache::ir

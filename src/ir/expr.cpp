@@ -1,0 +1,100 @@
+#include "ir/expr.h"
+
+#include <sstream>
+
+namespace selcache::ir {
+
+AffineExpr AffineExpr::constant(std::int64_t c) {
+  AffineExpr e;
+  e.constant_ = c;
+  return e;
+}
+
+AffineExpr AffineExpr::variable(VarId v, std::int64_t coeff) {
+  AffineExpr e;
+  if (coeff != 0) e.coeffs_[v] = coeff;
+  return e;
+}
+
+std::int64_t AffineExpr::coeff(VarId v) const {
+  auto it = coeffs_.find(v);
+  return it == coeffs_.end() ? 0 : it->second;
+}
+
+std::int64_t AffineExpr::eval(std::span<const std::int64_t> values) const {
+  std::int64_t r = constant_;
+  for (const auto& [v, c] : coeffs_) {
+    SELCACHE_CHECK_MSG(v < values.size(), "variable out of scope in eval");
+    r += c * values[v];
+  }
+  return r;
+}
+
+AffineExpr AffineExpr::substituted(VarId v, const AffineExpr& e) const {
+  const std::int64_t c = coeff(v);
+  if (c == 0) return *this;
+  AffineExpr out = *this;
+  out.coeffs_.erase(v);
+  return out + e * c;
+}
+
+void AffineExpr::prune() {
+  for (auto it = coeffs_.begin(); it != coeffs_.end();)
+    it = (it->second == 0) ? coeffs_.erase(it) : std::next(it);
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& o) const {
+  AffineExpr r = *this;
+  r.constant_ += o.constant_;
+  for (const auto& [v, c] : o.coeffs_) r.coeffs_[v] += c;
+  r.prune();
+  return r;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& o) const {
+  AffineExpr r = *this;
+  r.constant_ -= o.constant_;
+  for (const auto& [v, c] : o.coeffs_) r.coeffs_[v] -= c;
+  r.prune();
+  return r;
+}
+
+AffineExpr AffineExpr::operator*(std::int64_t k) const {
+  AffineExpr r;
+  if (k == 0) return r;
+  r.constant_ = constant_ * k;
+  r.coeffs_ = coeffs_;
+  for (auto& [v, c] : r.coeffs_) c *= k;
+  return r;
+}
+
+std::string AffineExpr::str(std::span<const std::string> var_names) const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [v, c] : coeffs_) {
+    const std::string name =
+        v < var_names.size() ? var_names[v] : "v" + std::to_string(v);
+    if (first) {
+      if (c == -1)
+        os << '-';
+      else if (c != 1)
+        os << c << '*';
+      os << name;
+      first = false;
+    } else {
+      os << (c < 0 ? " - " : " + ");
+      const std::int64_t a = c < 0 ? -c : c;
+      if (a != 1) os << a << '*';
+      os << name;
+    }
+  }
+  if (first) {
+    os << constant_;
+  } else if (constant_ != 0) {
+    os << (constant_ < 0 ? " - " : " + ")
+       << (constant_ < 0 ? -constant_ : constant_);
+  }
+  return os.str();
+}
+
+}  // namespace selcache::ir

@@ -1,0 +1,78 @@
+// Affine expressions over loop induction variables.
+//
+// The subscript language of §2.3 distinguishes *analyzable* references
+// (scalars, affine array subscripts like C[i+j][k-1]) from non-analyzable
+// ones (D[i*j], E[i/j], G[IP[j]+2], pointers, struct fields). AffineExpr is
+// the analyzable core: constant + sum(coeff * var).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+
+namespace selcache::ir {
+
+/// Identifies a loop induction variable within a Program.
+using VarId = std::uint32_t;
+constexpr VarId kInvalidVar = ~0u;
+
+/// Lightweight wrapper so arithmetic operators can be overloaded safely
+/// (a bare uint32_t would collide with integer arithmetic).
+struct Var {
+  VarId id;
+};
+
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+
+  static AffineExpr constant(std::int64_t c);
+  static AffineExpr variable(VarId v, std::int64_t coeff = 1);
+
+  std::int64_t constant_term() const { return constant_; }
+  /// Coefficient of `v` (0 when absent).
+  std::int64_t coeff(VarId v) const;
+  const std::map<VarId, std::int64_t>& coeffs() const { return coeffs_; }
+
+  bool is_constant() const { return coeffs_.empty(); }
+  /// Does the expression mention `v` with a non-zero coefficient?
+  bool uses(VarId v) const { return coeff(v) != 0; }
+
+  /// Evaluate with `values[v]` giving each variable's current value.
+  std::int64_t eval(std::span<const std::int64_t> values) const;
+
+  /// Substitute variable `v` by expression `e` (used by loop transforms:
+  /// tiling rewrites i -> it + ii, unrolling rewrites i -> i + k).
+  AffineExpr substituted(VarId v, const AffineExpr& e) const;
+
+  AffineExpr operator+(const AffineExpr& o) const;
+  AffineExpr operator-(const AffineExpr& o) const;
+  AffineExpr operator*(std::int64_t k) const;
+  AffineExpr operator+(std::int64_t k) const { return *this + constant(k); }
+  AffineExpr operator-(std::int64_t k) const { return *this - constant(k); }
+
+  bool operator==(const AffineExpr& o) const {
+    return constant_ == o.constant_ && coeffs_ == o.coeffs_;
+  }
+
+  /// Render using a variable-name lookup (e.g. "2*i + j - 1").
+  std::string str(std::span<const std::string> var_names) const;
+
+ private:
+  void prune();  // drop zero coefficients
+
+  std::int64_t constant_ = 0;
+  std::map<VarId, std::int64_t> coeffs_;
+};
+
+// Sugar so workload builders can write `x(i) + 2 * x(j) - 1`.
+inline AffineExpr x(Var v) { return AffineExpr::variable(v.id); }
+inline AffineExpr operator*(std::int64_t k, const AffineExpr& e) {
+  return e * k;
+}
+
+}  // namespace selcache::ir

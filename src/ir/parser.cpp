@@ -1,0 +1,408 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "ir/builder.h"
+
+namespace selcache::ir {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::logic_error("parse error at line " + std::to_string(line) +
+                         ": " + msg);
+}
+
+/// Minimal recursive-descent scanner over one reference/expression string.
+class Cursor {
+ public:
+  Cursor(std::string s, std::size_t line) : s_(std::move(s)), line_(line) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(
+                                   s_[pos_])))
+      ++pos_;
+  }
+  bool done() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void expect(char c) {
+    if (!eat(c)) fail(line_, std::string("expected '") + c + "'");
+  }
+  bool eat_word(const std::string& w) {
+    skip_ws();
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '_'))
+      ++pos_;
+    if (start == pos_) fail(line_, "expected identifier");
+    return s_.substr(start, pos_ - start);
+  }
+  std::int64_t integer() {
+    skip_ws();
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(
+                                   s_[pos_])))
+      ++pos_;
+    if (start == pos_) fail(line_, "expected integer");
+    return std::stoll(s_.substr(start, pos_ - start));
+  }
+  bool at_digit() {
+    skip_ws();
+    return pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-');
+  }
+  std::size_t line() const { return line_; }
+  std::string rest() {
+    skip_ws();
+    return s_.substr(pos_);
+  }
+
+ private:
+  std::string s_;
+  std::size_t pos_ = 0;
+  std::size_t line_;
+};
+
+struct Scope {
+  std::map<std::string, VarId> vars;
+  std::map<std::string, ArrayId> arrays;
+  std::map<std::string, ScalarId> scalars;
+  std::map<std::string, PoolId> pools;
+};
+
+/// affine := term (('+'|'-') term)*  ;  term := INT ['*' VAR] | VAR ['*' INT]
+AffineExpr parse_affine(Cursor& c, const Scope& sc) {
+  AffineExpr e;
+  bool first = true;
+  while (true) {
+    std::int64_t sign = 1;
+    if (c.eat('+')) {
+      sign = 1;
+    } else if (c.eat('-')) {
+      sign = -1;
+    } else if (!first) {
+      break;
+    }
+    first = false;
+
+    if (c.at_digit()) {
+      const std::int64_t k = c.integer();
+      if (c.eat('*')) {
+        const std::string v = c.ident();
+        auto it = sc.vars.find(v);
+        if (it == sc.vars.end()) fail(c.line(), "unknown variable " + v);
+        e = e + AffineExpr::variable(it->second, sign * k);
+      } else {
+        e = e + sign * k;
+      }
+    } else {
+      const std::string v = c.ident();
+      auto it = sc.vars.find(v);
+      if (it == sc.vars.end()) fail(c.line(), "unknown variable " + v);
+      std::int64_t k = 1;
+      if (c.eat('*')) k = c.integer();
+      e = e + AffineExpr::variable(it->second, sign * k);
+    }
+  }
+  return e;
+}
+
+Subscript parse_subscript(Cursor& c, const Scope& sc) {
+  // Indexed: IDENT '[' affine ']' [+- offset] where IDENT is an array.
+  // Product/Divide: affine ('*'|'/') affine — handled by trying affine and
+  // checking the next char (parse_affine already consumes VAR*INT; a
+  // VAR*VAR product falls through to here).
+  // Try: VAR [*/ VAR] | affine | indexed.
+  const std::size_t line = c.line();
+  // Lookahead: identifier followed by '[' means indexed.
+  Cursor probe = c;
+  if (!probe.at_digit() && probe.peek() != '+' && probe.peek() != '-') {
+    const std::string name = probe.ident();
+    if (probe.peek() == '[' && sc.arrays.count(name)) {
+      // indexed subscript
+      c = probe;
+      c.expect('[');
+      AffineExpr idx = parse_affine(c, sc);
+      c.expect(']');
+      std::int64_t off = 0;
+      if (c.peek() == '+' || c.peek() == '-') off = c.integer();
+      return Subscript::indexed(sc.arrays.at(name), std::move(idx), off);
+    }
+    if ((probe.peek() == '*' || probe.peek() == '/') &&
+        sc.vars.count(name)) {
+      // VAR * VAR or VAR / VAR (non-affine)
+      Cursor probe2 = probe;
+      const bool div = probe2.eat('/');
+      if (!div) probe2.expect('*');
+      if (!probe2.at_digit()) {
+        const std::string rhs = probe2.ident();
+        if (sc.vars.count(rhs)) {
+          c = probe2;
+          const AffineExpr l = AffineExpr::variable(sc.vars.at(name));
+          const AffineExpr r = AffineExpr::variable(sc.vars.at(rhs));
+          return div ? Subscript::divide(l, r) : Subscript::product(l, r);
+        }
+      }
+    }
+  }
+  (void)line;
+  return Subscript::affine(parse_affine(c, sc));
+}
+
+/// REF := '*' POOL ['+' INT] | NAME '.' 'f'INT ... | NAME '[' ... ']'+ |
+///        SCALAR
+Reference parse_ref(Cursor& c, const Scope& sc, bool is_write) {
+  if (c.eat('*')) {
+    const std::string pool = c.ident();
+    auto it = sc.pools.find(pool);
+    if (it == sc.pools.end()) fail(c.line(), "unknown pool " + pool);
+    std::uint32_t off = 0;
+    if (c.eat('+')) off = static_cast<std::uint32_t>(c.integer());
+    Reference r = chase(it->second, off);
+    r.is_write = is_write;
+    return r;
+  }
+  const std::string name = c.ident();
+  if (c.peek() == '[') {
+    // Array or record-pool element.
+    if (sc.arrays.count(name)) {
+      std::vector<Subscript> subs;
+      while (c.eat('[')) {
+        subs.push_back(parse_subscript(c, sc));
+        c.expect(']');
+      }
+      Reference r = load_array(sc.arrays.at(name), std::move(subs));
+      r.is_write = is_write;
+      return r;
+    }
+    if (sc.pools.count(name)) {
+      c.expect('[');
+      Subscript elem = parse_subscript(c, sc);
+      c.expect(']');
+      std::uint32_t off = 0;
+      if (c.eat('.')) {
+        const std::string field = c.ident();
+        if (field.size() < 2 || field[0] != 'f')
+          fail(c.line(), "field must look like f<offset>");
+        off = static_cast<std::uint32_t>(std::stoul(field.substr(1)));
+      }
+      Reference r = load_field(sc.pools.at(name), std::move(elem), off);
+      r.is_write = is_write;
+      return r;
+    }
+    fail(c.line(), "unknown array/pool " + name);
+  }
+  auto it = sc.scalars.find(name);
+  if (it == sc.scalars.end()) fail(c.line(), "unknown scalar " + name);
+  Reference r = load_scalar(it->second);
+  r.is_write = is_write;
+  return r;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  // Split on commas at bracket depth 0.
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char ch : s) {
+    if (ch == '[') ++depth;
+    if (ch == ']') --depth;
+    if (ch == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Extract a trailing "ops=N" clause; returns remaining text.
+std::string take_ops(const std::string& s, std::uint32_t* ops) {
+  const auto pos = s.rfind("ops=");
+  if (pos == std::string::npos) return s;
+  *ops = static_cast<std::uint32_t>(std::stoul(s.substr(pos + 4)));
+  std::string rest = s.substr(0, pos);
+  while (!rest.empty() && (rest.back() == ' ' || rest.back() == ','))
+    rest.pop_back();
+  return rest;
+}
+
+}  // namespace
+
+Program parse_program(const std::string& text) {
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+
+  std::unique_ptr<ProgramBuilder> b;
+  Scope sc;
+  std::size_t open_loops = 0;
+
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip comments and whitespace.
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    std::size_t a = raw.find_first_not_of(" \t\r");
+    if (a == std::string::npos) continue;
+    std::size_t z = raw.find_last_not_of(" \t\r");
+    std::string line = raw.substr(a, z - a + 1);
+
+    Cursor c(line, lineno);
+    if (c.eat_word("program")) {
+      if (b) fail(lineno, "duplicate 'program'");
+      b = std::make_unique<ProgramBuilder>(c.ident());
+      continue;
+    }
+    if (!b) fail(lineno, "first directive must be 'program NAME'");
+
+    if (c.eat_word("array")) {
+      const std::string name = c.ident();
+      std::vector<std::int64_t> dims{c.integer()};
+      while (c.eat('x')) dims.push_back(c.integer());
+      std::uint32_t esz = 8;
+      std::int64_t pad = 0;
+      bool col = false;
+      while (!c.done()) {
+        if (c.eat_word("elem=")) {
+          esz = static_cast<std::uint32_t>(c.integer());
+        } else if (c.eat_word("pad=")) {
+          pad = c.integer();
+        } else if (c.eat_word("col-major")) {
+          col = true;
+        } else {
+          fail(lineno, "unknown array attribute: " + c.rest());
+        }
+      }
+      const ArrayId id = b->array(name, dims, esz, pad);
+      if (col) b->program().array(id).layout = Layout::ColMajor;
+      sc.arrays[name] = id;
+      continue;
+    }
+    if (c.eat_word("index")) {
+      const std::string name = c.ident();
+      const std::int64_t len = c.integer();
+      ArrayDecl::Content kind = ArrayDecl::Content::Identity;
+      double param = 0;
+      if (c.eat_word("identity")) {
+        kind = ArrayDecl::Content::Identity;
+      } else if (c.eat_word("permutation")) {
+        kind = ArrayDecl::Content::Permutation;
+      } else if (c.eat_word("uniform")) {
+        kind = ArrayDecl::Content::Uniform;
+      } else if (c.eat_word("zipf")) {
+        kind = ArrayDecl::Content::Zipf;
+        param = static_cast<double>(c.integer()) / 100.0;  // zipf 80 = 0.80
+      } else if (c.eat_word("mesh")) {
+        kind = ArrayDecl::Content::Mesh;
+        param = static_cast<double>(c.integer());
+      } else {
+        fail(lineno, "unknown index content kind");
+      }
+      std::int64_t range = 0;
+      if (c.eat_word("range=")) range = c.integer();
+      sc.arrays[name] = b->index_array(name, len, kind, param, range);
+      continue;
+    }
+    if (c.eat_word("scalar")) {
+      const std::string name = c.ident();
+      sc.scalars[name] = b->scalar(name);
+      continue;
+    }
+    if (c.eat_word("chase")) {
+      const std::string name = c.ident();
+      const std::int64_t count = c.integer();
+      const std::uint32_t esz = static_cast<std::uint32_t>(c.integer());
+      const bool sequential = c.eat_word("sequential");
+      sc.pools[name] = b->chase_pool(name, count, esz, !sequential);
+      continue;
+    }
+    if (c.eat_word("records")) {
+      const std::string name = c.ident();
+      const std::int64_t count = c.integer();
+      const std::uint32_t esz = static_cast<std::uint32_t>(c.integer());
+      sc.pools[name] = b->record_pool(name, count, esz);
+      continue;
+    }
+    if (c.eat_word("for")) {
+      const std::string var = c.ident();
+      c.expect('=');
+      AffineExpr lo = parse_affine(c, sc);
+      c.expect('.');
+      c.expect('.');
+      AffineExpr hi = parse_affine(c, sc);
+      std::int64_t step = 1;
+      if (c.eat_word("step")) step = c.integer();
+      c.expect('{');
+      const Var v = b->begin_loop(var, std::move(lo), std::move(hi), step);
+      sc.vars[var] = v.id;
+      ++open_loops;
+      continue;
+    }
+    if (line == "}") {
+      if (open_loops == 0) fail(lineno, "unmatched '}'");
+      b->end_loop();
+      --open_loops;
+      continue;
+    }
+    if (line == "on" || line == "off") {
+      b->toggle(line == "on");
+      continue;
+    }
+    if (c.eat_word("load") || c.eat_word("store") || c.eat_word("stmt")) {
+      const bool is_stmt = line.rfind("stmt", 0) == 0;
+      const bool default_write = line.rfind("store", 0) == 0;
+      std::uint32_t ops = 1;
+      const std::string body = take_ops(c.rest(), &ops);
+      std::vector<Reference> refs;
+      for (const std::string& piece : split_commas(body)) {
+        Cursor rc(piece, lineno);
+        bool w = default_write;
+        if (is_stmt) {
+          if (rc.eat_word("st:")) {
+            w = true;
+          } else if (rc.eat_word("ld:")) {
+            w = false;
+          } else {
+            fail(lineno, "stmt refs need ld:/st: prefixes");
+          }
+        }
+        refs.push_back(parse_ref(rc, sc, w));
+      }
+      b->stmt(std::move(refs), ops);
+      continue;
+    }
+    fail(lineno, "unrecognized directive: " + line);
+  }
+
+  if (!b) fail(lineno, "empty program");
+  if (open_loops != 0) fail(lineno, "unclosed loop at end of input");
+  return b->finish();
+}
+
+}  // namespace selcache::ir

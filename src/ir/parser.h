@@ -1,0 +1,37 @@
+// Text-format parser for IR programs — the inverse of ir::print for the
+// executable subset, so workloads can be authored in plain text and run via
+// the CLI without recompiling.
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//   program NAME
+//   array  NAME DIM[xDIM...] [elem=BYTES] [pad=ELEMS] [col-major]
+//   index  NAME LEN  (identity|permutation|uniform|zipf PCT|mesh HOP)
+//          [range=N]          # zipf 85 means theta = 0.85
+//   scalar NAME
+//   chase  NAME COUNT NODE_BYTES [sequential]
+//   records NAME COUNT RECORD_BYTES
+//   for VAR = LO .. HI [step S] {        # bounds: integers or affine exprs
+//   }
+//   on | off                             # explicit ON/OFF markers
+//   load  REF [, REF ...] [ops=N]        # statement forms
+//   store REF [, REF ...] [ops=N]
+//   stmt  RW:REF [, RW:REF ...] [ops=N]  # RW is 'ld' or 'st'
+//
+// REF forms:  A[i][j+1]   A[IP[i]+2]   A[i*j]   A[i/j]   s (scalar)
+//             *P          *P+8         R[i].f16
+//
+// Affine expressions support + - and integer * on loop variables.
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace selcache::ir {
+
+/// Parse a program from text. Throws std::logic_error with a line-numbered
+/// message on any syntax or semantic error.
+Program parse_program(const std::string& text);
+
+}  // namespace selcache::ir

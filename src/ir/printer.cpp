@@ -1,0 +1,115 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace selcache::ir {
+
+namespace {
+
+std::string sub_str(const Program& p, const Subscript& s) {
+  const auto& names = p.var_names();
+  return std::visit(
+      [&](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, Subscript::Affine>) {
+          return v.expr.str(names);
+        } else if constexpr (std::is_same_v<T, Subscript::Product>) {
+          return "(" + v.lhs.str(names) + ")*(" + v.rhs.str(names) + ")";
+        } else if constexpr (std::is_same_v<T, Subscript::Divide>) {
+          return "(" + v.lhs.str(names) + ")/(" + v.rhs.str(names) + ")";
+        } else {
+          std::string out =
+              p.array(v.index_array).name + "[" + v.index.str(names) + "]";
+          if (v.offset > 0) out += "+" + std::to_string(v.offset);
+          if (v.offset < 0) out += std::to_string(v.offset);
+          return out;
+        }
+      },
+      s.value);
+}
+
+void print_node(const Program& p, const Node& n, int depth,
+                std::ostringstream& os) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (n.kind) {
+    case NodeKind::Toggle: {
+      os << pad << (static_cast<const ToggleNode&>(n).on ? "HW_ON;" : "HW_OFF;")
+         << "\n";
+      break;
+    }
+    case NodeKind::Stmt: {
+      const auto& s = static_cast<const StmtNode&>(n).stmt;
+      os << pad;
+      if (!s.label.empty()) os << s.label << ": ";
+      bool first = true;
+      for (const auto& r : s.refs) {
+        if (!first) os << ", ";
+        os << (r.is_write ? "st " : "ld ") << ref_str(p, r);
+        first = false;
+      }
+      if (s.refs.empty()) os << "compute";
+      os << "  (ops=" << s.compute_ops << ");\n";
+      break;
+    }
+    case NodeKind::Loop: {
+      const auto& l = static_cast<const LoopNode&>(n);
+      const auto& names = p.var_names();
+      os << pad << "for " << names[l.var] << " in [" << l.lower.str(names)
+         << ", " << l.upper.str(names) << ")";
+      if (l.step != 1) os << " step " << l.step;
+      os << " {\n";
+      for (const auto& c : l.body) print_node(p, *c, depth + 1, os);
+      os << pad << "}\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ref_str(const Program& p, const Reference& r) {
+  return std::visit(
+      [&](const auto& t) -> std::string {
+        using T = std::decay_t<decltype(t)>;
+        if constexpr (std::is_same_v<T, Reference::Scalar>) {
+          return p.scalar(t.id).name;
+        } else if constexpr (std::is_same_v<T, Reference::Array>) {
+          std::string out = p.array(t.id).name;
+          for (const auto& s : t.subs) out += "[" + sub_str(p, s) + "]";
+          return out;
+        } else if constexpr (std::is_same_v<T, Reference::Pointer>) {
+          return "*" + p.pool(t.pool).name +
+                 (t.field_offset != 0 ? "+" + std::to_string(t.field_offset)
+                                      : "");
+        } else {
+          return p.pool(t.pool).name + "[" + sub_str(p, t.element) + "].f" +
+                 std::to_string(t.field_offset);
+        }
+      },
+      r.target);
+}
+
+std::string print(const Program& p) {
+  std::ostringstream os;
+  os << "program " << p.name() << "\n";
+  for (const auto& a : p.arrays()) {
+    os << "  array " << a.name;
+    for (auto d : a.dims) os << "[" << d << "]";
+    os << " elem=" << a.elem_size << "B "
+       << (a.layout == Layout::RowMajor ? "row-major" : "col-major");
+    if (a.pad_elems != 0) os << " pad=" << a.pad_elems;
+    if (a.content != ArrayDecl::Content::None) os << " (index-array)";
+    os << "\n";
+  }
+  for (const auto& s : p.scalars()) os << "  scalar " << s.name << "\n";
+  for (const auto& pl : p.pools()) {
+    os << "  pool " << pl.name << " x" << pl.count << " elem=" << pl.elem_size
+       << "B "
+       << (pl.kind == PoolDecl::Kind::PointerChase ? "chase" : "records")
+       << "\n";
+  }
+  for (const auto& n : p.top()) print_node(p, *n, 1, os);
+  return os.str();
+}
+
+}  // namespace selcache::ir

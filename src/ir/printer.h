@@ -1,0 +1,18 @@
+// Human-readable program dumps for tests, examples, and debugging.
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace selcache::ir {
+
+/// C-like rendering of one reference, e.g. "U[i][j+1]", "*H", "T.f16",
+/// "G[IP[j]+2]".
+std::string ref_str(const Program& p, const Reference& r);
+
+/// Full program listing: declarations, loops (indented), statements with
+/// their references, and ON/OFF markers.
+std::string print(const Program& p);
+
+}  // namespace selcache::ir

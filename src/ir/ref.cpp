@@ -1,0 +1,98 @@
+#include "ir/ref.h"
+
+namespace selcache::ir {
+
+Subscript Subscript::substituted(VarId v, const AffineExpr& e) const {
+  Subscript out = *this;
+  std::visit(
+      [&](auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Affine>) {
+          s.expr = s.expr.substituted(v, e);
+        } else if constexpr (std::is_same_v<T, Product> ||
+                             std::is_same_v<T, Divide>) {
+          s.lhs = s.lhs.substituted(v, e);
+          s.rhs = s.rhs.substituted(v, e);
+        } else if constexpr (std::is_same_v<T, Indexed>) {
+          s.index = s.index.substituted(v, e);
+        }
+      },
+      out.value);
+  return out;
+}
+
+bool Subscript::uses(VarId v) const {
+  return std::visit(
+      [&](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Affine>) {
+          return s.expr.uses(v);
+        } else if constexpr (std::is_same_v<T, Product> ||
+                             std::is_same_v<T, Divide>) {
+          return s.lhs.uses(v) || s.rhs.uses(v);
+        } else {
+          return s.index.uses(v);
+        }
+      },
+      value);
+}
+
+Reference Reference::substituted(VarId v, const AffineExpr& e) const {
+  Reference out = *this;
+  std::visit(
+      [&](auto& t) {
+        using T = std::decay_t<decltype(t)>;
+        if constexpr (std::is_same_v<T, Array>) {
+          for (auto& s : t.subs) s = s.substituted(v, e);
+        } else if constexpr (std::is_same_v<T, Field>) {
+          t.element = t.element.substituted(v, e);
+        }
+      },
+      out.target);
+  return out;
+}
+
+bool Reference::uses(VarId v) const {
+  return std::visit(
+      [&](const auto& t) {
+        using T = std::decay_t<decltype(t)>;
+        if constexpr (std::is_same_v<T, Array>) {
+          for (const auto& s : t.subs)
+            if (s.uses(v)) return true;
+          return false;
+        } else if constexpr (std::is_same_v<T, Field>) {
+          return t.element.uses(v);
+        } else {
+          return false;
+        }
+      },
+      target);
+}
+
+Reference load_scalar(ScalarId s) {
+  return Reference{Reference::Scalar{s}, false};
+}
+Reference store_scalar(ScalarId s) {
+  return Reference{Reference::Scalar{s}, true};
+}
+Reference load_array(ArrayId a, std::vector<Subscript> subs) {
+  return Reference{Reference::Array{a, std::move(subs)}, false};
+}
+Reference store_array(ArrayId a, std::vector<Subscript> subs) {
+  return Reference{Reference::Array{a, std::move(subs)}, true};
+}
+Reference chase(PoolId pool, std::uint32_t field_offset) {
+  return Reference{Reference::Pointer{pool, field_offset}, false};
+}
+Reference load_field(PoolId pool, Subscript element,
+                     std::uint32_t field_offset) {
+  return Reference{Reference::Field{pool, std::move(element), field_offset},
+                   false};
+}
+Reference store_field(PoolId pool, Subscript element,
+                      std::uint32_t field_offset) {
+  return Reference{Reference::Field{pool, std::move(element), field_offset},
+                   true};
+}
+
+}  // namespace selcache::ir

@@ -1,0 +1,4 @@
+#include "ir/stmt.h"
+
+// Stmt is header-only today; TU anchors the target.
+namespace selcache::ir {}

@@ -1,0 +1,96 @@
+#include "memsys/cache.h"
+
+namespace selcache::memsys {
+
+Cache::Cache(CacheConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+  blocks_.resize(cfg_.num_blocks());
+}
+
+Cache::Block* Cache::find(Addr addr) {
+  const Addr tag = tag_of(addr);
+  Block* set = &blocks_[set_index(addr) * cfg_.assoc];
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+    if (set[w].valid && set[w].tag == tag) return &set[w];
+  return nullptr;
+}
+
+const Cache::Block* Cache::find(Addr addr) const {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+bool Cache::access(Addr addr, bool is_write) {
+  Block* b = find(addr);
+  if (b != nullptr) {
+    b->lru = ++stamp_;
+    b->dirty = b->dirty || is_write;
+    demand_.record(true);
+    return true;
+  }
+  demand_.record(false);
+  return false;
+}
+
+bool Cache::probe(Addr addr) const { return find(addr) != nullptr; }
+
+std::optional<Addr> Cache::victim_for(Addr addr) const {
+  const Block* set = &blocks_[set_index(addr) * cfg_.assoc];
+  const Block* lru = nullptr;
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (!set[w].valid) return std::nullopt;  // free way, no eviction
+    if (lru == nullptr || set[w].lru < lru->lru) lru = &set[w];
+  }
+  return lru->tag * cfg_.block_size;
+}
+
+std::optional<Eviction> Cache::fill(Addr addr, bool dirty) {
+  SELCACHE_CHECK_MSG(find(addr) == nullptr,
+                     cfg_.name + ": fill of resident block");
+  Block* set = &blocks_[set_index(addr) * cfg_.assoc];
+  Block* victim = nullptr;
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (!set[w].valid) {
+      victim = &set[w];
+      break;
+    }
+    if (victim == nullptr || set[w].lru < victim->lru) victim = &set[w];
+  }
+  std::optional<Eviction> evicted;
+  if (victim->valid) {
+    evicted = Eviction{victim->tag * cfg_.block_size, victim->dirty};
+    if (victim->dirty) ++writebacks_;
+  }
+  victim->valid = true;
+  victim->tag = tag_of(addr);
+  victim->dirty = dirty;
+  victim->lru = ++stamp_;
+  ++fills_;
+  return evicted;
+}
+
+std::optional<bool> Cache::invalidate(Addr addr) {
+  Block* b = find(addr);
+  if (b == nullptr) return std::nullopt;
+  b->valid = false;
+  return b->dirty;
+}
+
+void Cache::flush() {
+  for (Block& b : blocks_) b.valid = false;
+}
+
+std::uint64_t Cache::resident_blocks() const {
+  std::uint64_t n = 0;
+  for (const Block& b : blocks_)
+    if (b.valid) ++n;
+  return n;
+}
+
+void Cache::export_stats(StatSet& out) const {
+  out.add(cfg_.name + ".hits", demand_.hits);
+  out.add(cfg_.name + ".misses", demand_.misses);
+  out.add(cfg_.name + ".writebacks", writebacks_);
+  out.add(cfg_.name + ".fills", fills_);
+}
+
+}  // namespace selcache::memsys

@@ -1,0 +1,80 @@
+// Set-associative cache with true-LRU replacement.
+//
+// The cache is a tag store only — the simulator tracks which blocks are
+// resident, not their contents. Lookup (access) and placement (fill) are
+// separate operations so the hardware bypassing scheme can interpose between
+// a miss and the fill: it previews the would-be victim (victim_for), decides
+// fill-vs-bypass, and only then calls fill().
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "memsys/cache_config.h"
+#include "support/stats.h"
+
+namespace selcache::memsys {
+
+/// A block that fell out of the cache during fill().
+struct Eviction {
+  Addr block_addr = 0;  ///< first byte address of the evicted block
+  bool dirty = false;
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig cfg);
+
+  /// Look up the block containing `addr`; updates LRU and dirty state on a
+  /// hit. Returns true on hit. Does NOT allocate on miss.
+  bool access(Addr addr, bool is_write);
+
+  /// Side-effect-free lookup.
+  bool probe(Addr addr) const;
+
+  /// Address of the block that fill(addr) would evict right now, or nullopt
+  /// if the set still has an invalid way (no eviction needed).
+  std::optional<Addr> victim_for(Addr addr) const;
+
+  /// Insert the block containing `addr` (LRU way replaced). Returns the
+  /// eviction that occurred, if any. Must not be called while resident.
+  std::optional<Eviction> fill(Addr addr, bool dirty);
+
+  /// Remove the block containing `addr` if resident; returns its dirtiness.
+  std::optional<bool> invalidate(Addr addr);
+
+  /// Drop all blocks (statistics are kept).
+  void flush();
+
+  const CacheConfig& config() const { return cfg_; }
+  const HitMiss& demand_stats() const { return demand_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  std::uint64_t fills() const { return fills_; }
+  std::uint64_t resident_blocks() const;
+
+  void export_stats(StatSet& out) const;
+
+ private:
+  struct Block {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  ///< global stamp; larger = more recently used
+  };
+
+  std::uint64_t set_index(Addr addr) const {
+    return (addr / cfg_.block_size) % cfg_.num_sets();
+  }
+  Addr tag_of(Addr addr) const { return addr / cfg_.block_size; }
+  Block* find(Addr addr);
+  const Block* find(Addr addr) const;
+
+  CacheConfig cfg_;
+  std::vector<Block> blocks_;  ///< num_sets * assoc, set-major
+  std::uint64_t stamp_ = 0;
+  HitMiss demand_;
+  std::uint64_t writebacks_ = 0;
+  std::uint64_t fills_ = 0;
+};
+
+}  // namespace selcache::memsys

@@ -1,0 +1,46 @@
+// Cache geometry and timing parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/bitutil.h"
+#include "support/check.h"
+#include "support/types.h"
+
+namespace selcache::memsys {
+
+/// Identifies a cache level in the hierarchy. Used by the hardware
+/// optimization hooks to know where they are intervening.
+enum class Level { L1D, L1I, L2 };
+
+inline const char* to_string(Level l) {
+  switch (l) {
+    case Level::L1D: return "L1D";
+    case Level::L1I: return "L1I";
+    case Level::L2: return "L2";
+  }
+  return "?";
+}
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t assoc = 4;
+  std::uint32_t block_size = 32;
+  Cycle latency = 2;  ///< access time charged on a hit at this level
+
+  std::uint64_t num_blocks() const { return size_bytes / block_size; }
+  std::uint64_t num_sets() const { return num_blocks() / assoc; }
+
+  void validate() const {
+    SELCACHE_CHECK_MSG(is_pow2(block_size), name + ": block size not pow2");
+    SELCACHE_CHECK_MSG(is_pow2(size_bytes), name + ": size not pow2");
+    SELCACHE_CHECK_MSG(assoc > 0, name + ": zero associativity");
+    SELCACHE_CHECK_MSG(num_blocks() % assoc == 0,
+                       name + ": blocks not divisible by assoc");
+    SELCACHE_CHECK_MSG(num_sets() > 0, name + ": no sets");
+  }
+};
+
+}  // namespace selcache::memsys

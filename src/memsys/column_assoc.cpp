@@ -1,0 +1,75 @@
+#include "memsys/column_assoc.h"
+
+#include "support/bitutil.h"
+#include "support/check.h"
+
+namespace selcache::memsys {
+
+ColumnAssociativeCache::ColumnAssociativeCache(std::string name,
+                                               std::uint64_t size_bytes,
+                                               std::uint32_t block_size,
+                                               Cycle latency)
+    : name_(std::move(name)), block_size_(block_size), latency_(latency) {
+  SELCACHE_CHECK(is_pow2(size_bytes));
+  SELCACHE_CHECK(is_pow2(block_size));
+  num_sets_ = size_bytes / block_size;
+  SELCACHE_CHECK_MSG(num_sets_ >= 2, name_ + ": needs at least two sets");
+  slots_.resize(num_sets_);
+}
+
+ColumnAssociativeCache::AccessResult ColumnAssociativeCache::access(
+    Addr addr, bool is_write) {
+  const Addr frame = addr / block_size_;
+  const std::uint64_t primary = index_of(addr);
+  const std::uint64_t alternate = flip(primary);
+
+  Slot& p = slots_[primary];
+  if (p.valid && p.tag == frame) {
+    ++first_hits_;
+    p.dirty = p.dirty || is_write;
+    return {true, false, latency_};
+  }
+
+  Slot& a = slots_[alternate];
+  if (a.valid && a.tag == frame) {
+    ++second_hits_;
+    a.dirty = a.dirty || is_write;
+    // Swap toward the primary slot so the next access hits first-probe.
+    std::swap(p, a);
+    p.rehashed = false;
+    a.rehashed = true;
+    ++swaps_;
+    return {true, true, latency_ + 1};
+  }
+
+  // Miss. Replacement follows [1]: if the primary slot holds a rehashed
+  // block (it is some other set's overflow), evict it outright; otherwise
+  // displace the primary occupant into the alternate slot (rehash) and
+  // place the new block in the primary position.
+  ++misses_;
+  if (!p.valid || p.rehashed) {
+    p = Slot{frame, true, false, is_write};
+  } else {
+    a = p;
+    a.rehashed = true;
+    p = Slot{frame, true, false, is_write};
+  }
+  return {false, false, latency_};
+}
+
+bool ColumnAssociativeCache::probe(Addr addr) const {
+  const Addr frame = addr / block_size_;
+  const Slot& p = slots_[index_of(addr)];
+  if (p.valid && p.tag == frame) return true;
+  const Slot& a = slots_[flip(index_of(addr))];
+  return a.valid && a.tag == frame;
+}
+
+void ColumnAssociativeCache::export_stats(StatSet& out) const {
+  out.add(name_ + ".first_probe_hits", first_hits_);
+  out.add(name_ + ".second_probe_hits", second_hits_);
+  out.add(name_ + ".misses", misses_);
+  out.add(name_ + ".swaps", swaps_);
+}
+
+}  // namespace selcache::memsys

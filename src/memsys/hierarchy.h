@@ -1,0 +1,100 @@
+// Two-level memory hierarchy with TLBs, an optional hardware locality
+// scheme, and optional three-C miss classification.
+//
+// Topology (Table 1 of the paper):
+//
+//            +-------+   +-------+
+//   ifetch ->| ITLB  |-->|  L1I  |---+
+//            +-------+   +-------+   |    +------+     +--------+
+//                                    +--->|  L2  |---->| Memory |
+//            +-------+   +-------+   |    +------+     +--------+
+//   ld/st -->| DTLB  |-->|  L1D  |---+
+//            +-------+   +-------+
+//
+// The attached HwScheme interposes on the L1D/L2 data path only (the paper's
+// mechanisms target the data cache). The hierarchy is non-inclusive, write-
+// back, write-allocate — matching SimpleScalar's cache module.
+#pragma once
+
+#include <memory>
+
+#include "memsys/cache.h"
+#include "memsys/hw_hooks.h"
+#include "memsys/main_memory.h"
+#include "memsys/miss_classifier.h"
+#include "memsys/tlb.h"
+
+namespace selcache::memsys {
+
+enum class AccessKind { Load, Store, IFetch };
+
+struct HierarchyConfig {
+  CacheConfig l1d{.name = "l1d",
+                  .size_bytes = 32 * 1024,
+                  .assoc = 4,
+                  .block_size = 32,
+                  .latency = 2};
+  CacheConfig l1i{.name = "l1i",
+                  .size_bytes = 32 * 1024,
+                  .assoc = 4,
+                  .block_size = 32,
+                  .latency = 2};
+  CacheConfig l2{.name = "l2",
+                 .size_bytes = 512 * 1024,
+                 .assoc = 4,
+                 .block_size = 128,
+                 .latency = 10};
+  TlbConfig dtlb{.name = "dtlb", .entries = 128, .assoc = 4};
+  TlbConfig itlb{.name = "itlb", .entries = 64, .assoc = 4};
+  MemoryConfig mem{};
+  bool classify_misses = false;  ///< maintain the 3C shadow for L1D
+};
+
+class Hierarchy {
+ public:
+  explicit Hierarchy(HierarchyConfig cfg);
+
+  /// Attach (non-owning) a hardware scheme; pass nullptr to detach.
+  void attach_hw(HwScheme* hw) { hw_ = hw; }
+  HwScheme* hw() const { return hw_; }
+
+  /// Perform one demand access; returns the total latency in cycles.
+  Cycle access(Addr addr, AccessKind kind);
+
+  const Cache& l1d() const { return l1d_; }
+  const Cache& l1i() const { return l1i_; }
+  const Cache& l2() const { return l2_; }
+  const Tlb& dtlb() const { return dtlb_; }
+  const Tlb& itlb() const { return itlb_; }
+  const MainMemory& memory() const { return mem_; }
+  const MissClassifier* classifier() const { return classifier_.get(); }
+  const HierarchyConfig& config() const { return cfg_; }
+
+  /// Combined L1 (data + instruction) miss rate, as reported in Table 2.
+  double l1_miss_rate() const;
+  /// L2 miss rate (local: misses / L2 accesses).
+  double l2_miss_rate() const;
+
+  void export_stats(StatSet& out) const;
+
+ private:
+  bool hw_active() const { return hw_ != nullptr && hw_->active(); }
+
+  /// Fetch the block containing `addr` into L2 (if absent), returning the
+  /// added latency beyond the L2 tag check.
+  Cycle refill_l2(Addr addr, bool is_write);
+
+  /// Place the block containing `addr` into L1D, honoring the scheme's
+  /// fill/bypass decision and SLDT fetch width. Returns the extra cycles
+  /// spent transferring SLDT-widened fetches over the L1-L2 path.
+  Cycle place_l1d(Addr addr, bool is_write);
+
+  HierarchyConfig cfg_;
+  Cache l1d_, l1i_, l2_;
+  Tlb dtlb_, itlb_;
+  MainMemory mem_;
+  HwScheme* hw_ = nullptr;
+  std::unique_ptr<MissClassifier> classifier_;
+};
+
+}  // namespace selcache::memsys

@@ -1,0 +1,4 @@
+#include "memsys/main_memory.h"
+
+// Header-only today; TU anchors the target.
+namespace selcache::memsys {}

@@ -1,0 +1,42 @@
+// Main-memory timing: fixed access latency plus bus-width-limited burst
+// transfer, as in Table 1 (100-cycle access, 8-byte bus).
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.h"
+#include "support/stats.h"
+#include "support/types.h"
+
+namespace selcache::memsys {
+
+struct MemoryConfig {
+  Cycle access_latency = 100;   ///< cycles to the first chunk
+  std::uint32_t bus_width = 8;  ///< bytes per bus cycle
+};
+
+class MainMemory {
+ public:
+  explicit MainMemory(MemoryConfig cfg) : cfg_(cfg) {
+    SELCACHE_CHECK(cfg_.bus_width > 0);
+  }
+
+  /// Latency of fetching `bytes` (a cache block): first-chunk latency plus
+  /// one bus cycle per additional bus-width chunk.
+  Cycle fetch_latency(std::uint32_t bytes) {
+    ++reads_;
+    const std::uint32_t chunks = (bytes + cfg_.bus_width - 1) / cfg_.bus_width;
+    return cfg_.access_latency + (chunks > 0 ? chunks - 1 : 0);
+  }
+
+  const MemoryConfig& config() const { return cfg_; }
+  std::uint64_t reads() const { return reads_; }
+
+  void export_stats(StatSet& out) const { out.add("mem.reads", reads_); }
+
+ private:
+  MemoryConfig cfg_;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace selcache::memsys

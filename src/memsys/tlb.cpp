@@ -1,0 +1,51 @@
+#include "memsys/tlb.h"
+
+#include "support/check.h"
+
+namespace selcache::memsys {
+
+Tlb::Tlb(TlbConfig cfg) : cfg_(std::move(cfg)) {
+  SELCACHE_CHECK(cfg_.assoc > 0);
+  SELCACHE_CHECK(cfg_.entries % cfg_.assoc == 0);
+  SELCACHE_CHECK(cfg_.page_size > 0);
+  num_sets_ = cfg_.entries / cfg_.assoc;
+  entries_.resize(cfg_.entries);
+}
+
+Cycle Tlb::access(Addr addr) {
+  const Addr vpn = addr / cfg_.page_size;
+  Entry* set = &entries_[set_index(vpn) * cfg_.assoc];
+  Entry* victim = nullptr;
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    Entry& e = set[w];
+    if (e.valid && e.vpn == vpn) {
+      e.lru = ++stamp_;
+      stats_.record(true);
+      return 0;
+    }
+    if (victim == nullptr || !e.valid ||
+        (victim->valid && e.lru < victim->lru)) {
+      if (victim == nullptr || victim->valid) victim = &e;
+    }
+  }
+  stats_.record(false);
+  victim->valid = true;
+  victim->vpn = vpn;
+  victim->lru = ++stamp_;
+  return cfg_.miss_penalty;
+}
+
+bool Tlb::probe(Addr addr) const {
+  const Addr vpn = addr / cfg_.page_size;
+  const Entry* set = &entries_[set_index(vpn) * cfg_.assoc];
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+    if (set[w].valid && set[w].vpn == vpn) return true;
+  return false;
+}
+
+void Tlb::export_stats(StatSet& out) const {
+  out.add(cfg_.name + ".hits", stats_.hits);
+  out.add(cfg_.name + ".misses", stats_.misses);
+}
+
+}  // namespace selcache::memsys

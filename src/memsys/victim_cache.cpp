@@ -1,0 +1,58 @@
+#include "memsys/victim_cache.h"
+
+#include "support/check.h"
+
+namespace selcache::memsys {
+
+VictimCache::VictimCache(std::string name, std::uint32_t entries,
+                         std::uint32_t block_size)
+    : name_(std::move(name)), entries_(entries), block_size_(block_size) {
+  SELCACHE_CHECK(entries_ > 0);
+  SELCACHE_CHECK(block_size_ > 0);
+}
+
+std::optional<VictimCache::Displaced> VictimCache::insert(Addr block_addr,
+                                                          bool dirty) {
+  const Addr f = frame(block_addr);
+  if (auto it = index_.find(f); it != index_.end()) {
+    // Already present (can happen when a block bounces between main cache
+    // and victim cache): refresh recency and dirtiness.
+    it->second->second = it->second->second || dirty;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return std::nullopt;
+  }
+  std::optional<Displaced> displaced;
+  if (lru_.size() == entries_) {
+    auto& [old_frame, old_dirty] = lru_.back();
+    if (old_dirty) displaced = Displaced{old_frame * block_size_, true};
+    index_.erase(old_frame);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(f, dirty);
+  index_[f] = lru_.begin();
+  return displaced;
+}
+
+std::optional<bool> VictimCache::extract(Addr addr) {
+  auto it = index_.find(frame(addr));
+  if (it == index_.end()) {
+    probes_.record(false);
+    return std::nullopt;
+  }
+  probes_.record(true);
+  const bool dirty = it->second->second;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return dirty;
+}
+
+bool VictimCache::probe(Addr addr) const {
+  return index_.find(frame(addr)) != index_.end();
+}
+
+void VictimCache::export_stats(StatSet& out) const {
+  out.add(name_ + ".hits", probes_.hits);
+  out.add(name_ + ".misses", probes_.misses);
+}
+
+}  // namespace selcache::memsys

@@ -1,0 +1,34 @@
+// Lightweight precondition checking.
+//
+// SELCACHE_CHECK is always on (simulator correctness beats raw speed; the
+// checks that survive in hot paths are branch-predictable). Violations throw
+// std::logic_error so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace selcache::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace selcache::detail
+
+#define SELCACHE_CHECK(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::selcache::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define SELCACHE_CHECK_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::selcache::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

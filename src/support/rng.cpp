@@ -1,0 +1,30 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace selcache {
+
+std::vector<std::uint32_t> Rng::permutation(std::uint32_t n) {
+  std::vector<std::uint32_t> p(n);
+  for (std::uint32_t i = 0; i < n; ++i) p[i] = i;
+  for (std::uint32_t i = n; i > 1; --i) {
+    std::uint32_t j = static_cast<std::uint32_t>(below(i));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double theta) {
+  if (n == 0) return 0;
+  if (theta <= 0.0) return below(n);
+  // Inverse-CDF approximation via the continuous Zipf distribution:
+  //   F(x) ~ (x/n)^(1-theta)  for theta < 1.
+  // Accurate enough for workload skew; avoids per-call harmonic sums.
+  double u = uniform();
+  double exponent = 1.0 / (1.0 - std::min(theta, 0.99));
+  double x = std::pow(u, exponent) * static_cast<double>(n);
+  std::uint64_t k = static_cast<std::uint64_t>(x);
+  return k >= n ? n - 1 : k;
+}
+
+}  // namespace selcache

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulator (irregular address generators,
+// synthetic table contents, pointer pools) draws from SplitMix64 streams so
+// that runs are bit-reproducible given a seed. std::mt19937 is avoided in hot
+// paths: SplitMix64 is ~4x faster and has no warm-up transient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace selcache {
+
+/// SplitMix64 generator (Steele, Lea, Flood 2014). Passes BigCrush when used
+/// as a 64-bit stream; more than adequate for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent stream for a named sub-component.
+  Rng fork(std::uint64_t salt) {
+    return Rng(next() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL));
+  }
+
+  /// Random permutation of {0, 1, ..., n-1} (Fisher–Yates).
+  std::vector<std::uint32_t> permutation(std::uint32_t n);
+
+  /// Zipf-like skewed index in [0, n): rank ~ 1/(k+1)^theta. Used for
+  /// hot/cold working-set synthesis (TPC-C non-uniform access, Perl symbol
+  /// tables). theta = 0 degenerates to uniform.
+  std::uint64_t zipf(std::uint64_t n, double theta);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace selcache

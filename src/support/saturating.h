@@ -1,0 +1,46 @@
+// Saturating counters — the basic state element of the MAT, SLDT and the
+// bimodal branch predictor.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.h"
+
+namespace selcache {
+
+/// An n-valued saturating up/down counter in [0, max].
+template <typename T = std::uint32_t>
+class SaturatingCounter {
+ public:
+  constexpr SaturatingCounter() = default;
+  constexpr SaturatingCounter(T max, T initial) : max_(max), value_(initial) {
+    SELCACHE_CHECK(initial <= max);
+  }
+
+  constexpr void increment(T by = 1) {
+    value_ = (max_ - value_ < by) ? max_ : value_ + by;
+  }
+
+  constexpr void decrement(T by = 1) { value_ = (value_ < by) ? 0 : value_ - by; }
+
+  /// Halve the counter — used for periodic MAT decay so that stale phases
+  /// eventually lose their frequency advantage.
+  constexpr void decay() { value_ /= 2; }
+
+  constexpr void reset(T v = 0) { value_ = v > max_ ? max_ : v; }
+
+  constexpr T value() const { return value_; }
+  constexpr T max() const { return max_; }
+  constexpr bool saturated() const { return value_ == max_; }
+
+  /// For 2-bit predictor-style use: true when in the upper half of the range.
+  constexpr bool upper_half() const { return value_ > max_ / 2; }
+
+ private:
+  T max_ = 3;
+  T value_ = 0;
+};
+
+using Counter2Bit = SaturatingCounter<std::uint8_t>;
+
+}  // namespace selcache

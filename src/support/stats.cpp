@@ -1,0 +1,5 @@
+#include "support/stats.h"
+
+// StatSet is header-only today; this TU anchors the library and is the home
+// for any future out-of-line statistics (histograms, quantile sketches).
+namespace selcache {}

@@ -1,0 +1,80 @@
+// Named statistics registry.
+//
+// Every simulator component owns a StatSet; the hierarchy/runner merge them
+// into experiment reports. Counters are plain uint64 — no atomics, the
+// simulator is single-threaded by design (deterministic replay).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/check.h"
+
+namespace selcache {
+
+/// A hit/miss pair with derived rates.
+struct HitMiss {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  std::uint64_t accesses() const { return hits + misses; }
+  /// Miss rate in [0,1]; 0 when no accesses were made.
+  double miss_rate() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(misses) /
+                                 static_cast<double>(accesses());
+  }
+  double hit_rate() const { return accesses() == 0 ? 0.0 : 1.0 - miss_rate(); }
+
+  void record(bool hit) { hit ? ++hits : ++misses; }
+  void reset() { hits = misses = 0; }
+
+  HitMiss& operator+=(const HitMiss& o) {
+    hits += o.hits;
+    misses += o.misses;
+    return *this;
+  }
+};
+
+/// Ordered map of named counters. Order is lexicographic so report output is
+/// stable across runs and platforms.
+class StatSet {
+ public:
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  bool has(const std::string& name) const {
+    return counters_.find(name) != counters_.end();
+  }
+
+  void add(const std::string& name, std::uint64_t v) { counters_[name] += v; }
+
+  void merge(const StatSet& other, const std::string& prefix = "") {
+    for (const auto& [k, v] : other.counters_) counters_[prefix + k] += v;
+  }
+
+  void reset() { counters_.clear(); }
+
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// Percentage improvement of `candidate` over `baseline` in execution cycles:
+/// positive means candidate is faster. Matches the paper's Figures 4-9 metric.
+inline double improvement_pct(std::uint64_t baseline_cycles,
+                              std::uint64_t candidate_cycles) {
+  SELCACHE_CHECK(baseline_cycles > 0);
+  return 100.0 *
+         (static_cast<double>(baseline_cycles) -
+          static_cast<double>(candidate_cycles)) /
+         static_cast<double>(baseline_cycles);
+}
+
+}  // namespace selcache

@@ -1,0 +1,67 @@
+#include "support/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace selcache {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SELCACHE_CHECK(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SELCACHE_CHECK_MSG(cells.size() == headers_.size(),
+                     "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string TextTable::count(unsigned long long v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int c = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (c != 0 && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    width[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (auto w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      os << ' ' << std::left << std::setw(static_cast<int>(width[i]))
+         << cells[i] << " |";
+    return os.str() + "\n";
+  };
+
+  std::string out = rule() + line(headers_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+}  // namespace selcache

@@ -1,0 +1,34 @@
+// ASCII table formatting for the benchmark harness.
+//
+// The benches print the same rows the paper's tables/figures report; this
+// keeps that output aligned and diff-friendly (fixed column widths, stable
+// number formatting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace selcache {
+
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `prec` decimals.
+  static std::string num(double v, int prec = 2);
+  /// Format an integer count with thousands separators (1,234,567).
+  static std::string count(unsigned long long v);
+
+  /// Render with box-drawing rules and a header separator.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace selcache

@@ -1,0 +1,17 @@
+// Fundamental type aliases shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace selcache {
+
+/// Byte address in the simulated machine's physical address space.
+using Addr = std::uint64_t;
+
+/// Simulated processor cycles.
+using Cycle = std::uint64_t;
+
+/// Count of simulated (macro-)instructions.
+using InstrCount = std::uint64_t;
+
+}  // namespace selcache

@@ -1,0 +1,226 @@
+#include "transform/fusion.h"
+
+#include <optional>
+
+#include "ir/ref.h"
+
+namespace selcache::transform {
+
+using ir::AffineExpr;
+using ir::LoopNode;
+using ir::Node;
+using ir::NodeKind;
+using ir::Reference;
+using ir::StmtNode;
+
+namespace {
+
+bool stmts_only(const LoopNode& l) {
+  for (const auto& n : l.body)
+    if (n->kind != NodeKind::Stmt) return false;
+  return true;
+}
+
+bool same_constant_bounds(const LoopNode& a, const LoopNode& b) {
+  return a.lower.is_constant() && b.lower.is_constant() &&
+         a.upper.is_constant() && b.upper.is_constant() &&
+         a.lower.constant_term() == b.lower.constant_term() &&
+         a.upper.constant_term() == b.upper.constant_term() &&
+         a.step == b.step && a.step > 0;
+}
+
+/// Alias distance of two affine array refs under single variables va/vb
+/// (mapped to a common iteration number): the consumer-vs-producer offset.
+/// nullopt-outer = pair unanalyzable (assume the worst);
+/// nullopt-inner (no value in *dist) = provably no alias.
+struct AliasResult {
+  bool analyzable = false;
+  std::optional<std::int64_t> distance;  // engaged iff aliasing possible
+};
+
+AliasResult alias_distance(const Reference& x, ir::VarId va,
+                           const Reference& y, ir::VarId vb) {
+  AliasResult out;
+  const auto* ax = std::get_if<Reference::Array>(&x.target);
+  const auto* ay = std::get_if<Reference::Array>(&y.target);
+  if (ax == nullptr || ay == nullptr) return out;  // handled by caller
+  if (ax->id != ay->id) {
+    out.analyzable = true;
+    return out;  // different arrays: no alias
+  }
+  if (ax->subs.size() != ay->subs.size()) return out;
+
+  std::optional<std::int64_t> d;
+  for (std::size_t k = 0; k < ax->subs.size(); ++k) {
+    const auto* sx = std::get_if<ir::Subscript::Affine>(&ax->subs[k].value);
+    const auto* sy = std::get_if<ir::Subscript::Affine>(&ay->subs[k].value);
+    if (sx == nullptr || sy == nullptr) return out;
+    const std::int64_t cx = sx->expr.coeff(va);
+    const std::int64_t cy = sy->expr.coeff(vb);
+    // Any extra variables make the pair unanalyzable here.
+    for (const auto& [v, c] : sx->expr.coeffs())
+      if (v != va && c != 0) return out;
+    for (const auto& [v, c] : sy->expr.coeffs())
+      if (v != vb && c != 0) return out;
+    if (cx != cy) return out;  // non-uniform: give up
+    const std::int64_t delta =
+        sx->expr.constant_term() - sy->expr.constant_term();
+    if (cx == 0) {
+      if (delta != 0) {
+        out.analyzable = true;
+        return out;  // distinct constants: no alias in this dim
+      }
+      continue;
+    }
+    if (delta % cx != 0) {
+      out.analyzable = true;
+      return out;  // no integral solution: no alias
+    }
+    const std::int64_t dk = delta / cx;
+    if (d.has_value() && *d != dk) {
+      out.analyzable = true;
+      return out;  // inconsistent: no common iteration pair
+    }
+    d = dk;
+  }
+  out.analyzable = true;
+  out.distance = d.value_or(0);
+  return out;
+}
+
+}  // namespace
+
+bool fusion_legal(const LoopNode& a, const LoopNode& b) {
+  if (!same_constant_bounds(a, b)) return false;
+  if (!stmts_only(a) || !stmts_only(b)) return false;
+
+  std::vector<const Reference*> ra, rb;
+  ir::collect_refs(a, ra);
+  ir::collect_refs(b, rb);
+  for (const auto* x : ra) {
+    for (const auto* y : rb) {
+      if (!x->is_write && !y->is_write) continue;
+      // Non-array references: scalars alias by identity (fusion keeps the
+      // statement order per iteration, which preserves scalar chains only
+      // when the distance is 0 — scalars have no subscript, so the alias
+      // distance is 0: legal). Pools are opaque: refuse.
+      if (x->is_pointer() || y->is_pointer() || x->is_field() ||
+          y->is_field())
+        return false;
+      if (x->is_scalar() || y->is_scalar()) {
+        const bool same =
+            x->is_scalar() && y->is_scalar() &&
+            std::get<Reference::Scalar>(x->target).id ==
+                std::get<Reference::Scalar>(y->target).id;
+        // A scalar written in one loop and used in the other carries the
+        // FINAL value across the loop boundary; interleaving changes it.
+        if (same) return false;
+        continue;  // different targets: no alias
+      }
+      const AliasResult r = alias_distance(*x, a.var, *y, b.var);
+      if (!r.analyzable) return false;
+      if (r.distance.has_value() && *r.distance < 0) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Fuse within one scope until a fixpoint; recurse into loops first.
+std::size_t fuse_scope(ir::Program& p,
+                       std::vector<std::unique_ptr<Node>>& scope) {
+  std::size_t fused = 0;
+  for (auto& n : scope)
+    if (n->kind == NodeKind::Loop)
+      fused += fuse_scope(p, static_cast<LoopNode&>(*n).body);
+
+  for (std::size_t i = 0; i + 1 < scope.size();) {
+    if (scope[i]->kind != NodeKind::Loop ||
+        scope[i + 1]->kind != NodeKind::Loop) {
+      ++i;
+      continue;
+    }
+    auto& a = static_cast<LoopNode&>(*scope[i]);
+    auto& b = static_cast<LoopNode&>(*scope[i + 1]);
+    if (!fusion_legal(a, b)) {
+      ++i;
+      continue;
+    }
+    // Rename b's variable to a's and append its statements.
+    for (auto& n : b.body) {
+      auto& stmt = static_cast<StmtNode&>(*n).stmt;
+      for (auto& r : stmt.refs)
+        r = r.substituted(b.var, AffineExpr::variable(a.var));
+      a.body.push_back(std::move(n));
+    }
+    scope.erase(scope.begin() + static_cast<std::ptrdiff_t>(i + 1));
+    ++fused;
+    // Stay at i: the fused loop may merge with the next one too.
+  }
+  return fused;
+}
+
+}  // namespace
+
+std::size_t apply_fusion(ir::Program& p) { return fuse_scope(p, p.top()); }
+
+std::size_t apply_fusion(ir::Program& p, LoopNode& root) {
+  return fuse_scope(p, root.body);
+}
+
+std::size_t apply_distribution(ir::Program& p,
+                               std::vector<std::unique_ptr<Node>>& scope,
+                               std::size_t pos) {
+  SELCACHE_CHECK(pos < scope.size());
+  SELCACHE_CHECK(scope[pos]->kind == NodeKind::Loop);
+  auto& loop = static_cast<LoopNode&>(*scope[pos]);
+  if (!stmts_only(loop) || loop.body.size() < 2) return 1;
+
+  // Conservative legality: no cross-statement dependences at all.
+  for (std::size_t i = 0; i < loop.body.size(); ++i) {
+    std::vector<const Reference*> ri;
+    ir::collect_refs(*loop.body[i], ri);
+    for (std::size_t j = i + 1; j < loop.body.size(); ++j) {
+      std::vector<const Reference*> rj;
+      ir::collect_refs(*loop.body[j], rj);
+      for (const auto* x : ri) {
+        for (const auto* y : rj) {
+          if (!x->is_write && !y->is_write) continue;
+          if (!x->is_array() || !y->is_array()) return 1;  // opaque: refuse
+          const AliasResult r = alias_distance(*x, loop.var, *y, loop.var);
+          if (!r.analyzable || r.distance.has_value()) return 1;
+        }
+      }
+    }
+  }
+
+  // Build one loop per statement, preserving order.
+  std::vector<std::unique_ptr<Node>> pieces;
+  for (std::size_t k = 0; k < loop.body.size(); ++k) {
+    auto piece = std::make_unique<LoopNode>();
+    piece->var = k == 0 ? loop.var
+                        : p.add_var(p.var_names()[loop.var] + "_d" +
+                                    std::to_string(k));
+    piece->lower = loop.lower;
+    piece->upper = loop.upper;
+    piece->step = loop.step;
+    piece->code_addr = loop.code_addr + 4 * k;
+    auto stmt = std::move(loop.body[k]);
+    if (k > 0) {
+      auto& s = static_cast<StmtNode&>(*stmt).stmt;
+      for (auto& r : s.refs)
+        r = r.substituted(loop.var, AffineExpr::variable(piece->var));
+    }
+    piece->body.push_back(std::move(stmt));
+    pieces.push_back(std::move(piece));
+  }
+  const std::size_t count = pieces.size();
+  scope.erase(scope.begin() + static_cast<std::ptrdiff_t>(pos));
+  scope.insert(scope.begin() + static_cast<std::ptrdiff_t>(pos),
+               std::make_move_iterator(pieces.begin()),
+               std::make_move_iterator(pieces.end()));
+  return count;
+}
+
+}  // namespace selcache::transform

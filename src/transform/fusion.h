@@ -1,0 +1,41 @@
+// Loop fusion and loop distribution — the remaining classical loop
+// restructurings of the locality-optimization toolbox ([6], [13]).
+//
+// FUSION merges two adjacent loops with identical constant bounds into one,
+// halving loop overhead and bringing same-index accesses of the two bodies
+// together in time (temporal locality across statements). Legality: for
+// every cross-body reference pair on the same array with at least one
+// write, the alias distance (oriented first-body -> second-body) must be
+// >= 0 — the consumer iteration must not run before its producer once the
+// bodies interleave.
+//
+// DISTRIBUTION is the inverse: split a multi-statement loop body into one
+// loop per statement, enabling per-statement loop orders downstream. Legal
+// when no data dependence crosses between the statement groups (a
+// conservative subset of the classic acyclic-condensation criterion).
+#pragma once
+
+#include "ir/program.h"
+
+namespace selcache::transform {
+
+/// Can `a` (earlier) and `b` (later) be fused?
+bool fusion_legal(const ir::LoopNode& a, const ir::LoopNode& b);
+
+/// Fuse all adjacent fusable loop pairs in the subtree rooted at the
+/// program's top level (and recursively inside loops). Returns the number
+/// of fusions performed.
+std::size_t apply_fusion(ir::Program& p);
+
+/// Fusion restricted to the body of one region root (the pipeline's entry
+/// point: only compiler regions are restructured).
+std::size_t apply_fusion(ir::Program& p, ir::LoopNode& root);
+
+/// Distribute `loop` (statements-only body) into one loop per statement,
+/// if legal. The new loops replace `loop` in `scope` at position `pos`.
+/// Returns the number of loops after distribution (1 = unchanged).
+std::size_t apply_distribution(ir::Program& p,
+                               std::vector<std::unique_ptr<ir::Node>>& scope,
+                               std::size_t pos);
+
+}  // namespace selcache::transform

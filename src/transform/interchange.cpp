@@ -1,0 +1,97 @@
+#include "transform/interchange.h"
+
+#include <algorithm>
+
+namespace selcache::transform {
+
+using analysis::DependenceSet;
+using ir::LoopNode;
+
+namespace {
+
+bool bounds_entangled(const std::vector<LoopNode*>& band) {
+  for (const auto* a : band)
+    for (const auto* b : band)
+      if (a != b && (a->lower.uses(b->var) || a->upper.uses(b->var)))
+        return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::size_t> choose_permutation(const ir::Program& p,
+                                            const std::vector<LoopNode*>& band,
+                                            const DependenceSet& deps) {
+  std::vector<const ir::Reference*> refs;
+  ir::collect_refs(*band.front(), refs);
+
+  // Score each band loop: how much reuse would become locality if it ran
+  // innermost.
+  std::vector<double> score(band.size());
+  for (std::size_t k = 0; k < band.size(); ++k)
+    score[k] = analysis::loop_reuse(p, refs, band[k]->var).score();
+
+  // Desired order: ascending score outside-in (best loop innermost). Stable
+  // sort keeps the original order on ties, so reference code stays put.
+  std::vector<std::size_t> perm(band.size());
+  for (std::size_t k = 0; k < band.size(); ++k) perm[k] = k;
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return score[a] < score[b];
+                   });
+  if (analysis::permutation_legal(deps, perm)) return perm;
+
+  // Fallback: just sink the best-scoring loop to the innermost position.
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < band.size(); ++k)
+    if (score[k] > score[best]) best = k;
+  std::vector<std::size_t> rotate;
+  for (std::size_t k = 0; k < band.size(); ++k)
+    if (k != best) rotate.push_back(k);
+  rotate.push_back(best);
+  if (analysis::permutation_legal(deps, rotate)) return rotate;
+
+  // Identity: nothing legal found.
+  std::vector<std::size_t> id(band.size());
+  for (std::size_t k = 0; k < band.size(); ++k) id[k] = k;
+  return id;
+}
+
+bool apply_interchange(ir::Program& p, LoopNode& root) {
+  std::vector<LoopNode*> band = ir::perfect_nest_band(root);
+  if (band.size() < 2) return false;
+  if (bounds_entangled(band)) return false;
+
+  std::vector<ir::VarId> vars;
+  for (const auto* l : band) vars.push_back(l->var);
+  const DependenceSet deps = analysis::collect_dependences(root, vars);
+
+  const std::vector<std::size_t> perm = choose_permutation(p, band, deps);
+  bool identity = true;
+  for (std::size_t k = 0; k < perm.size(); ++k)
+    if (perm[k] != k) identity = false;
+  if (identity) return false;
+
+  // Permute the loop headers among the band nodes; bodies stay in place.
+  struct Header {
+    ir::VarId var;
+    ir::AffineExpr lower, upper;
+    std::int64_t step;
+    std::uint64_t code_addr;
+  };
+  std::vector<Header> headers;
+  headers.reserve(band.size());
+  for (const auto* l : band)
+    headers.push_back({l->var, l->lower, l->upper, l->step, l->code_addr});
+  for (std::size_t k = 0; k < band.size(); ++k) {
+    const Header& h = headers[perm[k]];
+    band[k]->var = h.var;
+    band[k]->lower = h.lower;
+    band[k]->upper = h.upper;
+    band[k]->step = h.step;
+    band[k]->code_addr = h.code_addr;
+  }
+  return true;
+}
+
+}  // namespace selcache::transform

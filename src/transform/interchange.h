@@ -1,0 +1,26 @@
+// Reuse-driven loop interchange (§3.2 step 1, after [5]/[13]).
+//
+// For a perfectly nested band, orders the loops so the one carrying the most
+// reuse runs innermost (e.g. the paper's example: U[j] has temporal reuse in
+// loop i, so i is moved innermost). Only dependence-legal permutations are
+// applied; bounds that reference other band variables (triangular nests)
+// disable the transform.
+#pragma once
+
+#include "analysis/dependence.h"
+#include "analysis/reuse.h"
+#include "ir/program.h"
+
+namespace selcache::transform {
+
+/// Permute the band rooted at `root` for locality. Returns true when the
+/// loop order changed.
+bool apply_interchange(ir::Program& p, ir::LoopNode& root);
+
+/// The permutation interchange would choose (for testing/inspection):
+/// perm[k] = index within the band of the loop placed at depth k.
+std::vector<std::size_t> choose_permutation(
+    const ir::Program& p, const std::vector<ir::LoopNode*>& band,
+    const analysis::DependenceSet& deps);
+
+}  // namespace selcache::transform

@@ -1,0 +1,75 @@
+#include "transform/layout_selection.h"
+
+#include <map>
+
+namespace selcache::transform {
+
+using ir::LoopNode;
+using ir::Node;
+using ir::NodeKind;
+
+namespace {
+
+struct Votes {
+  std::int64_t row = 0;
+  std::int64_t col = 0;
+};
+
+/// Walk carrying the innermost enclosing loop variable; each affine array
+/// reference votes by where that variable appears in its subscripts.
+void collect_votes(const ir::Program& p, const Node& n,
+                   ir::VarId innermost_var,
+                   std::map<ir::ArrayId, Votes>& votes) {
+  if (n.kind == NodeKind::Loop) {
+    const auto& loop = static_cast<const LoopNode&>(n);
+    // This loop becomes the innermost for its direct statements only if no
+    // deeper loop encloses them — handled naturally by passing loop.var down.
+    for (const auto& child : loop.body)
+      collect_votes(p, *child, loop.var, votes);
+    return;
+  }
+  if (n.kind != NodeKind::Stmt || innermost_var == ir::kInvalidVar) return;
+  for (const auto& r : static_cast<const ir::StmtNode&>(n).stmt.refs) {
+    const auto* arr = std::get_if<ir::Reference::Array>(&r.target);
+    if (arr == nullptr || arr->subs.size() < 2) continue;
+    bool affine = true;
+    for (const auto& s : arr->subs)
+      if (!s.is_affine()) affine = false;
+    if (!affine) continue;
+
+    const auto coeff_in_dim = [&](std::size_t d) {
+      return std::get<ir::Subscript::Affine>(arr->subs[d].value)
+          .expr.coeff(innermost_var);
+    };
+    const std::size_t last = arr->subs.size() - 1;
+    const std::int64_t c_first = coeff_in_dim(0);
+    const std::int64_t c_last = coeff_in_dim(last);
+    // A unit-stride walk along a dimension is a vote for the layout that
+    // makes that dimension contiguous.
+    if (c_last != 0 && c_first == 0) ++votes[arr->id].row;
+    if (c_first != 0 && c_last == 0) ++votes[arr->id].col;
+  }
+}
+
+}  // namespace
+
+std::size_t select_layouts(ir::Program& p,
+                           std::span<LoopNode* const> regions) {
+  std::map<ir::ArrayId, Votes> votes;
+  for (const auto* root : regions)
+    collect_votes(p, *root, ir::kInvalidVar, votes);
+
+  std::size_t changed = 0;
+  for (const auto& [id, v] : votes) {
+    ir::ArrayDecl& a = p.array(id);
+    const ir::Layout want =
+        v.col > v.row ? ir::Layout::ColMajor : ir::Layout::RowMajor;
+    if (a.layout != want) {
+      a.layout = want;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+}  // namespace selcache::transform

@@ -1,0 +1,24 @@
+// Data-layout (memory-layout) selection (§3.2, after [12] / [5]).
+//
+// After interchange fixes the loop order, each array referenced in compiler
+// regions votes for the layout that makes the innermost loop walk it
+// contiguously: if the innermost induction variable subscripts the FIRST
+// dimension (column walk), the array prefers column-major; if the LAST
+// dimension, row-major. The paper's example: after making loop i innermost,
+// V (accessed along rows) stays row-major while W (accessed along columns)
+// becomes column-major.
+#pragma once
+
+#include <span>
+
+#include "ir/program.h"
+
+namespace selcache::transform {
+
+/// Choose layouts for every array referenced in the subtrees rooted at
+/// `regions`, by majority vote across references. Returns the number of
+/// arrays whose layout changed.
+std::size_t select_layouts(ir::Program& p,
+                           std::span<ir::LoopNode* const> regions);
+
+}  // namespace selcache::transform

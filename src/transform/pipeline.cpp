@@ -1,0 +1,71 @@
+#include "transform/pipeline.h"
+
+#include <functional>
+
+#include "transform/fusion.h"
+#include "transform/interchange.h"
+#include "transform/layout_selection.h"
+#include "transform/scalar_replacement.h"
+#include "transform/unroll_jam.h"
+
+namespace selcache::transform {
+
+using ir::LoopNode;
+
+namespace {
+
+/// Apply fn to every maximal perfect band inside `root` (root included).
+void for_each_band(LoopNode& root, const std::function<void(LoopNode&)>& fn) {
+  if (ir::is_perfect_nest(root)) {
+    fn(root);
+    return;
+  }
+  fn(root);  // still allow band-local passes on the outer loop itself
+  for (auto& child : root.body)
+    if (child->kind == ir::NodeKind::Loop)
+      for_each_band(static_cast<LoopNode&>(*child), fn);
+}
+
+}  // namespace
+
+OptimizeReport optimize_program(ir::Program& p, const OptimizeOptions& opt) {
+  OptimizeReport report;
+
+  analysis::RegionAnalysis regions =
+      opt.insert_markers ? analysis::detect_and_mark(p, opt.threshold)
+                         : analysis::analyze_regions(p, opt.threshold);
+  report.markers_inserted = regions.markers_inserted;
+  report.compiler_regions = regions.compiler_roots.size();
+
+  for (LoopNode* root : regions.compiler_roots) {
+    if (opt.enable_fusion) report.fused += apply_fusion(p, *root);
+    for_each_band(*root, [&](LoopNode& band) {
+      if (!ir::is_perfect_nest(band)) return;
+      if (opt.enable_interchange && apply_interchange(p, band))
+        ++report.interchanged;
+      if (opt.enable_tiling && apply_tiling(p, band, opt.tiling))
+        ++report.tiled;
+      if (opt.enable_unroll_jam &&
+          apply_unroll_jam(p, band, opt.unroll) > 1)
+        ++report.unrolled;
+      if (opt.enable_scalar_replacement) {
+        const auto r = apply_scalar_replacement(p, band);
+        report.hoisted_refs += r.hoisted_loads + r.hoisted_stores;
+        report.deduplicated_refs += r.deduplicated;
+      }
+    });
+  }
+
+  if (opt.enable_layout_selection)
+    report.layouts_changed =
+        select_layouts(p, std::span<LoopNode* const>(regions.compiler_roots));
+
+  if (opt.insert_markers) {
+    if (opt.eliminate_markers)
+      report.markers_eliminated = analysis::eliminate_redundant_markers(p);
+    report.markers_final = analysis::count_markers(p);
+  }
+  return report;
+}
+
+}  // namespace selcache::transform

@@ -1,0 +1,58 @@
+// The compiler-side optimization pipeline (Figure 1).
+//
+//   input program
+//     -> region detection (+ ON/OFF insertion, selective mode only)
+//     -> redundant ON/OFF elimination
+//     -> per compiler-region: interchange -> tiling -> unroll-and-jam
+//                             -> scalar replacement
+//     -> program-wide data-layout selection (votes from compiler regions)
+//
+// Three products of the same source program feed the evaluation (§4.4):
+//   * base code        — no locality optimization, no markers;
+//   * optimized code   — locality-optimized, no markers (PureSoftware and
+//                        Combined versions);
+//   * selective code   — locality-optimized + ON/OFF markers (Selective).
+#pragma once
+
+#include "analysis/marker_elimination.h"
+#include "analysis/region_detection.h"
+#include "transform/tiling.h"
+
+namespace selcache::transform {
+
+struct OptimizeOptions {
+  double threshold = analysis::kDefaultThreshold;
+  TilingOptions tiling{};
+  std::uint32_t unroll = 4;
+  bool enable_fusion = true;
+  bool enable_interchange = true;
+  bool enable_tiling = true;
+  bool enable_unroll_jam = true;
+  bool enable_scalar_replacement = true;
+  bool enable_layout_selection = true;
+  /// Insert + clean ON/OFF markers (selective product).
+  bool insert_markers = false;
+  /// Run redundant-marker elimination after insertion (Figure 2(b)->2(c)).
+  /// Disable only to measure the elimination pass's value (ablation).
+  bool eliminate_markers = true;
+};
+
+struct OptimizeReport {
+  std::size_t compiler_regions = 0;
+  std::size_t fused = 0;
+  std::size_t interchanged = 0;
+  std::size_t tiled = 0;
+  std::size_t unrolled = 0;
+  std::size_t hoisted_refs = 0;
+  std::size_t deduplicated_refs = 0;
+  std::size_t layouts_changed = 0;
+  std::size_t markers_inserted = 0;
+  std::size_t markers_eliminated = 0;
+  std::size_t markers_final = 0;
+};
+
+/// Optimize `p` in place. The region analysis decides which loops the
+/// software pipeline may touch; hardware regions are left untouched.
+OptimizeReport optimize_program(ir::Program& p, const OptimizeOptions& opt);
+
+}  // namespace selcache::transform

@@ -1,0 +1,207 @@
+#include "transform/scalar_replacement.h"
+
+#include "analysis/classify.h"
+
+namespace selcache::transform {
+
+using ir::LoopNode;
+using ir::Node;
+using ir::NodeKind;
+using ir::Reference;
+using ir::StmtNode;
+using ir::Subscript;
+
+namespace {
+
+bool subs_equal(const Subscript& a, const Subscript& b) {
+  if (a.value.index() != b.value.index()) return false;
+  return std::visit(
+      [&](const auto& sa) {
+        using T = std::decay_t<decltype(sa)>;
+        const auto& sb = std::get<T>(b.value);
+        if constexpr (std::is_same_v<T, Subscript::Affine>) {
+          return sa.expr == sb.expr;
+        } else if constexpr (std::is_same_v<T, Subscript::Product> ||
+                             std::is_same_v<T, Subscript::Divide>) {
+          return sa.lhs == sb.lhs && sa.rhs == sb.rhs;
+        } else {
+          return sa.index_array == sb.index_array && sa.index == sb.index &&
+                 sa.offset == sb.offset;
+        }
+      },
+      a.value);
+}
+
+/// Equality of the addressed location (ignores read/write direction).
+bool targets_equal(const Reference& a, const Reference& b) {
+  if (a.target.index() != b.target.index()) return false;
+  return std::visit(
+      [&](const auto& ta) {
+        using T = std::decay_t<decltype(ta)>;
+        const auto& tb = std::get<T>(b.target);
+        if constexpr (std::is_same_v<T, Reference::Scalar>) {
+          return ta.id == tb.id;
+        } else if constexpr (std::is_same_v<T, Reference::Array>) {
+          if (ta.id != tb.id || ta.subs.size() != tb.subs.size()) return false;
+          for (std::size_t i = 0; i < ta.subs.size(); ++i)
+            if (!subs_equal(ta.subs[i], tb.subs[i])) return false;
+          return true;
+        } else if constexpr (std::is_same_v<T, Reference::Pointer>) {
+          // Each pointer-chase execution advances the walk: never equal.
+          return false;
+        } else {
+          return ta.pool == tb.pool && ta.field_offset == tb.field_offset &&
+                 subs_equal(ta.element, tb.element);
+        }
+      },
+      a.target);
+}
+
+/// Is `r` hoistable out of loop variable `v`: analyzable and v-invariant.
+bool invariant_candidate(const Reference& r, ir::VarId v) {
+  if (!analysis::is_analyzable(r)) return false;
+  if (!r.is_array() && !r.is_scalar()) return false;
+  return !r.uses(v);
+}
+
+/// Does any reference in the loop body write array `id` with a subscript
+/// pattern different from `ref` (possible alias that blocks hoisting)?
+bool conflicting_store(const LoopNode& loop, const Reference& ref) {
+  const auto* arr = std::get_if<Reference::Array>(&ref.target);
+  if (arr == nullptr) return false;
+  std::vector<const Reference*> refs;
+  ir::collect_refs(loop, refs);
+  for (const auto* r : refs) {
+    if (!r->is_write) continue;
+    const auto* warr = std::get_if<Reference::Array>(&r->target);
+    if (warr == nullptr || warr->id != arr->id) continue;
+    if (!targets_equal(*r, ref)) return true;
+  }
+  return false;
+}
+
+void hoist_invariants(std::vector<std::unique_ptr<Node>>& scope,
+                      std::size_t loop_pos, LoopNode& loop,
+                      ScalarReplacementReport& report) {
+  std::vector<Reference> prologue, epilogue;
+  for (auto& n : loop.body) {
+    if (n->kind != NodeKind::Stmt) continue;
+    auto& stmt = static_cast<StmtNode&>(*n).stmt;
+    for (auto it = stmt.refs.begin(); it != stmt.refs.end();) {
+      if (!invariant_candidate(*it, loop.var) ||
+          conflicting_store(loop, *it)) {
+        ++it;
+        continue;
+      }
+      Reference moved = *it;
+      it = stmt.refs.erase(it);
+      if (moved.is_write) {
+        // Register carries the value; store once after the loop.
+        moved.is_write = true;
+        bool merged = false;
+        for (auto& e : epilogue)
+          if (targets_equal(e, moved)) merged = true;
+        if (!merged) {
+          epilogue.push_back(moved);
+          ++report.hoisted_stores;
+        }
+        // A written location is also pre-loaded (reduction pattern).
+        Reference pre = moved;
+        pre.is_write = false;
+        bool have = false;
+        for (auto& pr : prologue)
+          if (targets_equal(pr, pre)) have = true;
+        if (!have) prologue.push_back(pre);
+      } else {
+        bool have = false;
+        for (auto& pr : prologue)
+          if (targets_equal(pr, moved)) have = true;
+        if (!have) {
+          prologue.push_back(moved);
+          ++report.hoisted_loads;
+        }
+      }
+    }
+  }
+
+  if (!prologue.empty()) {
+    ir::Stmt s;
+    s.refs = std::move(prologue);
+    s.compute_ops = 0;
+    s.code_addr = loop.code_addr + 2;
+    s.label = "hoist_pre";
+    scope.insert(scope.begin() + static_cast<std::ptrdiff_t>(loop_pos),
+                 std::make_unique<StmtNode>(std::move(s)));
+    ++loop_pos;  // loop shifted right
+  }
+  if (!epilogue.empty()) {
+    ir::Stmt s;
+    s.refs = std::move(epilogue);
+    s.compute_ops = 0;
+    s.code_addr = loop.code_addr + 6;
+    s.label = "hoist_post";
+    scope.insert(scope.begin() + static_cast<std::ptrdiff_t>(loop_pos + 1),
+                 std::make_unique<StmtNode>(std::move(s)));
+  }
+}
+
+void dedup_body(LoopNode& loop, ScalarReplacementReport& report) {
+  std::vector<Reference*> seen;
+  for (auto& n : loop.body) {
+    if (n->kind != NodeKind::Stmt) continue;
+    auto& stmt = static_cast<StmtNode&>(*n).stmt;
+    for (auto it = stmt.refs.begin(); it != stmt.refs.end();) {
+      if (!analysis::is_analyzable(*it)) {
+        ++it;
+        continue;
+      }
+      Reference* first = nullptr;
+      for (auto* s : seen)
+        if (targets_equal(*s, *it)) first = s;
+      if (first != nullptr) {
+        // Register-resident: the repeated access disappears; dirtiness is
+        // carried by the surviving reference.
+        first->is_write = first->is_write || it->is_write;
+        it = stmt.refs.erase(it);
+        ++report.deduplicated;
+      } else {
+        seen.push_back(&*it);
+        ++it;
+      }
+    }
+  }
+}
+
+void process_scope(std::vector<std::unique_ptr<Node>>& scope,
+                   ScalarReplacementReport& report) {
+  for (std::size_t i = 0; i < scope.size(); ++i) {
+    if (scope[i]->kind != NodeKind::Loop) continue;
+    auto& loop = static_cast<LoopNode&>(*scope[i]);
+    process_scope(loop.body, report);
+    const bool innermost = ir::child_loops(loop.body).empty();
+    if (innermost) {
+      dedup_body(loop, report);
+      const std::size_t before = scope.size();
+      hoist_invariants(scope, i, loop, report);
+      i += scope.size() - before;  // skip inserted prologue/epilogue
+    }
+  }
+}
+
+}  // namespace
+
+bool refs_equal(const Reference& a, const Reference& b) {
+  return a.is_write == b.is_write && targets_equal(a, b);
+}
+
+ScalarReplacementReport apply_scalar_replacement(ir::Program& /*p*/,
+                                                 LoopNode& root) {
+  ScalarReplacementReport report;
+  // Hoisting targets the loops *inside* the region root; the root loop
+  // itself has no enclosing scope to hoist into.
+  process_scope(root.body, report);
+  if (ir::child_loops(root.body).empty()) dedup_body(root, report);
+  return report;
+}
+
+}  // namespace selcache::transform

@@ -1,0 +1,37 @@
+// Scalar replacement (§3.2 step 2, after [4]).
+//
+// Two register-promotion effects are modeled:
+//
+//  1. Invariant hoisting: an affine array reference whose subscripts do not
+//     use the innermost loop variable (temporal reuse carried by that loop)
+//     is loaded/stored once per entry of the loop instead of every
+//     iteration. The reference moves into a prologue (loads) or epilogue
+//     (stores) statement around the innermost loop.
+//
+//  2. Common-reference elimination: identical references within the
+//     innermost body (as produced by unroll-and-jam) collapse to one; the
+//     later copies become register reads and disappear from the trace.
+//
+// Both shrink the number of executed memory instructions — which is exactly
+// what scalar replacement buys on real hardware.
+#pragma once
+
+#include "ir/program.h"
+
+namespace selcache::transform {
+
+struct ScalarReplacementReport {
+  std::size_t hoisted_loads = 0;
+  std::size_t hoisted_stores = 0;
+  std::size_t deduplicated = 0;
+};
+
+/// Structural equality of two references (used for common-reference
+/// elimination; exposed for tests).
+bool refs_equal(const ir::Reference& a, const ir::Reference& b);
+
+/// Apply to every innermost loop in the subtree rooted at `root`.
+ScalarReplacementReport apply_scalar_replacement(ir::Program& p,
+                                                 ir::LoopNode& root);
+
+}  // namespace selcache::transform

@@ -1,0 +1,136 @@
+#include "transform/tiling.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "analysis/dependence.h"
+
+namespace selcache::transform {
+
+using ir::AffineExpr;
+using ir::LoopNode;
+
+namespace {
+
+std::optional<std::int64_t> trip_count(const LoopNode& l) {
+  if (!l.lower.is_constant() || !l.upper.is_constant()) return std::nullopt;
+  const std::int64_t span = l.upper.constant_term() - l.lower.constant_term();
+  if (span <= 0 || l.step <= 0) return std::nullopt;
+  return (span + l.step - 1) / l.step;
+}
+
+std::int64_t largest_divisor_at_most(std::int64_t n, std::int64_t cap) {
+  for (std::int64_t d = std::min(n, cap); d >= 1; --d)
+    if (n % d == 0) return d;
+  return 1;
+}
+
+}  // namespace
+
+std::uint64_t estimate_footprint(const ir::Program& p, const LoopNode& root) {
+  std::vector<const ir::Reference*> refs;
+  ir::collect_refs(root, refs);
+
+  // Trip counts of every loop in the band subtree, keyed by variable.
+  std::map<ir::VarId, std::int64_t> trips;
+  std::function<void(const ir::Node&)> walk = [&](const ir::Node& n) {
+    if (n.kind != ir::NodeKind::Loop) return;
+    const auto& l = static_cast<const LoopNode&>(n);
+    trips[l.var] = trip_count(l).value_or(1);
+    for (const auto& c : l.body) walk(*c);
+  };
+  walk(root);
+
+  std::map<ir::ArrayId, std::uint64_t> per_array;
+  for (const auto* r : refs) {
+    const auto* arr = std::get_if<ir::Reference::Array>(&r->target);
+    if (arr == nullptr) continue;
+    const ir::ArrayDecl& decl = p.array(arr->id);
+    std::uint64_t elems = 1;
+    for (std::size_t d = 0; d < arr->subs.size(); ++d) {
+      const auto* aff = std::get_if<ir::Subscript::Affine>(&arr->subs[d].value);
+      std::int64_t extent = 1;
+      if (aff == nullptr) {
+        extent = decl.dims[d];  // irregular subscript: assume whole dimension
+      } else {
+        for (const auto& [v, c] : aff->expr.coeffs()) {
+          auto it = trips.find(v);
+          if (it != trips.end())
+            extent = std::max<std::int64_t>(
+                extent, it->second * (c < 0 ? -c : c));
+        }
+      }
+      elems *= static_cast<std::uint64_t>(
+          std::min<std::int64_t>(extent, decl.dims[d]));
+    }
+    per_array[arr->id] =
+        std::max(per_array[arr->id],
+                 elems * static_cast<std::uint64_t>(decl.elem_size));
+  }
+
+  std::uint64_t total = 0;
+  for (const auto& [id, bytes] : per_array) total += bytes;
+  return total;
+}
+
+bool apply_tiling(ir::Program& p, LoopNode& root, const TilingOptions& opt) {
+  std::vector<LoopNode*> band = ir::perfect_nest_band(root);
+  if (band.size() < 2) return false;
+  LoopNode& l1 = *band[0];
+  LoopNode& l2 = *band[1];
+  if (l1.step != 1 || l2.step != 1) return false;
+  const auto t1 = trip_count(l1);
+  const auto t2 = trip_count(l2);
+  if (!t1 || !t2) return false;
+  if (l2.lower.uses(l1.var) || l2.upper.uses(l1.var)) return false;
+
+  if (estimate_footprint(p, root) <= opt.cache_bytes) return false;
+
+  // Legality: the tiled pair must be fully permutable.
+  std::vector<ir::VarId> vars;
+  for (const auto* l : band) vars.push_back(l->var);
+  const auto deps = analysis::collect_dependences(root, vars);
+  if (deps.unknown) return false;
+  for (const auto& dep : deps.deps)
+    if (dep.distance[0] < 0 || dep.distance[1] < 0) return false;
+
+  const std::int64_t ti = largest_divisor_at_most(*t1, opt.tile);
+  const std::int64_t tj = largest_divisor_at_most(*t2, opt.tile);
+  // Degenerate tiles (prime-ish trip counts) only add loop overhead.
+  if (ti < opt.min_tile || tj < opt.min_tile) return false;
+  if (ti >= *t1 && tj >= *t2) return false;
+
+  const auto& names = p.var_names();
+  const ir::VarId i = l1.var, j = l2.var;
+  const ir::VarId it = p.add_var(names[i] + "t");
+  const ir::VarId jt = p.add_var(names[j] + "t");
+
+  // Innermost pair: element loops over one tile.
+  auto loop_j = std::make_unique<LoopNode>();
+  loop_j->var = j;
+  loop_j->lower = AffineExpr::variable(jt);
+  loop_j->upper = AffineExpr::variable(jt) + tj;
+  loop_j->step = 1;
+  loop_j->code_addr = l2.code_addr + 4;
+  loop_j->body = std::move(l2.body);
+
+  auto loop_i = std::make_unique<LoopNode>();
+  loop_i->var = i;
+  loop_i->lower = AffineExpr::variable(it);
+  loop_i->upper = AffineExpr::variable(it) + ti;
+  loop_i->step = 1;
+  loop_i->code_addr = l1.code_addr + 4;
+  loop_i->body.push_back(std::move(loop_j));
+
+  // Outer pair: the original nodes become tile-controller loops.
+  l2.var = jt;
+  l2.step = tj;
+  l2.body.clear();
+  l2.body.push_back(std::move(loop_i));
+  l1.var = it;
+  l1.step = ti;
+  return true;
+}
+
+}  // namespace selcache::transform

@@ -1,0 +1,33 @@
+// Iteration-space tiling (§3.2, after Wolf & Lam [13]).
+//
+// Tiles the outer two loops of a perfect nest whose per-traversal data
+// footprint exceeds the target cache capacity, turning
+//     for i in [0,N) for j in [0,M) body
+// into
+//     for it in [0,N) step Ti  for jt in [0,M) step Tj
+//       for i in [it,it+Ti) for j in [jt,jt+Tj) body
+// Tile sizes are shrunk to divisors of the trip counts so no min() bounds
+// are needed (our workloads use power-of-two extents). Legality requires
+// the tiled pair to be fully permutable.
+#pragma once
+
+#include "ir/program.h"
+
+namespace selcache::transform {
+
+struct TilingOptions {
+  std::int64_t tile = 32;               ///< requested tile size per dimension
+  std::int64_t min_tile = 8;            ///< skip if no divisor this large exists
+  std::uint64_t cache_bytes = 32 * 1024;///< tile only when footprint exceeds this
+};
+
+/// Estimated bytes the band touches in one full traversal (distinct array
+/// elements, ignoring temporal overlap between arrays).
+std::uint64_t estimate_footprint(const ir::Program& p,
+                                 const ir::LoopNode& root);
+
+/// Tile the band rooted at `root` if profitable and legal. `root` must stay
+/// the same node (its header is rewritten in place). Returns true if tiled.
+bool apply_tiling(ir::Program& p, ir::LoopNode& root, const TilingOptions& opt);
+
+}  // namespace selcache::transform

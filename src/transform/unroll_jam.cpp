@@ -1,0 +1,76 @@
+#include "transform/unroll_jam.h"
+
+#include <algorithm>
+
+#include "analysis/dependence.h"
+
+namespace selcache::transform {
+
+using ir::AffineExpr;
+using ir::LoopNode;
+
+namespace {
+
+std::optional<std::int64_t> const_trip(const LoopNode& l) {
+  if (!l.lower.is_constant() || !l.upper.is_constant() || l.step <= 0)
+    return std::nullopt;
+  const std::int64_t span = l.upper.constant_term() - l.lower.constant_term();
+  return span <= 0 ? std::nullopt
+                   : std::optional((span + l.step - 1) / l.step);
+}
+
+}  // namespace
+
+std::uint32_t apply_unroll_jam(ir::Program& /*p*/, LoopNode& root,
+                               std::uint32_t factor) {
+  if (factor < 2) return 1;
+  std::vector<LoopNode*> band = ir::perfect_nest_band(root);
+  if (band.size() < 2) return 1;
+  LoopNode& outer = *band[band.size() - 2];
+  LoopNode& inner = *band[band.size() - 1];
+  if (inner.lower.uses(outer.var) || inner.upper.uses(outer.var)) return 1;
+
+  const auto trips = const_trip(outer);
+  if (!trips) return 1;
+
+  // Shrink to a divisor of the trip count to avoid remainder loops.
+  std::uint32_t u = factor;
+  while (u > 1 && *trips % u != 0) --u;
+  if (u < 2) return 1;
+
+  // Legality: jamming moves outer iterations inside; requires the pair to be
+  // fully permutable.
+  std::vector<ir::VarId> vars{outer.var, inner.var};
+  const auto deps = analysis::collect_dependences(outer, vars);
+  if (deps.unknown) return 1;
+  for (const auto& dep : deps.deps)
+    if (dep.distance[0] < 0 || dep.distance[1] < 0) return 1;
+
+  // Replicate the innermost body statements with v -> v + k*step.
+  std::vector<std::unique_ptr<ir::Node>> jammed;
+  for (std::uint32_t k = 0; k < u; ++k) {
+    const AffineExpr shift = AffineExpr::variable(outer.var) +
+                             static_cast<std::int64_t>(k) * outer.step;
+    for (const auto& n : inner.body) {
+      if (n->kind != ir::NodeKind::Stmt) return 1;  // statements only
+      if (k == 0) continue;                         // originals stay
+    }
+    if (k == 0) continue;
+    for (const auto& n : inner.body) {
+      const auto& sn = static_cast<const ir::StmtNode&>(*n);
+      ir::Stmt copy = sn.stmt;
+      for (auto& r : copy.refs) r = r.substituted(outer.var, shift);
+      copy.code_addr =
+          sn.stmt.code_addr + 4ull * k * copy.instruction_count();
+      copy.label = sn.stmt.label.empty()
+                       ? ""
+                       : sn.stmt.label + "#" + std::to_string(k);
+      jammed.push_back(std::make_unique<ir::StmtNode>(std::move(copy)));
+    }
+  }
+  for (auto& n : jammed) inner.body.push_back(std::move(n));
+  outer.step *= u;
+  return u;
+}
+
+}  // namespace selcache::transform

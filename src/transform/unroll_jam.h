@@ -1,0 +1,20 @@
+// Unroll-and-jam (§3.2 step 2, after Callahan, Carr & Kennedy [4]).
+//
+// Unrolls the second-innermost loop of a perfect nest by a factor U and jams
+// the copies into the innermost body, substituting v -> v + k*step into each
+// replica. Together with scalar replacement this exposes register reuse
+// across the jammed iterations. Legal when the unrolled/innermost pair is
+// fully permutable (the same condition as interchange between them).
+#pragma once
+
+#include "ir/program.h"
+
+namespace selcache::transform {
+
+/// Unroll-and-jam by `factor`. Requires the trip count of the unrolled loop
+/// to be divisible by `factor` (factors are shrunk to the largest divisor
+/// <= factor). Returns the factor actually applied (1 = not transformed).
+std::uint32_t apply_unroll_jam(ir::Program& p, ir::LoopNode& root,
+                               std::uint32_t factor);
+
+}  // namespace selcache::transform

@@ -1,0 +1,78 @@
+// Applu (SpecFP95): SSOR solver for the Navier-Stokes equations.
+//
+// The paper groups Applu with the irregular codes: its dominant loops sweep
+// the grid in a data-dependent (wavefront/pivot) order. We model the lower/
+// upper triangular solves as clustered-irregular traversals (Mesh-content
+// index arrays: mostly near-neighbor steps with occasional jumps — real
+// wavefronts have locality, but the compiler cannot prove it) over grids
+// that overflow L2, plus an affine RHS update as the regular minority.
+// Table 2 targets: L1 5.05%, L2 13.22%.
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace selcache::workloads {
+
+using ir::load_array;
+using ir::load_scalar;
+using ir::ProgramBuilder;
+using ir::store_array;
+using ir::Subscript;
+using ir::x;
+
+ir::Program build_applu() {
+  constexpr std::int64_t kCells = 90000;  // ~300x300 grid, flattened
+  constexpr std::int64_t kSteps = 3;
+
+  ProgramBuilder b("applu");
+  const auto rsd = b.array("rsd", {kCells});
+  const auto u = b.array("u", {kCells});
+  const auto flux = b.array("flux", {kCells});
+  const auto omega = b.scalar("omega");
+  const auto coef = b.array("coef", {2048});  // 16 KB hot Jacobian coefficients
+  const auto lorder = b.index_array("lorder", 16384,
+                                    ir::ArrayDecl::Content::Mesh, /*hop=*/8,
+                                    kCells);
+  const auto uorder = b.index_array("uorder", 16384,
+                                    ir::ArrayDecl::Content::Mesh, /*hop=*/8,
+                                    kCells);
+
+  b.begin_loop("step", 0, kSteps);
+
+  // Lower-triangular solve: wavefront-ordered gather/update.
+  {
+    const auto k = b.begin_loop("blts", 0, kCells);
+    b.stmt({load_scalar(omega),
+            load_array(coef, {Subscript::indexed(lorder, x(k), 0)}),
+            load_array(rsd, {Subscript::indexed(lorder, x(k))}),
+            load_array(u, {Subscript::indexed(lorder, x(k))}),
+            store_array(rsd, {Subscript::indexed(lorder, x(k))})},
+           7, "lower_solve");
+    b.end_loop();
+  }
+
+  // Upper-triangular solve: a different wavefront.
+  {
+    const auto k = b.begin_loop("buts", 0, kCells);
+    b.stmt({load_scalar(omega),
+            load_array(coef, {Subscript::indexed(uorder, x(k), 0)}),
+            load_array(rsd, {Subscript::indexed(uorder, x(k))}),
+            load_array(flux, {Subscript::indexed(uorder, x(k))}),
+            store_array(u, {Subscript::indexed(uorder, x(k))})},
+           7, "upper_solve");
+    b.end_loop();
+  }
+
+  // RHS update: the small regular phase.
+  {
+    const auto c = b.begin_loop("rhs", 0, kCells);
+    b.stmt({load_array(u, {b.sub(c)}),
+            store_array(flux, {b.sub(c)})},
+           4, "rhs_update");
+    b.end_loop();
+  }
+
+  b.end_loop();  // step
+  return b.finish();
+}
+
+}  // namespace selcache::workloads

@@ -1,0 +1,78 @@
+// Chaos (CHAOS/PARTI-style unstructured-mesh kernel, mesh.2k input).
+//
+// Per timestep: an irregular edge phase (indexed gathers/scatters through
+// mesh connectivity — clustered but not analyzable), a regular node update,
+// and a regular boundary-matrix kernel whose base loop order is
+// column-hostile (the software pipeline's target). Node fields fit L2 but
+// not L1 (Table 2: L1 7.33%, L2 1.82%). The archetypal MIXED code.
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace selcache::workloads {
+
+using ir::load_array;
+using ir::ProgramBuilder;
+using ir::store_array;
+using ir::Subscript;
+using ir::x;
+
+ir::Program build_chaos() {
+  constexpr std::int64_t kNodes = 8192;    // 64 KB per field array
+  constexpr std::int64_t kEdges = 60000;
+  constexpr std::int64_t kBr = 1536, kBc = 16;  // tall boundary matrices
+  constexpr std::int64_t kSteps = 2;
+
+  ProgramBuilder b("chaos");
+  const auto xs = b.array("x", {kNodes});
+  const auto fs = b.array("f", {kNodes});
+  const auto vs = b.array("v", {kNodes});
+  const auto bm = b.array("bmat", {kBr, kBc}, 8, 1);
+  const auto bv = b.array("bvec", {kBr, kBc}, 8, 1);
+  const auto ia = b.index_array("ia", 16384, ir::ArrayDecl::Content::Mesh,
+                                /*hop=*/32, kNodes);
+  const auto ib = b.index_array("ib", 16384, ir::ArrayDecl::Content::Mesh,
+                                /*hop=*/32, kNodes);
+
+  b.begin_loop("ts", 0, kSteps);
+
+  // Edge force computation: gather both endpoints, scatter into one.
+  {
+    const auto e = b.begin_loop("edge", 0, kEdges);
+    b.stmt({load_array(xs, {Subscript::indexed(ia, x(e))}),
+            load_array(xs, {Subscript::indexed(ib, x(e))}),
+            load_array(fs, {Subscript::indexed(ia, x(e))}),
+            store_array(fs, {Subscript::indexed(ia, x(e))})},
+           8, "edge_force");
+    b.end_loop();
+  }
+
+  // Node update: regular streaming sweep (compiler region).
+  {
+    const auto n = b.begin_loop("node", 0, kNodes);
+    b.stmt({load_array(fs, {b.sub(n)}),
+            load_array(vs, {b.sub(n)}),
+            store_array(vs, {b.sub(n)}),
+            load_array(xs, {b.sub(n)}),
+            store_array(xs, {b.sub(n)})},
+           6, "node_update");
+    b.end_loop();
+  }
+
+  // Boundary-condition matrix kernel: affine but column-hostile in BASE —
+  // the compiler region the selective scheme optimizes statically.
+  {
+    const auto j = b.begin_loop("bj", 0, kBc);
+    const auto i = b.begin_loop("bi", 0, kBr);
+    b.stmt({load_array(bm, {b.sub(i), b.sub(j)}),
+            load_array(bv, {b.sub(i), b.sub(j)}),
+            store_array(bv, {b.sub(i), b.sub(j)})},
+           4, "boundary");
+    b.end_loop();
+    b.end_loop();
+  }
+
+  b.end_loop();  // ts
+  return b.finish();
+}
+
+}  // namespace selcache::workloads

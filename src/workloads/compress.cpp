@@ -1,0 +1,65 @@
+// Compress (SpecInt95): LZW compression.
+//
+// Per input token: sequential input-byte reads (cold stream), a skewed
+// hash-table probe (the table is 768 KB — much bigger than L1, larger than
+// the hot half of L2), and a hot code-table access. The streaming input and
+// the cold tail of the hash table evicting the hot structures is the
+// conflict pattern MAT-based bypassing was designed to stop. Table 2
+// targets: L1 3.64%, L2 10.07%.
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace selcache::workloads {
+
+using ir::load_array;
+using ir::load_field;
+using ir::load_scalar;
+using ir::ProgramBuilder;
+using ir::store_array;
+using ir::store_field;
+using ir::store_scalar;
+using ir::Subscript;
+using ir::x;
+
+ir::Program build_compress() {
+  constexpr std::int64_t kTokens = 65536;
+  constexpr std::int64_t kHashEntries = 32768;  // 32K x 24B = 768 KB
+  constexpr std::int64_t kCodes = 4096;         // 4K x 8B = 32 KB, hot
+
+  ProgramBuilder b("compress");
+  // Input/output are walked with char pointers in the original C code —
+  // struct/pointer references, not analyzable subscripts.
+  const auto input = b.record_pool("input", 32768, 8);   // 256 KB stream
+  const auto output = b.record_pool("output", 16384, 8);
+  const auto htab = b.record_pool("htab", kHashEntries, 24);
+  const auto codetab = b.array("codetab", {kCodes});
+  const auto freecode = b.scalar("free_ent");
+  const auto hashidx = b.index_array("hashidx", 8192,
+                                     ir::ArrayDecl::Content::Zipf, 1.05,
+                                     kHashEntries);
+  const auto codeidx = b.index_array("codeidx", 8192,
+                                     ir::ArrayDecl::Content::Zipf, 0.9,
+                                     kCodes);
+
+  const auto t = b.begin_loop("tok", 0, kTokens);
+  // Read the next input bytes (sequential; analyzable but outnumbered).
+  b.stmt({load_field(input, Subscript::affine(ir::x(t) * 2), 0),
+          load_field(input, Subscript::affine(ir::x(t) * 2 + 1), 0),
+          load_scalar(freecode)},
+         4, "read_input");
+  // Probe the hash chain: skewed table index, two fields per probe.
+  b.stmt({load_field(htab, Subscript::indexed(hashidx, x(t)), 0),
+          load_field(htab, Subscript::indexed(hashidx, x(t)), 8),
+          store_field(htab, Subscript::indexed(hashidx, x(t)), 16)},
+         6, "hash_probe");
+  // Emit code: hot code table (Zipf) + sequential output + state update.
+  b.stmt({load_array(codetab, {Subscript::indexed(codeidx, x(t))}),
+          store_field(output, Subscript::affine(x(t)), 0),
+          store_scalar(freecode)},
+         4, "emit");
+  b.end_loop();
+
+  return b.finish();
+}
+
+}  // namespace selcache::workloads

@@ -1,0 +1,63 @@
+// Li (SpecInt95, xlisp): Lisp interpreter.
+//
+// Evaluation walks a small hot heap of cons cells (12 KB pointer chase —
+// allocation locality keeps xlisp's live set tiny) with Zipf environment
+// lookups; every round a mark-sweep pass streams the 256 KB old space. The
+// eval/GC alternation is a textbook phase change for the hardware schemes,
+// and the sweep is the cold stream that evicts the hot heap. Table 2
+// targets: L1 1.95%, L2 3.73%.
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace selcache::workloads {
+
+using ir::chase;
+using ir::load_field;
+using ir::ProgramBuilder;
+using ir::store_field;
+using ir::Subscript;
+using ir::x;
+
+ir::Program build_li() {
+  constexpr std::int64_t kRounds = 6;
+  constexpr std::int64_t kEvalsPerRound = 30000;
+  constexpr std::int64_t kHotCells = 768;       // 12 KB hot heap
+  constexpr std::int64_t kOldSpace = 16384;     // 16K x 16B = 256 KB
+  constexpr std::int64_t kEnvSlots = 192;       // 12 KB environment
+
+  ProgramBuilder b("li");
+  const auto heap = b.chase_pool("heap", kHotCells, 16);
+  const auto oldspace = b.record_pool("oldspace", kOldSpace, 16);
+  const auto env = b.record_pool("env", kEnvSlots, 64);
+  const auto envidx = b.index_array("envidx", 8192,
+                                    ir::ArrayDecl::Content::Zipf, 0.7,
+                                    kEnvSlots);
+
+  b.begin_loop("round", 0, kRounds);
+
+  // Eval: follow car/cdr chains, consult the environment.
+  {
+    const auto e = b.begin_loop("eval", 0, kEvalsPerRound);
+    b.stmt({chase(heap, 0),   // car
+            chase(heap, 8)},  // cdr
+           5, "cons_walk");
+    b.stmt({load_field(env, Subscript::indexed(envidx, x(e)), 0),
+            store_field(env, Subscript::indexed(envidx, x(e)), 8)},
+           4, "env_lookup");
+    b.end_loop();
+  }
+
+  // Mark-sweep: stream every old-space cell's header sequentially.
+  {
+    const auto c = b.begin_loop("sweep", 0, kOldSpace);
+    b.stmt({load_field(oldspace, Subscript::affine(x(c)), 0),
+            store_field(oldspace, Subscript::affine(x(c)), 8)},
+           2, "sweep_cell");
+    b.end_loop();
+  }
+
+  b.end_loop();  // round
+  return b.finish();
+}
+
+}  // namespace selcache::workloads

@@ -1,0 +1,41 @@
+#include "workloads/registry.h"
+
+#include "support/check.h"
+#include "workloads/workloads.h"
+
+namespace selcache::workloads {
+
+const std::vector<WorkloadInfo>& all_workloads() {
+  static const std::vector<WorkloadInfo> kAll = {
+      {"Perl", "primes.in", Category::Irregular, build_perl, 11.2, 2.82, 1.6},
+      {"Compress", "training", Category::Irregular, build_compress, 58.2,
+       3.64, 10.07},
+      {"Li", "train.lsp", Category::Irregular, build_li, 186.8, 1.95, 3.73},
+      {"Swim", "train", Category::Regular, build_swim, 877.5, 3.91, 14.42},
+      {"Applu", "train", Category::Irregular, build_applu, 526.0, 5.05,
+       13.22},
+      {"Mgrid", "mgrid.in", Category::Regular, build_mgrid, 78.7, 4.51, 3.34},
+      {"Chaos", "mesh.2k", Category::Mixed, build_chaos, 248.4, 7.33, 1.82},
+      {"Vpenta", "fills L2", Category::Regular, build_vpenta, 126.7, 52.17,
+       39.79},
+      {"Adi", "fills L2", Category::Regular, build_adi, 126.9, 25.02, 53.49},
+      {"TPC-C", "TPC tools", Category::Mixed, build_tpcc, 16.5, 6.15, 12.57},
+      {"TPC-D,Q1", "TPC tools", Category::Mixed, build_tpcd_q1, 38.9, 9.85,
+       4.74},
+      {"TPC-D,Q3", "TPC tools", Category::Mixed, build_tpcd_q3, 67.7, 13.62,
+       5.44},
+      {"TPC-D,Q6", "TPC tools", Category::Mixed, build_tpcd_q6, 32.4, 4.20,
+       10.98},
+  };
+  return kAll;
+}
+
+const WorkloadInfo& workload(const std::string& name) {
+  for (const auto& w : all_workloads())
+    if (w.name == name) return w;
+  SELCACHE_CHECK_MSG(false, "unknown workload: " + name);
+  // Unreachable; SELCACHE_CHECK_MSG throws.
+  return all_workloads().front();
+}
+
+}  // namespace selcache::workloads

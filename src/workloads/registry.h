@@ -1,0 +1,41 @@
+// Benchmark registry: name -> builder + metadata, in the paper's Table 2
+// order.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace selcache::workloads {
+
+enum class Category { Regular, Irregular, Mixed };
+
+inline const char* to_string(Category c) {
+  switch (c) {
+    case Category::Regular: return "regular";
+    case Category::Irregular: return "irregular";
+    case Category::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+struct WorkloadInfo {
+  std::string name;   ///< e.g. "Swim"
+  std::string input;  ///< Table 2 "Input" column (what we synthesize)
+  Category category;
+  std::function<ir::Program()> build;
+  /// Table 2 reference values (paper, unscaled) for EXPERIMENTS.md.
+  double paper_instructions_m = 0.0;  ///< millions
+  double paper_l1_miss = 0.0;         ///< percent
+  double paper_l2_miss = 0.0;         ///< percent
+};
+
+/// All 13 benchmarks in Table 2 order.
+const std::vector<WorkloadInfo>& all_workloads();
+
+/// Lookup by name (throws on unknown).
+const WorkloadInfo& workload(const std::string& name);
+
+}  // namespace selcache::workloads

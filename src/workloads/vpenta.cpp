@@ -1,0 +1,64 @@
+// Vpenta (SpecFP92 / NAS kernel): simultaneous pentadiagonal inversion.
+//
+// The classic locality disaster: 2-D arrays walked along the wrong index in
+// the BASE code (innermost variable subscripts the slow dimension), plus one
+// transposed array (y[j][i]) that no loop order alone can fix — data-layout
+// selection must flip it to column-major. Arrays are sized to overflow L2
+// (Table 2: "Large enough to fill L2"; base L1 miss 52%).
+#include "ir/builder.h"
+#include "workloads/workloads.h"
+
+namespace selcache::workloads {
+
+using ir::load_array;
+using ir::ProgramBuilder;
+using ir::store_array;
+
+ir::Program build_vpenta() {
+  constexpr std::int64_t N = 384;  // 384x384 f64 = 1.1 MB per array
+
+  ProgramBuilder b("vpenta");
+  const auto a = b.array("a", {N, N}, 8, 8);   // staggered pads: distinct
+  const auto c = b.array("c", {N, N}, 8, 24);  // set alignment per array
+  const auto d = b.array("d", {N, N}, 8, 40);
+  const auto f = b.array("f", {N, N}, 8, 56);
+  const auto xa = b.array("x", {N, N}, 8, 72);
+  const auto y = b.array("y", {N, N}, 8, 88);
+
+  // Forward elimination sweep. BASE: j outer, i inner -> i walks the slow
+  // dimension of the row-major arrays.
+  {
+    const auto j = b.begin_loop("j", 1, N);
+    const auto i = b.begin_loop("i", 0, N);
+    b.stmt({load_array(a, {b.sub(i), b.sub(j)}),
+            load_array(c, {b.sub(i), b.sub(j, -1)}),
+            load_array(d, {b.sub(i), b.sub(j)}),
+            store_array(d, {b.sub(i), b.sub(j)})},
+           3, "elim_d");
+    // y is accessed transposed relative to everything else: interchange
+    // cannot serve both orientations; layout selection flips y col-major.
+    b.stmt({load_array(f, {b.sub(i), b.sub(j)}),
+            load_array(y, {b.sub(j), b.sub(i)}),
+            store_array(f, {b.sub(i), b.sub(j)})},
+           2, "elim_f");
+    b.end_loop();
+    b.end_loop();
+  }
+
+  // Back substitution.
+  {
+    const auto j = b.begin_loop("jb", 0, N - 2);
+    const auto i = b.begin_loop("ib", 0, N);
+    b.stmt({load_array(f, {b.sub(i), b.sub(j)}),
+            load_array(d, {b.sub(i), b.sub(j)}),
+            load_array(xa, {b.sub(i), b.sub(j, 1)}),
+            store_array(xa, {b.sub(i), b.sub(j)})},
+           3, "backsub");
+    b.end_loop();
+    b.end_loop();
+  }
+
+  return b.finish();
+}
+
+}  // namespace selcache::workloads

@@ -1,0 +1,35 @@
+// The paper's 13-benchmark suite (§4.2), rebuilt as synthetic IR programs.
+//
+// Each builder returns the BASE program: the loop order / layouts / access
+// patterns the original (non-locality-optimized, O3) code would exhibit.
+// The compiler pipeline derives the optimized and selective products.
+//
+// Categories follow §4.2:
+//   regular:   Swim, Mgrid, Vpenta, Adi
+//   irregular: Perl, Li, Compress, Applu
+//   mixed:     Chaos, TPC-C, TPC-D Q1/Q3/Q6
+//
+// Sizes are scaled ~1/50 from Table 2's instruction counts (recorded per
+// benchmark in EXPERIMENTS.md); working sets are sized so the BASE miss
+// rates land in the neighbourhood of Table 2 under the Table 1 machine.
+#pragma once
+
+#include "ir/program.h"
+
+namespace selcache::workloads {
+
+ir::Program build_perl();
+ir::Program build_compress();
+ir::Program build_li();
+ir::Program build_swim();
+ir::Program build_applu();
+ir::Program build_mgrid();
+ir::Program build_chaos();
+ir::Program build_vpenta();
+ir::Program build_adi();
+ir::Program build_tpcc();
+ir::Program build_tpcd_q1();
+ir::Program build_tpcd_q3();
+ir::Program build_tpcd_q6();
+
+}  // namespace selcache::workloads

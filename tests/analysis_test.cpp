@@ -1,0 +1,423 @@
+// Tests for the compiler analyses: §2.3 classification, method selection,
+// the §2.2 region-detection walk on the paper's Figure 2 structure,
+// redundant ON/OFF elimination (Figure 2(b) -> 2(c)), reuse analysis and
+// dependence testing.
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.h"
+#include "analysis/marker_elimination.h"
+#include "analysis/region_detection.h"
+#include "analysis/reuse.h"
+#include "ir/builder.h"
+
+namespace selcache::analysis {
+namespace {
+
+using ir::AffineExpr;
+using ir::chase;
+using ir::load_array;
+using ir::load_field;
+using ir::load_scalar;
+using ir::LoopNode;
+using ir::NodeKind;
+using ir::Program;
+using ir::ProgramBuilder;
+using ir::store_array;
+using ir::Subscript;
+using ir::ToggleNode;
+using ir::Var;
+using ir::x;
+
+// ---- §2.3 classification --------------------------------------------------
+
+TEST(Classify, PaperExamples) {
+  ProgramBuilder b("t");
+  const auto B = b.array("B", {8});
+  const auto C = b.array("C", {8, 8});
+  const auto D = b.array("D", {8, 8});
+  const auto E = b.array("E", {8});
+  const auto F = b.array("F", {8, 8});
+  const auto G = b.array("G", {8});
+  const auto IP = b.index_array("IP", 8, ir::ArrayDecl::Content::Identity);
+  const auto A = b.scalar("A");
+  const auto H = b.chase_pool("H", 8, 16);
+  const auto J = b.record_pool("J", 8, 32);
+  const Var i{b.program().add_var("i")}, j{b.program().add_var("j")},
+      k{b.program().add_var("k")};
+
+  // Analyzable: scalar A; affine B[i], C[i+j][k-1].
+  EXPECT_TRUE(is_analyzable(load_scalar(A)));
+  EXPECT_TRUE(is_analyzable(load_array(B, {Subscript::affine(x(i))})));
+  EXPECT_TRUE(is_analyzable(load_array(
+      C, {Subscript::affine(x(i) + x(j)), Subscript::affine(x(k) - 1)})));
+
+  // Non-analyzable: D[i*i][j], E[i/j], F[3][i*j], G[IP[j]+2], *H, J.field.
+  EXPECT_FALSE(is_analyzable(load_array(
+      D, {Subscript::product(x(i), x(i)), Subscript::affine(x(j))})));
+  EXPECT_FALSE(is_analyzable(load_array(E, {Subscript::divide(x(i), x(j))})));
+  EXPECT_FALSE(is_analyzable(load_array(
+      F, {Subscript::affine(AffineExpr::constant(3)),
+          Subscript::product(x(i), x(j))})));
+  EXPECT_FALSE(
+      is_analyzable(load_array(G, {Subscript::indexed(IP, x(j), 2)})));
+  EXPECT_FALSE(is_analyzable(chase(H)));
+  EXPECT_FALSE(is_analyzable(load_field(J, Subscript::affine(x(i)), 8)));
+}
+
+TEST(Classify, CountsOverSubtree) {
+  ProgramBuilder b("t");
+  const auto B = b.array("B", {8});
+  const auto H = b.chase_pool("H", 8, 16);
+  const auto i = b.begin_loop("i", 0, 8);
+  b.stmt({load_array(B, {b.sub(i)}), chase(H), chase(H)}, 1);
+  b.end_loop();
+  Program p = b.finish();
+  const RefCounts c = count_refs(*p.top()[0]);
+  EXPECT_EQ(c.total, 3u);
+  EXPECT_EQ(c.analyzable, 1u);
+  EXPECT_NEAR(c.ratio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Classify, EmptyLoopCountsAsCompilerFriendly) {
+  ProgramBuilder b("t");
+  b.begin_loop("i", 0, 8);
+  b.stmt({}, 1);
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_DOUBLE_EQ(count_refs(*p.top()[0]).ratio(), 1.0);
+}
+
+// ---- method selection -------------------------------------------------
+
+TEST(MethodSelection, ThresholdBoundary) {
+  ProgramBuilder b("t");
+  const auto B = b.array("B", {8});
+  const auto H = b.chase_pool("H", 8, 16);
+  const auto i = b.begin_loop("i", 0, 8);
+  b.stmt({load_array(B, {b.sub(i)}), chase(H)}, 1);  // ratio exactly 0.5
+  b.end_loop();
+  Program p = b.finish();
+  const auto& loop = static_cast<const LoopNode&>(*p.top()[0]);
+  EXPECT_EQ(select_method(loop, 0.5), Method::Compiler);   // >= threshold
+  EXPECT_EQ(select_method(loop, 0.51), Method::Hardware);  // below
+}
+
+// ---- region detection on the Figure 2 structure -------------------------
+
+/// Build the paper's Figure 2(a): an outer loop (level 1) containing three
+/// level-2 nests; the first reaches depth 4 (hardware), the second is
+/// hardware, the third is compiler-friendly.
+Program figure2_program() {
+  ProgramBuilder b("fig2");
+  const auto A = b.array("A", {64, 64});
+  const auto H = b.chase_pool("H", 64, 16);
+
+  b.begin_loop("L1", 0, 2);
+
+  b.begin_loop("L2a", 0, 4);
+  b.begin_loop("L3a", 0, 4);
+  b.begin_loop("L4a", 0, 4);
+  b.stmt({chase(H), chase(H)}, 1, "hw_deep");  // irregular innermost
+  b.end_loop();
+  b.end_loop();
+  b.end_loop();
+
+  b.begin_loop("L2b", 0, 4);
+  b.begin_loop("L3b", 0, 4);
+  b.stmt({chase(H)}, 1, "hw_mid");
+  b.end_loop();
+  b.end_loop();
+
+  const auto i = b.begin_loop("L2c", 0, 8);
+  const auto j = b.begin_loop("L3c", 0, 8);
+  b.stmt({load_array(A, {b.sub(i), b.sub(j)}),
+          store_array(A, {b.sub(i), b.sub(j)})},
+         1, "sw");
+  b.end_loop();
+  b.end_loop();
+
+  b.end_loop();  // L1
+  return b.finish();
+}
+
+TEST(RegionDetection, Figure2Decisions) {
+  Program p = figure2_program();
+  const RegionAnalysis ra = analyze_regions(p);
+  const auto loops = p.loops();
+  ASSERT_EQ(loops.size(), 8u);
+  // Pre-order: L1, L2a, L3a, L4a, L2b, L3b, L2c, L3c.
+  EXPECT_EQ(ra.decision(*loops[0]), RegionDecision::Mixed);     // L1
+  EXPECT_EQ(ra.decision(*loops[1]), RegionDecision::Hardware);  // L2a
+  EXPECT_EQ(ra.decision(*loops[2]), RegionDecision::Hardware);  // L3a
+  EXPECT_EQ(ra.decision(*loops[3]), RegionDecision::Hardware);  // L4a
+  EXPECT_EQ(ra.decision(*loops[4]), RegionDecision::Hardware);  // L2b
+  EXPECT_EQ(ra.decision(*loops[6]), RegionDecision::Compiler);  // L2c
+  // The compiler root is the outermost compiler loop, not its child.
+  ASSERT_EQ(ra.compiler_roots.size(), 1u);
+  EXPECT_EQ(ra.compiler_roots[0], loops[6]);
+}
+
+TEST(RegionDetection, Figure2MarkersAfterElimination) {
+  Program p = figure2_program();
+  detect_and_mark(p);
+  const std::size_t removed = eliminate_redundant_markers(p);
+  // Figure 2(c): inside L1 the two adjacent hardware nests share one ON/OFF
+  // bracket; the OFF-ON pair between them is eliminated.
+  EXPECT_GE(removed, 2u);
+  EXPECT_EQ(count_markers(p), 2u);
+
+  // And they sit inside L1: ON before L2a, OFF after L2b.
+  const auto& l1 = static_cast<const LoopNode&>(*p.top()[0]);
+  ASSERT_GE(l1.body.size(), 4u);
+  EXPECT_EQ(l1.body[0]->kind, NodeKind::Toggle);
+  EXPECT_TRUE(static_cast<const ToggleNode&>(*l1.body[0]).on);
+  EXPECT_EQ(l1.body[3]->kind, NodeKind::Toggle);
+  EXPECT_FALSE(static_cast<const ToggleNode&>(*l1.body[3]).on);
+}
+
+TEST(RegionDetection, UniformProgramGetsNoInternalSwitches) {
+  ProgramBuilder b("t");
+  const auto A = b.array("A", {16, 16});
+  const auto i = b.begin_loop("i", 0, 16);
+  const auto j = b.begin_loop("j", 0, 16);
+  b.stmt({load_array(A, {b.sub(i), b.sub(j)})}, 1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  detect_and_mark(p);
+  eliminate_redundant_markers(p);
+  EXPECT_EQ(count_markers(p), 0u);  // all-compiler: hardware stays off
+}
+
+TEST(RegionDetection, AllHardwareBracketsWholeNest) {
+  ProgramBuilder b("t");
+  const auto H = b.chase_pool("H", 8, 16);
+  b.begin_loop("i", 0, 8);
+  b.stmt({chase(H)}, 1);
+  b.end_loop();
+  Program p = b.finish();
+  detect_and_mark(p);
+  eliminate_redundant_markers(p);
+  EXPECT_EQ(count_markers(p), 2u);
+  EXPECT_EQ(p.top()[0]->kind, NodeKind::Toggle);  // ON before the loop
+}
+
+TEST(RegionDetection, SandwichedStatementTreatedAsImaginaryLoop) {
+  // §2.2: statements between two nests with different schemes are decided by
+  // their own references.
+  ProgramBuilder b("t");
+  const auto A = b.array("A", {8, 8});
+  const auto H = b.chase_pool("H", 8, 16);
+  b.begin_loop("outer", 0, 2);
+  b.begin_loop("hw", 0, 8);
+  b.stmt({chase(H)}, 1);
+  b.end_loop();
+  b.stmt({chase(H), chase(H)}, 1, "sandwiched_irregular");
+  const auto i = b.begin_loop("sw", 0, 8);
+  b.stmt({load_array(A, {b.sub(i), b.csub(0)})}, 1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  detect_and_mark(p);
+  eliminate_redundant_markers(p);
+  // The irregular sandwiched statement is folded into the hardware bracket
+  // of the preceding nest: exactly one ON...OFF pair remains.
+  EXPECT_EQ(count_markers(p), 2u);
+}
+
+TEST(MarkerElimination, IdempotentAndStateEquivalent) {
+  Program p = figure2_program();
+  detect_and_mark(p);
+  eliminate_redundant_markers(p);
+  const std::size_t markers = count_markers(p);
+  EXPECT_EQ(eliminate_redundant_markers(p), 0u);  // fixpoint reached
+  EXPECT_EQ(count_markers(p), markers);
+}
+
+TEST(MarkerElimination, RemovesBackToBackDuplicates) {
+  ProgramBuilder b("t");
+  b.toggle(true);
+  b.toggle(true);   // redundant
+  b.stmt({}, 1);
+  b.toggle(false);
+  b.toggle(false);  // redundant
+  Program p = b.finish();
+  EXPECT_EQ(eliminate_redundant_markers(p), 2u);
+  EXPECT_EQ(count_markers(p), 2u);
+}
+
+TEST(MarkerElimination, InitialOffIsRedundant) {
+  ProgramBuilder b("t");
+  b.toggle(false);  // machine starts OFF
+  b.stmt({}, 1);
+  Program p = b.finish();
+  EXPECT_EQ(eliminate_redundant_markers(p), 1u);
+  EXPECT_EQ(count_markers(p), 0u);
+}
+
+TEST(MarkerElimination, LoopCarriedStateIsConservative) {
+  // ON at the top of a loop body is NOT redundant on re-entry if the body
+  // ends OFF: state at the back edge differs from fall-in.
+  ProgramBuilder b("t");
+  b.toggle(true);
+  b.begin_loop("i", 0, 4);
+  b.toggle(true);  // entry state: meet(On, Off) = Unknown -> must stay
+  b.stmt({}, 1);
+  b.toggle(false);
+  b.end_loop();
+  Program p = b.finish();
+  eliminate_redundant_markers(p);
+  // The in-loop ON must survive; the in-loop OFF must survive; the leading
+  // ON may or may not be folded but state behavior must be preserved:
+  const auto& loop = static_cast<const LoopNode&>(
+      *p.top()[p.top().size() - 1]);
+  std::size_t in_loop = 0;
+  for (const auto& n : loop.body)
+    if (n->kind == NodeKind::Toggle) ++in_loop;
+  EXPECT_EQ(in_loop, 2u);
+}
+
+// ---- reuse ---------------------------------------------------------------
+
+TEST(Reuse, TemporalSpatialNone) {
+  ProgramBuilder b("t");
+  const auto U = b.array("U", {8});
+  const auto V = b.array("V", {8, 8});
+  const Var i{b.program().add_var("i")}, j{b.program().add_var("j")};
+  const Program& p = b.program();
+
+  // U[j] w.r.t. i: temporal (the paper's running example).
+  EXPECT_EQ(ref_reuse(p, load_array(U, {Subscript::affine(x(j))}), i.id),
+            ReuseKind::Temporal);
+  // V[j][i] w.r.t. i: spatial (i on the fastest dim of a row-major array).
+  EXPECT_EQ(ref_reuse(p,
+                      load_array(V, {Subscript::affine(x(j)),
+                                     Subscript::affine(x(i))}),
+                      i.id),
+            ReuseKind::Spatial);
+  // V[i][j] w.r.t. i: none (column walk).
+  EXPECT_EQ(ref_reuse(p,
+                      load_array(V, {Subscript::affine(x(i)),
+                                     Subscript::affine(x(j))}),
+                      i.id),
+            ReuseKind::None);
+}
+
+TEST(Reuse, LayoutChangesSpatialDirection) {
+  ProgramBuilder b("t");
+  const auto V = b.array("V", {8, 8});
+  const Var i{b.program().add_var("i")}, j{b.program().add_var("j")};
+  b.program().array(V).layout = ir::Layout::ColMajor;
+  // Under column-major, V[i][j] w.r.t. i IS spatial.
+  EXPECT_EQ(ref_reuse(b.program(),
+                      load_array(V, {Subscript::affine(x(i)),
+                                     Subscript::affine(x(j))}),
+                      i.id),
+            ReuseKind::Spatial);
+}
+
+TEST(Reuse, LargeStrideIsNotSpatial) {
+  ProgramBuilder b("t");
+  const auto V = b.array("V", {8, 8});
+  const Var i{b.program().add_var("i")};
+  EXPECT_EQ(ref_reuse(b.program(),
+                      load_array(V, {Subscript::affine(AffineExpr::constant(0)),
+                                     Subscript::affine(4 * x(i))}),
+                      i.id),
+            ReuseKind::None);
+}
+
+// ---- dependence ------------------------------------------------------------
+
+TEST(Dependence, ConstantDistanceStencil) {
+  // A[i][j] = A[i-1][j+1]: distance (1,-1), canonicalized lexicographically
+  // positive.
+  ProgramBuilder b("t");
+  const auto A = b.array("A", {8, 8});
+  const Var i{b.program().add_var("i")}, j{b.program().add_var("j")};
+  const auto w = store_array(A, {Subscript::affine(x(i)),
+                                 Subscript::affine(x(j))});
+  const auto r = load_array(A, {Subscript::affine(x(i) - 1),
+                                Subscript::affine(x(j) + 1)});
+  bool ok = true;
+  const auto dep = ref_dependence(w, r, {i.id, j.id}, &ok);
+  EXPECT_TRUE(ok);
+  ASSERT_TRUE(dep.has_value());
+  EXPECT_EQ(dep->distance, (std::vector<std::int64_t>{1, -1}));
+}
+
+TEST(Dependence, IndependentDims) {
+  ProgramBuilder b("t");
+  const auto A = b.array("A", {8, 8});
+  const Var i{b.program().add_var("i")};
+  // A[0][i] vs A[1][i]: constant dims differ -> no dependence.
+  const auto w = store_array(A, {Subscript::affine(AffineExpr::constant(0)),
+                                 Subscript::affine(x(i))});
+  const auto r = load_array(A, {Subscript::affine(AffineExpr::constant(1)),
+                                Subscript::affine(x(i))});
+  bool ok = true;
+  EXPECT_EQ(ref_dependence(w, r, {i.id}, &ok), std::nullopt);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Dependence, CoupledSubscriptIsUnanalyzable) {
+  ProgramBuilder b("t");
+  const auto A = b.array("A", {8});
+  const Var i{b.program().add_var("i")}, j{b.program().add_var("j")};
+  const auto w = store_array(A, {Subscript::affine(x(i) + x(j))});
+  const auto r = load_array(A, {Subscript::affine(x(i) + x(j) + 1)});
+  bool ok = true;
+  ref_dependence(w, r, {i.id, j.id}, &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Dependence, GcdExcludesNonIntegralDistance) {
+  ProgramBuilder b("t");
+  const auto A = b.array("A", {16});
+  const Var i{b.program().add_var("i")};
+  // A[2i] vs A[2i+1]: even vs odd elements never meet.
+  const auto w = store_array(A, {Subscript::affine(2 * x(i))});
+  const auto r = load_array(A, {Subscript::affine(2 * x(i) + 1)});
+  bool ok = true;
+  EXPECT_EQ(ref_dependence(w, r, {i.id}, &ok), std::nullopt);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Dependence, PermutationLegality) {
+  DependenceSet deps;
+  deps.deps.push_back(Dependence{{1, -1}});
+  EXPECT_TRUE(permutation_legal(deps, {0, 1}));   // identity
+  EXPECT_FALSE(permutation_legal(deps, {1, 0}));  // (-1,1): illegal
+  DependenceSet ok_deps;
+  ok_deps.deps.push_back(Dependence{{0, 1}});
+  EXPECT_TRUE(permutation_legal(ok_deps, {1, 0}));  // (1,0): fine
+}
+
+TEST(Dependence, UnknownBlocksEverythingButIdentity) {
+  DependenceSet deps;
+  deps.unknown = true;
+  EXPECT_TRUE(permutation_legal(deps, {0, 1, 2}));
+  EXPECT_FALSE(permutation_legal(deps, {0, 2, 1}));
+}
+
+TEST(Dependence, CollectFindsWriteReadPairs) {
+  ProgramBuilder b("t");
+  const auto A = b.array("A", {8, 8});
+  const auto i = b.begin_loop("i", 1, 8);
+  const auto j = b.begin_loop("j", 0, 8);
+  b.stmt({load_array(A, {b.sub(i, -1), b.sub(j)}),
+          store_array(A, {b.sub(i), b.sub(j)})},
+         1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  const auto& root = static_cast<const LoopNode&>(*p.top()[0]);
+  const auto deps = collect_dependences(
+      root, {root.var, static_cast<const LoopNode&>(*root.body[0]).var});
+  EXPECT_FALSE(deps.unknown);
+  ASSERT_EQ(deps.deps.size(), 1u);
+  EXPECT_EQ(deps.deps[0].distance, (std::vector<std::int64_t>{1, 0}));
+}
+
+}  // namespace
+}  // namespace selcache::analysis

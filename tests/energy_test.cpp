@@ -1,0 +1,53 @@
+// Tests for the energy extension.
+#include <gtest/gtest.h>
+
+#include "core/energy.h"
+#include "core/runner.h"
+
+namespace selcache::core {
+namespace {
+
+TEST(Energy, CountsTranslateToComponents) {
+  StatSet s;
+  s.counter("l1d.hits") = 100;
+  s.counter("l1d.misses") = 10;
+  s.counter("l1i.hits") = 50;
+  s.counter("l2.hits") = 8;
+  s.counter("l2.misses") = 2;
+  s.counter("mem.reads") = 2;
+  s.counter("cpu.instructions") = 200;
+  EnergyParams p;
+  const EnergyBreakdown e = estimate_energy(s, p);
+  EXPECT_DOUBLE_EQ(e.l1, p.l1_access * 160);
+  EXPECT_DOUBLE_EQ(e.l2, p.l2_access * 10);
+  EXPECT_DOUBLE_EQ(e.memory, p.memory_access * 2);
+  EXPECT_DOUBLE_EQ(e.core, p.instruction * 200);
+  EXPECT_DOUBLE_EQ(e.total(), e.l1 + e.l2 + e.memory + e.tlb + e.aux + e.core);
+}
+
+TEST(Energy, EmptyStatsZeroEnergy) {
+  EXPECT_DOUBLE_EQ(estimate_energy(StatSet{}).total(), 0.0);
+}
+
+TEST(Energy, MissierRunCostsMore) {
+  // Same workload, machine with a smaller L1: more L2/memory events, more
+  // energy.
+  const auto& w = workloads::workload("TPC-D,Q6");
+  const RunResult big = run_version(w, larger_l1(), Version::Base);
+  const RunResult base = run_version(w, base_machine(), Version::Base);
+  EXPECT_GE(estimate_energy(base.stats).total(),
+            estimate_energy(big.stats).total());
+}
+
+TEST(Energy, SoftwareOptimizationSavesEnergy) {
+  // Fewer memory-system events after locality optimization -> less energy.
+  const auto& w = workloads::workload("Vpenta");
+  const RunResult base = run_version(w, base_machine(), Version::Base);
+  const RunResult sw = run_version(w, base_machine(), Version::PureSoftware);
+  EXPECT_LT(estimate_energy(sw.stats).l2 + estimate_energy(sw.stats).memory,
+            estimate_energy(base.stats).l2 +
+                estimate_energy(base.stats).memory);
+}
+
+}  // namespace
+}  // namespace selcache::core

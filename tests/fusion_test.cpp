@@ -1,0 +1,222 @@
+// Tests for loop fusion and distribution.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "transform/fusion.h"
+#include "transform/pipeline.h"
+
+namespace selcache::transform {
+namespace {
+
+using ir::load_array;
+using ir::load_scalar;
+using ir::LoopNode;
+using ir::NodeKind;
+using ir::Program;
+using ir::ProgramBuilder;
+using ir::StmtNode;
+using ir::store_array;
+using ir::store_scalar;
+
+TEST(Fusion, MergesIndependentLoops) {
+  ProgramBuilder b("f");
+  const auto A = b.array("A", {64});
+  const auto B = b.array("B", {64});
+  const auto i = b.begin_loop("i", 0, 64);
+  b.stmt({store_array(A, {b.sub(i)})}, 1, "s1");
+  b.end_loop();
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({store_array(B, {b.sub(j)})}, 1, "s2");
+  b.end_loop();
+  Program p = b.finish();
+
+  EXPECT_EQ(apply_fusion(p), 1u);
+  ASSERT_EQ(p.top().size(), 1u);
+  const auto& fused = static_cast<const LoopNode&>(*p.top()[0]);
+  ASSERT_EQ(fused.body.size(), 2u);
+  // The second statement's references were renamed to the fused variable.
+  const auto& s2 = static_cast<const StmtNode&>(*fused.body[1]).stmt;
+  EXPECT_TRUE(s2.refs[0].uses(fused.var));
+}
+
+TEST(Fusion, ProducerConsumerSameIndexIsLegal) {
+  // for i: A[i] = ...; for j: B[j] = A[j]  -> distance 0: fusable.
+  ProgramBuilder b("f");
+  const auto A = b.array("A", {64});
+  const auto B = b.array("B", {64});
+  const auto i = b.begin_loop("i", 0, 64);
+  b.stmt({store_array(A, {b.sub(i)})}, 1);
+  b.end_loop();
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({load_array(A, {b.sub(j)}), store_array(B, {b.sub(j)})}, 1);
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_EQ(apply_fusion(p), 1u);
+}
+
+TEST(Fusion, ForwardConsumptionIsIllegal) {
+  // for i: A[i] = ...; for j: B[j] = A[j+1]  -> the consumer would read an
+  // element the fused producer has not written yet.
+  ProgramBuilder b("f");
+  const auto A = b.array("A", {64});
+  const auto B = b.array("B", {64});
+  const auto i = b.begin_loop("i", 0, 64);
+  b.stmt({store_array(A, {b.sub(i)})}, 1);
+  b.end_loop();
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({load_array(A, {b.sub(j, 1)}), store_array(B, {b.sub(j)})}, 1);
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_EQ(apply_fusion(p), 0u);
+  EXPECT_EQ(p.top().size(), 2u);
+}
+
+TEST(Fusion, BackwardConsumptionIsLegal) {
+  // Reading A[j-1] after fusion still sees a value written in an earlier
+  // iteration: legal.
+  ProgramBuilder b("f");
+  const auto A = b.array("A", {64});
+  const auto B = b.array("B", {64});
+  const auto i = b.begin_loop("i", 0, 64);
+  b.stmt({store_array(A, {b.sub(i)})}, 1);
+  b.end_loop();
+  const auto j = b.begin_loop("j", 1, 64);
+  b.stmt({load_array(A, {b.sub(j, -1)}), store_array(B, {b.sub(j)})}, 1);
+  b.end_loop();
+  Program p = b.finish();
+  // Bounds differ ([0,64) vs [1,64)): fusion must refuse on that alone.
+  EXPECT_EQ(apply_fusion(p), 0u);
+
+  // With matching bounds it becomes legal.
+  ProgramBuilder b2("f2");
+  const auto A2 = b2.array("A", {64});
+  const auto B2 = b2.array("B", {64});
+  const auto i2 = b2.begin_loop("i", 1, 64);
+  b2.stmt({store_array(A2, {b2.sub(i2)})}, 1);
+  b2.end_loop();
+  const auto j2 = b2.begin_loop("j", 1, 64);
+  b2.stmt({load_array(A2, {b2.sub(j2, -1)}), store_array(B2, {b2.sub(j2)})},
+          1);
+  b2.end_loop();
+  Program p2 = b2.finish();
+  EXPECT_EQ(apply_fusion(p2), 1u);
+}
+
+TEST(Fusion, ScalarCarriedAcrossLoopsBlocks) {
+  // for i: s = A[i]; for j: B[j] = s  -> B must see the FINAL s.
+  ProgramBuilder b("f");
+  const auto A = b.array("A", {64});
+  const auto B = b.array("B", {64});
+  const auto s = b.scalar("s");
+  const auto i = b.begin_loop("i", 0, 64);
+  b.stmt({load_array(A, {b.sub(i)}), store_scalar(s)}, 1);
+  b.end_loop();
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({load_scalar(s), store_array(B, {b.sub(j)})}, 1);
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_EQ(apply_fusion(p), 0u);
+}
+
+TEST(Fusion, PointerBodiesBlock) {
+  ProgramBuilder b("f");
+  const auto H = b.chase_pool("H", 16, 16);
+  const auto A = b.array("A", {64});
+  b.begin_loop("i", 0, 64);
+  b.stmt({ir::chase(H)}, 1);
+  b.end_loop();
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({store_array(A, {b.sub(j)})}, 1);
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_EQ(apply_fusion(p), 0u);
+}
+
+TEST(Fusion, ChainsAcrossThreeLoops) {
+  ProgramBuilder b("f");
+  const auto A = b.array("A", {64});
+  const auto B = b.array("B", {64});
+  const auto C = b.array("C", {64});
+  for (int k = 0; k < 3; ++k) {
+    const auto v = b.begin_loop("v" + std::to_string(k), 0, 64);
+    b.stmt({store_array(k == 0 ? A : (k == 1 ? B : C), {b.sub(v)})}, 1);
+    b.end_loop();
+  }
+  Program p = b.finish();
+  EXPECT_EQ(apply_fusion(p), 2u);
+  ASSERT_EQ(p.top().size(), 1u);
+  EXPECT_EQ(static_cast<const LoopNode&>(*p.top()[0]).body.size(), 3u);
+}
+
+TEST(Fusion, ReducesExecutedInstructions) {
+  // The fused program runs fewer loop-overhead instructions; the pipeline
+  // picks this up automatically inside compiler regions.
+  ProgramBuilder b("f");
+  const auto A = b.array("A", {256});
+  const auto B = b.array("B", {256});
+  b.begin_loop("outer", 0, 4);
+  const auto i = b.begin_loop("i", 0, 256);
+  b.stmt({store_array(A, {b.sub(i)})}, 1);
+  b.end_loop();
+  const auto j = b.begin_loop("j", 0, 256);
+  b.stmt({store_array(B, {b.sub(j)})}, 1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  OptimizeOptions opt;
+  const OptimizeReport rep = optimize_program(p, opt);
+  EXPECT_EQ(rep.fused, 1u);
+}
+
+TEST(Distribution, SplitsIndependentStatements) {
+  ProgramBuilder b("d");
+  const auto A = b.array("A", {64});
+  const auto B = b.array("B", {64});
+  const auto i = b.begin_loop("i", 0, 64);
+  b.stmt({store_array(A, {b.sub(i)})}, 1, "sa");
+  b.stmt({store_array(B, {b.sub(i)})}, 1, "sb");
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_EQ(apply_distribution(p, p.top(), 0), 2u);
+  ASSERT_EQ(p.top().size(), 2u);
+  for (const auto& n : p.top()) {
+    ASSERT_EQ(n->kind, NodeKind::Loop);
+    EXPECT_EQ(static_cast<const LoopNode&>(*n).body.size(), 1u);
+  }
+  // Distinct induction variables, both spanning [0,64).
+  const auto& l0 = static_cast<const LoopNode&>(*p.top()[0]);
+  const auto& l1 = static_cast<const LoopNode&>(*p.top()[1]);
+  EXPECT_NE(l0.var, l1.var);
+  EXPECT_EQ(l1.upper.constant_term(), 64);
+}
+
+TEST(Distribution, RefusesWhenStatementsCommunicate) {
+  ProgramBuilder b("d");
+  const auto A = b.array("A", {64});
+  const auto B = b.array("B", {64});
+  const auto i = b.begin_loop("i", 0, 64);
+  b.stmt({store_array(A, {b.sub(i)})}, 1);
+  b.stmt({load_array(A, {b.sub(i)}), store_array(B, {b.sub(i)})}, 1);
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_EQ(apply_distribution(p, p.top(), 0), 1u);
+  EXPECT_EQ(p.top().size(), 1u);
+}
+
+TEST(Distribution, FusionInverts) {
+  // distribute then fuse returns to one loop (for independent statements).
+  ProgramBuilder b("d");
+  const auto A = b.array("A", {64});
+  const auto B = b.array("B", {64});
+  const auto i = b.begin_loop("i", 0, 64);
+  b.stmt({store_array(A, {b.sub(i)})}, 1);
+  b.stmt({store_array(B, {b.sub(i)})}, 1);
+  b.end_loop();
+  Program p = b.finish();
+  ASSERT_EQ(apply_distribution(p, p.top(), 0), 2u);
+  EXPECT_EQ(apply_fusion(p), 1u);
+  EXPECT_EQ(p.top().size(), 1u);
+}
+
+}  // namespace
+}  // namespace selcache::transform

@@ -1,0 +1,141 @@
+// Tests for the extension schemes: stride prefetcher and the
+// bypass+victim composite.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "hw/composite_scheme.h"
+#include "hw/stride_prefetcher.h"
+#include "support/rng.h"
+
+namespace selcache::hw {
+namespace {
+
+using memsys::FillDecision;
+using memsys::Level;
+
+TEST(StridePrefetcher, ConfirmsSequentialMissStream) {
+  StridePrefetcher p(StridePrefetcherConfig{.streams = 4, .block_size = 32,
+                                            .confirm = 2, .degree = 2});
+  p.set_active(true);
+  // Misses at blocks 0,1,2: by the third the stream is confirmed.
+  p.on_access(Level::L1D, 0, false, /*hit=*/false);
+  EXPECT_EQ(p.fetch_width(Level::L1D, 0), 1u);
+  p.on_access(Level::L1D, 32, false, false);
+  p.on_access(Level::L1D, 64, false, false);
+  EXPECT_EQ(p.confirmed_streams(), 1u);
+  EXPECT_EQ(p.fetch_width(Level::L1D, 64), 2u);
+}
+
+TEST(StridePrefetcher, HitsDoNotTrain) {
+  StridePrefetcher p(StridePrefetcherConfig{});
+  p.set_active(true);
+  for (Addr a = 0; a < 32 * 8; a += 32) p.on_access(Level::L1D, a, false,
+                                                    /*hit=*/true);
+  EXPECT_EQ(p.confirmed_streams(), 0u);
+}
+
+TEST(StridePrefetcher, RandomMissesNeverConfirm) {
+  StridePrefetcher p(StridePrefetcherConfig{.streams = 4, .block_size = 32,
+                                            .confirm = 2, .degree = 2});
+  p.set_active(true);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i)
+    p.on_access(Level::L1D, rng.below(1 << 20) * 64 * 7, false, false);
+  EXPECT_EQ(p.confirmed_streams(), 0u);
+}
+
+TEST(StridePrefetcher, TracksMultipleStreams) {
+  StridePrefetcher p(StridePrefetcherConfig{.streams = 4, .block_size = 32,
+                                            .confirm = 2, .degree = 2});
+  p.set_active(true);
+  // Two interleaved streams, far apart.
+  for (int k = 0; k < 4; ++k) {
+    p.on_access(Level::L1D, static_cast<Addr>(k) * 32, false, false);
+    p.on_access(Level::L1D, 0x100000 + static_cast<Addr>(k) * 32, false,
+                false);
+  }
+  EXPECT_EQ(p.confirmed_streams(), 2u);
+}
+
+TEST(StridePrefetcher, NeutralOnOtherHooks) {
+  StridePrefetcher p(StridePrefetcherConfig{});
+  p.set_active(true);
+  EXPECT_EQ(p.service_miss(Level::L1D, 0, false), std::nullopt);
+  EXPECT_EQ(p.fill_decision(Level::L1D, 0, Addr{64}), FillDecision::Fill);
+}
+
+CompositeSchemeConfig composite_cfg() {
+  CompositeSchemeConfig cfg;
+  cfg.bypass.mat.decay_interval = 0;
+  return cfg;
+}
+
+TEST(CompositeScheme, VictimSideCapturesEvictions) {
+  CompositeScheme s(composite_cfg());
+  s.set_active(true);
+  s.on_eviction(Level::L1D, 0x1000, true);
+  auto aux = s.service_miss(Level::L1D, 0x1000, false);
+  ASSERT_TRUE(aux.has_value());
+  EXPECT_TRUE(aux->promote);  // came from the victim cache
+}
+
+TEST(CompositeScheme, BypassBufferHasPriority) {
+  CompositeScheme s(composite_cfg());
+  s.set_active(true);
+  s.on_eviction(Level::L1D, 0x2000, false);  // in victim cache
+  s.on_bypassed(Level::L1D, 0x2000, false);  // and in bypass buffer
+  auto aux = s.service_miss(Level::L1D, 0x2000, false);
+  ASSERT_TRUE(aux.has_value());
+  EXPECT_FALSE(aux->promote);  // bypass buffer answered first
+}
+
+TEST(CompositeScheme, MatDrivesFillDecisions) {
+  CompositeScheme s(composite_cfg());
+  s.set_active(true);
+  const Addr hot = 0, cold = 1 << 20;
+  for (int i = 0; i < 64; ++i) s.on_access(Level::L1D, hot, false, true);
+  EXPECT_EQ(s.fill_decision(Level::L1D, cold, hot), FillDecision::Bypass);
+}
+
+TEST(CompositeScheme, ExportsBothStatGroups) {
+  CompositeScheme s(composite_cfg());
+  s.set_active(true);
+  StatSet out;
+  s.export_stats(out);
+  EXPECT_TRUE(out.has("bypass.bypasses"));
+  EXPECT_TRUE(out.has("victim_l1.hits"));
+}
+
+TEST(SchemeFactory, BuildsAllKinds) {
+  const core::MachineConfig m = core::base_machine();
+  EXPECT_EQ(core::make_scheme(SchemeKind::Prefetch, m)->name(), "prefetch");
+  EXPECT_EQ(core::make_scheme(SchemeKind::Composite, m)->name(),
+            "bypass+victim");
+}
+
+TEST(SchemeFactory, AllSchemesRunTheRunner) {
+  const auto& w = workloads::workload("TPC-D,Q6");
+  for (SchemeKind k : {SchemeKind::Bypass, SchemeKind::Victim,
+                       SchemeKind::Prefetch, SchemeKind::Composite}) {
+    core::RunOptions opt;
+    opt.scheme = k;
+    const auto r = core::run_version(w, core::base_machine(),
+                                     core::Version::PureHardware, opt);
+    EXPECT_GT(r.cycles, 0u) << to_string(k);
+  }
+}
+
+TEST(SchemeFactory, PrefetcherHelpsSequentialScans) {
+  // Q6 is a sequential table scan: a stream prefetcher must not hurt it.
+  const auto& w = workloads::workload("TPC-D,Q6");
+  core::RunOptions opt;
+  opt.scheme = SchemeKind::Prefetch;
+  const auto base =
+      core::run_version(w, core::base_machine(), core::Version::Base, opt);
+  const auto pf = core::run_version(w, core::base_machine(),
+                                    core::Version::PureHardware, opt);
+  EXPECT_LE(pf.cycles, base.cycles + base.cycles / 100);
+}
+
+}  // namespace
+}  // namespace selcache::hw

@@ -1,0 +1,122 @@
+// Integration tests for the two-level hierarchy: latency composition,
+// write-allocate semantics, instruction path, miss classification.
+#include <gtest/gtest.h>
+
+#include "memsys/hierarchy.h"
+#include "support/rng.h"
+
+namespace selcache::memsys {
+namespace {
+
+HierarchyConfig small_config() {
+  HierarchyConfig cfg;
+  cfg.l1d = {.name = "l1d", .size_bytes = 1024, .assoc = 2, .block_size = 32,
+             .latency = 2};
+  cfg.l1i = {.name = "l1i", .size_bytes = 1024, .assoc = 2, .block_size = 32,
+             .latency = 2};
+  cfg.l2 = {.name = "l2", .size_bytes = 8192, .assoc = 4, .block_size = 128,
+            .latency = 10};
+  cfg.dtlb = {.name = "dtlb", .entries = 64, .assoc = 4, .page_size = 4096,
+              .miss_penalty = 30};
+  cfg.itlb = {.name = "itlb", .entries = 64, .assoc = 4, .page_size = 4096,
+              .miss_penalty = 30};
+  cfg.mem = {.access_latency = 100, .bus_width = 8};
+  return cfg;
+}
+
+TEST(Hierarchy, ColdMissPaysFullPath) {
+  Hierarchy h(small_config());
+  // TLB miss 30 + L1 2 + L2 10 + memory(128B) 100+15.
+  EXPECT_EQ(h.access(0x0, AccessKind::Load), 30u + 2 + 10 + 115);
+}
+
+TEST(Hierarchy, L1HitIsCheap) {
+  Hierarchy h(small_config());
+  h.access(0x0, AccessKind::Load);
+  EXPECT_EQ(h.access(0x8, AccessKind::Load), 2u);  // same block, same page
+}
+
+TEST(Hierarchy, L2HitSkipsMemory) {
+  Hierarchy h(small_config());
+  h.access(0x0, AccessKind::Load);  // fills both levels (and dtlb page)
+  // Evict the L1 block with two conflicting fills (L1: 16 sets... compute
+  // set stride = 1024B/2-way/32B = 16 sets -> stride 512B).
+  h.access(0x0 + 512, AccessKind::Load);
+  h.access(0x0 + 1024, AccessKind::Load);
+  // 0x0 now out of L1 but still in L2 (same 128B L2 block as 0..127).
+  const Cycle lat = h.access(0x0, AccessKind::Load);
+  EXPECT_EQ(lat, 2u + 10u);
+}
+
+TEST(Hierarchy, StoreAllocatesAndWritesBack) {
+  Hierarchy h(small_config());
+  h.access(0x0, AccessKind::Store);
+  EXPECT_TRUE(h.l1d().probe(0x0));
+  // Evict the dirty block: writeback counter increments.
+  h.access(0x0 + 512, AccessKind::Store);
+  h.access(0x0 + 1024, AccessKind::Store);
+  EXPECT_EQ(h.l1d().writebacks(), 1u);
+}
+
+TEST(Hierarchy, IFetchUsesInstructionPath) {
+  Hierarchy h(small_config());
+  h.access(0x400000, AccessKind::IFetch);
+  EXPECT_TRUE(h.l1i().probe(0x400000));
+  EXPECT_FALSE(h.l1d().probe(0x400000));
+  EXPECT_EQ(h.itlb().stats().misses, 1u);
+  EXPECT_EQ(h.dtlb().stats().misses, 0u);
+  EXPECT_EQ(h.access(0x400004, AccessKind::IFetch), 2u);
+}
+
+TEST(Hierarchy, CombinedMissRateMixesBothL1s) {
+  Hierarchy h(small_config());
+  h.access(0, AccessKind::Load);      // D miss
+  h.access(0, AccessKind::Load);      // D hit
+  h.access(0x400000, AccessKind::IFetch);  // I miss
+  EXPECT_NEAR(h.l1_miss_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Hierarchy, ClassifierTracksL1DMisses) {
+  HierarchyConfig cfg = small_config();
+  cfg.classify_misses = true;
+  Hierarchy h(cfg);
+  h.access(0, AccessKind::Load);
+  h.access(64, AccessKind::Load);
+  ASSERT_NE(h.classifier(), nullptr);
+  EXPECT_EQ(h.classifier()->compulsory(), 2u);
+}
+
+TEST(Hierarchy, ExportStatsHasAllComponents) {
+  Hierarchy h(small_config());
+  h.access(0, AccessKind::Load);
+  h.access(0x400000, AccessKind::IFetch);
+  StatSet s;
+  h.export_stats(s);
+  for (const char* key : {"l1d.misses", "l1i.misses", "l2.misses",
+                          "dtlb.misses", "itlb.misses", "mem.reads"})
+    EXPECT_TRUE(s.has(key)) << key;
+}
+
+TEST(Hierarchy, MoreWaysNeverMoreMisses) {
+  // Property: adding ways at a fixed set count cannot increase the L1D miss
+  // count on any trace (per-set LRU stack inclusion).
+  auto run = [](std::uint64_t l1_size, std::uint32_t assoc) {
+    HierarchyConfig cfg = small_config();
+    cfg.l1d.size_bytes = l1_size;
+    cfg.l1d.assoc = assoc;
+    Hierarchy h(cfg);
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i)
+      h.access(rng.below(1 << 15), rng.chance(0.25) ? AccessKind::Store
+                                                    : AccessKind::Load);
+    return h.l1d().demand_stats().misses;
+  };
+  const auto small = run(1024, 2);   // 16 sets x 2 ways
+  const auto medium = run(2048, 4);  // 16 sets x 4 ways
+  const auto large = run(4096, 8);   // 16 sets x 8 ways
+  EXPECT_GE(small, medium);
+  EXPECT_GE(medium, large);
+}
+
+}  // namespace
+}  // namespace selcache::memsys

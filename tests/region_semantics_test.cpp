@@ -1,0 +1,182 @@
+// Deeper semantic tests of the region machinery: propagation overrides,
+// nested mixed regions, threshold extremes, and marker interaction with
+// other node kinds.
+#include <gtest/gtest.h>
+
+#include "analysis/marker_elimination.h"
+#include "analysis/region_detection.h"
+#include "ir/builder.h"
+#include "transform/fusion.h"
+#include "transform/pipeline.h"
+
+namespace selcache::analysis {
+namespace {
+
+using ir::chase;
+using ir::load_array;
+using ir::LoopNode;
+using ir::NodeKind;
+using ir::Program;
+using ir::ProgramBuilder;
+using ir::store_array;
+
+TEST(RegionSemantics, ParentInheritsUnanimousChildEvenAgainstOwnRefs) {
+  // §2.2 steps 2-3: "if there are memory references inside the loop at
+  // level 3 but outside the loop at level 4, they will also be optimized
+  // using hardware" — the child's method propagates regardless of the
+  // parent's direct references.
+  ProgramBuilder b("t");
+  const auto A = b.array("A", {64});
+  const auto H = b.chase_pool("H", 64, 16);
+  const auto o = b.begin_loop("outer", 0, 8);
+  // Direct statement: fully analyzable.
+  b.stmt({load_array(A, {b.sub(o)})}, 1, "direct");
+  b.begin_loop("inner", 0, 8);
+  b.stmt({chase(H)}, 1, "irregular");
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  const RegionAnalysis ra = analyze_regions(p);
+  const auto loops = p.loops();
+  EXPECT_EQ(ra.decision(*loops[0]), RegionDecision::Hardware);  // inherited
+  EXPECT_EQ(ra.decision(*loops[1]), RegionDecision::Hardware);
+}
+
+TEST(RegionSemantics, MixedInsideMixedRecursion) {
+  // A mixed loop nested inside another mixed loop: markers land at the
+  // innermost uniform subtrees on both levels.
+  ProgramBuilder b("t");
+  const auto A = b.array("A", {64, 64});
+  const auto H = b.chase_pool("H", 64, 16);
+  b.begin_loop("L1", 0, 2);
+  {
+    b.begin_loop("L2mixed", 0, 2);
+    b.begin_loop("hw1", 0, 8);
+    b.stmt({chase(H)}, 1);
+    b.end_loop();
+    const auto i = b.begin_loop("sw1", 0, 8);
+    b.stmt({load_array(A, {b.sub(i), b.csub(0)})}, 1);
+    b.end_loop();
+    b.end_loop();
+  }
+  {
+    b.begin_loop("hw2", 0, 8);
+    b.stmt({chase(H)}, 1);
+    b.end_loop();
+  }
+  b.end_loop();
+  Program p = b.finish();
+  const RegionAnalysis ra = analyze_regions(p);
+  const auto loops = p.loops();
+  // Pre-order: L1, L2mixed, hw1, sw1, hw2.
+  EXPECT_EQ(ra.decision(*loops[0]), RegionDecision::Mixed);
+  EXPECT_EQ(ra.decision(*loops[1]), RegionDecision::Mixed);
+  EXPECT_EQ(ra.decision(*loops[2]), RegionDecision::Hardware);
+  EXPECT_EQ(ra.decision(*loops[3]), RegionDecision::Compiler);
+  EXPECT_EQ(ra.decision(*loops[4]), RegionDecision::Hardware);
+
+  detect_and_mark(p);
+  eliminate_redundant_markers(p);
+  EXPECT_EQ(count_markers(p) % 2, 0u);
+  EXPECT_GE(count_markers(p), 2u);
+}
+
+TEST(RegionSemantics, ThresholdExtremes) {
+  ProgramBuilder b("t");
+  const auto A = b.array("A", {64});
+  const auto H = b.chase_pool("H", 64, 16);
+  const auto i = b.begin_loop("i", 0, 8);
+  b.stmt({load_array(A, {b.sub(i)}), chase(H)}, 1);  // ratio 0.5
+  b.end_loop();
+  Program p = b.finish();
+  {
+    // Threshold 0: everything is compiler territory.
+    const RegionAnalysis ra = analyze_regions(p, 0.0);
+    EXPECT_EQ(ra.decision(*p.loops()[0]), RegionDecision::Compiler);
+  }
+  {
+    // Threshold just above 1: only reference-free loops stay compiler.
+    const RegionAnalysis ra = analyze_regions(p, 1.01);
+    EXPECT_EQ(ra.decision(*p.loops()[0]), RegionDecision::Hardware);
+  }
+}
+
+TEST(RegionSemantics, DetectAndMarkIsIdempotentAfterCleanup) {
+  // Running detection+cleanup twice must not double-bracket regions
+  // (toggles don't count as references, so decisions are unchanged).
+  ProgramBuilder b("t");
+  const auto H = b.chase_pool("H", 64, 16);
+  b.begin_loop("w", 0, 8);
+  b.stmt({chase(H)}, 1);
+  b.end_loop();
+  Program p = b.finish();
+  detect_and_mark(p);
+  eliminate_redundant_markers(p);
+  const std::size_t first = count_markers(p);
+  detect_and_mark(p);
+  eliminate_redundant_markers(p);
+  EXPECT_EQ(count_markers(p), first);
+}
+
+TEST(RegionSemantics, TogglesBlockFusionAdjacency) {
+  // A marker between two loops is executable state: fusion must not reach
+  // across it.
+  ProgramBuilder b("t");
+  const auto A = b.array("A", {64});
+  const auto B = b.array("B", {64});
+  const auto i = b.begin_loop("i", 0, 64);
+  b.stmt({store_array(A, {b.sub(i)})}, 1);
+  b.end_loop();
+  b.toggle(true);
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({store_array(B, {b.sub(j)})}, 1);
+  b.end_loop();
+  b.toggle(false);
+  Program p = b.finish();
+  EXPECT_EQ(transform::apply_fusion(p), 0u);
+  EXPECT_EQ(p.top().size(), 4u);
+}
+
+TEST(RegionSemantics, SelectiveMarkersSurviveOptimization) {
+  // The pipeline inserts markers BEFORE restructuring; transformations on
+  // compiler regions must not displace the hardware brackets.
+  ProgramBuilder b("t");
+  const auto A = b.array("A", {128, 128});
+  const auto H = b.chase_pool("H", 256, 16);
+  const auto j = b.begin_loop("j", 0, 128);
+  const auto i = b.begin_loop("i", 0, 128);
+  b.stmt({load_array(A, {b.sub(i), b.sub(j)}),
+          store_array(A, {b.sub(i), b.sub(j)})},
+         1);
+  b.end_loop();
+  b.end_loop();
+  b.begin_loop("w", 0, 64);
+  b.stmt({chase(H)}, 1);
+  b.end_loop();
+  Program p = b.finish();
+
+  transform::OptimizeOptions opt;
+  opt.insert_markers = true;
+  const auto rep = transform::optimize_program(p, opt);
+  EXPECT_EQ(rep.markers_final, 2u);
+  // Order: (optimized) compiler nest, ON, hw loop, OFF.
+  ASSERT_EQ(p.top().size(), 4u);
+  EXPECT_EQ(p.top()[0]->kind, NodeKind::Loop);
+  EXPECT_EQ(p.top()[1]->kind, NodeKind::Toggle);
+  EXPECT_EQ(p.top()[2]->kind, NodeKind::Loop);
+  EXPECT_EQ(p.top()[3]->kind, NodeKind::Toggle);
+}
+
+TEST(RegionSemantics, EmptyProgramHandledGracefully) {
+  ProgramBuilder b("empty");
+  b.stmt({}, 1);
+  Program p = b.finish();
+  const RegionAnalysis ra = analyze_regions(p);
+  EXPECT_TRUE(ra.compiler_roots.empty());
+  detect_and_mark(p);
+  eliminate_redundant_markers(p);
+  EXPECT_EQ(count_markers(p), 0u);
+}
+
+}  // namespace
+}  // namespace selcache::analysis

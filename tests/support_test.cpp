@@ -1,0 +1,217 @@
+// Unit tests for the support library: RNG, saturating counters, stats,
+// tables, bit utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bitutil.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/saturating.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace selcache {
+namespace {
+
+TEST(Check, ThrowsWithLocation) {
+  EXPECT_THROW(SELCACHE_CHECK(1 == 2), std::logic_error);
+  EXPECT_NO_THROW(SELCACHE_CHECK(1 == 1));
+  try {
+    SELCACHE_CHECK_MSG(false, "context");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("context"), std::string::npos);
+  }
+}
+
+TEST(Bitutil, Pow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(24));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(32), 5u);
+}
+
+TEST(Bitutil, AlignAndBlocks) {
+  EXPECT_EQ(align_up(0, 4096), 0u);
+  EXPECT_EQ(align_up(1, 4096), 4096u);
+  EXPECT_EQ(align_up(4096, 4096), 4096u);
+  EXPECT_EQ(block_of(127, 32), 3u);
+  EXPECT_EQ(block_base(127, 32), 96u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, PermutationIsBijection) {
+  Rng r(11);
+  const auto p = r.permutation(257);
+  std::set<std::uint32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Rng, ZipfSkewsLow) {
+  Rng r(13);
+  std::uint64_t low = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i)
+    if (r.zipf(1000, 0.9) < 100) ++low;
+  // With strong skew, far more than 10% of draws land in the lowest decile.
+  EXPECT_GT(low, kDraws / 4);
+}
+
+TEST(Rng, ZipfZeroThetaUniform) {
+  Rng r(15);
+  std::uint64_t low = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (r.zipf(1000, 0.0) < 100) ++low;
+  EXPECT_NEAR(static_cast<double>(low) / 20000.0, 0.1, 0.02);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(3);
+  Rng fork1 = a.fork(1);
+  Rng a2(3);
+  a2.next();  // fork consumed one draw
+  // The fork stream should not equal the parent's continuation.
+  EXPECT_NE(fork1.next(), a2.next());
+}
+
+TEST(Saturating, IncrementSaturates) {
+  SaturatingCounter<std::uint32_t> c(3, 0);
+  for (int i = 0; i < 10; ++i) c.increment();
+  EXPECT_EQ(c.value(), 3u);
+  EXPECT_TRUE(c.saturated());
+}
+
+TEST(Saturating, DecrementFloorsAtZero) {
+  SaturatingCounter<std::uint32_t> c(7, 2);
+  c.decrement(5);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Saturating, DecayHalves) {
+  SaturatingCounter<std::uint32_t> c(255, 200);
+  c.decay();
+  EXPECT_EQ(c.value(), 100u);
+}
+
+TEST(Saturating, UpperHalf) {
+  Counter2Bit c(3, 2);
+  EXPECT_TRUE(c.upper_half());
+  c.decrement();
+  EXPECT_FALSE(c.upper_half());
+}
+
+TEST(Saturating, IncrementByAmountSaturates) {
+  SaturatingCounter<std::uint32_t> c(10, 8);
+  c.increment(5);
+  EXPECT_EQ(c.value(), 10u);
+}
+
+TEST(Stats, HitMissRates) {
+  HitMiss hm;
+  EXPECT_DOUBLE_EQ(hm.miss_rate(), 0.0);
+  hm.record(true);
+  hm.record(true);
+  hm.record(false);
+  EXPECT_EQ(hm.accesses(), 3u);
+  EXPECT_NEAR(hm.miss_rate(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(hm.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, HitMissAccumulate) {
+  HitMiss a, b;
+  a.record(true);
+  b.record(false);
+  a += b;
+  EXPECT_EQ(a.hits, 1u);
+  EXPECT_EQ(a.misses, 1u);
+}
+
+TEST(Stats, StatSetMergePrefix) {
+  StatSet a, b;
+  a.counter("x") = 1;
+  b.counter("x") = 2;
+  b.counter("y") = 3;
+  a.merge(b, "sub.");
+  EXPECT_EQ(a.get("x"), 1u);
+  EXPECT_EQ(a.get("sub.x"), 2u);
+  EXPECT_EQ(a.get("sub.y"), 3u);
+  EXPECT_FALSE(a.has("z"));
+}
+
+TEST(Stats, ImprovementPct) {
+  EXPECT_DOUBLE_EQ(improvement_pct(100, 80), 20.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(100, 120), -20.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(100, 100), 0.0);
+  EXPECT_THROW(improvement_pct(0, 1), std::logic_error);
+}
+
+TEST(Table, FormatsAligned) {
+  TextTable t({"A", "Longer"});
+  t.add_row({"hello", "1"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| A     | Longer |"), std::string::npos);
+  EXPECT_NE(s.find("| hello | 1      |"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongWidth) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), std::logic_error);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(TextTable::count(0), "0");
+  EXPECT_EQ(TextTable::count(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace selcache

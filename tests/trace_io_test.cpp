@@ -1,0 +1,125 @@
+// Tests for trace capture, save/load and replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "codegen/trace_engine.h"
+#include "codegen/trace_io.h"
+#include "ir/builder.h"
+
+namespace selcache::codegen {
+namespace {
+
+struct Rig {
+  memsys::Hierarchy hierarchy;
+  hw::Controller controller;
+  cpu::TimingModel cpu;
+  Rig() : hierarchy(memsys::HierarchyConfig{}), controller(nullptr),
+          cpu(cpu::CpuConfig{}, hierarchy, controller) {}
+};
+
+ir::Program demo_program() {
+  ir::ProgramBuilder b("t");
+  const auto A = b.array("A", {64, 64});
+  const auto P = b.chase_pool("P", 256, 32);
+  b.toggle(true);
+  const auto i = b.begin_loop("i", 0, 64);
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({ir::load_array(A, {b.sub(i), b.sub(j)}),
+          ir::store_array(A, {b.sub(j), b.sub(i)})},
+         2);
+  b.end_loop();
+  b.end_loop();
+  b.toggle(false);
+  b.begin_loop("w", 0, 500);
+  b.stmt({ir::chase(P)}, 1);
+  b.end_loop();
+  return b.finish();
+}
+
+Trace record_demo(Cycle* cycles_out = nullptr) {
+  const ir::Program p = demo_program();
+  Rig rig;
+  Trace trace;
+  rig.cpu.set_trace_sink(&trace);
+  DataEnv env(p);
+  TraceEngine eng(p, env, rig.cpu);
+  eng.run();
+  if (cycles_out != nullptr) *cycles_out = rig.cpu.cycles();
+  return trace;
+}
+
+TEST(TraceIo, RecordsAllEventKinds) {
+  const Trace t = record_demo();
+  bool kinds[6] = {};
+  for (const auto& e : t) kinds[static_cast<int>(e.kind)] = true;
+  EXPECT_TRUE(kinds[static_cast<int>(TraceEvent::Kind::Compute)]);
+  EXPECT_TRUE(kinds[static_cast<int>(TraceEvent::Kind::Load)]);
+  EXPECT_TRUE(kinds[static_cast<int>(TraceEvent::Kind::Store)]);
+  EXPECT_TRUE(kinds[static_cast<int>(TraceEvent::Kind::Branch)]);
+  EXPECT_TRUE(kinds[static_cast<int>(TraceEvent::Kind::Toggle)]);
+  EXPECT_TRUE(kinds[static_cast<int>(TraceEvent::Kind::Ifetch)]);
+  // Dependent flags survive on the pointer-chase loads.
+  bool dependent_seen = false;
+  for (const auto& e : t)
+    if (e.kind == TraceEvent::Kind::Load && (e.flags & 1)) dependent_seen = true;
+  EXPECT_TRUE(dependent_seen);
+}
+
+TEST(TraceIo, ReplayMatchesOriginalTiming) {
+  Cycle original = 0;
+  const Trace t = record_demo(&original);
+
+  Rig replay_rig;
+  replay_trace(t, replay_rig.cpu);
+  EXPECT_EQ(replay_rig.cpu.cycles(), original);
+  EXPECT_GT(original, 0u);
+}
+
+TEST(TraceIo, ReplayOnDifferentMachineDiffers) {
+  const Trace t = record_demo();
+  memsys::HierarchyConfig slow;
+  slow.mem.access_latency = 400;
+  memsys::Hierarchy h(slow);
+  hw::Controller ctl(nullptr);
+  cpu::TimingModel cpu(cpu::CpuConfig{}, h, ctl);
+  replay_trace(t, cpu);
+
+  Rig base;
+  replay_trace(t, base.cpu);
+  EXPECT_GT(cpu.cycles(), base.cpu.cycles());
+}
+
+TEST(TraceIo, SaveLoadRoundtrip) {
+  const Trace t = record_demo();
+  const std::string path = ::testing::TempDir() + "/demo.sctrace";
+  ASSERT_TRUE(save_trace(t, path));
+  const Trace back = load_trace(path);
+  ASSERT_EQ(back.size(), t.size());
+  EXPECT_TRUE(std::equal(t.begin(), t.end(), back.begin()));
+}
+
+TEST(TraceIo, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.sctrace";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a trace";
+  }
+  EXPECT_THROW(load_trace(path), std::logic_error);
+  EXPECT_THROW(load_trace(::testing::TempDir() + "/missing.sctrace"),
+               std::logic_error);
+}
+
+TEST(TraceIo, SinkCanBeDetached) {
+  Rig rig;
+  Trace t;
+  rig.cpu.set_trace_sink(&t);
+  rig.cpu.compute(4);
+  rig.cpu.set_trace_sink(nullptr);
+  rig.cpu.compute(4);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace selcache::codegen

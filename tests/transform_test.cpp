@@ -1,0 +1,421 @@
+// Tests for the compiler transformations: interchange, tiling,
+// unroll-and-jam, scalar replacement, layout selection, and the pipeline.
+#include <gtest/gtest.h>
+
+#include "analysis/region_detection.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "transform/interchange.h"
+#include "transform/layout_selection.h"
+#include "transform/pipeline.h"
+#include "transform/scalar_replacement.h"
+#include "transform/tiling.h"
+#include "transform/unroll_jam.h"
+
+namespace selcache::transform {
+namespace {
+
+using ir::load_array;
+using ir::load_scalar;
+using ir::LoopNode;
+using ir::NodeKind;
+using ir::Program;
+using ir::ProgramBuilder;
+using ir::StmtNode;
+using ir::store_array;
+using ir::Subscript;
+using ir::x;
+
+LoopNode& root_loop(Program& p, std::size_t idx = 0) {
+  return static_cast<LoopNode&>(*p.top()[idx]);
+}
+
+// ---- interchange ----------------------------------------------------------
+
+TEST(Interchange, PaperExampleMovesTemporalReuseInnermost) {
+  // The §3.2 example: U[j] += V[j][i] * W[i][j] with i outer, j inner.
+  // U[j] has temporal reuse in i, so i should end up innermost.
+  ProgramBuilder b("ex");
+  const auto U = b.array("U", {64});
+  const auto V = b.array("V", {64, 64});
+  const auto W = b.array("W", {64, 64});
+  const auto i = b.begin_loop("i", 0, 64);
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({load_array(U, {b.sub(j)}),
+          load_array(V, {b.sub(j), b.sub(i)}),
+          load_array(W, {b.sub(i), b.sub(j)}),
+          store_array(U, {b.sub(j)})},
+         2);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+
+  EXPECT_TRUE(apply_interchange(p, root_loop(p)));
+  const auto band = ir::perfect_nest_band(root_loop(p));
+  EXPECT_EQ(p.var_names()[band[0]->var], "j");  // j now outer
+  EXPECT_EQ(p.var_names()[band[1]->var], "i");  // i innermost
+}
+
+TEST(Interchange, FixesColumnWalk) {
+  ProgramBuilder b("col");
+  const auto A = b.array("A", {64, 64});
+  const auto j = b.begin_loop("j", 0, 64);
+  const auto i = b.begin_loop("i", 0, 64);
+  b.stmt({load_array(A, {b.sub(i), b.sub(j)})}, 1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_TRUE(apply_interchange(p, root_loop(p)));
+  const auto band = ir::perfect_nest_band(root_loop(p));
+  EXPECT_EQ(p.var_names()[band[1]->var], "j");  // row walk restored
+}
+
+TEST(Interchange, RefusesIllegalReordering) {
+  // A[i][j] = A[i-1][j+1]: distance (1,-1); interchange would flip it.
+  ProgramBuilder b("dep");
+  const auto A = b.array("A", {64, 64});
+  const auto j = b.begin_loop("j", 0, 63);
+  const auto i = b.begin_loop("i", 1, 64);
+  b.stmt({load_array(A, {b.sub(i, -1), b.sub(j, 1)}),
+          store_array(A, {b.sub(i), b.sub(j)})},
+         1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  // Wait: band order is (j,i); the dependence in (j,i) coordinates is
+  // (-1,1) -> canonicalized (1,-1). Desired swap to (i,j) gives (-1,1):
+  // illegal, so interchange must decline.
+  EXPECT_FALSE(apply_interchange(p, root_loop(p)));
+  EXPECT_EQ(p.var_names()[ir::perfect_nest_band(root_loop(p))[0]->var], "j");
+}
+
+TEST(Interchange, SkipsTriangularBounds) {
+  ProgramBuilder b("tri");
+  const auto A = b.array("A", {64, 64});
+  const auto i = b.begin_loop("i", 0, 64);
+  const auto j = b.begin_loop("j", x(i), ir::AffineExpr::constant(64));
+  b.stmt({load_array(A, {b.sub(j), b.sub(i)})}, 1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_FALSE(apply_interchange(p, root_loop(p)));
+}
+
+TEST(Interchange, SingleLoopNoOp) {
+  ProgramBuilder b("one");
+  const auto A = b.array("A", {64});
+  const auto i = b.begin_loop("i", 0, 64);
+  b.stmt({load_array(A, {b.sub(i)})}, 1);
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_FALSE(apply_interchange(p, root_loop(p)));
+}
+
+// ---- tiling ----------------------------------------------------------------
+
+Program big_nest(std::int64_t n = 256) {
+  ProgramBuilder b("tile");
+  const auto A = b.array("A", {n, n});
+  const auto B = b.array("B", {n, n});
+  const auto i = b.begin_loop("i", 0, n);
+  const auto j = b.begin_loop("j", 0, n);
+  b.stmt({load_array(A, {b.sub(i), b.sub(j)}),
+          load_array(B, {b.sub(j), b.sub(i)}),
+          store_array(A, {b.sub(i), b.sub(j)})},
+         1);
+  b.end_loop();
+  b.end_loop();
+  return b.finish();
+}
+
+TEST(Tiling, FootprintEstimate) {
+  Program p = big_nest(256);
+  // Two 256x256 f64 arrays = 1 MB.
+  EXPECT_EQ(estimate_footprint(p, root_loop(p)), 2u * 256 * 256 * 8);
+}
+
+TEST(Tiling, ProducesFourLoopStructure) {
+  Program p = big_nest(256);
+  TilingOptions opt;
+  opt.tile = 32;
+  opt.cache_bytes = 32 * 1024;
+  ASSERT_TRUE(apply_tiling(p, root_loop(p), opt));
+  const auto band = ir::perfect_nest_band(root_loop(p));
+  ASSERT_EQ(band.size(), 4u);
+  EXPECT_EQ(p.var_names()[band[0]->var], "it");
+  EXPECT_EQ(p.var_names()[band[1]->var], "jt");
+  EXPECT_EQ(p.var_names()[band[2]->var], "i");
+  EXPECT_EQ(p.var_names()[band[3]->var], "j");
+  EXPECT_EQ(band[0]->step, 32);
+  EXPECT_EQ(band[2]->step, 1);
+  // Inner bounds are tile-relative: i in [it, it+32).
+  EXPECT_EQ(band[2]->lower.coeff(band[0]->var), 1);
+  EXPECT_EQ(band[2]->upper.constant_term(), 32);
+}
+
+TEST(Tiling, SkipsSmallFootprint) {
+  Program p = big_nest(16);  // 4 KB: fits in cache
+  TilingOptions opt;
+  opt.cache_bytes = 32 * 1024;
+  EXPECT_FALSE(apply_tiling(p, root_loop(p), opt));
+}
+
+TEST(Tiling, SkipsDegenerateTileSizes) {
+  Program p = big_nest(254);  // 254 = 2 * 127: largest divisor <= 32 is 2
+  TilingOptions opt;
+  opt.tile = 32;
+  opt.min_tile = 8;
+  opt.cache_bytes = 1024;
+  EXPECT_FALSE(apply_tiling(p, root_loop(p), opt));
+}
+
+TEST(Tiling, IterationCountPreserved) {
+  // Property: tiling must not change the iteration space size.
+  Program p = big_nest(128);
+  TilingOptions opt;
+  opt.cache_bytes = 1024;
+  ASSERT_TRUE(apply_tiling(p, root_loop(p), opt));
+  const auto band = ir::perfect_nest_band(root_loop(p));
+  std::int64_t total = 1;
+  // Trip counts: (128/32)*(128/32)*32*32 = 128*128.
+  total = (128 / band[0]->step) * (128 / band[1]->step) *
+          (band[2]->upper.constant_term() - 0) *
+          (band[3]->upper.constant_term() - 0);
+  EXPECT_EQ(total, 128 * 128);
+}
+
+// ---- unroll-and-jam --------------------------------------------------------
+
+TEST(UnrollJam, ReplicatesWithSubstitution) {
+  ProgramBuilder b("uj");
+  const auto A = b.array("A", {64, 64});
+  const auto i = b.begin_loop("i", 0, 64);
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({store_array(A, {b.sub(i), b.sub(j)})}, 1, "s");
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_EQ(apply_unroll_jam(p, root_loop(p), 4), 4u);
+  const auto band = ir::perfect_nest_band(root_loop(p));
+  EXPECT_EQ(band[0]->step, 4);
+  ASSERT_EQ(band[1]->body.size(), 4u);
+  // Copy k accesses A[i+k][j].
+  const auto& copy2 =
+      static_cast<const StmtNode&>(*band[1]->body[2]).stmt.refs[0];
+  const auto& arr = std::get<ir::Reference::Array>(copy2.target);
+  EXPECT_EQ(std::get<Subscript::Affine>(arr.subs[0].value)
+                .expr.constant_term(),
+            2);
+}
+
+TEST(UnrollJam, ShrinksToDivisor) {
+  ProgramBuilder b("uj");
+  const auto A = b.array("A", {66, 64});
+  const auto i = b.begin_loop("i", 0, 66);  // 66 % 4 != 0, 66 % 3 == 0
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({store_array(A, {b.sub(i), b.sub(j)})}, 1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_EQ(apply_unroll_jam(p, root_loop(p), 4), 3u);
+}
+
+TEST(UnrollJam, RefusesNegativeDistance) {
+  // A[i][j] = A[i-1][j+1]: pair not fully permutable -> no jam.
+  ProgramBuilder b("uj");
+  const auto A = b.array("A", {64, 64});
+  const auto i = b.begin_loop("i", 1, 64);
+  const auto j = b.begin_loop("j", 0, 63);
+  b.stmt({load_array(A, {b.sub(i, -1), b.sub(j, 1)}),
+          store_array(A, {b.sub(i), b.sub(j)})},
+         1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  EXPECT_EQ(apply_unroll_jam(p, root_loop(p), 4), 1u);
+}
+
+// ---- scalar replacement ----------------------------------------------------
+
+TEST(ScalarReplacement, HoistsInvariantLoad) {
+  ProgramBuilder b("sr");
+  const auto A = b.array("A", {64, 64});
+  const auto C = b.array("C", {64});
+  const auto i = b.begin_loop("i", 0, 64);
+  const auto j = b.begin_loop("j", 0, 64);
+  // C[i] is j-invariant: hoisted to a prologue of the j loop.
+  b.stmt({load_array(C, {b.sub(i)}),
+          store_array(A, {b.sub(i), b.sub(j)})},
+         1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  const auto rep = apply_scalar_replacement(p, root_loop(p));
+  EXPECT_EQ(rep.hoisted_loads, 1u);
+  // The i-loop body now holds: prologue stmt + j-loop.
+  auto& iloop = root_loop(p);
+  ASSERT_EQ(iloop.body.size(), 2u);
+  EXPECT_EQ(iloop.body[0]->kind, NodeKind::Stmt);
+  EXPECT_EQ(static_cast<const StmtNode&>(*iloop.body[0]).stmt.label,
+            "hoist_pre");
+  // The inner statement lost the load.
+  const auto& inner = static_cast<const LoopNode&>(*iloop.body[1]);
+  EXPECT_EQ(static_cast<const StmtNode&>(*inner.body[0]).stmt.refs.size(),
+            1u);
+}
+
+TEST(ScalarReplacement, ReductionGetsPrologueAndEpilogue) {
+  ProgramBuilder b("sr");
+  const auto S = b.array("S", {64});
+  const auto A = b.array("A", {64, 64});
+  const auto i = b.begin_loop("i", 0, 64);
+  const auto j = b.begin_loop("j", 0, 64);
+  // S[i] += A[i][j]: the S[i] load and store are both j-invariant.
+  b.stmt({load_array(S, {b.sub(i)}), load_array(A, {b.sub(i), b.sub(j)}),
+          store_array(S, {b.sub(i)})},
+         1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  const auto rep = apply_scalar_replacement(p, root_loop(p));
+  EXPECT_EQ(rep.hoisted_stores, 1u);
+  auto& iloop = root_loop(p);
+  ASSERT_EQ(iloop.body.size(), 3u);  // prologue, j loop, epilogue
+  EXPECT_EQ(static_cast<const StmtNode&>(*iloop.body[2]).stmt.label,
+            "hoist_post");
+  EXPECT_TRUE(
+      static_cast<const StmtNode&>(*iloop.body[2]).stmt.refs[0].is_write);
+}
+
+TEST(ScalarReplacement, RespectsAliasingStores) {
+  ProgramBuilder b("sr");
+  const auto A = b.array("A", {64, 64});
+  const auto i = b.begin_loop("i", 0, 64);
+  const auto j = b.begin_loop("j", 0, 64);
+  // A[0][0] is invariant, but A[i][j] writes the same array with a
+  // different pattern: hoisting would be unsound.
+  b.stmt({load_array(A, {b.csub(0), b.csub(0)}),
+          store_array(A, {b.sub(i), b.sub(j)})},
+         1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  const auto rep = apply_scalar_replacement(p, root_loop(p));
+  EXPECT_EQ(rep.hoisted_loads, 0u);
+}
+
+TEST(ScalarReplacement, DeduplicatesJammedRefs) {
+  ProgramBuilder b("sr");
+  const auto A = b.array("A", {64, 64});
+  const auto i = b.begin_loop("i", 0, 64);
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({load_array(A, {b.sub(i), b.sub(j)})}, 1, "a");
+  b.stmt({load_array(A, {b.sub(i), b.sub(j)}),
+          store_array(A, {b.sub(i), b.sub(j, 1)})},
+         1, "b");
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  const auto rep = apply_scalar_replacement(p, root_loop(p));
+  EXPECT_EQ(rep.deduplicated, 1u);
+}
+
+TEST(ScalarReplacement, RefsEqualSemantics) {
+  const auto r1 = load_array(0, {Subscript::affine(x(ir::Var{0}))});
+  auto r2 = r1;
+  EXPECT_TRUE(refs_equal(r1, r2));
+  r2.is_write = true;
+  EXPECT_FALSE(refs_equal(r1, r2));
+  // Pointer chases never compare equal (each advances the walk).
+  EXPECT_FALSE(refs_equal(ir::chase(0), ir::chase(0)));
+}
+
+// ---- layout selection -------------------------------------------------------
+
+TEST(LayoutSelection, FlipsColumnWalkedArray) {
+  ProgramBuilder b("ls");
+  const auto V = b.array("V", {64, 64});
+  const auto W = b.array("W", {64, 64});
+  const auto i = b.begin_loop("i", 0, 64);
+  const auto j = b.begin_loop("j", 0, 64);
+  // Innermost j: V[i][j] row walk (keep row-major), W[j][i] column walk
+  // (flip to column-major) — the paper's V/W example.
+  b.stmt({load_array(V, {b.sub(i), b.sub(j)}),
+          load_array(W, {b.sub(j), b.sub(i)})},
+         1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  LoopNode* root = &root_loop(p);
+  EXPECT_EQ(select_layouts(p, std::span<LoopNode* const>(&root, 1)), 1u);
+  EXPECT_EQ(p.array(V).layout, ir::Layout::RowMajor);
+  EXPECT_EQ(p.array(W).layout, ir::Layout::ColMajor);
+}
+
+TEST(LayoutSelection, MajorityVoteAcrossRefs) {
+  ProgramBuilder b("ls");
+  const auto W = b.array("W", {64, 64});
+  const auto i = b.begin_loop("i", 0, 64);
+  const auto j = b.begin_loop("j", 0, 64);
+  b.stmt({load_array(W, {b.sub(j), b.sub(i)}),
+          load_array(W, {b.sub(j), b.sub(i, 1)}),
+          store_array(W, {b.sub(i), b.sub(j)})},
+         1);
+  b.end_loop();
+  b.end_loop();
+  Program p = b.finish();
+  LoopNode* root = &root_loop(p);
+  select_layouts(p, std::span<LoopNode* const>(&root, 1));
+  EXPECT_EQ(p.array(W).layout, ir::Layout::ColMajor);  // 2 col vs 1 row
+}
+
+// ---- whole pipeline ---------------------------------------------------------
+
+TEST(Pipeline, OptimizesCompilerRegionsOnly) {
+  ProgramBuilder b("pipe");
+  const auto A = b.array("A", {128, 128});
+  const auto H = b.chase_pool("H", 64, 16);
+  // Compiler-friendly hostile nest.
+  {
+    const auto j = b.begin_loop("j", 0, 128);
+    const auto i = b.begin_loop("i", 0, 128);
+    b.stmt({load_array(A, {b.sub(i), b.sub(j)}),
+            store_array(A, {b.sub(i), b.sub(j)})},
+           1);
+    b.end_loop();
+    b.end_loop();
+  }
+  // Hardware loop.
+  b.begin_loop("w", 0, 64);
+  b.stmt({ir::chase(H)}, 1);
+  b.end_loop();
+  Program p = b.finish();
+
+  OptimizeOptions opt;
+  opt.insert_markers = true;
+  const OptimizeReport rep = optimize_program(p, opt);
+  EXPECT_EQ(rep.compiler_regions, 1u);
+  EXPECT_EQ(rep.interchanged, 1u);
+  EXPECT_EQ(rep.markers_final, 2u);
+  EXPECT_GE(rep.markers_inserted, 2u);
+  // The hardware loop is untouched: still a single chase statement.
+  const auto& hw_loop = static_cast<const LoopNode&>(*p.top()[2]);
+  EXPECT_EQ(hw_loop.body.size(), 1u);
+}
+
+TEST(Pipeline, FlagsDisablePasses) {
+  Program p = big_nest(256);
+  OptimizeOptions opt;
+  opt.enable_interchange = false;
+  opt.enable_tiling = false;
+  opt.enable_unroll_jam = false;
+  opt.enable_scalar_replacement = false;
+  opt.enable_layout_selection = false;
+  const OptimizeReport rep = optimize_program(p, opt);
+  EXPECT_EQ(rep.interchanged + rep.tiled + rep.unrolled + rep.hoisted_refs +
+                rep.layouts_changed,
+            0u);
+}
+
+}  // namespace
+}  // namespace selcache::transform

@@ -1,0 +1,165 @@
+// Tests for the 13-benchmark suite: registry integrity, structural
+// properties, and the region classification each benchmark is designed to
+// trigger (§4.1: irregular regions are 90-100% irregular and vice versa).
+#include <gtest/gtest.h>
+
+#include "analysis/marker_elimination.h"
+#include "analysis/region_detection.h"
+#include "codegen/trace_engine.h"
+#include "workloads/registry.h"
+#include "workloads/workloads.h"
+
+namespace selcache::workloads {
+namespace {
+
+TEST(Registry, ThirteenBenchmarksInTable2Order) {
+  const auto& all = all_workloads();
+  ASSERT_EQ(all.size(), 13u);
+  EXPECT_EQ(all.front().name, "Perl");
+  EXPECT_EQ(all.back().name, "TPC-D,Q6");
+  EXPECT_EQ(workload("Swim").category, Category::Regular);
+  EXPECT_EQ(workload("Chaos").category, Category::Mixed);
+  EXPECT_THROW(workload("nonesuch"), std::logic_error);
+}
+
+TEST(Registry, CategoriesMatchPaper) {
+  int regular = 0, irregular = 0, mixed = 0;
+  for (const auto& w : all_workloads()) {
+    switch (w.category) {
+      case Category::Regular: ++regular; break;
+      case Category::Irregular: ++irregular; break;
+      case Category::Mixed: ++mixed; break;
+    }
+  }
+  EXPECT_EQ(regular, 4);    // Swim, Mgrid, Vpenta, Adi
+  EXPECT_EQ(irregular, 4);  // Perl, Compress, Li, Applu
+  EXPECT_EQ(mixed, 5);      // Chaos, TPC-C, Q1, Q3, Q6
+}
+
+TEST(Registry, PaperReferenceNumbersPresent) {
+  for (const auto& w : all_workloads()) {
+    EXPECT_GT(w.paper_instructions_m, 0.0) << w.name;
+    EXPECT_GT(w.paper_l1_miss, 0.0) << w.name;
+    EXPECT_GT(w.paper_l2_miss, 0.0) << w.name;
+  }
+}
+
+class EveryWorkload : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EveryWorkload, BuildsWithLoopsAndRefs) {
+  const auto& w = workload(GetParam());
+  const ir::Program p = w.build();
+  EXPECT_EQ(p.name().empty(), false);
+  EXPECT_GT(p.loops().size(), 0u);
+  EXPECT_GT(p.static_ref_count(), 0u);
+}
+
+TEST_P(EveryWorkload, BuildIsDeterministic) {
+  const auto& w = workload(GetParam());
+  const ir::Program a = w.build();
+  const ir::Program b = w.build();
+  EXPECT_EQ(a.static_ref_count(), b.static_ref_count());
+  EXPECT_EQ(a.loops().size(), b.loops().size());
+  EXPECT_EQ(a.arrays().size(), b.arrays().size());
+}
+
+TEST_P(EveryWorkload, EnvironmentAllocates) {
+  const auto& w = workload(GetParam());
+  const ir::Program p = w.build();
+  codegen::DataEnv env(p);
+  EXPECT_GT(env.total_footprint(), 4096u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, EveryWorkload,
+    ::testing::Values("Perl", "Compress", "Li", "Swim", "Applu", "Mgrid",
+                      "Chaos", "Vpenta", "Adi", "TPC-C", "TPC-D,Q1",
+                      "TPC-D,Q3", "TPC-D,Q6"),
+    [](const auto& info) {
+      std::string n = info.param;
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+// Region-structure expectations per benchmark class.
+
+std::size_t count_decisions(ir::Program& p, analysis::RegionDecision want) {
+  const auto ra = analysis::analyze_regions(p);
+  std::size_t n = 0;
+  for (const auto& [loop, d] : ra.decisions)
+    if (d == want) ++n;
+  return n;
+}
+
+TEST(Regions, RegularCodesAreAllCompiler) {
+  for (const char* name : {"Swim", "Mgrid", "Vpenta", "Adi"}) {
+    ir::Program p = workload(name).build();
+    EXPECT_EQ(count_decisions(p, analysis::RegionDecision::Hardware), 0u)
+        << name;
+    EXPECT_GT(count_decisions(p, analysis::RegionDecision::Compiler), 0u)
+        << name;
+  }
+}
+
+TEST(Regions, IrregularCodesAreHardwareDominated) {
+  for (const char* name : {"Perl", "Compress", "Li"}) {
+    ir::Program p = workload(name).build();
+    EXPECT_EQ(count_decisions(p, analysis::RegionDecision::Compiler), 0u)
+        << name;
+    EXPECT_GT(count_decisions(p, analysis::RegionDecision::Hardware), 0u)
+        << name;
+  }
+}
+
+TEST(Regions, MixedCodesHaveBothKinds) {
+  for (const char* name : {"Applu", "Chaos", "TPC-C", "TPC-D,Q1", "TPC-D,Q3",
+                           "TPC-D,Q6"}) {
+    ir::Program p = workload(name).build();
+    EXPECT_GT(count_decisions(p, analysis::RegionDecision::Hardware), 0u)
+        << name;
+    EXPECT_GT(count_decisions(p, analysis::RegionDecision::Compiler), 0u)
+        << name;
+  }
+}
+
+TEST(Regions, MarkedProgramsKeepEvenMarkerCount) {
+  for (const auto& w : all_workloads()) {
+    ir::Program p = w.build();
+    analysis::detect_and_mark(p);
+    analysis::eliminate_redundant_markers(p);
+    EXPECT_EQ(analysis::count_markers(p) % 2, 0u) << w.name;
+  }
+}
+
+// Execution smoke tests on the three smallest benchmarks (the full suite is
+// exercised by the bench harness; tests stay fast).
+
+TEST(Execution, PerlRunsWithinInstructionBudget) {
+  const ir::Program p = build_perl();
+  memsys::Hierarchy h((memsys::HierarchyConfig()));
+  hw::Controller ctl(nullptr);
+  cpu::TimingModel cpu(cpu::CpuConfig{}, h, ctl);
+  codegen::DataEnv env(p);
+  codegen::TraceEngine eng(p, env, cpu);
+  eng.run();
+  EXPECT_GT(cpu.instructions(), 100'000u);
+  EXPECT_LT(cpu.instructions(), 1'000'000u);
+  EXPECT_GT(eng.loads_executed(), 0u);
+  EXPECT_GT(eng.stores_executed(), 0u);
+}
+
+TEST(Execution, Q6ScalarAccumulatorIsHot) {
+  const ir::Program p = build_tpcd_q6();
+  memsys::Hierarchy h((memsys::HierarchyConfig()));
+  hw::Controller ctl(nullptr);
+  cpu::TimingModel cpu(cpu::CpuConfig{}, h, ctl);
+  codegen::DataEnv env(p);
+  codegen::TraceEngine eng(p, env, cpu);
+  eng.run();
+  // The revenue scalar is touched every row: the L1 must be mostly hitting.
+  EXPECT_LT(h.l1d().demand_stats().miss_rate(), 0.30);
+}
+
+}  // namespace
+}  // namespace selcache::workloads

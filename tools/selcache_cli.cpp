@@ -1,0 +1,341 @@
+// selcache — command-line driver for the simulator.
+//
+//   selcache list                               # workloads & machines
+//   selcache run --workload Swim [--machine base] [--version selective]
+//                [--scheme bypass] [--threshold 0.5] [--stats]
+//   selcache sweep --workload Swim [--machine base] [--scheme bypass]
+//   selcache suite [--machine base] [--scheme bypass]
+//   selcache show --workload Swim [--optimized] [--marked]
+//   selcache run-file PROGRAM.loop [--machine M] [--version V] [--scheme S]
+//   selcache trace-record --workload NAME --out FILE [--version V]
+//   selcache trace-replay FILE [--machine M] [--scheme S]
+//
+// Exit code 0 on success, 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "analysis/marker_elimination.h"
+#include <fstream>
+
+#include "codegen/trace_engine.h"
+#include "codegen/trace_io.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "transform/pipeline.h"
+
+using namespace selcache;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  selcache list\n"
+               "  selcache run   --workload NAME [--machine M] [--version V]"
+               " [--scheme S] [--threshold T] [--stats]\n"
+               "  selcache sweep --workload NAME [--machine M] [--scheme S]\n"
+               "  selcache suite [--machine M] [--scheme S]\n"
+               "  selcache show  --workload NAME [--optimized] [--marked]\n"
+               "  selcache run-file FILE.loop [--machine M] [--version V]"
+               " [--scheme S]\n"
+               "  selcache trace-record --workload NAME --out FILE"
+               " [--version V] [--scheme S]\n"
+               "  selcache trace-replay FILE [--machine M] [--scheme S]\n"
+               "machines: base memlat l2size l1size l2assoc l1assoc\n"
+               "versions: base purehw puresw combined selective\n"
+               "schemes:  bypass victim none\n");
+  return 2;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int start, bool* ok) {
+  std::map<std::string, std::string> flags;
+  *ok = true;
+  for (int i = start; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      *ok = false;
+      return flags;
+    }
+    a = a.substr(2);
+    if (a == "stats" || a == "optimized" || a == "marked") {
+      flags[a] = "1";
+    } else if (i + 1 < argc) {
+      flags[a] = argv[++i];
+    } else {
+      *ok = false;
+      return flags;
+    }
+  }
+  return flags;
+}
+
+std::optional<core::MachineConfig> machine_by_name(const std::string& n) {
+  if (n.empty() || n == "base") return core::base_machine();
+  if (n == "memlat") return core::higher_mem_latency();
+  if (n == "l2size") return core::larger_l2();
+  if (n == "l1size") return core::larger_l1();
+  if (n == "l2assoc") return core::higher_l2_assoc();
+  if (n == "l1assoc") return core::higher_l1_assoc();
+  return std::nullopt;
+}
+
+std::optional<core::Version> version_by_name(const std::string& n) {
+  if (n.empty() || n == "base") return core::Version::Base;
+  if (n == "purehw") return core::Version::PureHardware;
+  if (n == "puresw") return core::Version::PureSoftware;
+  if (n == "combined") return core::Version::Combined;
+  if (n == "selective") return core::Version::Selective;
+  return std::nullopt;
+}
+
+std::optional<hw::SchemeKind> scheme_by_name(const std::string& n) {
+  if (n.empty() || n == "bypass") return hw::SchemeKind::Bypass;
+  if (n == "victim") return hw::SchemeKind::Victim;
+  if (n == "none") return hw::SchemeKind::None;
+  return std::nullopt;
+}
+
+const workloads::WorkloadInfo* workload_by_name(const std::string& n) {
+  for (const auto& w : workloads::all_workloads())
+    if (w.name == n) return &w;
+  return nullptr;
+}
+
+int cmd_list() {
+  std::printf("workloads (13, Table 2 order):\n");
+  for (const auto& w : workloads::all_workloads())
+    std::printf("  %-10s %-9s (paper: %.1fM instr, L1 %.2f%%, L2 %.2f%%)\n",
+                w.name.c_str(), to_string(w.category),
+                w.paper_instructions_m, w.paper_l1_miss, w.paper_l2_miss);
+  std::printf("machines: base memlat l2size l1size l2assoc l1assoc\n");
+  std::printf("versions: base purehw puresw combined selective\n");
+  std::printf("schemes:  bypass victim none\n");
+  return 0;
+}
+
+int cmd_run(const std::map<std::string, std::string>& flags) {
+  const auto* w = workload_by_name(flags.count("workload")
+                                       ? flags.at("workload")
+                                       : "");
+  const auto machine =
+      machine_by_name(flags.count("machine") ? flags.at("machine") : "");
+  const auto version =
+      version_by_name(flags.count("version") ? flags.at("version") : "");
+  const auto scheme =
+      scheme_by_name(flags.count("scheme") ? flags.at("scheme") : "");
+  if (w == nullptr || !machine || !version || !scheme) return usage();
+
+  core::RunOptions opt;
+  opt.scheme = *scheme;
+  if (flags.count("threshold"))
+    opt.optimize.threshold = std::stod(flags.at("threshold"));
+
+  const core::RunResult r = core::run_version(*w, *machine, *version, opt);
+  std::printf("%s / %s / %s / %s\n", w->name.c_str(),
+              machine->name.c_str(), to_string(*version),
+              hw::to_string(*scheme));
+  std::printf("  cycles        %llu\n",
+              static_cast<unsigned long long>(r.cycles));
+  std::printf("  instructions  %llu\n",
+              static_cast<unsigned long long>(r.instructions));
+  std::printf("  L1 miss       %.2f%%\n", 100.0 * r.l1_miss_rate);
+  std::printf("  L2 miss       %.2f%%\n", 100.0 * r.l2_miss_rate);
+  std::printf("  toggles       %llu\n",
+              static_cast<unsigned long long>(r.toggles));
+  if (flags.count("stats"))
+    for (const auto& [k, v] : r.stats.all())
+      std::printf("  %-32s %llu\n", k.c_str(),
+                  static_cast<unsigned long long>(v));
+  return 0;
+}
+
+int cmd_sweep(const std::map<std::string, std::string>& flags) {
+  const auto* w = workload_by_name(flags.count("workload")
+                                       ? flags.at("workload")
+                                       : "");
+  const auto machine =
+      machine_by_name(flags.count("machine") ? flags.at("machine") : "");
+  const auto scheme =
+      scheme_by_name(flags.count("scheme") ? flags.at("scheme") : "");
+  if (w == nullptr || !machine || !scheme) return usage();
+
+  core::RunOptions opt;
+  opt.scheme = *scheme;
+  const core::ImprovementRow row = core::improvements_for(*w, *machine, opt);
+  std::printf("%s on %s (%s scheme): base %llu cycles\n", w->name.c_str(),
+              machine->name.c_str(), hw::to_string(*scheme),
+              static_cast<unsigned long long>(row.base_cycles));
+  for (core::Version v : core::kEvaluatedVersions)
+    std::printf("  %-14s %+7.2f%%\n", to_string(v), row.pct.at(v));
+  return 0;
+}
+
+int cmd_suite(const std::map<std::string, std::string>& flags) {
+  const auto machine =
+      machine_by_name(flags.count("machine") ? flags.at("machine") : "");
+  const auto scheme =
+      scheme_by_name(flags.count("scheme") ? flags.at("scheme") : "");
+  if (!machine || !scheme) return usage();
+  core::RunOptions opt;
+  opt.scheme = *scheme;
+  const auto rows = core::sweep_suite(*machine, opt);
+  std::printf("%s", core::format_figure(
+                        machine->name + " (" + hw::to_string(*scheme) + ")",
+                        rows)
+                        .c_str());
+  return 0;
+}
+
+int cmd_show(const std::map<std::string, std::string>& flags) {
+  const auto* w = workload_by_name(flags.count("workload")
+                                       ? flags.at("workload")
+                                       : "");
+  if (w == nullptr) return usage();
+  ir::Program p = w->build();
+  if (flags.count("optimized") || flags.count("marked")) {
+    transform::OptimizeOptions opt;
+    opt.insert_markers = flags.count("marked") > 0;
+    transform::optimize_program(p, opt);
+  }
+  std::printf("%s", ir::print(p).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int cmd_run_file(const std::string& path,
+                 const std::map<std::string, std::string>& flags) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  ir::Program parsed = ir::parse_program(text.str());
+  const std::string name = parsed.name();
+
+  // Wrap the parsed program in a workload whose builder re-parses the text
+  // (the runner clones per version).
+  const std::string src = text.str();
+  workloads::WorkloadInfo info{name, path, workloads::Category::Mixed,
+                               [src] { return ir::parse_program(src); },
+                               0, 0, 0};
+  const auto machine =
+      machine_by_name(flags.count("machine") ? flags.at("machine") : "");
+  const auto version =
+      version_by_name(flags.count("version") ? flags.at("version") : "");
+  const auto scheme =
+      scheme_by_name(flags.count("scheme") ? flags.at("scheme") : "");
+  if (!machine || !version || !scheme) return usage();
+  core::RunOptions opt;
+  opt.scheme = *scheme;
+  const core::RunResult r = core::run_version(info, *machine, *version, opt);
+  std::printf("%s (%s) / %s / %s\n", name.c_str(), path.c_str(),
+              to_string(*version), hw::to_string(*scheme));
+  std::printf("  cycles        %llu\n",
+              static_cast<unsigned long long>(r.cycles));
+  std::printf("  instructions  %llu\n",
+              static_cast<unsigned long long>(r.instructions));
+  std::printf("  L1 miss       %.2f%%   L2 miss %.2f%%   toggles %llu\n",
+              100.0 * r.l1_miss_rate, 100.0 * r.l2_miss_rate,
+              static_cast<unsigned long long>(r.toggles));
+  return 0;
+}
+
+int cmd_trace_record(const std::map<std::string, std::string>& flags) {
+  const auto* w = workload_by_name(flags.count("workload")
+                                       ? flags.at("workload")
+                                       : "");
+  const auto version =
+      version_by_name(flags.count("version") ? flags.at("version") : "");
+  const auto scheme =
+      scheme_by_name(flags.count("scheme") ? flags.at("scheme") : "");
+  if (w == nullptr || !version || !scheme || !flags.count("out"))
+    return usage();
+
+  const core::MachineConfig m = core::base_machine();
+  ir::Program product =
+      core::prepare_program(w->build(), *version, transform::OptimizeOptions{});
+  memsys::Hierarchy hierarchy(m.hierarchy);
+  auto hw_scheme = core::make_scheme(*scheme, m);
+  hierarchy.attach_hw(hw_scheme.get());
+  hw::Controller controller(hw_scheme.get());
+  controller.force(core::hw_always_on(*version));
+  cpu::TimingModel cpu(m.cpu, hierarchy, controller);
+  codegen::Trace trace;
+  cpu.set_trace_sink(&trace);
+  codegen::DataEnv env(product);
+  codegen::TraceEngine engine(product, env, cpu);
+  engine.run();
+  if (!codegen::save_trace(trace, flags.at("out"))) {
+    std::fprintf(stderr, "cannot write %s\n", flags.at("out").c_str());
+    return 2;
+  }
+  std::printf("recorded %zu events (%llu instructions, %llu cycles) -> %s\n",
+              trace.size(),
+              static_cast<unsigned long long>(cpu.instructions()),
+              static_cast<unsigned long long>(cpu.cycles()),
+              flags.at("out").c_str());
+  return 0;
+}
+
+int cmd_trace_replay(const std::string& path,
+                     const std::map<std::string, std::string>& flags) {
+  const auto machine =
+      machine_by_name(flags.count("machine") ? flags.at("machine") : "");
+  const auto scheme =
+      scheme_by_name(flags.count("scheme") ? flags.at("scheme") : "");
+  if (!machine || !scheme) return usage();
+  const codegen::Trace trace = codegen::load_trace(path);
+  memsys::Hierarchy hierarchy(machine->hierarchy);
+  auto hw_scheme = core::make_scheme(*scheme, *machine);
+  hierarchy.attach_hw(hw_scheme.get());
+  hw::Controller controller(hw_scheme.get());
+  cpu::TimingModel cpu(machine->cpu, hierarchy, controller);
+  codegen::replay_trace(trace, cpu);
+  std::printf("%s on %s: %llu cycles, %llu instructions, L1 miss %.2f%%, "
+              "L2 miss %.2f%%\n",
+              path.c_str(), machine->name.c_str(),
+              static_cast<unsigned long long>(cpu.cycles()),
+              static_cast<unsigned long long>(cpu.instructions()),
+              100.0 * hierarchy.l1_miss_rate(),
+              100.0 * hierarchy.l2_miss_rate());
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "trace-replay") {
+    if (argc < 3) return usage();
+    bool okr = true;
+    const auto rflags = parse_flags(argc, argv, 3, &okr);
+    if (!okr) return usage();
+    return cmd_trace_replay(argv[2], rflags);
+  }
+  if (cmd == "run-file") {
+    if (argc < 3) return usage();
+    bool okf = true;
+    const auto fflags = parse_flags(argc, argv, 3, &okf);
+    if (!okf) return usage();
+    return cmd_run_file(argv[2], fflags);
+  }
+  bool ok = true;
+  const auto flags = parse_flags(argc, argv, 2, &ok);
+  if (!ok) return usage();
+
+  if (cmd == "list") return cmd_list();
+  if (cmd == "run") return cmd_run(flags);
+  if (cmd == "sweep") return cmd_sweep(flags);
+  if (cmd == "suite") return cmd_suite(flags);
+  if (cmd == "show") return cmd_show(flags);
+  if (cmd == "trace-record") return cmd_trace_record(flags);
+  return usage();
+}
