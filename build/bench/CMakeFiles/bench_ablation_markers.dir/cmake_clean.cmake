@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_markers.dir/bench_ablation_markers.cpp.o"
+  "CMakeFiles/bench_ablation_markers.dir/bench_ablation_markers.cpp.o.d"
+  "bench_ablation_markers"
+  "bench_ablation_markers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_markers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_passes.cpp" "bench/CMakeFiles/bench_ablation_passes.dir/bench_ablation_passes.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_passes.dir/bench_ablation_passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selcache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_base.dir/bench_fig4_base.cpp.o"
+  "CMakeFiles/bench_fig4_base.dir/bench_fig4_base.cpp.o.d"
+  "bench_fig4_base"
+  "bench_fig4_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

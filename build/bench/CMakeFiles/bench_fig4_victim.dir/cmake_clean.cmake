@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_victim.dir/bench_fig4_victim.cpp.o"
+  "CMakeFiles/bench_fig4_victim.dir/bench_fig4_victim.cpp.o.d"
+  "bench_fig4_victim"
+  "bench_fig4_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

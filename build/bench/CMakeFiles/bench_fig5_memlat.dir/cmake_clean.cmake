@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_memlat.dir/bench_fig5_memlat.cpp.o"
+  "CMakeFiles/bench_fig5_memlat.dir/bench_fig5_memlat.cpp.o.d"
+  "bench_fig5_memlat"
+  "bench_fig5_memlat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_memlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

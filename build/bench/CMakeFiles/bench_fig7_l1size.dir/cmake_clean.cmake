@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_l1size.dir/bench_fig7_l1size.cpp.o"
+  "CMakeFiles/bench_fig7_l1size.dir/bench_fig7_l1size.cpp.o.d"
+  "bench_fig7_l1size"
+  "bench_fig7_l1size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_l1size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_l2assoc.dir/bench_fig8_l2assoc.cpp.o"
+  "CMakeFiles/bench_fig8_l2assoc.dir/bench_fig8_l2assoc.cpp.o.d"
+  "bench_fig8_l2assoc"
+  "bench_fig8_l2assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_l2assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

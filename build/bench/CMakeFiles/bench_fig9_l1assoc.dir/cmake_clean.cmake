@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_l1assoc.dir/bench_fig9_l1assoc.cpp.o"
+  "CMakeFiles/bench_fig9_l1assoc.dir/bench_fig9_l1assoc.cpp.o.d"
+  "bench_fig9_l1assoc"
+  "bench_fig9_l1assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_l1assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

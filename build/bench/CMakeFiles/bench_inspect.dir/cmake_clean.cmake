@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inspect.dir/bench_inspect.cpp.o"
+  "CMakeFiles/bench_inspect.dir/bench_inspect.cpp.o.d"
+  "bench_inspect"
+  "bench_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_detection.dir/region_detection.cpp.o"
+  "CMakeFiles/region_detection.dir/region_detection.cpp.o.d"
+  "region_detection"
+  "region_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcd_query.dir/tpcd_query.cpp.o"
+  "CMakeFiles/tpcd_query.dir/tpcd_query.cpp.o.d"
+  "tpcd_query"
+  "tpcd_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcd_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/classify.cpp" "src/CMakeFiles/selcache_analysis.dir/analysis/classify.cpp.o" "gcc" "src/CMakeFiles/selcache_analysis.dir/analysis/classify.cpp.o.d"
+  "/root/repo/src/analysis/dependence.cpp" "src/CMakeFiles/selcache_analysis.dir/analysis/dependence.cpp.o" "gcc" "src/CMakeFiles/selcache_analysis.dir/analysis/dependence.cpp.o.d"
+  "/root/repo/src/analysis/marker_elimination.cpp" "src/CMakeFiles/selcache_analysis.dir/analysis/marker_elimination.cpp.o" "gcc" "src/CMakeFiles/selcache_analysis.dir/analysis/marker_elimination.cpp.o.d"
+  "/root/repo/src/analysis/method_selection.cpp" "src/CMakeFiles/selcache_analysis.dir/analysis/method_selection.cpp.o" "gcc" "src/CMakeFiles/selcache_analysis.dir/analysis/method_selection.cpp.o.d"
+  "/root/repo/src/analysis/region_detection.cpp" "src/CMakeFiles/selcache_analysis.dir/analysis/region_detection.cpp.o" "gcc" "src/CMakeFiles/selcache_analysis.dir/analysis/region_detection.cpp.o.d"
+  "/root/repo/src/analysis/reuse.cpp" "src/CMakeFiles/selcache_analysis.dir/analysis/reuse.cpp.o" "gcc" "src/CMakeFiles/selcache_analysis.dir/analysis/reuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selcache_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selcache_analysis.dir/analysis/classify.cpp.o"
+  "CMakeFiles/selcache_analysis.dir/analysis/classify.cpp.o.d"
+  "CMakeFiles/selcache_analysis.dir/analysis/dependence.cpp.o"
+  "CMakeFiles/selcache_analysis.dir/analysis/dependence.cpp.o.d"
+  "CMakeFiles/selcache_analysis.dir/analysis/marker_elimination.cpp.o"
+  "CMakeFiles/selcache_analysis.dir/analysis/marker_elimination.cpp.o.d"
+  "CMakeFiles/selcache_analysis.dir/analysis/method_selection.cpp.o"
+  "CMakeFiles/selcache_analysis.dir/analysis/method_selection.cpp.o.d"
+  "CMakeFiles/selcache_analysis.dir/analysis/region_detection.cpp.o"
+  "CMakeFiles/selcache_analysis.dir/analysis/region_detection.cpp.o.d"
+  "CMakeFiles/selcache_analysis.dir/analysis/reuse.cpp.o"
+  "CMakeFiles/selcache_analysis.dir/analysis/reuse.cpp.o.d"
+  "libselcache_analysis.a"
+  "libselcache_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selcache_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/data_env.cpp" "src/CMakeFiles/selcache_codegen.dir/codegen/data_env.cpp.o" "gcc" "src/CMakeFiles/selcache_codegen.dir/codegen/data_env.cpp.o.d"
+  "/root/repo/src/codegen/layout.cpp" "src/CMakeFiles/selcache_codegen.dir/codegen/layout.cpp.o" "gcc" "src/CMakeFiles/selcache_codegen.dir/codegen/layout.cpp.o.d"
+  "/root/repo/src/codegen/trace_engine.cpp" "src/CMakeFiles/selcache_codegen.dir/codegen/trace_engine.cpp.o" "gcc" "src/CMakeFiles/selcache_codegen.dir/codegen/trace_engine.cpp.o.d"
+  "/root/repo/src/codegen/trace_io.cpp" "src/CMakeFiles/selcache_codegen.dir/codegen/trace_io.cpp.o" "gcc" "src/CMakeFiles/selcache_codegen.dir/codegen/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selcache_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

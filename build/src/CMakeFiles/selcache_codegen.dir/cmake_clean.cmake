@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selcache_codegen.dir/codegen/data_env.cpp.o"
+  "CMakeFiles/selcache_codegen.dir/codegen/data_env.cpp.o.d"
+  "CMakeFiles/selcache_codegen.dir/codegen/layout.cpp.o"
+  "CMakeFiles/selcache_codegen.dir/codegen/layout.cpp.o.d"
+  "CMakeFiles/selcache_codegen.dir/codegen/trace_engine.cpp.o"
+  "CMakeFiles/selcache_codegen.dir/codegen/trace_engine.cpp.o.d"
+  "CMakeFiles/selcache_codegen.dir/codegen/trace_io.cpp.o"
+  "CMakeFiles/selcache_codegen.dir/codegen/trace_io.cpp.o.d"
+  "libselcache_codegen.a"
+  "libselcache_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selcache_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

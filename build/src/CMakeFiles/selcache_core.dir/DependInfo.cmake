@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/energy.cpp" "src/CMakeFiles/selcache_core.dir/core/energy.cpp.o" "gcc" "src/CMakeFiles/selcache_core.dir/core/energy.cpp.o.d"
+  "/root/repo/src/core/machine_config.cpp" "src/CMakeFiles/selcache_core.dir/core/machine_config.cpp.o" "gcc" "src/CMakeFiles/selcache_core.dir/core/machine_config.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/selcache_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/selcache_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/selcache_core.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/selcache_core.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/versions.cpp" "src/CMakeFiles/selcache_core.dir/core/versions.cpp.o" "gcc" "src/CMakeFiles/selcache_core.dir/core/versions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selcache_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selcache_core.dir/core/energy.cpp.o"
+  "CMakeFiles/selcache_core.dir/core/energy.cpp.o.d"
+  "CMakeFiles/selcache_core.dir/core/machine_config.cpp.o"
+  "CMakeFiles/selcache_core.dir/core/machine_config.cpp.o.d"
+  "CMakeFiles/selcache_core.dir/core/report.cpp.o"
+  "CMakeFiles/selcache_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/selcache_core.dir/core/runner.cpp.o"
+  "CMakeFiles/selcache_core.dir/core/runner.cpp.o.d"
+  "CMakeFiles/selcache_core.dir/core/versions.cpp.o"
+  "CMakeFiles/selcache_core.dir/core/versions.cpp.o.d"
+  "libselcache_core.a"
+  "libselcache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selcache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

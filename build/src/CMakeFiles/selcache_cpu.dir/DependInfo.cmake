@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_predictor.cpp" "src/CMakeFiles/selcache_cpu.dir/cpu/branch_predictor.cpp.o" "gcc" "src/CMakeFiles/selcache_cpu.dir/cpu/branch_predictor.cpp.o.d"
+  "/root/repo/src/cpu/timing_model.cpp" "src/CMakeFiles/selcache_cpu.dir/cpu/timing_model.cpp.o" "gcc" "src/CMakeFiles/selcache_cpu.dir/cpu/timing_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selcache_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

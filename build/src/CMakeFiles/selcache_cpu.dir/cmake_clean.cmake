@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selcache_cpu.dir/cpu/branch_predictor.cpp.o"
+  "CMakeFiles/selcache_cpu.dir/cpu/branch_predictor.cpp.o.d"
+  "CMakeFiles/selcache_cpu.dir/cpu/timing_model.cpp.o"
+  "CMakeFiles/selcache_cpu.dir/cpu/timing_model.cpp.o.d"
+  "libselcache_cpu.a"
+  "libselcache_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selcache_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libselcache_cpu.a"
+)

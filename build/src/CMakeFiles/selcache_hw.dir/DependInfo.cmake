@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/bypass_buffer.cpp" "src/CMakeFiles/selcache_hw.dir/hw/bypass_buffer.cpp.o" "gcc" "src/CMakeFiles/selcache_hw.dir/hw/bypass_buffer.cpp.o.d"
+  "/root/repo/src/hw/bypass_scheme.cpp" "src/CMakeFiles/selcache_hw.dir/hw/bypass_scheme.cpp.o" "gcc" "src/CMakeFiles/selcache_hw.dir/hw/bypass_scheme.cpp.o.d"
+  "/root/repo/src/hw/composite_scheme.cpp" "src/CMakeFiles/selcache_hw.dir/hw/composite_scheme.cpp.o" "gcc" "src/CMakeFiles/selcache_hw.dir/hw/composite_scheme.cpp.o.d"
+  "/root/repo/src/hw/controller.cpp" "src/CMakeFiles/selcache_hw.dir/hw/controller.cpp.o" "gcc" "src/CMakeFiles/selcache_hw.dir/hw/controller.cpp.o.d"
+  "/root/repo/src/hw/mat.cpp" "src/CMakeFiles/selcache_hw.dir/hw/mat.cpp.o" "gcc" "src/CMakeFiles/selcache_hw.dir/hw/mat.cpp.o.d"
+  "/root/repo/src/hw/sldt.cpp" "src/CMakeFiles/selcache_hw.dir/hw/sldt.cpp.o" "gcc" "src/CMakeFiles/selcache_hw.dir/hw/sldt.cpp.o.d"
+  "/root/repo/src/hw/stride_prefetcher.cpp" "src/CMakeFiles/selcache_hw.dir/hw/stride_prefetcher.cpp.o" "gcc" "src/CMakeFiles/selcache_hw.dir/hw/stride_prefetcher.cpp.o.d"
+  "/root/repo/src/hw/victim_scheme.cpp" "src/CMakeFiles/selcache_hw.dir/hw/victim_scheme.cpp.o" "gcc" "src/CMakeFiles/selcache_hw.dir/hw/victim_scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selcache_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

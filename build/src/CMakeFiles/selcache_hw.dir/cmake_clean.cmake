@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selcache_hw.dir/hw/bypass_buffer.cpp.o"
+  "CMakeFiles/selcache_hw.dir/hw/bypass_buffer.cpp.o.d"
+  "CMakeFiles/selcache_hw.dir/hw/bypass_scheme.cpp.o"
+  "CMakeFiles/selcache_hw.dir/hw/bypass_scheme.cpp.o.d"
+  "CMakeFiles/selcache_hw.dir/hw/composite_scheme.cpp.o"
+  "CMakeFiles/selcache_hw.dir/hw/composite_scheme.cpp.o.d"
+  "CMakeFiles/selcache_hw.dir/hw/controller.cpp.o"
+  "CMakeFiles/selcache_hw.dir/hw/controller.cpp.o.d"
+  "CMakeFiles/selcache_hw.dir/hw/mat.cpp.o"
+  "CMakeFiles/selcache_hw.dir/hw/mat.cpp.o.d"
+  "CMakeFiles/selcache_hw.dir/hw/sldt.cpp.o"
+  "CMakeFiles/selcache_hw.dir/hw/sldt.cpp.o.d"
+  "CMakeFiles/selcache_hw.dir/hw/stride_prefetcher.cpp.o"
+  "CMakeFiles/selcache_hw.dir/hw/stride_prefetcher.cpp.o.d"
+  "CMakeFiles/selcache_hw.dir/hw/victim_scheme.cpp.o"
+  "CMakeFiles/selcache_hw.dir/hw/victim_scheme.cpp.o.d"
+  "libselcache_hw.a"
+  "libselcache_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selcache_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/selcache_ir.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/selcache_ir.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/selcache_ir.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/selcache_ir.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/CMakeFiles/selcache_ir.dir/ir/parser.cpp.o" "gcc" "src/CMakeFiles/selcache_ir.dir/ir/parser.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/selcache_ir.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/selcache_ir.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/CMakeFiles/selcache_ir.dir/ir/program.cpp.o" "gcc" "src/CMakeFiles/selcache_ir.dir/ir/program.cpp.o.d"
+  "/root/repo/src/ir/ref.cpp" "src/CMakeFiles/selcache_ir.dir/ir/ref.cpp.o" "gcc" "src/CMakeFiles/selcache_ir.dir/ir/ref.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/CMakeFiles/selcache_ir.dir/ir/stmt.cpp.o" "gcc" "src/CMakeFiles/selcache_ir.dir/ir/stmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selcache_ir.dir/ir/builder.cpp.o"
+  "CMakeFiles/selcache_ir.dir/ir/builder.cpp.o.d"
+  "CMakeFiles/selcache_ir.dir/ir/expr.cpp.o"
+  "CMakeFiles/selcache_ir.dir/ir/expr.cpp.o.d"
+  "CMakeFiles/selcache_ir.dir/ir/parser.cpp.o"
+  "CMakeFiles/selcache_ir.dir/ir/parser.cpp.o.d"
+  "CMakeFiles/selcache_ir.dir/ir/printer.cpp.o"
+  "CMakeFiles/selcache_ir.dir/ir/printer.cpp.o.d"
+  "CMakeFiles/selcache_ir.dir/ir/program.cpp.o"
+  "CMakeFiles/selcache_ir.dir/ir/program.cpp.o.d"
+  "CMakeFiles/selcache_ir.dir/ir/ref.cpp.o"
+  "CMakeFiles/selcache_ir.dir/ir/ref.cpp.o.d"
+  "CMakeFiles/selcache_ir.dir/ir/stmt.cpp.o"
+  "CMakeFiles/selcache_ir.dir/ir/stmt.cpp.o.d"
+  "libselcache_ir.a"
+  "libselcache_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selcache_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

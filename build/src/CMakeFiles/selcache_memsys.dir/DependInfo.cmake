@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsys/cache.cpp" "src/CMakeFiles/selcache_memsys.dir/memsys/cache.cpp.o" "gcc" "src/CMakeFiles/selcache_memsys.dir/memsys/cache.cpp.o.d"
+  "/root/repo/src/memsys/column_assoc.cpp" "src/CMakeFiles/selcache_memsys.dir/memsys/column_assoc.cpp.o" "gcc" "src/CMakeFiles/selcache_memsys.dir/memsys/column_assoc.cpp.o.d"
+  "/root/repo/src/memsys/hierarchy.cpp" "src/CMakeFiles/selcache_memsys.dir/memsys/hierarchy.cpp.o" "gcc" "src/CMakeFiles/selcache_memsys.dir/memsys/hierarchy.cpp.o.d"
+  "/root/repo/src/memsys/main_memory.cpp" "src/CMakeFiles/selcache_memsys.dir/memsys/main_memory.cpp.o" "gcc" "src/CMakeFiles/selcache_memsys.dir/memsys/main_memory.cpp.o.d"
+  "/root/repo/src/memsys/miss_classifier.cpp" "src/CMakeFiles/selcache_memsys.dir/memsys/miss_classifier.cpp.o" "gcc" "src/CMakeFiles/selcache_memsys.dir/memsys/miss_classifier.cpp.o.d"
+  "/root/repo/src/memsys/tlb.cpp" "src/CMakeFiles/selcache_memsys.dir/memsys/tlb.cpp.o" "gcc" "src/CMakeFiles/selcache_memsys.dir/memsys/tlb.cpp.o.d"
+  "/root/repo/src/memsys/victim_cache.cpp" "src/CMakeFiles/selcache_memsys.dir/memsys/victim_cache.cpp.o" "gcc" "src/CMakeFiles/selcache_memsys.dir/memsys/victim_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selcache_memsys.dir/memsys/cache.cpp.o"
+  "CMakeFiles/selcache_memsys.dir/memsys/cache.cpp.o.d"
+  "CMakeFiles/selcache_memsys.dir/memsys/column_assoc.cpp.o"
+  "CMakeFiles/selcache_memsys.dir/memsys/column_assoc.cpp.o.d"
+  "CMakeFiles/selcache_memsys.dir/memsys/hierarchy.cpp.o"
+  "CMakeFiles/selcache_memsys.dir/memsys/hierarchy.cpp.o.d"
+  "CMakeFiles/selcache_memsys.dir/memsys/main_memory.cpp.o"
+  "CMakeFiles/selcache_memsys.dir/memsys/main_memory.cpp.o.d"
+  "CMakeFiles/selcache_memsys.dir/memsys/miss_classifier.cpp.o"
+  "CMakeFiles/selcache_memsys.dir/memsys/miss_classifier.cpp.o.d"
+  "CMakeFiles/selcache_memsys.dir/memsys/tlb.cpp.o"
+  "CMakeFiles/selcache_memsys.dir/memsys/tlb.cpp.o.d"
+  "CMakeFiles/selcache_memsys.dir/memsys/victim_cache.cpp.o"
+  "CMakeFiles/selcache_memsys.dir/memsys/victim_cache.cpp.o.d"
+  "libselcache_memsys.a"
+  "libselcache_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selcache_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selcache_support.dir/support/rng.cpp.o"
+  "CMakeFiles/selcache_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/selcache_support.dir/support/stats.cpp.o"
+  "CMakeFiles/selcache_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/selcache_support.dir/support/table.cpp.o"
+  "CMakeFiles/selcache_support.dir/support/table.cpp.o.d"
+  "libselcache_support.a"
+  "libselcache_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selcache_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/fusion.cpp" "src/CMakeFiles/selcache_transform.dir/transform/fusion.cpp.o" "gcc" "src/CMakeFiles/selcache_transform.dir/transform/fusion.cpp.o.d"
+  "/root/repo/src/transform/interchange.cpp" "src/CMakeFiles/selcache_transform.dir/transform/interchange.cpp.o" "gcc" "src/CMakeFiles/selcache_transform.dir/transform/interchange.cpp.o.d"
+  "/root/repo/src/transform/layout_selection.cpp" "src/CMakeFiles/selcache_transform.dir/transform/layout_selection.cpp.o" "gcc" "src/CMakeFiles/selcache_transform.dir/transform/layout_selection.cpp.o.d"
+  "/root/repo/src/transform/pipeline.cpp" "src/CMakeFiles/selcache_transform.dir/transform/pipeline.cpp.o" "gcc" "src/CMakeFiles/selcache_transform.dir/transform/pipeline.cpp.o.d"
+  "/root/repo/src/transform/scalar_replacement.cpp" "src/CMakeFiles/selcache_transform.dir/transform/scalar_replacement.cpp.o" "gcc" "src/CMakeFiles/selcache_transform.dir/transform/scalar_replacement.cpp.o.d"
+  "/root/repo/src/transform/tiling.cpp" "src/CMakeFiles/selcache_transform.dir/transform/tiling.cpp.o" "gcc" "src/CMakeFiles/selcache_transform.dir/transform/tiling.cpp.o.d"
+  "/root/repo/src/transform/unroll_jam.cpp" "src/CMakeFiles/selcache_transform.dir/transform/unroll_jam.cpp.o" "gcc" "src/CMakeFiles/selcache_transform.dir/transform/unroll_jam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selcache_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selcache_transform.dir/transform/fusion.cpp.o"
+  "CMakeFiles/selcache_transform.dir/transform/fusion.cpp.o.d"
+  "CMakeFiles/selcache_transform.dir/transform/interchange.cpp.o"
+  "CMakeFiles/selcache_transform.dir/transform/interchange.cpp.o.d"
+  "CMakeFiles/selcache_transform.dir/transform/layout_selection.cpp.o"
+  "CMakeFiles/selcache_transform.dir/transform/layout_selection.cpp.o.d"
+  "CMakeFiles/selcache_transform.dir/transform/pipeline.cpp.o"
+  "CMakeFiles/selcache_transform.dir/transform/pipeline.cpp.o.d"
+  "CMakeFiles/selcache_transform.dir/transform/scalar_replacement.cpp.o"
+  "CMakeFiles/selcache_transform.dir/transform/scalar_replacement.cpp.o.d"
+  "CMakeFiles/selcache_transform.dir/transform/tiling.cpp.o"
+  "CMakeFiles/selcache_transform.dir/transform/tiling.cpp.o.d"
+  "CMakeFiles/selcache_transform.dir/transform/unroll_jam.cpp.o"
+  "CMakeFiles/selcache_transform.dir/transform/unroll_jam.cpp.o.d"
+  "libselcache_transform.a"
+  "libselcache_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selcache_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/adi.cpp" "src/CMakeFiles/selcache_workloads.dir/workloads/adi.cpp.o" "gcc" "src/CMakeFiles/selcache_workloads.dir/workloads/adi.cpp.o.d"
+  "/root/repo/src/workloads/applu.cpp" "src/CMakeFiles/selcache_workloads.dir/workloads/applu.cpp.o" "gcc" "src/CMakeFiles/selcache_workloads.dir/workloads/applu.cpp.o.d"
+  "/root/repo/src/workloads/chaos.cpp" "src/CMakeFiles/selcache_workloads.dir/workloads/chaos.cpp.o" "gcc" "src/CMakeFiles/selcache_workloads.dir/workloads/chaos.cpp.o.d"
+  "/root/repo/src/workloads/compress.cpp" "src/CMakeFiles/selcache_workloads.dir/workloads/compress.cpp.o" "gcc" "src/CMakeFiles/selcache_workloads.dir/workloads/compress.cpp.o.d"
+  "/root/repo/src/workloads/li.cpp" "src/CMakeFiles/selcache_workloads.dir/workloads/li.cpp.o" "gcc" "src/CMakeFiles/selcache_workloads.dir/workloads/li.cpp.o.d"
+  "/root/repo/src/workloads/mgrid.cpp" "src/CMakeFiles/selcache_workloads.dir/workloads/mgrid.cpp.o" "gcc" "src/CMakeFiles/selcache_workloads.dir/workloads/mgrid.cpp.o.d"
+  "/root/repo/src/workloads/perl.cpp" "src/CMakeFiles/selcache_workloads.dir/workloads/perl.cpp.o" "gcc" "src/CMakeFiles/selcache_workloads.dir/workloads/perl.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/selcache_workloads.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/selcache_workloads.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/swim.cpp" "src/CMakeFiles/selcache_workloads.dir/workloads/swim.cpp.o" "gcc" "src/CMakeFiles/selcache_workloads.dir/workloads/swim.cpp.o.d"
+  "/root/repo/src/workloads/tpcc.cpp" "src/CMakeFiles/selcache_workloads.dir/workloads/tpcc.cpp.o" "gcc" "src/CMakeFiles/selcache_workloads.dir/workloads/tpcc.cpp.o.d"
+  "/root/repo/src/workloads/tpcd.cpp" "src/CMakeFiles/selcache_workloads.dir/workloads/tpcd.cpp.o" "gcc" "src/CMakeFiles/selcache_workloads.dir/workloads/tpcd.cpp.o.d"
+  "/root/repo/src/workloads/vpenta.cpp" "src/CMakeFiles/selcache_workloads.dir/workloads/vpenta.cpp.o" "gcc" "src/CMakeFiles/selcache_workloads.dir/workloads/vpenta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/selcache_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/selcache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

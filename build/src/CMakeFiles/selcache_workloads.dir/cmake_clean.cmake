@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selcache_workloads.dir/workloads/adi.cpp.o"
+  "CMakeFiles/selcache_workloads.dir/workloads/adi.cpp.o.d"
+  "CMakeFiles/selcache_workloads.dir/workloads/applu.cpp.o"
+  "CMakeFiles/selcache_workloads.dir/workloads/applu.cpp.o.d"
+  "CMakeFiles/selcache_workloads.dir/workloads/chaos.cpp.o"
+  "CMakeFiles/selcache_workloads.dir/workloads/chaos.cpp.o.d"
+  "CMakeFiles/selcache_workloads.dir/workloads/compress.cpp.o"
+  "CMakeFiles/selcache_workloads.dir/workloads/compress.cpp.o.d"
+  "CMakeFiles/selcache_workloads.dir/workloads/li.cpp.o"
+  "CMakeFiles/selcache_workloads.dir/workloads/li.cpp.o.d"
+  "CMakeFiles/selcache_workloads.dir/workloads/mgrid.cpp.o"
+  "CMakeFiles/selcache_workloads.dir/workloads/mgrid.cpp.o.d"
+  "CMakeFiles/selcache_workloads.dir/workloads/perl.cpp.o"
+  "CMakeFiles/selcache_workloads.dir/workloads/perl.cpp.o.d"
+  "CMakeFiles/selcache_workloads.dir/workloads/registry.cpp.o"
+  "CMakeFiles/selcache_workloads.dir/workloads/registry.cpp.o.d"
+  "CMakeFiles/selcache_workloads.dir/workloads/swim.cpp.o"
+  "CMakeFiles/selcache_workloads.dir/workloads/swim.cpp.o.d"
+  "CMakeFiles/selcache_workloads.dir/workloads/tpcc.cpp.o"
+  "CMakeFiles/selcache_workloads.dir/workloads/tpcc.cpp.o.d"
+  "CMakeFiles/selcache_workloads.dir/workloads/tpcd.cpp.o"
+  "CMakeFiles/selcache_workloads.dir/workloads/tpcd.cpp.o.d"
+  "CMakeFiles/selcache_workloads.dir/workloads/vpenta.cpp.o"
+  "CMakeFiles/selcache_workloads.dir/workloads/vpenta.cpp.o.d"
+  "libselcache_workloads.a"
+  "libselcache_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selcache_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_assoc_test.dir/column_assoc_test.cpp.o"
+  "CMakeFiles/column_assoc_test.dir/column_assoc_test.cpp.o.d"
+  "column_assoc_test"
+  "column_assoc_test.pdb"
+  "column_assoc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_assoc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_extra_schemes_test.dir/hw_extra_schemes_test.cpp.o"
+  "CMakeFiles/hw_extra_schemes_test.dir/hw_extra_schemes_test.cpp.o.d"
+  "hw_extra_schemes_test"
+  "hw_extra_schemes_test.pdb"
+  "hw_extra_schemes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_extra_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsys_cache_test.dir/memsys_cache_test.cpp.o"
+  "CMakeFiles/memsys_cache_test.dir/memsys_cache_test.cpp.o.d"
+  "memsys_cache_test"
+  "memsys_cache_test.pdb"
+  "memsys_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsys_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsys_hierarchy_test.dir/memsys_hierarchy_test.cpp.o"
+  "CMakeFiles/memsys_hierarchy_test.dir/memsys_hierarchy_test.cpp.o.d"
+  "memsys_hierarchy_test"
+  "memsys_hierarchy_test.pdb"
+  "memsys_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsys_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

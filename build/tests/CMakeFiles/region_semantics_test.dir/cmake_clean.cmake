@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_semantics_test.dir/region_semantics_test.cpp.o"
+  "CMakeFiles/region_semantics_test.dir/region_semantics_test.cpp.o.d"
+  "region_semantics_test"
+  "region_semantics_test.pdb"
+  "region_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_property_test.dir/selective_property_test.cpp.o"
+  "CMakeFiles/selective_property_test.dir/selective_property_test.cpp.o.d"
+  "selective_property_test"
+  "selective_property_test.pdb"
+  "selective_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

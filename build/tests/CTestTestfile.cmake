@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/memsys_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/memsys_hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/selective_property_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_extra_schemes_test[1]_include.cmake")
+include("/root/repo/build/tests/fusion_test[1]_include.cmake")
+include("/root/repo/build/tests/column_assoc_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_scale_test[1]_include.cmake")
+include("/root/repo/build/tests/region_semantics_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selcache.dir/selcache_cli.cpp.o"
+  "CMakeFiles/selcache.dir/selcache_cli.cpp.o.d"
+  "selcache"
+  "selcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
