@@ -1,0 +1,126 @@
+// Engine-throughput benchmark: simulated accesses/second for the full
+// 13-benchmark DATE-2003 sweep, serial vs. the parallel experiment engine.
+//
+//   bench_throughput [--threads N] [--out FILE] [--scheme bypass|victim]
+//
+// Reports wall-clock, simulated-accesses/second, and the parallel speedup,
+// verifies the parallel sweep is bit-identical to the serial one, and writes
+// a JSON baseline (default results/BENCH_throughput.json) that
+// tools/check_bench_regression.py compares future runs against.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/report.h"
+#include "core/runner.h"
+#include "support/thread_pool.h"
+
+namespace {
+
+using selcache::core::ImprovementRow;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::uint64_t total_accesses(const std::vector<ImprovementRow>& rows) {
+  std::uint64_t n = 0;
+  for (const auto& r : rows) n += r.accesses;
+  return n;
+}
+
+bool identical(const std::vector<ImprovementRow>& a,
+               const std::vector<ImprovementRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].benchmark != b[i].benchmark || a[i].category != b[i].category ||
+        a[i].base_cycles != b[i].base_cycles || a[i].pct != b[i].pct ||
+        a[i].accesses != b[i].accesses ||
+        a[i].stats.all() != b[i].stats.all())
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned threads = 8;
+  std::string out = "results/BENCH_throughput.json";
+  selcache::hw::SchemeKind scheme = selcache::hw::SchemeKind::Bypass;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
+      scheme = std::strcmp(argv[++i], "victim") == 0
+                   ? selcache::hw::SchemeKind::Victim
+                   : selcache::hw::SchemeKind::Bypass;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_throughput [--threads N] [--out FILE]"
+                   " [--scheme bypass|victim]\n");
+      return 2;
+    }
+  }
+
+  const selcache::core::MachineConfig machine = selcache::core::base_machine();
+  selcache::core::RunOptions opt;
+  opt.scheme = scheme;
+
+  std::printf("engine throughput: full 13-benchmark sweep, scheme=%s\n",
+              selcache::hw::to_string(scheme));
+  std::printf("host: %u hardware thread(s)\n",
+              selcache::support::ThreadPool::hardware_threads());
+
+  auto t0 = std::chrono::steady_clock::now();
+  const auto serial_rows = selcache::core::sweep_suite(machine, opt);
+  const double serial_s = seconds_since(t0);
+  const std::uint64_t accesses = total_accesses(serial_rows);
+  const double serial_aps = static_cast<double>(accesses) / serial_s;
+  std::printf("serial:    %6.2fs  %12.0f accesses/s\n", serial_s, serial_aps);
+
+  t0 = std::chrono::steady_clock::now();
+  const auto parallel_rows = selcache::core::sweep_suite(
+      machine, opt, selcache::core::ParallelSweepOptions{.num_threads = threads});
+  const double parallel_s = seconds_since(t0);
+  const double parallel_aps = static_cast<double>(accesses) / parallel_s;
+  const double speedup = serial_s / parallel_s;
+  std::printf("%2u threads:%6.2fs  %12.0f accesses/s  (%.2fx)\n", threads,
+              parallel_s, parallel_aps, speedup);
+
+  const bool deterministic = identical(serial_rows, parallel_rows);
+  std::printf("determinism: parallel rows %s serial rows\n",
+              deterministic ? "IDENTICAL to" : "DIFFER from");
+
+  char json[1024];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"benchmark\": \"bench_throughput\",\n"
+                "  \"scheme\": \"%s\",\n"
+                "  \"workloads\": %zu,\n"
+                "  \"hardware_threads\": %u,\n"
+                "  \"threads\": %u,\n"
+                "  \"simulated_accesses\": %llu,\n"
+                "  \"serial_seconds\": %.3f,\n"
+                "  \"serial_accesses_per_sec\": %.0f,\n"
+                "  \"parallel_seconds\": %.3f,\n"
+                "  \"parallel_accesses_per_sec\": %.0f,\n"
+                "  \"speedup\": %.3f,\n"
+                "  \"deterministic\": %s\n"
+                "}\n",
+                selcache::hw::to_string(scheme), serial_rows.size(),
+                selcache::support::ThreadPool::hardware_threads(), threads,
+                static_cast<unsigned long long>(accesses), serial_s,
+                serial_aps, parallel_s, parallel_aps, speedup,
+                deterministic ? "true" : "false");
+  if (!selcache::core::write_text_file(out, json)) {
+    std::fprintf(stderr, "warning: could not write %s\n", out.c_str());
+  } else {
+    std::printf("baseline -> %s\n", out.c_str());
+  }
+  return deterministic ? 0 : 1;
+}

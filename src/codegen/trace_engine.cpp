@@ -1,5 +1,10 @@
 #include "codegen/trace_engine.h"
 
+#include <array>
+#include <span>
+
+#include "support/check.h"
+
 namespace selcache::codegen {
 
 using ir::LoopNode;
@@ -87,10 +92,14 @@ void TraceEngine::exec_ref(const Reference& r) {
           r.is_write ? cpu_.store(a) : cpu_.load(a);
         } else if constexpr (std::is_same_v<T, Reference::Array>) {
           bool dependent = false;
-          std::vector<std::int64_t> idx(t.subs.size());
+          // Hot path: a fixed-size index buffer keeps the per-reference
+          // subscript evaluation allocation-free.
+          std::array<std::int64_t, kMaxDims> idx;
+          SELCACHE_CHECK(t.subs.size() <= kMaxDims);
           for (std::size_t d = 0; d < t.subs.size(); ++d)
             idx[d] = eval_subscript(t.subs[d], &dependent);
-          const Addr a = env_.array_layout(t.id).element_addr(idx);
+          const Addr a = env_.array_layout(t.id).element_addr(
+              std::span<const std::int64_t>(idx.data(), t.subs.size()));
           if (r.is_write) {
             cpu_.store(a);
           } else {

@@ -30,6 +30,10 @@ class TraceEngine {
   std::uint64_t iterations_executed() const { return iterations_; }
 
  private:
+  /// Upper bound on array rank for the stack-allocated subscript buffer
+  /// (synthetic workloads use at most 3 dimensions).
+  static constexpr std::size_t kMaxDims = 8;
+
   void exec_body(const std::vector<std::unique_ptr<ir::Node>>& body);
   void exec_loop(const ir::LoopNode& loop);
   void exec_stmt(const ir::Stmt& stmt);

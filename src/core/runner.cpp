@@ -1,8 +1,55 @@
 #include "core/runner.h"
 
+#include <array>
+#include <future>
+
 #include "codegen/trace_engine.h"
+#include "support/thread_pool.h"
 
 namespace selcache::core {
+
+namespace {
+
+/// Base plus the four evaluated versions, in simulation order.
+constexpr std::array<Version, 5> kAllVersions = {
+    Version::Base, Version::PureHardware, Version::PureSoftware,
+    Version::Combined, Version::Selective};
+
+std::uint64_t l1_accesses(const RunResult& r) {
+  return r.stats.get("l1d.hits") + r.stats.get("l1d.misses") +
+         r.stats.get("l1i.hits") + r.stats.get("l1i.misses");
+}
+
+/// Assemble one figure row from the five per-version results. Shared by the
+/// serial and parallel paths so their outputs are bit-identical.
+ImprovementRow make_row(const workloads::WorkloadInfo& w,
+                        const std::array<RunResult, 5>& results) {
+  ImprovementRow row;
+  row.benchmark = w.name;
+  row.category = w.category;
+  row.base_cycles = results[0].cycles;
+  for (std::size_t i = 0; i < kAllVersions.size(); ++i) {
+    const Version v = kAllVersions[i];
+    if (v != Version::Base)
+      row.pct[v] = improvement_pct(row.base_cycles, results[i].cycles);
+    row.accesses += l1_accesses(results[i]);
+    row.stats.merge(results[i].stats, std::string(version_key(v)) + ".");
+  }
+  return row;
+}
+
+}  // namespace
+
+const char* version_key(Version v) {
+  switch (v) {
+    case Version::Base: return "base";
+    case Version::PureHardware: return "purehw";
+    case Version::PureSoftware: return "puresw";
+    case Version::Combined: return "combined";
+    case Version::Selective: return "selective";
+  }
+  return "?";
+}
 
 RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
                       Version v, const RunOptions& opt) {
@@ -44,25 +91,53 @@ RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
 }
 
 ImprovementRow improvements_for(const workloads::WorkloadInfo& w,
-                                const MachineConfig& m,
-                                const RunOptions& opt) {
-  ImprovementRow row;
-  row.benchmark = w.name;
-  row.category = w.category;
-  const RunResult base = run_version(w, m, Version::Base, opt);
-  row.base_cycles = base.cycles;
-  for (Version v : kEvaluatedVersions) {
-    const RunResult r = run_version(w, m, v, opt);
-    row.pct[v] = improvement_pct(base.cycles, r.cycles);
+                                const MachineConfig& m, const RunOptions& opt,
+                                const ParallelSweepOptions& par) {
+  std::array<RunResult, 5> results;
+  if (par.num_threads > 1) {
+    support::ThreadPool pool(par.num_threads);
+    std::array<std::future<RunResult>, 5> futures;
+    for (std::size_t i = 0; i < kAllVersions.size(); ++i)
+      futures[i] = pool.submit(
+          [&w, &m, v = kAllVersions[i], &opt] { return run_version(w, m, v, opt); });
+    for (std::size_t i = 0; i < kAllVersions.size(); ++i)
+      results[i] = futures[i].get();
+  } else {
+    for (std::size_t i = 0; i < kAllVersions.size(); ++i)
+      results[i] = run_version(w, m, kAllVersions[i], opt);
   }
-  return row;
+  return make_row(w, results);
 }
 
 std::vector<ImprovementRow> sweep_suite(const MachineConfig& m,
-                                        const RunOptions& opt) {
+                                        const RunOptions& opt,
+                                        const ParallelSweepOptions& par) {
+  const auto& suite = workloads::all_workloads();
   std::vector<ImprovementRow> rows;
-  for (const auto& w : workloads::all_workloads())
-    rows.push_back(improvements_for(w, m, opt));
+  rows.reserve(suite.size());
+
+  if (par.num_threads <= 1) {
+    for (const auto& w : suite) rows.push_back(improvements_for(w, m, opt));
+    return rows;
+  }
+
+  // Fan out every (workload, version) pair as one task — 13x5 independent
+  // simulations, each owning its full machine state. Futures are collected
+  // in submission order, so assembly below is deterministic no matter how
+  // the pool schedules the work.
+  support::ThreadPool pool(par.num_threads);
+  std::vector<std::array<std::future<RunResult>, 5>> futures(suite.size());
+  for (std::size_t wi = 0; wi < suite.size(); ++wi)
+    for (std::size_t vi = 0; vi < kAllVersions.size(); ++vi)
+      futures[wi][vi] = pool.submit([&w = suite[wi], &m, v = kAllVersions[vi],
+                                     &opt] { return run_version(w, m, v, opt); });
+
+  for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+    std::array<RunResult, 5> results;
+    for (std::size_t vi = 0; vi < kAllVersions.size(); ++vi)
+      results[vi] = futures[wi][vi].get();
+    rows.push_back(make_row(suite[wi], results));
+  }
   return rows;
 }
 

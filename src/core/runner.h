@@ -1,5 +1,12 @@
 // Experiment runner: execute (workload x machine x version x scheme) and
 // report cycles, miss rates, and improvement over the Base version.
+//
+// The engine has two execution modes with one determinism contract:
+// every (workload, version) simulation owns all of its mutable state
+// (Hierarchy, HwScheme, Controller, TimingModel, DataEnv), so the parallel
+// fan-out runs the exact same per-simulation code as the serial loop and
+// merges results in fixed workload order — the output is bit-identical to
+// a serial sweep, regardless of thread count or scheduling.
 #pragma once
 
 #include <map>
@@ -14,6 +21,13 @@ struct RunOptions {
   transform::OptimizeOptions optimize{};
   bool classify_misses = false;  ///< maintain the 3C shadow (Table 2 column)
   std::uint64_t data_seed = 0x5e1c4c4eULL;
+};
+
+/// How to schedule the independent simulations of a sweep.
+struct ParallelSweepOptions {
+  /// Worker threads for the (workload, version) fan-out. 0 or 1 = run
+  /// serially on the calling thread (no pool is created).
+  unsigned num_threads = 0;
 };
 
 struct RunResult {
@@ -38,19 +52,34 @@ struct ImprovementRow {
   Cycle base_cycles = 0;
   /// Keyed by version; percent improvement in execution cycles over Base.
   std::map<Version, double> pct;
+  /// Simulated L1 (data + instruction) demand accesses summed over all five
+  /// versions — the work metric for engine-throughput benchmarks.
+  std::uint64_t accesses = 0;
+  /// Per-version simulator counters, merged with a "<version>." prefix
+  /// (e.g. "selective.l1d.misses"). Part of the determinism contract.
+  StatSet stats;
 };
 
 ImprovementRow improvements_for(const workloads::WorkloadInfo& w,
                                 const MachineConfig& m,
-                                const RunOptions& opt = {});
+                                const RunOptions& opt = {},
+                                const ParallelSweepOptions& par = {});
 
-/// Whole-suite sweep (all 13 benchmarks) for one machine+scheme.
+/// Whole-suite sweep (all 13 benchmarks) for one machine+scheme. With
+/// par.num_threads > 1 the 13x5 independent simulations fan out over a
+/// worker pool; results are merged in workload order and are bit-identical
+/// to the serial sweep.
 std::vector<ImprovementRow> sweep_suite(const MachineConfig& m,
-                                        const RunOptions& opt = {});
+                                        const RunOptions& opt = {},
+                                        const ParallelSweepOptions& par = {});
 
 /// Average of a version's improvement across rows, optionally filtered by
 /// category (nullptr = all).
 double average_improvement(const std::vector<ImprovementRow>& rows, Version v,
                            const workloads::Category* filter = nullptr);
+
+/// Stable lowercase key for stat prefixes ("base", "purehw", "puresw",
+/// "combined", "selective").
+const char* version_key(Version v);
 
 }  // namespace selcache::core

@@ -6,6 +6,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "support/bitutil.h"
 #include "support/stats.h"
 #include "support/types.h"
 
@@ -36,10 +37,14 @@ class BypassBuffer {
   void export_stats(StatSet& out) const;
 
  private:
-  Addr word_of(Addr addr) const { return addr / word_size_; }
+  Addr word_of(Addr addr) const {
+    return word_pow2_ ? (addr >> word_shift_) : (addr / word_size_);
+  }
 
   std::uint32_t entries_;
   std::uint32_t word_size_;
+  unsigned word_shift_ = 0;  ///< log2(word_size) when word_pow2_
+  bool word_pow2_ = false;
   std::list<std::pair<Addr, bool>> lru_;  ///< front = MRU; (word, dirty)
   std::unordered_map<Addr, std::list<std::pair<Addr, bool>>::iterator> index_;
   HitMiss stats_;

@@ -7,6 +7,10 @@ namespace selcache::hw {
 Mat::Mat(MatConfig cfg) : cfg_(cfg) {
   SELCACHE_CHECK(cfg_.entries > 0);
   SELCACHE_CHECK(cfg_.macro_block_size > 0);
+  mb_pow2_ = is_pow2(cfg_.macro_block_size);
+  if (mb_pow2_) mb_shift_ = log2_exact(cfg_.macro_block_size);
+  entries_pow2_ = is_pow2(cfg_.entries);
+  if (entries_pow2_) entry_mask_ = cfg_.entries - 1;
   table_.resize(cfg_.entries);
   for (Entry& e : table_)
     e.count = SaturatingCounter<std::uint32_t>(cfg_.counter_max, 0);

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/bitutil.h"
 #include "support/saturating.h"
 #include "support/stats.h"
 #include "support/types.h"
@@ -60,12 +61,19 @@ class Mat {
     SaturatingCounter<std::uint32_t> count;
   };
 
-  Addr macro_block(Addr addr) const { return addr / cfg_.macro_block_size; }
+  Addr macro_block(Addr addr) const {
+    return mb_pow2_ ? (addr >> mb_shift_) : (addr / cfg_.macro_block_size);
+  }
   std::uint32_t index_of(Addr mb) const {
-    return static_cast<std::uint32_t>(mb % cfg_.entries);
+    return static_cast<std::uint32_t>(entries_pow2_ ? (mb & entry_mask_)
+                                                    : (mb % cfg_.entries));
   }
 
   MatConfig cfg_;
+  unsigned mb_shift_ = 0;   ///< log2(macro_block_size) when mb_pow2_
+  bool mb_pow2_ = false;
+  Addr entry_mask_ = 0;     ///< entries-1 when entries_pow2_
+  bool entries_pow2_ = false;
   std::vector<Entry> table_;
   std::uint64_t touches_ = 0;
   std::uint64_t replacements_ = 0;

@@ -4,12 +4,16 @@ namespace selcache::memsys {
 
 Cache::Cache(CacheConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.validate();
+  block_shift_ = log2_exact(cfg_.block_size);
+  num_sets_ = cfg_.num_sets();
+  sets_pow2_ = is_pow2(num_sets_);
+  set_mask_ = sets_pow2_ ? num_sets_ - 1 : 0;
   blocks_.resize(cfg_.num_blocks());
 }
 
 Cache::Block* Cache::find(Addr addr) {
   const Addr tag = tag_of(addr);
-  Block* set = &blocks_[set_index(addr) * cfg_.assoc];
+  Block* set = set_of(addr);
   for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
     if (set[w].valid && set[w].tag == tag) return &set[w];
   return nullptr;
@@ -31,37 +35,70 @@ bool Cache::access(Addr addr, bool is_write) {
   return false;
 }
 
+Cache::LookupResult Cache::access_with_victim(Addr addr, bool is_write) {
+  const Addr tag = tag_of(addr);
+  Block* set = set_of(addr);
+  Block* lru = nullptr;
+  bool free_way = false;
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    Block& b = set[w];
+    if (b.valid && b.tag == tag) {
+      b.lru = ++stamp_;
+      b.dirty = b.dirty || is_write;
+      demand_.record(true);
+      return {.hit = true, .victim = std::nullopt};
+    }
+    if (!b.valid) {
+      free_way = true;
+    } else if (lru == nullptr || b.lru < lru->lru) {
+      lru = &b;
+    }
+  }
+  demand_.record(false);
+  LookupResult r;
+  if (!free_way && lru != nullptr)
+    r.victim = static_cast<Addr>(lru->tag) << block_shift_;
+  return r;
+}
+
 bool Cache::probe(Addr addr) const { return find(addr) != nullptr; }
 
 std::optional<Addr> Cache::victim_for(Addr addr) const {
-  const Block* set = &blocks_[set_index(addr) * cfg_.assoc];
+  const Block* set = set_of(addr);
   const Block* lru = nullptr;
   for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
     if (!set[w].valid) return std::nullopt;  // free way, no eviction
     if (lru == nullptr || set[w].lru < lru->lru) lru = &set[w];
   }
-  return lru->tag * cfg_.block_size;
+  return static_cast<Addr>(lru->tag) << block_shift_;
 }
 
 std::optional<Eviction> Cache::fill(Addr addr, bool dirty) {
-  SELCACHE_CHECK_MSG(find(addr) == nullptr,
-                     cfg_.name + ": fill of resident block");
-  Block* set = &blocks_[set_index(addr) * cfg_.assoc];
+  const Addr tag = tag_of(addr);
+  Block* set = set_of(addr);
   Block* victim = nullptr;
+  bool free_way = false;
+  // One scan: residency check (fill of a resident block is a caller bug)
+  // fused with free-way/LRU victim selection.
   for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-    if (!set[w].valid) {
-      victim = &set[w];
-      break;
+    Block& b = set[w];
+    SELCACHE_CHECK_MSG(!b.valid || b.tag != tag,
+                       cfg_.name + ": fill of resident block");
+    if (!b.valid) {
+      if (!free_way) victim = &b;
+      free_way = true;
+    } else if (!free_way && (victim == nullptr || b.lru < victim->lru)) {
+      victim = &b;
     }
-    if (victim == nullptr || set[w].lru < victim->lru) victim = &set[w];
   }
   std::optional<Eviction> evicted;
   if (victim->valid) {
-    evicted = Eviction{victim->tag * cfg_.block_size, victim->dirty};
+    evicted = Eviction{static_cast<Addr>(victim->tag) << block_shift_,
+                       victim->dirty};
     if (victim->dirty) ++writebacks_;
   }
   victim->valid = true;
-  victim->tag = tag_of(addr);
+  victim->tag = tag;
   victim->dirty = dirty;
   victim->lru = ++stamp_;
   ++fills_;

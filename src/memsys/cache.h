@@ -5,12 +5,19 @@
 // separate operations so the hardware bypassing scheme can interpose between
 // a miss and the fill: it previews the would-be victim (victim_for), decides
 // fill-vs-bypass, and only then calls fill().
+//
+// Hot-path engineering: block size is validated power-of-two, so tag and set
+// extraction are a shift (plus a mask when the set count is also a power of
+// two — true for every shipped configuration). access_with_victim() performs
+// lookup, LRU update, and victim preview in ONE pass over the set, so the
+// demand path never scans a set twice.
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "memsys/cache_config.h"
+#include "support/bitutil.h"
 #include "support/stats.h"
 
 namespace selcache::memsys {
@@ -25,9 +32,22 @@ class Cache {
  public:
   explicit Cache(CacheConfig cfg);
 
+  /// Outcome of a combined lookup + victim preview (one set scan).
+  struct LookupResult {
+    bool hit = false;
+    /// On a miss: the block fill(addr) would evict right now, or nullopt if
+    /// the set still has a free way. Meaningless on a hit.
+    std::optional<Addr> victim;
+  };
+
   /// Look up the block containing `addr`; updates LRU and dirty state on a
   /// hit. Returns true on hit. Does NOT allocate on miss.
   bool access(Addr addr, bool is_write);
+
+  /// Fused access + victim preview: exactly the observable behavior of
+  /// access() followed (on a miss) by victim_for(), in a single scan of the
+  /// set. This is the demand-path entry point used by the hierarchy.
+  LookupResult access_with_victim(Addr addr, bool is_write);
 
   /// Side-effect-free lookup.
   bool probe(Addr addr) const;
@@ -52,6 +72,13 @@ class Cache {
   std::uint64_t fills() const { return fills_; }
   std::uint64_t resident_blocks() const;
 
+  /// Set index of the block containing `addr` (public so tests can check the
+  /// shift/mask form against the reference div/mod formula).
+  std::uint64_t set_index(Addr addr) const {
+    const Addr blk = addr >> block_shift_;
+    return sets_pow2_ ? (blk & set_mask_) : (blk % num_sets_);
+  }
+
   void export_stats(StatSet& out) const;
 
  private:
@@ -62,15 +89,20 @@ class Cache {
     std::uint64_t lru = 0;  ///< global stamp; larger = more recently used
   };
 
-  std::uint64_t set_index(Addr addr) const {
-    return (addr / cfg_.block_size) % cfg_.num_sets();
+  Addr tag_of(Addr addr) const { return addr >> block_shift_; }
+  Block* set_of(Addr addr) { return &blocks_[set_index(addr) * cfg_.assoc]; }
+  const Block* set_of(Addr addr) const {
+    return &blocks_[set_index(addr) * cfg_.assoc];
   }
-  Addr tag_of(Addr addr) const { return addr / cfg_.block_size; }
   Block* find(Addr addr);
   const Block* find(Addr addr) const;
 
   CacheConfig cfg_;
-  std::vector<Block> blocks_;  ///< num_sets * assoc, set-major
+  unsigned block_shift_ = 0;    ///< log2(block_size); block size is pow2
+  std::uint64_t num_sets_ = 0;  ///< cached cfg_.num_sets()
+  std::uint64_t set_mask_ = 0;  ///< num_sets-1 when sets_pow2_
+  bool sets_pow2_ = false;      ///< fall back to modulo for odd set counts
+  std::vector<Block> blocks_;   ///< num_sets * assoc, set-major
   std::uint64_t stamp_ = 0;
   HitMiss demand_;
   std::uint64_t writebacks_ = 0;

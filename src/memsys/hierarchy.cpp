@@ -18,7 +18,11 @@ Hierarchy::Hierarchy(HierarchyConfig cfg)
 }
 
 Cycle Hierarchy::refill_l2(Addr addr, bool is_write) {
-  if (l2_.access(addr, is_write)) return 0;
+  // One scan resolves both the lookup and the would-be victim; the preview
+  // stays valid below because nothing between here and the fill touches
+  // this L2 set (the aux-service path returns early).
+  const Cache::LookupResult lr = l2_.access_with_victim(addr, is_write);
+  if (lr.hit) return 0;
 
   // L2 missed. Let the scheme's L2 auxiliary structure (e.g. 512-entry
   // victim cache) try to service it before paying for memory.
@@ -33,9 +37,8 @@ Cycle Hierarchy::refill_l2(Addr addr, bool is_write) {
   }
 
   const Cycle mem_lat = mem_.fetch_latency(cfg_.l2.block_size);
-  std::optional<Addr> victim = l2_.victim_for(addr);
   FillDecision d = FillDecision::Fill;
-  if (hw_active()) d = hw_->fill_decision(Level::L2, addr, victim);
+  if (hw_active()) d = hw_->fill_decision(Level::L2, addr, lr.victim);
   if (d == FillDecision::Fill) {
     if (auto ev = l2_.fill(addr, is_write)) {
       if (hw_active()) hw_->on_eviction(Level::L2, ev->block_addr, ev->dirty);
@@ -46,7 +49,8 @@ Cycle Hierarchy::refill_l2(Addr addr, bool is_write) {
   return mem_lat;
 }
 
-Cycle Hierarchy::place_l1d(Addr addr, bool is_write) {
+Cycle Hierarchy::place_l1d(Addr addr, bool is_write,
+                           std::optional<Addr> first_victim) {
   std::uint32_t width = 1;
   if (hw_active()) width = std::max(1u, hw_->fetch_width(Level::L1D, addr));
 
@@ -54,7 +58,9 @@ Cycle Hierarchy::place_l1d(Addr addr, bool is_write) {
   const Addr base = block_base(addr, cfg_.l1d.block_size);
   for (std::uint32_t i = 0; i < width; ++i) {
     const Addr blk = base + static_cast<Addr>(i) * cfg_.l1d.block_size;
-    if (l1d_.probe(blk)) continue;
+    // The demand block (i == 0) is a known miss with a victim previewed by
+    // access_with_victim(); only the SLDT-widened extras need a probe.
+    if (i > 0 && l1d_.probe(blk)) continue;
     // Extra (SLDT-widened) blocks are brought in only when already resident
     // in L2 — widening the L2->L1 transfer, never generating extra memory
     // traffic, but occupying the L1-L2 path (charged below). Matches the
@@ -64,7 +70,8 @@ Cycle Hierarchy::place_l1d(Addr addr, bool is_write) {
     // widened fetch occupies it for block/(2*bus) extra cycles.
     if (i > 0) extra += cfg_.l1d.block_size / (2 * cfg_.mem.bus_width);
 
-    std::optional<Addr> victim = l1d_.victim_for(blk);
+    const std::optional<Addr> victim =
+        i == 0 ? first_victim : l1d_.victim_for(blk);
     FillDecision d = FillDecision::Fill;
     if (hw_active()) d = hw_->fill_decision(Level::L1D, blk, victim);
     if (d == FillDecision::Fill) {
@@ -98,12 +105,17 @@ Cycle Hierarchy::access(Addr addr, AccessKind kind) {
   Cycle lat = dtlb_.access(addr);
   lat += cfg_.l1d.latency;
 
+  // One scan of the L1D set: lookup, LRU update, and victim preview. The
+  // preview feeds place_l1d() below; it stays valid because the only code
+  // that could touch this set before the fill (aux service) returns early.
+  const Cache::LookupResult lr = l1d_.access_with_victim(addr, is_write);
+
   if (classifier_ != nullptr) {
-    if (!l1d_.probe(addr)) classifier_->classify_miss(addr);
+    if (!lr.hit) classifier_->classify_miss(addr);
     classifier_->note_access(addr);
   }
 
-  if (l1d_.access(addr, is_write)) {
+  if (lr.hit) {
     if (hw_active()) hw_->on_access(Level::L1D, addr, is_write, true);
     return lat;
   }
@@ -123,7 +135,7 @@ Cycle Hierarchy::access(Addr addr, AccessKind kind) {
   // Down to L2 (and memory if needed), then place into L1D.
   lat += cfg_.l2.latency;
   lat += refill_l2(addr, is_write);
-  lat += place_l1d(addr, is_write);
+  lat += place_l1d(addr, is_write, lr.victim);
   return lat;
 }
 

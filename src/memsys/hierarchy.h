@@ -85,9 +85,11 @@ class Hierarchy {
   Cycle refill_l2(Addr addr, bool is_write);
 
   /// Place the block containing `addr` into L1D, honoring the scheme's
-  /// fill/bypass decision and SLDT fetch width. Returns the extra cycles
-  /// spent transferring SLDT-widened fetches over the L1-L2 path.
-  Cycle place_l1d(Addr addr, bool is_write);
+  /// fill/bypass decision and SLDT fetch width. `first_victim` is the
+  /// demand block's victim previewed by the miss-detecting scan (so the
+  /// set is not scanned again). Returns the extra cycles spent transferring
+  /// SLDT-widened fetches over the L1-L2 path.
+  Cycle place_l1d(Addr addr, bool is_write, std::optional<Addr> first_victim);
 
   HierarchyConfig cfg_;
   Cache l1d_, l1i_, l2_;

@@ -9,11 +9,15 @@ Tlb::Tlb(TlbConfig cfg) : cfg_(std::move(cfg)) {
   SELCACHE_CHECK(cfg_.entries % cfg_.assoc == 0);
   SELCACHE_CHECK(cfg_.page_size > 0);
   num_sets_ = cfg_.entries / cfg_.assoc;
+  page_pow2_ = is_pow2(cfg_.page_size);
+  if (page_pow2_) page_shift_ = log2_exact(cfg_.page_size);
+  sets_pow2_ = is_pow2(num_sets_);
+  if (sets_pow2_) set_mask_ = num_sets_ - 1;
   entries_.resize(cfg_.entries);
 }
 
 Cycle Tlb::access(Addr addr) {
-  const Addr vpn = addr / cfg_.page_size;
+  const Addr vpn = vpn_of(addr);
   Entry* set = &entries_[set_index(vpn) * cfg_.assoc];
   Entry* victim = nullptr;
   for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
@@ -36,7 +40,7 @@ Cycle Tlb::access(Addr addr) {
 }
 
 bool Tlb::probe(Addr addr) const {
-  const Addr vpn = addr / cfg_.page_size;
+  const Addr vpn = vpn_of(addr);
   const Entry* set = &entries_[set_index(vpn) * cfg_.assoc];
   for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
     if (set[w].valid && set[w].vpn == vpn) return true;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "support/bitutil.h"
 #include "support/stats.h"
 #include "support/types.h"
 
@@ -43,10 +44,19 @@ class Tlb {
     std::uint64_t lru = 0;
   };
 
-  std::uint64_t set_index(Addr vpn) const { return vpn % num_sets_; }
+  Addr vpn_of(Addr addr) const {
+    return page_pow2_ ? (addr >> page_shift_) : (addr / cfg_.page_size);
+  }
+  std::uint64_t set_index(Addr vpn) const {
+    return sets_pow2_ ? (vpn & set_mask_) : (vpn % num_sets_);
+  }
 
   TlbConfig cfg_;
   std::uint64_t num_sets_;
+  unsigned page_shift_ = 0;     ///< log2(page_size) when page_pow2_
+  bool page_pow2_ = false;
+  std::uint64_t set_mask_ = 0;  ///< num_sets-1 when sets_pow2_
+  bool sets_pow2_ = false;
   std::vector<Entry> entries_;
   std::uint64_t stamp_ = 0;
   HitMiss stats_;

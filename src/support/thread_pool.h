@@ -1,0 +1,72 @@
+// Fixed-size worker pool with a FIFO task queue and future-based results.
+//
+// Built for the parallel experiment engine: each submitted task is an
+// independent simulation owning all of its state, so the pool needs no
+// shared-data machinery beyond the queue itself. Tasks run in submission
+// order (FIFO dispatch); with one worker the pool degenerates to strictly
+// serial execution, which the determinism tests rely on.
+//
+// Exceptions thrown by a task are captured in its future and rethrown at
+// get(), never on the worker thread. Destruction drains the queue: every
+// task submitted before ~ThreadPool() runs to completion.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace selcache::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Waits for all queued and running tasks to finish, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a callable; returns a future for its result. The callable's
+  /// exceptions propagate through the future.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks neither started nor finished yet (snapshot; racy by nature).
+  std::size_t pending() const;
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+  /// report 0 on exotic platforms).
+  static unsigned hardware_threads();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace selcache::support

@@ -152,6 +152,73 @@ TEST(Cache, FullyAssociativeIsLru) {
   EXPECT_EQ(ev->block_addr, 32u);
 }
 
+// The fused single-scan lookup must be observationally identical to the
+// two-scan access() + victim_for() sequence it replaces, on any stream.
+TEST(Cache, AccessWithVictimMatchesTwoScanSequence) {
+  Cache fused(tiny_cache(2));
+  Cache reference(tiny_cache(2));
+  Rng rng(0xfeedULL);
+  for (int i = 0; i < 20000; ++i) {
+    const Addr a = rng.below(1 << 14);
+    const bool w = rng.chance(0.3);
+
+    const std::optional<Addr> ref_victim =
+        reference.probe(a) ? std::nullopt : reference.victim_for(a);
+    const bool ref_hit = reference.access(a, w);
+    const Cache::LookupResult lr = fused.access_with_victim(a, w);
+
+    ASSERT_EQ(lr.hit, ref_hit) << "access " << i;
+    if (!ref_hit) {
+      ASSERT_EQ(lr.victim, ref_victim) << "access " << i;
+      auto ev_f = fused.fill(a, w);
+      auto ev_r = reference.fill(a, w);
+      ASSERT_EQ(ev_f.has_value(), ev_r.has_value());
+      if (ev_f) {
+        ASSERT_EQ(ev_f->block_addr, ev_r->block_addr);
+        ASSERT_EQ(ev_f->dirty, ev_r->dirty);
+      }
+    }
+  }
+  EXPECT_EQ(fused.demand_stats().hits, reference.demand_stats().hits);
+  EXPECT_EQ(fused.demand_stats().misses, reference.demand_stats().misses);
+  EXPECT_EQ(fused.writebacks(), reference.writebacks());
+}
+
+TEST(Cache, AccessWithVictimUpdatesLruAndDirtyOnHit) {
+  Cache c(tiny_cache(2));
+  c.fill(0, false);
+  c.fill(128, false);  // same set; LRU order: 0, 128
+  auto lr = c.access_with_victim(0, /*is_write=*/true);
+  EXPECT_TRUE(lr.hit);  // hit refreshes 0 -> 128 becomes the victim
+  auto miss = c.access_with_victim(256, false);
+  EXPECT_FALSE(miss.hit);
+  ASSERT_TRUE(miss.victim.has_value());
+  EXPECT_EQ(*miss.victim, 128u);
+  auto ev = c.fill(256, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->block_addr, 128u);
+}
+
+TEST(Cache, SetIndexMatchesDivModReference) {
+  for (std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+    Cache c(tiny_cache(assoc));
+    const auto& cfg = c.config();
+    for (Addr a = 0; a < (1 << 14); a += 7)
+      ASSERT_EQ(c.set_index(a), (a / cfg.block_size) % cfg.num_sets())
+          << "assoc=" << assoc << " addr=" << a;
+  }
+}
+
+TEST(Tlb, NonPow2PageSizeStillTranslates) {
+  // The shift fast path must fall back to division for odd page sizes.
+  Tlb t(TlbConfig{.name = "odd", .entries = 8, .assoc = 2, .page_size = 3000,
+                  .miss_penalty = 5});
+  EXPECT_EQ(t.access(0), 5u);
+  EXPECT_EQ(t.access(2999), 0u);   // same page
+  EXPECT_EQ(t.access(3000), 5u);   // next page
+  EXPECT_TRUE(t.probe(3000));
+}
+
 TEST(VictimCache, InsertExtractRoundtrip) {
   VictimCache v("v", 4, 32);
   EXPECT_EQ(v.insert(0x100, true), std::nullopt);

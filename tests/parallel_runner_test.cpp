@@ -1,0 +1,73 @@
+// Determinism contract of the parallel experiment engine: a sweep fanned out
+// over N worker threads must be bit-identical to the serial sweep — same
+// cycles, same improvement percentages, same merged stat counters — for
+// every hardware scheme.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+
+namespace selcache::core {
+namespace {
+
+void expect_rows_identical(const std::vector<ImprovementRow>& serial,
+                           const std::vector<ImprovementRow>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(serial[i].benchmark);
+    EXPECT_EQ(serial[i].benchmark, parallel[i].benchmark);
+    EXPECT_EQ(serial[i].category, parallel[i].category);
+    EXPECT_EQ(serial[i].base_cycles, parallel[i].base_cycles);
+    ASSERT_EQ(serial[i].pct.size(), parallel[i].pct.size());
+    for (const auto& [v, pct] : serial[i].pct) {
+      ASSERT_TRUE(parallel[i].pct.count(v)) << to_string(v);
+      // Bit-identical, not approximately equal: both paths must compute the
+      // percentage from the same integer cycle counts.
+      EXPECT_EQ(pct, parallel[i].pct.at(v)) << to_string(v);
+    }
+    EXPECT_EQ(serial[i].accesses, parallel[i].accesses);
+    EXPECT_EQ(serial[i].stats.all(), parallel[i].stats.all());
+  }
+}
+
+class SweepDeterminism : public ::testing::TestWithParam<hw::SchemeKind> {};
+
+TEST_P(SweepDeterminism, ParallelSweepMatchesSerialBitForBit) {
+  const MachineConfig m = base_machine();
+  RunOptions opt;
+  opt.scheme = GetParam();
+
+  const auto serial = sweep_suite(m, opt);
+  const auto parallel =
+      sweep_suite(m, opt, ParallelSweepOptions{.num_threads = 4});
+  expect_rows_identical(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSchemes, SweepDeterminism,
+                         ::testing::Values(hw::SchemeKind::Bypass,
+                                           hw::SchemeKind::Victim),
+                         [](const auto& info) {
+                           return std::string(hw::to_string(info.param));
+                         });
+
+TEST(SweepDeterminism, SingleWorkloadParallelMatchesSerial) {
+  const MachineConfig m = base_machine();
+  const auto& w = workloads::all_workloads().front();
+  const ImprovementRow serial = improvements_for(w, m);
+  const ImprovementRow parallel =
+      improvements_for(w, m, RunOptions{},
+                       ParallelSweepOptions{.num_threads = 3});
+  expect_rows_identical({serial}, {parallel});
+}
+
+TEST(SweepDeterminism, RowsCarryAccessCountsAndPrefixedStats) {
+  const MachineConfig m = base_machine();
+  const auto& w = workloads::all_workloads().front();
+  const ImprovementRow row = improvements_for(w, m);
+  EXPECT_GT(row.accesses, 0u);
+  EXPECT_GT(row.stats.get("base.l1d.hits") + row.stats.get("base.l1d.misses"),
+            0u);
+  EXPECT_GT(row.stats.get("selective.cpu.instructions"), 0u);
+}
+
+}  // namespace
+}  // namespace selcache::core

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_throughput JSON against the committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.15]
+
+Fails (exit 1) when:
+  * the fresh run is not deterministic (parallel rows differed from serial),
+  * serial accesses/sec dropped more than --tolerance below the baseline,
+  * parallel speedup dropped more than --tolerance below the baseline —
+    only checked when both hosts have more than one hardware thread, since
+    a single-core host cannot exhibit parallel speedup.
+
+Absolute wall-clock is NOT compared (hosts differ); throughput ratios are.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional drop (default 0.15 = 15%%)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    failures = []
+
+    if not fresh.get("deterministic", False):
+        failures.append("fresh run was NOT deterministic "
+                        "(parallel rows differed from serial)")
+
+    floor = 1.0 - args.tolerance
+    b_aps = base.get("serial_accesses_per_sec", 0)
+    f_aps = fresh.get("serial_accesses_per_sec", 0)
+    if b_aps > 0:
+        ratio = f_aps / b_aps
+        print(f"serial accesses/sec: baseline {b_aps:.0f}, "
+              f"fresh {f_aps:.0f} ({ratio:.2f}x)")
+        if ratio < floor:
+            failures.append(
+                f"serial throughput regressed: {ratio:.2f}x of baseline "
+                f"(floor {floor:.2f}x)")
+
+    b_threads = base.get("hardware_threads", 1)
+    f_threads = fresh.get("hardware_threads", 1)
+    if b_threads > 1 and f_threads > 1:
+        b_sp = base.get("speedup", 0)
+        f_sp = fresh.get("speedup", 0)
+        print(f"parallel speedup: baseline {b_sp:.2f}x, fresh {f_sp:.2f}x")
+        if b_sp > 0 and f_sp < b_sp * floor:
+            failures.append(
+                f"parallel speedup regressed: {f_sp:.2f}x vs baseline "
+                f"{b_sp:.2f}x (floor {b_sp * floor:.2f}x)")
+    else:
+        print(f"parallel speedup check skipped "
+              f"(hardware_threads: baseline={b_threads}, fresh={f_threads})")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("OK: no benchmark regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,7 @@
 //   selcache run --workload Swim [--machine base] [--version selective]
 //                [--scheme bypass] [--threshold 0.5] [--stats]
 //   selcache sweep --workload Swim [--machine base] [--scheme bypass]
-//   selcache suite [--machine base] [--scheme bypass]
+//   selcache suite [--machine base] [--scheme bypass] [--threads N]
 //   selcache show --workload Swim [--optimized] [--marked]
 //   selcache run-file PROGRAM.loop [--machine M] [--version V] [--scheme S]
 //   selcache trace-record --workload NAME --out FILE [--version V]
@@ -39,7 +39,7 @@ int usage() {
                "  selcache run   --workload NAME [--machine M] [--version V]"
                " [--scheme S] [--threshold T] [--stats]\n"
                "  selcache sweep --workload NAME [--machine M] [--scheme S]\n"
-               "  selcache suite [--machine M] [--scheme S]\n"
+               "  selcache suite [--machine M] [--scheme S] [--threads N]\n"
                "  selcache show  --workload NAME [--optimized] [--marked]\n"
                "  selcache run-file FILE.loop [--machine M] [--version V]"
                " [--scheme S]\n"
@@ -184,7 +184,14 @@ int cmd_suite(const std::map<std::string, std::string>& flags) {
   if (!machine || !scheme) return usage();
   core::RunOptions opt;
   opt.scheme = *scheme;
-  const auto rows = core::sweep_suite(*machine, opt);
+  core::ParallelSweepOptions par;
+  if (flags.count("threads")) {
+    const std::string& t = flags.at("threads");
+    if (t.empty() || t.find_first_not_of("0123456789") != std::string::npos)
+      return usage();
+    par.num_threads = static_cast<unsigned>(std::stoul(t));
+  }
+  const auto rows = core::sweep_suite(*machine, opt, par);
   std::printf("%s", core::format_figure(
                         machine->name + " (" + hw::to_string(*scheme) + ")",
                         rows)
