@@ -10,11 +10,6 @@ namespace selcache::core {
 
 namespace {
 
-/// Base plus the four evaluated versions, in simulation order.
-constexpr std::array<Version, 5> kAllVersions = {
-    Version::Base, Version::PureHardware, Version::PureSoftware,
-    Version::Combined, Version::Selective};
-
 std::uint64_t l1_accesses(const RunResult& r) {
   return r.stats.get("l1d.hits") + r.stats.get("l1d.misses") +
          r.stats.get("l1i.hits") + r.stats.get("l1i.misses");

@@ -1,6 +1,7 @@
 // The simulated versions of §4.3 and the code products of §4.4.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -34,6 +35,12 @@ inline const char* to_string(Version v) {
 inline const Version kEvaluatedVersions[] = {
     Version::PureHardware, Version::PureSoftware, Version::Combined,
     Version::Selective};
+
+/// Base plus the four evaluated versions, in simulation order — the product
+/// set the runner simulates and the static verifier sweeps.
+inline constexpr std::array<Version, 5> kAllVersions = {
+    Version::Base, Version::PureHardware, Version::PureSoftware,
+    Version::Combined, Version::Selective};
 
 /// Derive the code product a version runs from the base program (§4.4).
 /// Base/PureHardware: base code. PureSoftware/Combined: optimized code.

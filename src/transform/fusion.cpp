@@ -129,11 +129,12 @@ namespace {
 
 /// Fuse within one scope until a fixpoint; recurse into loops first.
 std::size_t fuse_scope(ir::Program& p,
-                       std::vector<std::unique_ptr<Node>>& scope) {
+                       std::vector<std::unique_ptr<Node>>& scope,
+                       TransformLog* log) {
   std::size_t fused = 0;
   for (auto& n : scope)
     if (n->kind == NodeKind::Loop)
-      fused += fuse_scope(p, static_cast<LoopNode&>(*n).body);
+      fused += fuse_scope(p, static_cast<LoopNode&>(*n).body, log);
 
   for (std::size_t i = 0; i + 1 < scope.size();) {
     if (scope[i]->kind != NodeKind::Loop ||
@@ -146,6 +147,22 @@ std::size_t fuse_scope(ir::Program& p,
     if (!fusion_legal(a, b)) {
       ++i;
       continue;
+    }
+    if (log != nullptr) {
+      TransformRecord rec;
+      rec.kind = TransformKind::Fusion;
+      rec.pre_image = a.clone();
+      rec.pre_image_b = b.clone();
+      rec.band_vars = {a.var, b.var};
+      const auto& names = p.var_names();
+      rec.site = "loops (" +
+                 (a.var < names.size() ? names[a.var]
+                                       : "#" + std::to_string(a.var)) +
+                 ", " +
+                 (b.var < names.size() ? names[b.var]
+                                       : "#" + std::to_string(b.var)) +
+                 ")";
+      log->records.push_back(std::move(rec));
     }
     // Rename b's variable to a's and append its statements.
     for (auto& n : b.body) {
@@ -163,10 +180,12 @@ std::size_t fuse_scope(ir::Program& p,
 
 }  // namespace
 
-std::size_t apply_fusion(ir::Program& p) { return fuse_scope(p, p.top()); }
+std::size_t apply_fusion(ir::Program& p, TransformLog* log) {
+  return fuse_scope(p, p.top(), log);
+}
 
-std::size_t apply_fusion(ir::Program& p, LoopNode& root) {
-  return fuse_scope(p, root.body);
+std::size_t apply_fusion(ir::Program& p, LoopNode& root, TransformLog* log) {
+  return fuse_scope(p, root.body, log);
 }
 
 std::size_t apply_distribution(ir::Program& p,

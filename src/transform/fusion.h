@@ -16,6 +16,7 @@
 #pragma once
 
 #include "ir/program.h"
+#include "transform/transform_log.h"
 
 namespace selcache::transform {
 
@@ -24,12 +25,14 @@ bool fusion_legal(const ir::LoopNode& a, const ir::LoopNode& b);
 
 /// Fuse all adjacent fusable loop pairs in the subtree rooted at the
 /// program's top level (and recursively inside loops). Returns the number
-/// of fusions performed.
-std::size_t apply_fusion(ir::Program& p);
+/// of fusions performed. With `log`, each fused pair is recorded (both
+/// loops cloned pre-fusion) for legality certification.
+std::size_t apply_fusion(ir::Program& p, TransformLog* log = nullptr);
 
 /// Fusion restricted to the body of one region root (the pipeline's entry
 /// point: only compiler regions are restructured).
-std::size_t apply_fusion(ir::Program& p, ir::LoopNode& root);
+std::size_t apply_fusion(ir::Program& p, ir::LoopNode& root,
+                         TransformLog* log = nullptr);
 
 /// Distribute `loop` (statements-only body) into one loop per statement,
 /// if legal. The new loops replace `loop` in `scope` at position `pos`.

@@ -1,5 +1,6 @@
 #include "transform/pipeline.h"
 
+#include <algorithm>
 #include <functional>
 
 #include "transform/fusion.h"
@@ -26,28 +27,102 @@ void for_each_band(LoopNode& root, const std::function<void(LoopNode&)>& fn) {
       for_each_band(static_cast<LoopNode&>(*child), fn);
 }
 
+std::vector<ir::VarId> band_vars_of(LoopNode& root) {
+  std::vector<ir::VarId> vars;
+  for (const auto* l : ir::perfect_nest_band(root)) vars.push_back(l->var);
+  return vars;
+}
+
+std::string band_site(const ir::Program& p,
+                      const std::vector<ir::VarId>& vars) {
+  std::string site = "band (";
+  for (std::size_t k = 0; k < vars.size(); ++k) {
+    if (k > 0) site += ", ";
+    site += vars[k] < p.var_names().size() ? p.var_names()[vars[k]]
+                                           : "#" + std::to_string(vars[k]);
+  }
+  return site + ")";
+}
+
+/// Start a record with a pre-image clone of the band about to be rewritten.
+TransformRecord open_record(TransformKind kind, const ir::Program& p,
+                            LoopNode& band) {
+  TransformRecord rec;
+  rec.kind = kind;
+  rec.pre_image = band.clone();
+  rec.band_vars = band_vars_of(band);
+  rec.site = band_site(p, rec.band_vars);
+  return rec;
+}
+
 }  // namespace
 
 OptimizeReport optimize_program(ir::Program& p, const OptimizeOptions& opt) {
   OptimizeReport report;
+  const auto stage_done = [&](const char* stage) {
+    if (opt.after_stage) opt.after_stage(stage, p);
+  };
 
   analysis::RegionAnalysis regions =
       opt.insert_markers ? analysis::detect_and_mark(p, opt.threshold)
                          : analysis::analyze_regions(p, opt.threshold);
   report.markers_inserted = regions.markers_inserted;
   report.compiler_regions = regions.compiler_roots.size();
+  stage_done("regions");
 
   for (LoopNode* root : regions.compiler_roots) {
-    if (opt.enable_fusion) report.fused += apply_fusion(p, *root);
+    if (opt.enable_fusion) report.fused += apply_fusion(p, *root, opt.log);
     for_each_band(*root, [&](LoopNode& band) {
       if (!ir::is_perfect_nest(band)) return;
-      if (opt.enable_interchange && apply_interchange(p, band))
-        ++report.interchanged;
-      if (opt.enable_tiling && apply_tiling(p, band, opt.tiling))
-        ++report.tiled;
-      if (opt.enable_unroll_jam &&
-          apply_unroll_jam(p, band, opt.unroll) > 1)
-        ++report.unrolled;
+      if (opt.enable_interchange) {
+        TransformRecord rec;
+        if (opt.log != nullptr)
+          rec = open_record(TransformKind::Interchange, p, band);
+        if (apply_interchange(p, band)) {
+          ++report.interchanged;
+          if (opt.log != nullptr) {
+            // Derive the applied permutation from the pre/post band orders.
+            const std::vector<ir::VarId> post = band_vars_of(band);
+            rec.perm.resize(post.size());
+            for (std::size_t k = 0; k < post.size(); ++k) {
+              const auto it = std::find(rec.band_vars.begin(),
+                                        rec.band_vars.end(), post[k]);
+              rec.perm[k] = static_cast<std::size_t>(
+                  it - rec.band_vars.begin());
+            }
+            opt.log->records.push_back(std::move(rec));
+          }
+        }
+      }
+      if (opt.enable_tiling) {
+        TransformRecord rec;
+        if (opt.log != nullptr)
+          rec = open_record(TransformKind::Tiling, p, band);
+        if (apply_tiling(p, band, opt.tiling)) {
+          ++report.tiled;
+          if (opt.log != nullptr) {
+            // Post-image: the original pair became tile-controller loops
+            // whose steps are the chosen tile sizes.
+            const auto post = ir::perfect_nest_band(band);
+            rec.tile_outer = post.empty() ? 0 : post[0]->step;
+            rec.tile_inner = post.size() < 2 ? 0 : post[1]->step;
+            opt.log->records.push_back(std::move(rec));
+          }
+        }
+      }
+      if (opt.enable_unroll_jam) {
+        TransformRecord rec;
+        if (opt.log != nullptr)
+          rec = open_record(TransformKind::UnrollJam, p, band);
+        const std::uint32_t factor = apply_unroll_jam(p, band, opt.unroll);
+        if (factor > 1) {
+          ++report.unrolled;
+          if (opt.log != nullptr) {
+            rec.factor = factor;
+            opt.log->records.push_back(std::move(rec));
+          }
+        }
+      }
       if (opt.enable_scalar_replacement) {
         const auto r = apply_scalar_replacement(p, band);
         report.hoisted_refs += r.hoisted_loads + r.hoisted_stores;
@@ -55,15 +130,18 @@ OptimizeReport optimize_program(ir::Program& p, const OptimizeOptions& opt) {
       }
     });
   }
+  stage_done("loop-transforms");
 
   if (opt.enable_layout_selection)
     report.layouts_changed =
         select_layouts(p, std::span<LoopNode* const>(regions.compiler_roots));
+  stage_done("layout");
 
   if (opt.insert_markers) {
     if (opt.eliminate_markers)
       report.markers_eliminated = analysis::eliminate_redundant_markers(p);
     report.markers_final = analysis::count_markers(p);
+    stage_done("markers");
   }
   return report;
 }

@@ -14,9 +14,12 @@
 //   * selective code   — locality-optimized + ON/OFF markers (Selective).
 #pragma once
 
+#include <functional>
+
 #include "analysis/marker_elimination.h"
 #include "analysis/region_detection.h"
 #include "transform/tiling.h"
+#include "transform/transform_log.h"
 
 namespace selcache::transform {
 
@@ -35,6 +38,16 @@ struct OptimizeOptions {
   /// Run redundant-marker elimination after insertion (Figure 2(b)->2(c)).
   /// Disable only to measure the elimination pass's value (ablation).
   bool eliminate_markers = true;
+  /// When set, every applied loop transform is recorded with a clone of its
+  /// pre-image for post-hoc legality certification (verify subsystem). Not
+  /// owned; must outlive the optimize_program() call. A single log must not
+  /// be shared across concurrently optimized programs.
+  TransformLog* log = nullptr;
+  /// Invoked after each pipeline stage ("regions", "loop-transforms",
+  /// "layout", "markers") with the program in its current state — the hook
+  /// verify::enable_pipeline_verification installs to re-check IR
+  /// invariants as the pipeline runs.
+  std::function<void(const char* stage, const ir::Program&)> after_stage;
 };
 
 struct OptimizeReport {

@@ -1,0 +1,56 @@
+// Transformation audit log.
+//
+// When OptimizeOptions.log is set, the pipeline records every loop
+// transformation it applies together with a deep clone of the affected
+// subtree taken immediately *before* the rewrite (the pre-image) and the
+// parameters of the rewrite (permutation, tile sizes, unroll factor). The
+// verify subsystem's legality linter re-runs the dependence analysis on the
+// pre-images and independently certifies that each recorded transform was
+// legal — a second opinion that does not trust the transform's own guards.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace selcache::transform {
+
+enum class TransformKind { Fusion, Interchange, Tiling, UnrollJam };
+
+inline const char* to_string(TransformKind k) {
+  switch (k) {
+    case TransformKind::Fusion: return "fusion";
+    case TransformKind::Interchange: return "interchange";
+    case TransformKind::Tiling: return "tiling";
+    case TransformKind::UnrollJam: return "unroll-jam";
+  }
+  return "?";
+}
+
+struct TransformRecord {
+  TransformKind kind = TransformKind::Interchange;
+  /// Human-readable site, e.g. "band (j, i)" — used in diagnostics.
+  std::string site;
+  /// Clone of the transformed subtree taken before the rewrite. For Fusion
+  /// this is the first (earlier) loop; pre_image_b holds the second.
+  std::unique_ptr<ir::Node> pre_image;
+  std::unique_ptr<ir::Node> pre_image_b;
+  /// Pre-image band induction variables, outermost first.
+  std::vector<ir::VarId> band_vars;
+  /// Interchange: perm[k] = pre-image band index of the loop placed at
+  /// depth k after the rewrite.
+  std::vector<std::size_t> perm;
+  /// UnrollJam: factor actually applied (>= 2).
+  std::uint32_t factor = 1;
+  /// Tiling: tile sizes chosen for the outer/inner pair.
+  std::int64_t tile_outer = 0;
+  std::int64_t tile_inner = 0;
+};
+
+struct TransformLog {
+  std::vector<TransformRecord> records;
+};
+
+}  // namespace selcache::transform

@@ -1,0 +1,83 @@
+#include "verify/diagnostics.h"
+
+#include <sstream>
+
+#include "support/table.h"
+
+namespace selcache::verify {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+void Report::add(Diagnostic d) {
+  if (d.pass.empty()) d.pass = pass_;
+  diags_.push_back(std::move(d));
+}
+
+void Report::add(Severity s, std::string rule, std::string location,
+                 std::string message) {
+  Diagnostic d;
+  d.severity = s;
+  d.rule = std::move(rule);
+  d.pass = pass_;
+  d.location = std::move(location);
+  d.message = std::move(message);
+  diags_.push_back(std::move(d));
+}
+
+std::size_t Report::count(Severity s) const {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+std::string Report::str() const {
+  if (diags_.empty()) return "no diagnostics\n";
+  TextTable t({"severity", "rule", "pass", "location", "message"});
+  for (const auto& d : diags_)
+    t.add_row({to_string(d.severity), d.rule, d.pass, d.location, d.message});
+  return t.str();
+}
+
+namespace {
+
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Report::csv() const {
+  std::ostringstream os;
+  os << "severity,rule,pass,location,message\n";
+  for (const auto& d : diags_)
+    os << to_string(d.severity) << ',' << csv_field(d.rule) << ','
+       << csv_field(d.pass) << ',' << csv_field(d.location) << ','
+       << csv_field(d.message) << '\n';
+  return os.str();
+}
+
+std::string LocationStack::str() const {
+  std::string out;
+  for (const auto& s : segments_) {
+    if (!out.empty()) out += '/';
+    out += s;
+  }
+  return out.empty() ? "<top>" : out;
+}
+
+}  // namespace selcache::verify

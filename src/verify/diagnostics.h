@@ -1,0 +1,70 @@
+// Diagnostics for the static verification subsystem.
+//
+// Every analyzer reports findings as Diagnostic records carrying a severity,
+// a stable rule ID (the taxonomy is documented in DESIGN.md §"Static
+// verification"), the pipeline pass that produced the IR under scrutiny, and
+// an IR location path such as "loop j/loop i/stmt 'update'". A Report
+// collects diagnostics across analyzers and renders them as an aligned text
+// table or CSV (same support-layer formatting the bench harness uses).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace selcache::verify {
+
+enum class Severity { Note, Warning, Error };
+
+const char* to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string rule;      ///< stable rule ID, e.g. "SV-SUB-RANK"
+  std::string pass;      ///< producing context, e.g. "structural" or "after:fusion"
+  std::string location;  ///< IR path, e.g. "loop j/loop i/stmt 'update'"
+  std::string message;
+};
+
+class Report {
+ public:
+  /// Context label stamped on subsequently added diagnostics (the analyzer
+  /// or pipeline stage being verified).
+  void set_pass(std::string pass) { pass_ = std::move(pass); }
+  const std::string& pass() const { return pass_; }
+
+  void add(Diagnostic d);
+  void add(Severity s, std::string rule, std::string location,
+           std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::size_t count(Severity s) const;
+  std::size_t errors() const { return count(Severity::Error); }
+  std::size_t warnings() const { return count(Severity::Warning); }
+  bool empty() const { return diags_.empty(); }
+  /// No errors (warnings/notes do not fail verification).
+  bool ok() const { return errors() == 0; }
+
+  /// Aligned text table (severity | rule | pass | location | message).
+  std::string str() const;
+  /// CSV with a header row; fields containing separators are quoted.
+  std::string csv() const;
+
+ private:
+  std::string pass_;
+  std::vector<Diagnostic> diags_;
+};
+
+/// Builds "loop i/stmt 'update'"-style IR paths while an analyzer walks the
+/// tree. push/pop segments around each scope; str() joins with '/'.
+class LocationStack {
+ public:
+  void push(std::string segment) { segments_.push_back(std::move(segment)); }
+  void pop() { segments_.pop_back(); }
+  std::string str() const;
+
+ private:
+  std::vector<std::string> segments_;
+};
+
+}  // namespace selcache::verify

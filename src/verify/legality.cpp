@@ -1,0 +1,333 @@
+#include "verify/legality.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "analysis/dependence.h"
+
+namespace selcache::verify {
+
+using ir::LoopNode;
+using ir::Node;
+using ir::NodeKind;
+using ir::Reference;
+using ir::StmtNode;
+using transform::TransformKind;
+using transform::TransformRecord;
+
+namespace {
+
+/// The perfectly nested chain of loops from `root` inward (root first).
+std::vector<const LoopNode*> const_band(const LoopNode& root) {
+  std::vector<const LoopNode*> band{&root};
+  const LoopNode* cur = &root;
+  while (cur->body.size() == 1 && cur->body[0]->kind == NodeKind::Loop) {
+    cur = static_cast<const LoopNode*>(cur->body[0].get());
+    band.push_back(cur);
+  }
+  return band;
+}
+
+std::optional<std::int64_t> const_trip(const LoopNode& l) {
+  if (!l.lower.is_constant() || !l.upper.is_constant() || l.step <= 0)
+    return std::nullopt;
+  const std::int64_t span = l.upper.constant_term() - l.lower.constant_term();
+  return span <= 0 ? std::nullopt
+                   : std::optional((span + l.step - 1) / l.step);
+}
+
+/// Oriented cross-loop alias solver for fusion certification, derived
+/// directly from the subscript equations (independent of the transform's own
+/// guard). For affine, uniformly generated single-variable subscripts it
+/// solves c*t_a + k_a = c*t_b + k_b for the iteration offset d = t_b - t_a.
+/// d < 0 means the consuming iteration of the second loop would run before
+/// its producer once the bodies interleave — fusion was illegal.
+struct OrientedAlias {
+  bool analyzable = false;
+  std::optional<std::int64_t> offset;  // engaged iff the refs can alias
+};
+
+OrientedAlias oriented_alias(const Reference& x, ir::VarId va,
+                             const Reference& y, ir::VarId vb) {
+  OrientedAlias out;
+  const auto* ax = std::get_if<Reference::Array>(&x.target);
+  const auto* ay = std::get_if<Reference::Array>(&y.target);
+  if (ax == nullptr || ay == nullptr) return out;
+  if (ax->id != ay->id) {
+    out.analyzable = true;
+    return out;
+  }
+  if (ax->subs.size() != ay->subs.size()) return out;
+
+  std::optional<std::int64_t> d;
+  for (std::size_t k = 0; k < ax->subs.size(); ++k) {
+    const auto* sx = std::get_if<ir::Subscript::Affine>(&ax->subs[k].value);
+    const auto* sy = std::get_if<ir::Subscript::Affine>(&ay->subs[k].value);
+    if (sx == nullptr || sy == nullptr) return out;
+    for (const auto& [v, c] : sx->expr.coeffs())
+      if (v != va && c != 0) return out;
+    for (const auto& [v, c] : sy->expr.coeffs())
+      if (v != vb && c != 0) return out;
+    const std::int64_t cx = sx->expr.coeff(va);
+    if (cx != sy->expr.coeff(vb)) return out;
+    const std::int64_t delta =
+        sx->expr.constant_term() - sy->expr.constant_term();
+    if (cx == 0) {
+      if (delta != 0) {
+        out.analyzable = true;
+        return out;  // distinct constant planes: no alias
+      }
+      continue;
+    }
+    if (delta % cx != 0) {
+      out.analyzable = true;
+      return out;  // no integral iteration pair
+    }
+    const std::int64_t dk = delta / cx;
+    if (d.has_value() && *d != dk) {
+      out.analyzable = true;
+      return out;  // dimensions demand different offsets: no alias
+    }
+    d = dk;
+  }
+  out.analyzable = true;
+  out.offset = d.value_or(0);
+  return out;
+}
+
+struct LegalityLint {
+  const ir::Program& p;
+  Report& r;
+  std::size_t added = 0;
+
+  void diag(const char* rule, const std::string& site, std::string msg) {
+    r.add(Severity::Error, rule, site, std::move(msg));
+    ++added;
+  }
+
+  std::string var_name(ir::VarId v) const {
+    return v < p.var_names().size() ? p.var_names()[v]
+                                    : "#" + std::to_string(v);
+  }
+
+  const LoopNode* record_loop(const TransformRecord& rec, const Node* n) {
+    if (n == nullptr || n->kind != NodeKind::Loop) {
+      diag("TL-RECORD", rec.site, "transform record carries no pre-image loop");
+      return nullptr;
+    }
+    return static_cast<const LoopNode*>(n);
+  }
+
+  void check_interchange(const TransformRecord& rec) {
+    const LoopNode* pre = record_loop(rec, rec.pre_image.get());
+    if (pre == nullptr) return;
+    const auto band = const_band(*pre);
+    if (rec.perm.size() != band.size() ||
+        rec.band_vars.size() != band.size()) {
+      diag("TL-RECORD", rec.site,
+           "interchange record arity mismatch: band has " +
+               std::to_string(band.size()) + " loops, permutation has " +
+               std::to_string(rec.perm.size()));
+      return;
+    }
+    std::vector<bool> seen(band.size(), false);
+    for (std::size_t k : rec.perm) {
+      if (k >= band.size() || seen[k]) {
+        diag("TL-RECORD", rec.site, "recorded permutation is not a bijection");
+        return;
+      }
+      seen[k] = true;
+    }
+    const auto deps = analysis::collect_dependences(*pre, rec.band_vars);
+    if (!analysis::permutation_legal(deps, rec.perm))
+      diag("TL-INTERCHANGE", rec.site,
+           deps.unknown
+               ? "band contains unanalyzable dependences; only the identity "
+                 "order was legal"
+               : "recorded permutation makes a dependence vector "
+                 "lexicographically negative");
+  }
+
+  void check_tiling(const TransformRecord& rec) {
+    const LoopNode* pre = record_loop(rec, rec.pre_image.get());
+    if (pre == nullptr) return;
+    const auto band = const_band(*pre);
+    if (band.size() < 2) {
+      diag("TL-RECORD", rec.site, "tiling pre-image is not a loop pair");
+      return;
+    }
+    std::vector<ir::VarId> vars;
+    vars.reserve(band.size());
+    for (const auto* l : band) vars.push_back(l->var);
+    const auto deps = analysis::collect_dependences(*pre, vars);
+    if (deps.unknown) {
+      diag("TL-TILE", rec.site,
+           "tiled band contains unanalyzable dependences");
+    } else {
+      for (const auto& dep : deps.deps)
+        if (dep.distance[0] < 0 || dep.distance[1] < 0) {
+          diag("TL-TILE", rec.site,
+               "tiled loop pair is not fully permutable (distance " +
+                   std::to_string(dep.distance[0]) + ", " +
+                   std::to_string(dep.distance[1]) + ")");
+          break;
+        }
+    }
+    const auto t0 = const_trip(*band[0]);
+    const auto t1 = const_trip(*band[1]);
+    if (rec.tile_outer > 0 && t0 && *t0 % rec.tile_outer != 0)
+      diag("TL-TILE", rec.site,
+           "outer tile size " + std::to_string(rec.tile_outer) +
+               " does not divide trip count " + std::to_string(*t0));
+    if (rec.tile_inner > 0 && t1 && *t1 % rec.tile_inner != 0)
+      diag("TL-TILE", rec.site,
+           "inner tile size " + std::to_string(rec.tile_inner) +
+               " does not divide trip count " + std::to_string(*t1));
+  }
+
+  void check_unroll_jam(const TransformRecord& rec) {
+    const LoopNode* pre = record_loop(rec, rec.pre_image.get());
+    if (pre == nullptr) return;
+    const auto band = const_band(*pre);
+    if (band.size() < 2 || rec.factor < 2) {
+      diag("TL-RECORD", rec.site, "unroll-jam record needs a loop pair and "
+                                  "a factor >= 2");
+      return;
+    }
+    const LoopNode& outer = *band[band.size() - 2];
+    const LoopNode& inner = *band[band.size() - 1];
+    const std::vector<ir::VarId> vars{outer.var, inner.var};
+    const auto deps = analysis::collect_dependences(outer, vars);
+    if (deps.unknown) {
+      diag("TL-UNROLL", rec.site,
+           "unroll-jammed pair contains unanalyzable dependences");
+    } else {
+      for (const auto& dep : deps.deps)
+        if (dep.distance[0] < 0 || dep.distance[1] < 0) {
+          diag("TL-UNROLL", rec.site,
+               "unroll-jammed pair is not fully permutable (distance " +
+                   std::to_string(dep.distance[0]) + ", " +
+                   std::to_string(dep.distance[1]) + ")");
+          break;
+        }
+    }
+    const auto trips = const_trip(outer);
+    if (!trips || *trips % rec.factor != 0)
+      diag("TL-UNROLL-DIV", rec.site,
+           "factor " + std::to_string(rec.factor) +
+               " does not divide the unrolled loop's trip count" +
+               (trips ? " " + std::to_string(*trips) : " (non-constant)"));
+  }
+
+  void check_fusion(const TransformRecord& rec) {
+    const LoopNode* a = record_loop(rec, rec.pre_image.get());
+    const LoopNode* b = record_loop(rec, rec.pre_image_b.get());
+    if (a == nullptr || b == nullptr) return;
+    if (!a->lower.is_constant() || !a->upper.is_constant() ||
+        !b->lower.is_constant() || !b->upper.is_constant() ||
+        a->lower.constant_term() != b->lower.constant_term() ||
+        a->upper.constant_term() != b->upper.constant_term() ||
+        a->step != b->step) {
+      diag("TL-FUSE-BOUNDS", rec.site,
+           "fused loops did not share constant bounds and step");
+      return;
+    }
+    std::vector<const Reference*> ra, rb;
+    ir::collect_refs(*a, ra);
+    ir::collect_refs(*b, rb);
+    for (const auto* x : ra) {
+      for (const auto* y : rb) {
+        if (!x->is_write && !y->is_write) continue;
+        if (x->is_pointer() || y->is_pointer() || x->is_field() ||
+            y->is_field()) {
+          diag("TL-FUSION", rec.site,
+               "fused bodies share an opaque (pointer/field) reference pair");
+          return;
+        }
+        if (x->is_scalar() || y->is_scalar()) {
+          if (x->is_scalar() && y->is_scalar() &&
+              std::get<Reference::Scalar>(x->target).id ==
+                  std::get<Reference::Scalar>(y->target).id) {
+            const auto id = std::get<Reference::Scalar>(x->target).id;
+            const std::string name = id < p.scalars().size()
+                                         ? p.scalars()[id].name
+                                         : "#" + std::to_string(id);
+            diag("TL-FUSION", rec.site,
+                 "scalar '" + name +
+                     "' carries a value across the fused loop boundary");
+            return;
+          }
+          continue;
+        }
+        const OrientedAlias oa = oriented_alias(*x, a->var, *y, b->var);
+        if (!oa.analyzable) {
+          diag("TL-FUSION", rec.site,
+               "unanalyzable cross-loop reference pair on a shared array");
+          return;
+        }
+        if (oa.offset.has_value() && *oa.offset < 0) {
+          diag("TL-FUSION", rec.site,
+               "backward cross-loop dependence (offset " +
+                   std::to_string(*oa.offset) +
+                   "): the second body consumes a value its producer has "
+                   "not yet written");
+          return;
+        }
+      }
+    }
+  }
+
+  /// Certify hoisted prologue/epilogue statements: a reference hoisted out
+  /// of a loop must not use that loop's induction variable.
+  void check_hoists(const std::vector<std::unique_ptr<Node>>& body,
+                    LocationStack& loc) {
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (body[i]->kind == NodeKind::Loop) {
+        const auto& loop = static_cast<const LoopNode&>(*body[i]);
+        loc.push("loop " + var_name(loop.var));
+        check_hoists(loop.body, loc);
+        loc.pop();
+        continue;
+      }
+      if (body[i]->kind != NodeKind::Stmt) continue;
+      const auto& stmt = static_cast<const StmtNode&>(*body[i]).stmt;
+      const LoopNode* hoisted_from = nullptr;
+      if (stmt.label == "hoist_pre" && i + 1 < body.size() &&
+          body[i + 1]->kind == NodeKind::Loop)
+        hoisted_from = static_cast<const LoopNode*>(body[i + 1].get());
+      else if (stmt.label == "hoist_post" && i > 0 &&
+               body[i - 1]->kind == NodeKind::Loop)
+        hoisted_from = static_cast<const LoopNode*>(body[i - 1].get());
+      if (hoisted_from == nullptr) continue;
+      for (const auto& ref : stmt.refs)
+        if (ref.uses(hoisted_from->var)) {
+          loc.push("stmt '" + stmt.label + "'");
+          diag("TL-HOIST", loc.str(),
+               "hoisted reference still uses loop variable '" +
+                   var_name(hoisted_from->var) + "'");
+          loc.pop();
+          break;
+        }
+    }
+  }
+};
+
+}  // namespace
+
+std::size_t verify_legality(const ir::Program& p,
+                            const transform::TransformLog& log, Report& r) {
+  LegalityLint lint{p, r, 0};
+  for (const auto& rec : log.records) {
+    switch (rec.kind) {
+      case TransformKind::Interchange: lint.check_interchange(rec); break;
+      case TransformKind::Tiling: lint.check_tiling(rec); break;
+      case TransformKind::UnrollJam: lint.check_unroll_jam(rec); break;
+      case TransformKind::Fusion: lint.check_fusion(rec); break;
+    }
+  }
+  LocationStack loc;
+  lint.check_hoists(p.top(), loc);
+  return lint.added;
+}
+
+}  // namespace selcache::verify

@@ -1,0 +1,37 @@
+// Transformation-legality linter (analyzer family TL-*).
+//
+// Re-derives, from first principles, whether each transformation the
+// pipeline recorded in a TransformLog was legal: the dependence analysis is
+// re-run on the recorded pre-image and the recorded parameters (permutation,
+// tile pair, unroll factor) are checked against it. This intentionally does
+// not reuse the transforms' own legality guards — the point is an
+// independent certificate, the way polyhedral frameworks gate transforms on
+// a separate dependence-preservation check.
+//
+// Scalar replacement leaves no pre-image; its hoisted prologue/epilogue
+// statements ("hoist_pre"/"hoist_post") are instead certified structurally:
+// a hoisted reference must be invariant in the loop it was hoisted out of.
+//
+// Rules (all errors):
+//   TL-INTERCHANGE   recorded permutation violates a pre-image dependence
+//   TL-TILE          tiled loop pair was not fully permutable
+//   TL-UNROLL        unroll-jammed pair was not fully permutable
+//   TL-UNROLL-DIV    unroll factor does not divide the pre-image trip count
+//   TL-FUSION        fused bodies carry a backward cross-loop dependence
+//   TL-FUSE-BOUNDS   fused loops had different bounds or steps
+//   TL-HOIST         hoisted reference uses the hoisted-out loop's variable
+//   TL-RECORD        malformed transform record (internal consistency)
+#pragma once
+
+#include "ir/program.h"
+#include "transform/transform_log.h"
+#include "verify/diagnostics.h"
+
+namespace selcache::verify {
+
+/// Certify every record in `log` against its pre-image and check the
+/// hoisted statements of `p`. Returns the number of diagnostics added.
+std::size_t verify_legality(const ir::Program& p,
+                            const transform::TransformLog& log, Report& r);
+
+}  // namespace selcache::verify

@@ -1,0 +1,114 @@
+#include "verify/markers.h"
+
+#include "analysis/marker_elimination.h"
+
+namespace selcache::verify {
+
+using analysis::HwState;
+using analysis::meet;
+using ir::LoopNode;
+using ir::Node;
+using ir::NodeKind;
+using ir::ToggleNode;
+
+namespace {
+
+/// Abstract execution: entry state -> exit state (no diagnostics). Mirrors
+/// the dataflow of analysis::eliminate_redundant_markers.
+HwState simulate(const std::vector<std::unique_ptr<Node>>& body, HwState in) {
+  for (const auto& n : body) {
+    switch (n->kind) {
+      case NodeKind::Toggle:
+        in = static_cast<const ToggleNode&>(*n).on ? HwState::On
+                                                   : HwState::Off;
+        break;
+      case NodeKind::Loop: {
+        const auto& loop = static_cast<const LoopNode&>(*n);
+        const HwState body_in = meet(in, simulate(loop.body, in));
+        in = meet(in, simulate(loop.body, body_in));
+        break;
+      }
+      case NodeKind::Stmt:
+        break;
+    }
+  }
+  return in;
+}
+
+struct MarkerWalk {
+  const ir::Program& p;
+  Report& r;
+  MarkerCheckOptions opt;
+  LocationStack loc;
+  std::size_t added = 0;
+
+  void diag(Severity s, const char* rule, std::string msg) {
+    r.add(s, rule, loc.str(), std::move(msg));
+    ++added;
+  }
+
+  HwState check_scope(const std::vector<std::unique_ptr<Node>>& body,
+                      HwState in) {
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      const Node& n = *body[i];
+      switch (n.kind) {
+        case NodeKind::Toggle: {
+          const bool on = static_cast<const ToggleNode&>(n).on;
+          if (opt.expect_minimal && i + 1 < body.size() &&
+              body[i + 1]->kind == NodeKind::Toggle)
+            diag(Severity::Warning, "MK-REDUNDANT",
+                 "adjacent toggle pair should have been eliminated");
+          const HwState target = on ? HwState::On : HwState::Off;
+          if (in == target)
+            diag(Severity::Error, on ? "MK-DOUBLE-ON" : "MK-DOUBLE-OFF",
+                 on ? "activate while the mechanism is already active"
+                    : "deactivate while the mechanism is already inactive");
+          in = target;
+          break;
+        }
+        case NodeKind::Loop: {
+          const auto& loop = static_cast<const LoopNode&>(n);
+          const std::string name = loop.var < p.var_names().size()
+                                       ? p.var_names()[loop.var]
+                                       : "#" + std::to_string(loop.var);
+          loc.push("loop " + name);
+          const HwState one_pass = simulate(loop.body, in);
+          if (in != HwState::Unknown && one_pass != HwState::Unknown &&
+              one_pass != in)
+            diag(Severity::Error, "MK-LOOP-UNBALANCED",
+                 "loop body enters with the mechanism " +
+                     std::string(in == HwState::On ? "active" : "inactive") +
+                     " but exits with it " +
+                     (one_pass == HwState::On ? "active" : "inactive") +
+                     " — the back edge re-enters in the wrong mode");
+          const HwState body_in = meet(in, one_pass);
+          const HwState exit = check_scope(loop.body, body_in);
+          in = meet(in, exit);
+          loc.pop();
+          break;
+        }
+        case NodeKind::Stmt:
+          break;
+      }
+    }
+    return in;
+  }
+};
+
+}  // namespace
+
+std::size_t verify_markers(const ir::Program& p, Report& r,
+                           const MarkerCheckOptions& opt) {
+  MarkerWalk walk{p, r, opt, {}, 0};
+  // The machine starts with the mechanism off (region-detection contract).
+  const HwState final_state = walk.check_scope(p.top(), HwState::Off);
+  if (final_state == HwState::On)
+    walk.diag(Severity::Error, "MK-UNCLOSED",
+              "program exits with the mechanism active (unmatched activate)");
+  else if (final_state == HwState::Unknown)
+    walk.diag(Severity::Warning, "MK-UNCLOSED",
+              "program may exit with the mechanism active on some path");
+  return walk.added;
+}
+
+}  // namespace selcache::verify

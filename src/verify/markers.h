@@ -1,0 +1,36 @@
+// Marker / region checker (analyzer family MK-*).
+//
+// Certifies the activate/deactivate (ON/OFF) instrumentation produced by
+// analysis/region_detection and cleaned by analysis/marker_elimination: the
+// program starts in software mode, every activate is eventually matched by a
+// deactivate, no toggle re-asserts the state already in force, and no loop
+// body changes the hardware state across an iteration (the back edge would
+// re-enter in the wrong mode). With `expect_minimal` (the state after
+// redundant-marker elimination) adjacent toggle pairs — which the
+// elimination pass is guaranteed to remove — are also flagged.
+//
+// Rules (E = error, W = warning):
+//   MK-DOUBLE-ON         E  activate while the mechanism is already active
+//   MK-DOUBLE-OFF        E  deactivate while already inactive
+//   MK-UNCLOSED          E  program exits with the mechanism active
+//   MK-LOOP-UNBALANCED   E  loop body entry/exit hardware states differ
+//   MK-REDUNDANT         W  adjacent toggle pair survived elimination
+#pragma once
+
+#include "ir/program.h"
+#include "verify/diagnostics.h"
+
+namespace selcache::verify {
+
+struct MarkerCheckOptions {
+  /// The program has been through redundant-marker elimination; adjacent
+  /// toggle pairs are then reported as MK-REDUNDANT. Disable when verifying
+  /// between insertion and elimination (pipeline after-stage hooks).
+  bool expect_minimal = true;
+};
+
+/// Run all marker rules over `p`. Returns the number of diagnostics added.
+std::size_t verify_markers(const ir::Program& p, Report& r,
+                           const MarkerCheckOptions& opt = {});
+
+}  // namespace selcache::verify

@@ -1,0 +1,195 @@
+#include "verify/structural.h"
+
+#include <functional>
+#include <set>
+
+namespace selcache::verify {
+
+using ir::AffineExpr;
+using ir::LoopNode;
+using ir::Node;
+using ir::NodeKind;
+using ir::Program;
+using ir::Reference;
+using ir::StmtNode;
+using ir::Subscript;
+
+namespace {
+
+struct StructuralWalk {
+  const Program& p;
+  Report& r;
+  LocationStack loc;
+  /// Variables bound by the enclosing loops, in nesting order.
+  std::vector<ir::VarId> scope;
+  std::size_t added = 0;
+
+  void diag(Severity s, const char* rule, std::string msg) {
+    r.add(s, rule, loc.str(), std::move(msg));
+    ++added;
+  }
+
+  bool in_scope(ir::VarId v) const {
+    for (ir::VarId s : scope)
+      if (s == v) return true;
+    return false;
+  }
+
+  std::string var_name(ir::VarId v) const {
+    if (v < p.var_names().size()) return p.var_names()[v];
+    return "<var#" + std::to_string(v) + ">";
+  }
+
+  /// Every variable an affine expression mentions must be bound by an
+  /// enclosing loop.
+  void check_expr_closed(const AffineExpr& e, const char* rule,
+                         const std::string& what) {
+    for (const auto& [v, c] : e.coeffs()) {
+      if (c == 0) continue;
+      if (v >= p.var_names().size()) {
+        diag(Severity::Error, rule,
+             what + " references undeclared variable #" + std::to_string(v));
+      } else if (!in_scope(v)) {
+        diag(Severity::Error, rule,
+             what + " references variable '" + var_name(v) +
+                 "' not bound by any enclosing loop");
+      }
+    }
+  }
+
+  void check_subscript(const Subscript& sub, std::size_t dim) {
+    const std::string what = "subscript #" + std::to_string(dim);
+    std::visit(
+        [&](const auto& s) {
+          using T = std::decay_t<decltype(s)>;
+          if constexpr (std::is_same_v<T, Subscript::Affine>) {
+            check_expr_closed(s.expr, "SV-SUB-VAR", what);
+          } else if constexpr (std::is_same_v<T, Subscript::Product> ||
+                               std::is_same_v<T, Subscript::Divide>) {
+            check_expr_closed(s.lhs, "SV-SUB-VAR", what);
+            check_expr_closed(s.rhs, "SV-SUB-VAR", what);
+          } else {  // Indexed
+            if (s.index_array >= p.arrays().size())
+              diag(Severity::Error, "SV-SUB-INDEX-ARRAY",
+                   what + " indexes through undeclared array #" +
+                       std::to_string(s.index_array));
+            check_expr_closed(s.index, "SV-SUB-VAR", what);
+          }
+        },
+        sub.value);
+  }
+
+  void check_reference(const Reference& ref) {
+    std::visit(
+        [&](const auto& t) {
+          using T = std::decay_t<decltype(t)>;
+          if constexpr (std::is_same_v<T, Reference::Scalar>) {
+            if (t.id >= p.scalars().size())
+              diag(Severity::Error, "SV-REF-SCALAR",
+                   "reference to undeclared scalar #" + std::to_string(t.id));
+          } else if constexpr (std::is_same_v<T, Reference::Array>) {
+            if (t.id >= p.arrays().size()) {
+              diag(Severity::Error, "SV-REF-ARRAY",
+                   "reference to undeclared array #" + std::to_string(t.id));
+            } else if (t.subs.size() != p.array(t.id).dims.size()) {
+              diag(Severity::Error, "SV-SUB-RANK",
+                   "array '" + p.array(t.id).name + "' has rank " +
+                       std::to_string(p.array(t.id).dims.size()) +
+                       " but is subscripted with " +
+                       std::to_string(t.subs.size()) + " dimension(s)");
+            }
+            for (std::size_t d = 0; d < t.subs.size(); ++d)
+              check_subscript(t.subs[d], d);
+          } else if constexpr (std::is_same_v<T, Reference::Pointer>) {
+            if (t.pool >= p.pools().size())
+              diag(Severity::Error, "SV-REF-POOL",
+                   "pointer chase through undeclared pool #" +
+                       std::to_string(t.pool));
+          } else {  // Field
+            if (t.pool >= p.pools().size())
+              diag(Severity::Error, "SV-REF-POOL",
+                   "field access into undeclared pool #" +
+                       std::to_string(t.pool));
+            check_subscript(t.element, 0);
+          }
+        },
+        ref.target);
+  }
+
+  void check_stmt(const StmtNode& sn) {
+    const ir::Stmt& stmt = sn.stmt;
+    loc.push(stmt.label.empty() ? "stmt" : "stmt '" + stmt.label + "'");
+    if (stmt.refs.empty() && stmt.compute_ops == 0)
+      diag(Severity::Warning, "SV-STMT-EMPTY",
+           "statement has no references and no compute ops");
+    std::set<ir::ScalarId> written;
+    for (const auto& ref : stmt.refs) {
+      check_reference(ref);
+      if (ref.is_write && ref.is_scalar()) {
+        const auto id = std::get<Reference::Scalar>(ref.target).id;
+        if (!written.insert(id).second)
+          diag(Severity::Error, "SV-SCALAR-MULTIDEF",
+               "scalar '" +
+                   (id < p.scalars().size() ? p.scalars()[id].name
+                                            : "#" + std::to_string(id)) +
+                   "' is defined more than once in a single statement");
+      }
+    }
+    loc.pop();
+  }
+
+  void check_loop(const LoopNode& loop) {
+    loc.push("loop " + var_name(loop.var));
+    if (loop.var == ir::kInvalidVar || loop.var >= p.var_names().size())
+      diag(Severity::Error, "SV-LOOP-VAR",
+           "loop induction variable #" + std::to_string(loop.var) +
+               " is not declared");
+    else if (in_scope(loop.var))
+      diag(Severity::Error, "SV-LOOP-SHADOW",
+           "induction variable '" + var_name(loop.var) +
+               "' rebinds an enclosing loop's variable");
+    if (loop.step <= 0)
+      diag(Severity::Error, "SV-LOOP-STEP",
+           "loop step " + std::to_string(loop.step) + " must be positive");
+    check_expr_closed(loop.lower, "SV-BOUND-VAR", "lower bound");
+    check_expr_closed(loop.upper, "SV-BOUND-VAR", "upper bound");
+    if (loop.lower.is_constant() && loop.upper.is_constant() &&
+        loop.upper.constant_term() <= loop.lower.constant_term())
+      diag(Severity::Warning, "SV-TRIP-ZERO",
+           "constant bounds [" + std::to_string(loop.lower.constant_term()) +
+               ", " + std::to_string(loop.upper.constant_term()) +
+               ") give a zero-trip loop");
+    if (loop.body.empty())
+      diag(Severity::Warning, "SV-LOOP-EMPTY", "loop body is empty");
+
+    scope.push_back(loop.var);
+    walk(loop.body);
+    scope.pop_back();
+    loc.pop();
+  }
+
+  void walk(const std::vector<std::unique_ptr<Node>>& body) {
+    for (const auto& n : body) {
+      switch (n->kind) {
+        case NodeKind::Loop:
+          check_loop(static_cast<const LoopNode&>(*n));
+          break;
+        case NodeKind::Stmt:
+          check_stmt(static_cast<const StmtNode&>(*n));
+          break;
+        case NodeKind::Toggle:
+          break;  // marker analyzer's territory
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::size_t verify_structure(const Program& p, Report& r) {
+  StructuralWalk walk{p, r, {}, {}, 0};
+  walk.walk(p.top());
+  return walk.added;
+}
+
+}  // namespace selcache::verify

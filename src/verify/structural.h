@@ -1,0 +1,38 @@
+// IR structural verifier (analyzer family SV-*).
+//
+// Checks that a Program is well-formed independent of how it was produced:
+// loop headers are sane (positive step, declared induction variable, no
+// shadowing, bounds closed over enclosing variables), every reference names
+// a declared array/scalar/pool with subscript arity matching the array rank,
+// subscripts are closed over the enclosing loop variables, and statements
+// respect an SSA-ish single-definition discipline for scalars (at most one
+// store to a given scalar per statement — the form scalar replacement and
+// the workload builders emit).
+//
+// Rules (E = error, W = warning):
+//   SV-LOOP-VAR         E  induction variable not declared in the program
+//   SV-LOOP-SHADOW      E  induction variable rebinds an enclosing loop's
+//   SV-LOOP-STEP        E  non-positive loop step
+//   SV-BOUND-VAR        E  loop bound references a variable not in scope
+//   SV-LOOP-EMPTY       W  loop with an empty body
+//   SV-TRIP-ZERO        W  constant bounds with upper <= lower
+//   SV-REF-ARRAY        E  reference to an undeclared array
+//   SV-REF-SCALAR       E  reference to an undeclared scalar
+//   SV-REF-POOL         E  reference to an undeclared pool
+//   SV-SUB-RANK         E  subscript count != declared array rank
+//   SV-SUB-VAR          E  subscript references a variable not in scope
+//   SV-SUB-INDEX-ARRAY  E  indexed subscript names an undeclared index array
+//   SV-SCALAR-MULTIDEF  E  two stores to the same scalar in one statement
+//   SV-STMT-EMPTY       W  statement with no references and no compute ops
+#pragma once
+
+#include "ir/program.h"
+#include "verify/diagnostics.h"
+
+namespace selcache::verify {
+
+/// Run all structural rules over `p`. Returns the number of diagnostics
+/// added to `r` (all severities).
+std::size_t verify_structure(const ir::Program& p, Report& r);
+
+}  // namespace selcache::verify

@@ -1,0 +1,37 @@
+#include "verify/verifier.h"
+
+#include <cstring>
+
+namespace selcache::verify {
+
+std::size_t verify_program(const ir::Program& p,
+                           const transform::TransformLog* log, Report& report,
+                           const VerifyOptions& opt) {
+  std::size_t added = 0;
+  report.set_pass("structural");
+  added += verify_structure(p, report);
+  report.set_pass("markers");
+  added += verify_markers(p, report, opt.markers);
+  report.set_pass("legality");
+  static const transform::TransformLog kEmptyLog;
+  added += verify_legality(p, log != nullptr ? *log : kEmptyLog, report);
+  return added;
+}
+
+void enable_pipeline_verification(transform::OptimizeOptions& opt,
+                                  transform::TransformLog& log,
+                                  Report& report) {
+  opt.log = &log;
+  opt.after_stage = [&report](const char* stage, const ir::Program& p) {
+    report.set_pass(std::string("after:") + stage);
+    verify_structure(p, report);
+    // Redundant adjacent pairs are only a defect once the elimination pass
+    // has run (the final "markers" stage); earlier stages see the raw
+    // insertion output.
+    MarkerCheckOptions mk;
+    mk.expect_minimal = std::strcmp(stage, "markers") == 0;
+    verify_markers(p, report, mk);
+  };
+}
+
+}  // namespace selcache::verify

@@ -1,0 +1,45 @@
+// Entry points tying the three analyzer families together and wiring them
+// into the transform pipeline.
+//
+// Two usage modes:
+//
+//   * Post-hoc: run verify_program() on any (possibly optimized) Program,
+//     optionally with the TransformLog the pipeline recorded, and inspect
+//     the Report.
+//
+//   * In-pipeline: call enable_pipeline_verification() on the
+//     OptimizeOptions before optimize_program(); the pipeline then records
+//     every transform into the given log and re-runs the structural and
+//     marker verifiers after every stage (region marking, fusion, the
+//     per-band loop transforms, layout selection, marker elimination), so a
+//     broken intermediate state is caught at the stage that introduced it.
+#pragma once
+
+#include "transform/pipeline.h"
+#include "verify/diagnostics.h"
+#include "verify/legality.h"
+#include "verify/markers.h"
+#include "verify/structural.h"
+
+namespace selcache::verify {
+
+struct VerifyOptions {
+  MarkerCheckOptions markers{};
+};
+
+/// Run structural + marker + legality analyzers over `p`. `log` may be
+/// null: the legality family then only certifies hoisted statements.
+/// Returns the number of diagnostics added.
+std::size_t verify_program(const ir::Program& p,
+                           const transform::TransformLog* log, Report& report,
+                           const VerifyOptions& opt = {});
+
+/// Arm `opt` so optimize_program() records transforms into `log` and
+/// re-verifies IR invariants after each stage, reporting into `report`
+/// with pass labels "after:<stage>". Both `log` and `report` must outlive
+/// every optimize_program() call using `opt`.
+void enable_pipeline_verification(transform::OptimizeOptions& opt,
+                                  transform::TransformLog& log,
+                                  Report& report);
+
+}  // namespace selcache::verify

@@ -1,0 +1,441 @@
+// Negative verification suite: deliberately broken IR and forged transform
+// records, each asserting the exact rule ID the analyzers must report.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <utility>
+
+#include "ir/builder.h"
+#include "verify/verifier.h"
+
+namespace selcache {
+namespace {
+
+using ir::AffineExpr;
+using ir::LoopNode;
+using ir::ProgramBuilder;
+using ir::Subscript;
+using transform::TransformKind;
+using transform::TransformLog;
+using transform::TransformRecord;
+using verify::MarkerCheckOptions;
+using verify::Report;
+using verify::Severity;
+
+bool has_rule(const Report& r, const std::string& rule) {
+  for (const auto& d : r.diagnostics())
+    if (d.rule == rule) return true;
+  return false;
+}
+
+std::string rules_of(const Report& r) {
+  std::string out;
+  for (const auto& d : r.diagnostics()) out += d.rule + " ";
+  return out;
+}
+
+// ---- structural family (SV-*) ---------------------------------------------
+
+TEST(StructuralNegative, RankMismatchedSubscript) {
+  ProgramBuilder b("bad");
+  auto U = b.array("U", {8, 8});
+  auto i = b.begin_loop("i", 0, 8);
+  b.stmt({ir::load_array(U, {b.sub(i)})});  // rank 2, one subscript
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  Report r;
+  verify::verify_structure(p, r);
+  EXPECT_TRUE(has_rule(r, "SV-SUB-RANK")) << rules_of(r);
+  EXPECT_GE(r.errors(), 1u);
+}
+
+TEST(StructuralNegative, UndeclaredArrayScalarPool) {
+  ProgramBuilder b("bad");
+  auto i = b.begin_loop("i", 0, 4);
+  b.stmt({ir::load_array(99, {b.sub(i)})});
+  b.stmt({ir::load_scalar(7)});
+  b.stmt({ir::chase(3)});
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  Report r;
+  verify::verify_structure(p, r);
+  EXPECT_TRUE(has_rule(r, "SV-REF-ARRAY")) << rules_of(r);
+  EXPECT_TRUE(has_rule(r, "SV-REF-SCALAR")) << rules_of(r);
+  EXPECT_TRUE(has_rule(r, "SV-REF-POOL")) << rules_of(r);
+}
+
+TEST(StructuralNegative, SubscriptUsesOutOfScopeVariable) {
+  ProgramBuilder b("bad");
+  auto U = b.array("U", {8});
+  auto i = b.begin_loop("i", 0, 8);
+  b.stmt({ir::load_array(U, {b.sub(i)})});
+  b.end_loop();
+  // A second loop whose body indexes with the *first* loop's variable.
+  b.begin_loop("j", 0, 8);
+  b.stmt({ir::load_array(U, {b.sub(i)})});
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  Report r;
+  verify::verify_structure(p, r);
+  EXPECT_TRUE(has_rule(r, "SV-SUB-VAR")) << rules_of(r);
+}
+
+TEST(StructuralNegative, IndexedSubscriptThroughUndeclaredArray) {
+  ProgramBuilder b("bad");
+  auto G = b.array("G", {64});
+  auto j = b.begin_loop("j", 0, 8);
+  b.stmt({ir::load_array(G, {Subscript::indexed(42, ir::x(j), 2)})});
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  Report r;
+  verify::verify_structure(p, r);
+  EXPECT_TRUE(has_rule(r, "SV-SUB-INDEX-ARRAY")) << rules_of(r);
+}
+
+TEST(StructuralNegative, NonPositiveStepAndShadowedVariable) {
+  ProgramBuilder b("bad");
+  auto U = b.array("U", {8, 8});
+  auto i = b.begin_loop("i", 0, 8);
+  auto j = b.begin_loop("j", 0, 8);
+  b.stmt({ir::load_array(U, {b.sub(i), b.sub(j)})});
+  b.end_loop();
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  auto& outer = static_cast<LoopNode&>(*p.top()[0]);
+  outer.step = 0;  // SV-LOOP-STEP
+  auto& inner = static_cast<LoopNode&>(*outer.body[0]);
+  inner.var = outer.var;  // SV-LOOP-SHADOW
+
+  Report r;
+  verify::verify_structure(p, r);
+  EXPECT_TRUE(has_rule(r, "SV-LOOP-STEP")) << rules_of(r);
+  EXPECT_TRUE(has_rule(r, "SV-LOOP-SHADOW")) << rules_of(r);
+}
+
+TEST(StructuralNegative, BoundUsesUnboundOrUndeclaredVariable) {
+  ProgramBuilder b("bad");
+  auto U = b.array("U", {8});
+  auto i = b.begin_loop("i", 0, 8);
+  b.stmt({ir::load_array(U, {b.sub(i)})});
+  b.end_loop();
+  // Sibling loop bounded by the (closed) first loop's variable.
+  auto j = b.begin_loop("j", AffineExpr::constant(0), ir::x(i));
+  b.stmt({ir::load_array(U, {b.sub(j)})});
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  Report r;
+  verify::verify_structure(p, r);
+  EXPECT_TRUE(has_rule(r, "SV-BOUND-VAR")) << rules_of(r);
+}
+
+TEST(StructuralNegative, UndeclaredInductionVariable) {
+  ProgramBuilder b("bad");
+  b.begin_loop("i", 0, 4);
+  b.stmt({}, 1);
+  b.end_loop();
+  ir::Program p = b.finish();
+  static_cast<LoopNode&>(*p.top()[0]).var = 999;
+
+  Report r;
+  verify::verify_structure(p, r);
+  EXPECT_TRUE(has_rule(r, "SV-LOOP-VAR")) << rules_of(r);
+}
+
+TEST(StructuralNegative, ScalarDefinedTwiceInOneStatement) {
+  ProgramBuilder b("bad");
+  auto s = b.scalar("acc");
+  b.begin_loop("i", 0, 4);
+  b.stmt({ir::store_scalar(s), ir::store_scalar(s)});
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  Report r;
+  verify::verify_structure(p, r);
+  EXPECT_TRUE(has_rule(r, "SV-SCALAR-MULTIDEF")) << rules_of(r);
+}
+
+TEST(StructuralNegative, DegenerateShapesAreWarnings) {
+  ProgramBuilder b("bad");
+  b.begin_loop("i", 4, 4);  // zero-trip
+  b.end_loop();             // and empty
+  b.stmt({}, 0);            // no refs, no compute
+  ir::Program p = b.finish();
+
+  Report r;
+  verify::verify_structure(p, r);
+  EXPECT_TRUE(has_rule(r, "SV-TRIP-ZERO")) << rules_of(r);
+  EXPECT_TRUE(has_rule(r, "SV-LOOP-EMPTY")) << rules_of(r);
+  EXPECT_TRUE(has_rule(r, "SV-STMT-EMPTY")) << rules_of(r);
+  EXPECT_EQ(r.errors(), 0u);  // all three are warnings
+  EXPECT_EQ(r.warnings(), 3u);
+}
+
+// ---- marker family (MK-*) --------------------------------------------------
+
+TEST(MarkerNegative, UnpairedActivate) {
+  ProgramBuilder b("bad");
+  b.toggle(true);
+  b.stmt({}, 2);
+  ir::Program p = b.finish();
+
+  Report r;
+  verify::verify_markers(p, r);
+  EXPECT_TRUE(has_rule(r, "MK-UNCLOSED")) << rules_of(r);
+}
+
+TEST(MarkerNegative, DoubleActivate) {
+  ProgramBuilder b("bad");
+  b.toggle(true);
+  b.stmt({}, 2);
+  b.toggle(true);
+  b.stmt({}, 2);
+  b.toggle(false);
+  ir::Program p = b.finish();
+
+  Report r;
+  verify::verify_markers(p, r);
+  EXPECT_TRUE(has_rule(r, "MK-DOUBLE-ON")) << rules_of(r);
+  EXPECT_FALSE(has_rule(r, "MK-UNCLOSED"));
+}
+
+TEST(MarkerNegative, DoubleDeactivate) {
+  ProgramBuilder b("bad");
+  b.toggle(false);  // program starts in software mode already
+  b.stmt({}, 2);
+  ir::Program p = b.finish();
+
+  Report r;
+  verify::verify_markers(p, r);
+  EXPECT_TRUE(has_rule(r, "MK-DOUBLE-OFF")) << rules_of(r);
+}
+
+TEST(MarkerNegative, LoopBodyFlipsState) {
+  ProgramBuilder b("bad");
+  b.begin_loop("i", 0, 4);
+  b.toggle(true);
+  b.stmt({}, 2);
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  Report r;
+  verify::verify_markers(p, r);
+  EXPECT_TRUE(has_rule(r, "MK-LOOP-UNBALANCED")) << rules_of(r);
+}
+
+TEST(MarkerNegative, AdjacentPairSurvivedElimination) {
+  ProgramBuilder b("bad");
+  b.stmt({}, 2);
+  b.toggle(true);
+  b.toggle(false);
+  b.stmt({}, 2);
+  ir::Program p = b.finish();
+
+  Report minimal;
+  verify::verify_markers(p, minimal);
+  EXPECT_TRUE(has_rule(minimal, "MK-REDUNDANT")) << rules_of(minimal);
+
+  // Between insertion and elimination the pair is expected.
+  Report raw;
+  MarkerCheckOptions opt;
+  opt.expect_minimal = false;
+  verify::verify_markers(p, raw, opt);
+  EXPECT_FALSE(has_rule(raw, "MK-REDUNDANT")) << rules_of(raw);
+}
+
+// ---- legality family (TL-*) ------------------------------------------------
+
+/// for i in [0,8) for j in [0,8): A[i][j] = A[i-1][j+1] — dependence
+/// distance (1,-1): interchanging, tiling, or jamming the pair is illegal.
+ir::Program skewed_nest(ir::ArrayId* out_array) {
+  ProgramBuilder b("skew");
+  auto A = b.array("A", {8, 8});
+  auto i = b.begin_loop("i", 0, 8);
+  auto j = b.begin_loop("j", 0, 8);
+  b.stmt({ir::store_array(A, {b.sub(i), b.sub(j)}),
+          ir::load_array(A, {b.sub(i, -1), b.sub(j, 1)})});
+  b.end_loop();
+  b.end_loop();
+  if (out_array != nullptr) *out_array = A;
+  return b.finish();
+}
+
+TransformRecord record_of(TransformKind kind, const ir::Program& p) {
+  TransformRecord rec;
+  rec.kind = kind;
+  rec.site = "test-site";
+  rec.pre_image = p.top()[0]->clone();
+  const auto& outer = static_cast<const LoopNode&>(*p.top()[0]);
+  const auto& inner = static_cast<const LoopNode&>(*outer.body[0]);
+  rec.band_vars = {outer.var, inner.var};
+  return rec;
+}
+
+TEST(LegalityNegative, IllegalInterchangePermutation) {
+  ir::Program p = skewed_nest(nullptr);
+  TransformLog log;
+  log.records.push_back(record_of(TransformKind::Interchange, p));
+  log.records.back().perm = {1, 0};
+
+  Report r;
+  verify::verify_legality(p, log, r);
+  EXPECT_TRUE(has_rule(r, "TL-INTERCHANGE")) << rules_of(r);
+}
+
+TEST(LegalityNegative, TilingRequiresFullPermutability) {
+  ir::Program p = skewed_nest(nullptr);
+  TransformLog log;
+  log.records.push_back(record_of(TransformKind::Tiling, p));
+  log.records.back().tile_outer = 4;
+  log.records.back().tile_inner = 4;
+
+  Report r;
+  verify::verify_legality(p, log, r);
+  EXPECT_TRUE(has_rule(r, "TL-TILE")) << rules_of(r);
+}
+
+TEST(LegalityNegative, TileSizeMustDivideTripCount) {
+  ProgramBuilder b("clean");
+  auto A = b.array("A", {8, 8});
+  auto i = b.begin_loop("i", 0, 8);
+  auto j = b.begin_loop("j", 0, 8);
+  b.stmt({ir::store_array(A, {b.sub(i), b.sub(j)})});
+  b.end_loop();
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  TransformLog log;
+  log.records.push_back(record_of(TransformKind::Tiling, p));
+  log.records.back().tile_outer = 3;  // 8 % 3 != 0: iterations dropped
+  log.records.back().tile_inner = 4;
+
+  Report r;
+  verify::verify_legality(p, log, r);
+  EXPECT_TRUE(has_rule(r, "TL-TILE")) << rules_of(r);
+}
+
+TEST(LegalityNegative, IllegalUnrollJamAndNonDividingFactor) {
+  ir::Program skew = skewed_nest(nullptr);
+  TransformLog log;
+  log.records.push_back(record_of(TransformKind::UnrollJam, skew));
+  log.records.back().factor = 2;
+
+  Report r;
+  verify::verify_legality(skew, log, r);
+  EXPECT_TRUE(has_rule(r, "TL-UNROLL")) << rules_of(r);
+  EXPECT_FALSE(has_rule(r, "TL-UNROLL-DIV"));  // 8 % 2 == 0
+
+  log.records.back().factor = 3;  // 8 % 3 != 0
+  Report r2;
+  verify::verify_legality(skew, log, r2);
+  EXPECT_TRUE(has_rule(r2, "TL-UNROLL-DIV")) << rules_of(r2);
+}
+
+TEST(LegalityNegative, FusionWithBackwardDependence) {
+  ProgramBuilder b("fuse");
+  auto A = b.array("A", {16});
+  auto i = b.begin_loop("i", 0, 8);
+  b.stmt({ir::store_array(A, {b.sub(i)})});
+  b.end_loop();
+  auto j = b.begin_loop("j", 0, 8);
+  b.stmt({ir::load_array(A, {b.sub(j, 1)})});  // consumes A[j+1]: backward
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  TransformLog log;
+  TransformRecord rec;
+  rec.kind = TransformKind::Fusion;
+  rec.site = "loops (i, j)";
+  rec.pre_image = p.top()[0]->clone();
+  rec.pre_image_b = p.top()[1]->clone();
+  log.records.push_back(std::move(rec));
+
+  Report r;
+  verify::verify_legality(p, log, r);
+  EXPECT_TRUE(has_rule(r, "TL-FUSION")) << rules_of(r);
+}
+
+TEST(LegalityNegative, FusionWithMismatchedBounds) {
+  ProgramBuilder b("fuse");
+  auto A = b.array("A", {16});
+  auto i = b.begin_loop("i", 0, 8);
+  b.stmt({ir::store_array(A, {b.sub(i)})});
+  b.end_loop();
+  auto j = b.begin_loop("j", 0, 12);
+  b.stmt({ir::load_array(A, {b.sub(j)})});
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  TransformLog log;
+  TransformRecord rec;
+  rec.kind = TransformKind::Fusion;
+  rec.pre_image = p.top()[0]->clone();
+  rec.pre_image_b = p.top()[1]->clone();
+  log.records.push_back(std::move(rec));
+
+  Report r;
+  verify::verify_legality(p, log, r);
+  EXPECT_TRUE(has_rule(r, "TL-FUSE-BOUNDS")) << rules_of(r);
+}
+
+TEST(LegalityNegative, HoistedReferenceUsesLoopVariable) {
+  ProgramBuilder b("hoist");
+  auto A = b.array("A", {8});
+  auto i = b.begin_loop("i", 0, 8);
+  b.stmt({ir::store_array(A, {b.sub(i)})});
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  // Forge a "hoisted" prologue that still depends on the loop variable.
+  ir::Stmt s;
+  s.refs = {ir::load_array(A, {b.sub(i)})};
+  s.compute_ops = 0;
+  s.label = "hoist_pre";
+  p.top().insert(p.top().begin(),
+                 std::make_unique<ir::StmtNode>(std::move(s)));
+
+  TransformLog log;
+  Report r;
+  verify::verify_legality(p, log, r);
+  EXPECT_TRUE(has_rule(r, "TL-HOIST")) << rules_of(r);
+}
+
+TEST(LegalityNegative, MalformedRecord) {
+  ProgramBuilder b("empty");
+  b.stmt({}, 1);
+  ir::Program p = b.finish();
+
+  TransformLog log;
+  TransformRecord rec;
+  rec.kind = TransformKind::Interchange;  // no pre-image attached
+  log.records.push_back(std::move(rec));
+
+  Report r;
+  verify::verify_legality(p, log, r);
+  EXPECT_TRUE(has_rule(r, "TL-RECORD")) << rules_of(r);
+}
+
+/// The acceptance criterion asks for >= 10 distinct rule IDs across the
+/// three analyzer families; this meta-test documents the coverage.
+TEST(NegativeSuite, CoversAtLeastTenDistinctRules) {
+  const char* const covered[] = {
+      "SV-SUB-RANK",    "SV-REF-ARRAY",   "SV-REF-SCALAR",
+      "SV-REF-POOL",    "SV-SUB-VAR",     "SV-SUB-INDEX-ARRAY",
+      "SV-LOOP-STEP",   "SV-LOOP-SHADOW", "SV-BOUND-VAR",
+      "SV-LOOP-VAR",    "SV-SCALAR-MULTIDEF", "SV-TRIP-ZERO",
+      "SV-LOOP-EMPTY",  "SV-STMT-EMPTY",  "MK-UNCLOSED",
+      "MK-DOUBLE-ON",   "MK-DOUBLE-OFF",  "MK-LOOP-UNBALANCED",
+      "MK-REDUNDANT",   "TL-INTERCHANGE", "TL-TILE",
+      "TL-UNROLL",      "TL-UNROLL-DIV",  "TL-FUSION",
+      "TL-FUSE-BOUNDS", "TL-HOIST",       "TL-RECORD",
+  };
+  EXPECT_GE(std::size(covered), 10u);
+}
+
+}  // namespace
+}  // namespace selcache

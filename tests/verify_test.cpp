@@ -1,0 +1,121 @@
+// Positive verification suite: the full workload matrix must come out of
+// the optimizer clean, and the diagnostics plumbing must behave.
+#include <gtest/gtest.h>
+
+#include "core/versions.h"
+#include "verify/verifier.h"
+#include "workloads/registry.h"
+
+namespace selcache {
+namespace {
+
+using verify::Report;
+using verify::Severity;
+
+TEST(Diagnostics, CountsAndRendering) {
+  Report r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.str(), "no diagnostics\n");
+
+  r.set_pass("structural");
+  r.add(Severity::Error, "SV-SUB-RANK", "loop i/stmt", "rank mismatch");
+  r.add(Severity::Warning, "SV-LOOP-EMPTY", "loop j", "empty body");
+  EXPECT_EQ(r.errors(), 1u);
+  EXPECT_EQ(r.warnings(), 1u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.diagnostics()[0].pass, "structural");
+
+  const std::string text = r.str();
+  EXPECT_NE(text.find("SV-SUB-RANK"), std::string::npos);
+  EXPECT_NE(text.find("rank mismatch"), std::string::npos);
+}
+
+TEST(Diagnostics, CsvEscapesSeparators) {
+  Report r;
+  r.add(Severity::Error, "X-RULE", "loc", "message, with \"quotes\"");
+  const std::string csv = r.csv();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "severity,rule,pass,location,message");
+  EXPECT_NE(csv.find("\"message, with \"\"quotes\"\"\""), std::string::npos);
+}
+
+TEST(Verifier, CleanBaseProgramsHaveNoDiagnostics) {
+  for (const auto& w : workloads::all_workloads()) {
+    Report report;
+    verify::verify_program(w.build(), nullptr, report);
+    EXPECT_TRUE(report.empty()) << w.name << " (base)\n" << report.str();
+  }
+}
+
+/// The acceptance matrix: all 13 workloads x 5 versions through the
+/// pipeline with after-each-stage verification plus final structural,
+/// marker, and transformation-legality certification — zero diagnostics.
+TEST(Verifier, AllWorkloadsAllVersionsVerifyClean) {
+  for (const auto& w : workloads::all_workloads()) {
+    for (core::Version v : core::kAllVersions) {
+      transform::TransformLog log;
+      Report report;
+      transform::OptimizeOptions opt;
+      verify::enable_pipeline_verification(opt, log, report);
+      const ir::Program product = core::prepare_program(w.build(), v, opt);
+      verify::verify_program(product, &log, report);
+      EXPECT_TRUE(report.empty())
+          << w.name << " / " << to_string(v) << "\n"
+          << report.str();
+    }
+  }
+}
+
+/// The optimizer records its transforms when asked: across the suite at
+/// least one of each loop-transform kind must appear, and each record must
+/// carry a pre-image.
+TEST(Verifier, TransformLogIsPopulatedAcrossSuite) {
+  std::size_t interchanges = 0, tilings = 0, unrolls = 0, fusions = 0;
+  for (const auto& w : workloads::all_workloads()) {
+    transform::TransformLog log;
+    transform::OptimizeOptions opt;
+    opt.log = &log;
+    ir::Program p = w.build();
+    transform::optimize_program(p, opt);
+    for (const auto& rec : log.records) {
+      ASSERT_NE(rec.pre_image, nullptr);
+      switch (rec.kind) {
+        case transform::TransformKind::Interchange: ++interchanges; break;
+        case transform::TransformKind::Tiling: ++tilings; break;
+        case transform::TransformKind::UnrollJam: ++unrolls; break;
+        case transform::TransformKind::Fusion: ++fusions; break;
+      }
+    }
+  }
+  EXPECT_GT(interchanges, 0u);
+  EXPECT_GT(tilings, 0u);
+  EXPECT_GT(unrolls, 0u);
+}
+
+/// The recorded counts must agree with the pipeline's own report.
+TEST(Verifier, TransformLogMatchesOptimizeReport) {
+  for (const auto& w : workloads::all_workloads()) {
+    transform::TransformLog log;
+    transform::OptimizeOptions opt;
+    opt.log = &log;
+    ir::Program p = w.build();
+    const auto report = transform::optimize_program(p, opt);
+    std::size_t interchanges = 0, tilings = 0, unrolls = 0, fusions = 0;
+    for (const auto& rec : log.records) {
+      switch (rec.kind) {
+        case transform::TransformKind::Interchange: ++interchanges; break;
+        case transform::TransformKind::Tiling: ++tilings; break;
+        case transform::TransformKind::UnrollJam: ++unrolls; break;
+        case transform::TransformKind::Fusion: ++fusions; break;
+      }
+    }
+    EXPECT_EQ(interchanges, report.interchanged) << w.name;
+    EXPECT_EQ(tilings, report.tiled) << w.name;
+    EXPECT_EQ(unrolls, report.unrolled) << w.name;
+    EXPECT_EQ(fusions, report.fused) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace selcache

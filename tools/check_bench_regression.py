@@ -5,6 +5,8 @@ Usage:
     check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.15]
 
 Fails (exit 1) when:
+  * either file is missing expected schema keys (a truncated or stale
+    bench_throughput run would otherwise sail through the ratio checks),
   * the fresh run is not deterministic (parallel rows differed from serial),
   * serial accesses/sec dropped more than --tolerance below the baseline,
   * parallel speedup dropped more than --tolerance below the baseline —
@@ -18,13 +20,43 @@ import json
 import sys
 
 
+# Every key bench_throughput emits; a result file missing any of them is
+# malformed (truncated write, or produced by an older binary).
+EXPECTED_KEYS = frozenset({
+    "benchmark",
+    "deterministic",
+    "hardware_threads",
+    "parallel_accesses_per_sec",
+    "parallel_seconds",
+    "scheme",
+    "serial_accesses_per_sec",
+    "serial_seconds",
+    "simulated_accesses",
+    "speedup",
+    "threads",
+    "workloads",
+})
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
+            data = json.load(f)
     except (OSError, ValueError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    if not isinstance(data, dict):
+        print(f"error: {path}: expected a JSON object, got "
+              f"{type(data).__name__}", file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def check_schema(path, data):
+    missing = sorted(EXPECTED_KEYS - data.keys())
+    if missing:
+        return [f"{path}: missing expected keys: {', '.join(missing)}"]
+    return []
 
 
 def main():
@@ -38,6 +70,13 @@ def main():
     base = load(args.baseline)
     fresh = load(args.fresh)
     failures = []
+
+    failures += check_schema(args.baseline, base)
+    failures += check_schema(args.fresh, fresh)
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
 
     if not fresh.get("deterministic", False):
         failures.append("fresh run was NOT deterministic "

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite under ASan+UBSan.
+#
+#   tools/run_sanitized_tests.sh [extra ctest args...]
+#
+# Uses the `asan-ubsan` CMake preset (build-asan/). Any extra arguments are
+# forwarded to ctest, e.g. `tools/run_sanitized_tests.sh -R verify` to run
+# only the verification tests.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-ubsan -j "$(nproc)" "$@"

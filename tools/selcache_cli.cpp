@@ -9,13 +9,18 @@
 //   selcache run-file PROGRAM.loop [--machine M] [--version V] [--scheme S]
 //   selcache trace-record --workload NAME --out FILE [--version V]
 //   selcache trace-replay FILE [--machine M] [--scheme S]
+//   selcache verify [FILE.loop] [--workload NAME] [--version V] [--csv]
 //
-// Exit code 0 on success, 2 on usage errors.
+// Exit code 0 on success, 1 when verification reports diagnostics, 2 on
+// usage errors. Unknown subcommands and malformed flags get a one-line
+// diagnostic on stderr.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "analysis/marker_elimination.h"
 #include <fstream>
@@ -27,6 +32,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "transform/pipeline.h"
+#include "verify/verifier.h"
 
 using namespace selcache;
 
@@ -39,35 +45,58 @@ int usage() {
                "  selcache run   --workload NAME [--machine M] [--version V]"
                " [--scheme S] [--threshold T] [--stats]\n"
                "  selcache sweep --workload NAME [--machine M] [--scheme S]\n"
-               "  selcache suite [--machine M] [--scheme S] [--threads N]\n"
+               "  selcache suite [--machine M] [--scheme S] [--threads N]"
+               " [--verify-pipeline]\n"
                "  selcache show  --workload NAME [--optimized] [--marked]\n"
                "  selcache run-file FILE.loop [--machine M] [--version V]"
                " [--scheme S]\n"
                "  selcache trace-record --workload NAME --out FILE"
                " [--version V] [--scheme S]\n"
                "  selcache trace-replay FILE [--machine M] [--scheme S]\n"
+               "  selcache verify [FILE.loop] [--workload NAME] [--version V]"
+               " [--csv]\n"
                "machines: base memlat l2size l1size l2assoc l1assoc\n"
                "versions: base purehw puresw combined selective\n"
                "schemes:  bypass victim none\n");
   return 2;
 }
 
+/// Per-command flag allowlist: anything else is a malformed invocation and
+/// gets a one-line diagnostic instead of the full usage dump.
+struct CommandSpec {
+  const char* name;
+  std::set<std::string> value_flags;
+  std::set<std::string> bool_flags;
+};
+
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int start, bool* ok) {
+                                               int start,
+                                               const CommandSpec& spec,
+                                               bool* ok) {
   std::map<std::string, std::string> flags;
   *ok = true;
   for (int i = start; i < argc; ++i) {
-    std::string a = argv[i];
-    if (a.rfind("--", 0) != 0) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "selcache: unexpected argument '%s' for '%s'\n",
+                   arg.c_str(), spec.name);
       *ok = false;
       return flags;
     }
-    a = a.substr(2);
-    if (a == "stats" || a == "optimized" || a == "marked") {
+    const std::string a = arg.substr(2);
+    if (spec.bool_flags.count(a)) {
       flags[a] = "1";
-    } else if (i + 1 < argc) {
+    } else if (spec.value_flags.count(a)) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "selcache: flag '--%s' expects a value\n",
+                     a.c_str());
+        *ok = false;
+        return flags;
+      }
       flags[a] = argv[++i];
     } else {
+      std::fprintf(stderr, "selcache: unknown flag '--%s' for '%s'\n",
+                   a.c_str(), spec.name);
       *ok = false;
       return flags;
     }
@@ -176,6 +205,35 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Run every requested (workload, version) product through the optimizer
+/// with after-each-stage verification plus final structural / marker /
+/// legality certification. Diagnostics accumulate into `master` with the
+/// product name prefixed onto each location. Returns the product count.
+std::size_t verify_matrix(const std::vector<const workloads::WorkloadInfo*>& ws,
+                          const std::vector<core::Version>& vs,
+                          verify::Report& master) {
+  std::size_t products = 0;
+  for (const auto* w : ws) {
+    for (core::Version v : vs) {
+      transform::TransformLog log;
+      verify::Report report;
+      transform::OptimizeOptions opt;
+      verify::enable_pipeline_verification(opt, log, report);
+      const ir::Program product = core::prepare_program(w->build(), v, opt);
+      verify::verify_program(product, &log, report);
+      ++products;
+      for (const auto& d : report.diagnostics()) {
+        master.set_pass(d.pass);
+        master.add(d.severity, d.rule,
+                   w->name + "/" + core::version_key(v) +
+                       (d.location.empty() ? "" : "/" + d.location),
+                   d.message);
+      }
+    }
+  }
+  return products;
+}
+
 int cmd_suite(const std::map<std::string, std::string>& flags) {
   const auto machine =
       machine_by_name(flags.count("machine") ? flags.at("machine") : "");
@@ -187,9 +245,28 @@ int cmd_suite(const std::map<std::string, std::string>& flags) {
   core::ParallelSweepOptions par;
   if (flags.count("threads")) {
     const std::string& t = flags.at("threads");
-    if (t.empty() || t.find_first_not_of("0123456789") != std::string::npos)
-      return usage();
+    if (t.empty() || t.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr,
+                   "selcache: flag '--threads' expects a non-negative "
+                   "integer, got '%s'\n",
+                   t.c_str());
+      return 2;
+    }
     par.num_threads = static_cast<unsigned>(std::stoul(t));
+  }
+  if (flags.count("verify-pipeline")) {
+    std::vector<const workloads::WorkloadInfo*> ws;
+    for (const auto& w : workloads::all_workloads()) ws.push_back(&w);
+    const std::vector<core::Version> vs(core::kAllVersions.begin(),
+                                        core::kAllVersions.end());
+    verify::Report master;
+    const std::size_t products = verify_matrix(ws, vs, master);
+    if (!master.empty()) {
+      std::fprintf(stderr, "pipeline verification failed (%zu products):\n%s",
+                   products, master.str().c_str());
+      return 1;
+    }
+    std::printf("pipeline verification: %zu products clean\n", products);
   }
   const auto rows = core::sweep_suite(*machine, opt, par);
   std::printf("%s", core::format_figure(
@@ -212,6 +289,81 @@ int cmd_show(const std::map<std::string, std::string>& flags) {
   }
   std::printf("%s", ir::print(p).c_str());
   return 0;
+}
+
+/// `selcache verify` — static certification without simulating anything.
+/// With FILE.loop: parse and verify that program (as-is, or one pipeline
+/// product when --version is given). Without: sweep the workload matrix,
+/// optionally narrowed by --workload / --version. Exit 1 on diagnostics.
+int cmd_verify(const std::string& file,
+               const std::map<std::string, std::string>& flags) {
+  verify::Report master;
+  std::size_t products = 0;
+
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "selcache: cannot open %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string src = text.str();
+    std::optional<ir::Program> parsed;
+    try {
+      parsed.emplace(ir::parse_program(src));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "selcache: cannot parse %s: %s\n", file.c_str(),
+                   e.what());
+      return 2;
+    }
+    if (flags.count("version")) {
+      const auto version = version_by_name(flags.at("version"));
+      if (!version) return usage();
+      const workloads::WorkloadInfo info{
+          parsed->name(), file, workloads::Category::Mixed,
+          [src] { return ir::parse_program(src); }, 0, 0, 0};
+      products = verify_matrix({&info}, {*version}, master);
+    } else {
+      verify::verify_program(*parsed, nullptr, master);
+      products = 1;
+    }
+  } else {
+    std::vector<const workloads::WorkloadInfo*> ws;
+    if (flags.count("workload")) {
+      const auto* w = workload_by_name(flags.at("workload"));
+      if (w == nullptr) {
+        std::fprintf(stderr, "selcache: unknown workload '%s'\n",
+                     flags.at("workload").c_str());
+        return 2;
+      }
+      ws.push_back(w);
+    } else {
+      for (const auto& w : workloads::all_workloads()) ws.push_back(&w);
+    }
+    std::vector<core::Version> vs;
+    if (flags.count("version")) {
+      const auto version = version_by_name(flags.at("version"));
+      if (!version) return usage();
+      vs.push_back(*version);
+    } else {
+      vs.assign(core::kAllVersions.begin(), core::kAllVersions.end());
+    }
+    products = verify_matrix(ws, vs, master);
+  }
+
+  if (flags.count("csv")) {
+    std::printf("%s", master.csv().c_str());
+  } else if (master.empty()) {
+    std::printf("verified %zu program product%s: no diagnostics\n", products,
+                products == 1 ? "" : "s");
+  } else {
+    std::printf("verified %zu program product%s: %zu error%s, %zu warning%s\n%s",
+                products, products == 1 ? "" : "s", master.errors(),
+                master.errors() == 1 ? "" : "s", master.warnings(),
+                master.warnings() == 1 ? "" : "s", master.str().c_str());
+  }
+  return master.empty() ? 0 : 1;
 }
 
 }  // namespace
@@ -320,29 +472,60 @@ int cmd_trace_replay(const std::string& path,
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  if (cmd == "trace-replay") {
-    if (argc < 3) return usage();
-    bool okr = true;
-    const auto rflags = parse_flags(argc, argv, 3, &okr);
-    if (!okr) return usage();
-    return cmd_trace_replay(argv[2], rflags);
+
+  static const std::map<std::string, CommandSpec> kSpecs = {
+      {"list", {"list", {}, {}}},
+      {"run",
+       {"run", {"workload", "machine", "version", "scheme", "threshold"},
+        {"stats"}}},
+      {"sweep", {"sweep", {"workload", "machine", "scheme"}, {}}},
+      {"suite",
+       {"suite", {"machine", "scheme", "threads"}, {"verify-pipeline"}}},
+      {"show", {"show", {"workload"}, {"optimized", "marked"}}},
+      {"run-file", {"run-file", {"machine", "version", "scheme"}, {}}},
+      {"trace-record",
+       {"trace-record", {"workload", "out", "version", "scheme"}, {}}},
+      {"trace-replay", {"trace-replay", {"machine", "scheme"}, {}}},
+      {"verify", {"verify", {"workload", "version"}, {"csv"}}},
+  };
+  const auto spec_it = kSpecs.find(cmd);
+  if (spec_it == kSpecs.end()) {
+    std::fprintf(stderr,
+                 "selcache: unknown command '%s' (run 'selcache' with no"
+                 " arguments for usage)\n",
+                 cmd.c_str());
+    return 2;
   }
-  if (cmd == "run-file") {
-    if (argc < 3) return usage();
-    bool okf = true;
-    const auto fflags = parse_flags(argc, argv, 3, &okf);
-    if (!okf) return usage();
-    return cmd_run_file(argv[2], fflags);
+  const CommandSpec& spec = spec_it->second;
+
+  // trace-replay / run-file take a required positional; verify an optional
+  // one. Flags start after any positional.
+  std::string positional;
+  int flag_start = 2;
+  const bool requires_file = cmd == "trace-replay" || cmd == "run-file";
+  const bool accepts_file = requires_file || cmd == "verify";
+  if (accepts_file && argc > 2 &&
+      std::string(argv[2]).rfind("--", 0) != 0) {
+    positional = argv[2];
+    flag_start = 3;
   }
+  if (requires_file && positional.empty()) {
+    std::fprintf(stderr, "selcache: '%s' expects a FILE argument\n",
+                 cmd.c_str());
+    return 2;
+  }
+
   bool ok = true;
-  const auto flags = parse_flags(argc, argv, 2, &ok);
-  if (!ok) return usage();
+  const auto flags = parse_flags(argc, argv, flag_start, spec, &ok);
+  if (!ok) return 2;
 
   if (cmd == "list") return cmd_list();
   if (cmd == "run") return cmd_run(flags);
   if (cmd == "sweep") return cmd_sweep(flags);
   if (cmd == "suite") return cmd_suite(flags);
   if (cmd == "show") return cmd_show(flags);
+  if (cmd == "run-file") return cmd_run_file(positional, flags);
   if (cmd == "trace-record") return cmd_trace_record(flags);
-  return usage();
+  if (cmd == "trace-replay") return cmd_trace_replay(positional, flags);
+  return cmd_verify(positional, flags);
 }
