@@ -52,10 +52,11 @@ void mark_scope(std::vector<std::unique_ptr<Node>>& body, double threshold,
       // Sandwiched statement: imaginary one-iteration loop (§2.2, end).
       if (select_method(static_cast<StmtNode&>(n).stmt, threshold) ==
           Method::Hardware) {
+        const std::int32_t region = out.regions_assigned++;
         body.insert(body.begin() + static_cast<std::ptrdiff_t>(i),
-                    std::make_unique<ToggleNode>(true));
+                    std::make_unique<ToggleNode>(true, region));
         body.insert(body.begin() + static_cast<std::ptrdiff_t>(i + 2),
-                    std::make_unique<ToggleNode>(false));
+                    std::make_unique<ToggleNode>(false, region));
         out.markers_inserted += 2;
         i += 2;
       }
@@ -64,14 +65,16 @@ void mark_scope(std::vector<std::unique_ptr<Node>>& body, double threshold,
     if (n.kind != NodeKind::Loop) continue;
     auto& loop = static_cast<LoopNode&>(n);
     switch (out.decisions.at(&loop)) {
-      case RegionDecision::Hardware:
+      case RegionDecision::Hardware: {
+        const std::int32_t region = out.regions_assigned++;
         body.insert(body.begin() + static_cast<std::ptrdiff_t>(i),
-                    std::make_unique<ToggleNode>(true));
+                    std::make_unique<ToggleNode>(true, region));
         body.insert(body.begin() + static_cast<std::ptrdiff_t>(i + 2),
-                    std::make_unique<ToggleNode>(false));
+                    std::make_unique<ToggleNode>(false, region));
         out.markers_inserted += 2;
         i += 2;
         break;
+      }
       case RegionDecision::Compiler:
         out.compiler_roots.push_back(&loop);
         break;

@@ -19,6 +19,7 @@
 // separate marker-elimination pass (Figure 2(b) -> 2(c)) removes those.
 #pragma once
 
+#include <cstdint>
 #include <map>
 
 #include "analysis/method_selection.h"
@@ -43,6 +44,9 @@ struct RegionAnalysis {
   /// should transform.
   std::vector<ir::LoopNode*> compiler_roots;
   std::size_t markers_inserted = 0;
+  /// Next static region id to hand out; also the count of hardware regions
+  /// bracketed by marker insertion (ids are sequential from 0).
+  std::int32_t regions_assigned = 0;
 
   RegionDecision decision(const ir::LoopNode& l) const {
     auto it = decisions.find(&l);

@@ -35,9 +35,11 @@ void TraceEngine::exec_body(const std::vector<std::unique_ptr<Node>>& body) {
       case NodeKind::Stmt:
         exec_stmt(static_cast<const StmtNode&>(*n).stmt);
         break;
-      case NodeKind::Toggle:
-        cpu_.toggle(static_cast<const ToggleNode&>(*n).on);
+      case NodeKind::Toggle: {
+        const auto& t = static_cast<const ToggleNode&>(*n);
+        cpu_.toggle(t.on, t.region);
         break;
+      }
     }
   }
 }

@@ -23,7 +23,9 @@ void replay_trace(const Trace& trace, cpu::TimingModel& cpu) {
         cpu.branch(e.addr, (e.flags & 1) != 0);
         break;
       case TraceEvent::Kind::Toggle:
-        cpu.toggle((e.flags & 1) != 0);
+        // `value` carries region + 1 (0 = unattributed); see TraceEvent.
+        cpu.toggle((e.flags & 1) != 0,
+                   static_cast<std::int32_t>(e.value) - 1);
         break;
       case TraceEvent::Kind::Ifetch:
         cpu.touch_code(e.addr, e.value);

@@ -14,10 +14,16 @@ EnergyBreakdown estimate_energy(const StatSet& s, const EnergyParams& p) {
   e.memory = p.memory_access * static_cast<double>(s.get("mem.reads"));
   e.tlb = p.tlb_access * static_cast<double>(hits_misses("dtlb") +
                                              hits_misses("itlb"));
+  // MAT energy is charged per table UPDATE (mat.touches = one per L1D
+  // access while the scheme is active), not per bypass outcome: a scheme
+  // that touches the table a million times but never bypasses still spent
+  // that energy. (Earlier revisions used bypass.bypasses as a proxy, which
+  // under-counted by orders of magnitude and went to zero for well-cached
+  // phases.)
   e.aux = p.victim_probe * static_cast<double>(hits_misses("victim_l1") +
                                                hits_misses("victim_l2")) +
           p.bypass_probe * static_cast<double>(hits_misses("bypass_buffer")) +
-          p.mat_touch * static_cast<double>(s.get("bypass.bypasses")) +
+          p.mat_touch * static_cast<double>(s.get("mat.touches")) +
           p.toggle * static_cast<double>(s.get("controller.toggles_executed"));
   e.core = p.instruction * static_cast<double>(s.get("cpu.instructions"));
   return e;

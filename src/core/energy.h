@@ -7,6 +7,18 @@
 // comparisons are meaningful; absolute joules are not the point). The
 // selective scheme's fewer lower-level accesses translate directly into
 // energy savings here.
+//
+// Counter exclusivity (why the sum below does not double-count): an L1D
+// miss is serviced by EXACTLY ONE of (a) the bypass buffer
+// (bypass_buffer.hits), (b) the L1 victim cache (victim_l1.hits), or
+// (c) an L2 probe — the hierarchy's aux-service path returns before the L2
+// is touched, so l2.hits + l2.misses already excludes (a) and (b):
+//   l2.hits + l2.misses ==
+//       l1d.misses + l1i.misses - bypass_buffer.hits - victim_l1.hits
+// Likewise an L2 miss is filled from EXACTLY ONE of the L2 victim cache
+// (victim_l2.hits) or memory:
+//   mem.reads == l2.misses - victim_l2.hits
+// Each tier is therefore charged once per event that actually reached it.
 #pragma once
 
 #include "support/stats.h"

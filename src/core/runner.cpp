@@ -2,9 +2,11 @@
 
 #include <array>
 #include <future>
+#include <optional>
 
 #include "codegen/trace_engine.h"
 #include "support/thread_pool.h"
+#include "trace/recorder.h"
 
 namespace selcache::core {
 
@@ -47,7 +49,8 @@ const char* version_key(Version v) {
 }
 
 RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
-                      Version v, const RunOptions& opt) {
+                      Version v, const RunOptions& opt,
+                      trace::Recording* trace_out) {
   // 1. Code product (§4.4).
   const ir::Program base = w.build();
   ir::Program product = prepare_program(base, v, opt.optimize);
@@ -62,13 +65,35 @@ RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
           : make_scheme(opt.scheme, m);
   hierarchy.attach_hw(scheme.get());
   hw::Controller controller(scheme.get());
+
+  // Optional phase tracing: attach a recorder BEFORE forcing the initial
+  // scheme state, so the timeline starts with the synthetic Toggle event
+  // that documents it. The recorder and its sink live on this task's stack:
+  // a parallel sweep never shares trace state between tasks.
+  std::optional<trace::MemorySink> sink;
+  std::optional<trace::Recorder> rec;
+  if (trace_out != nullptr) {
+    sink.emplace(*trace_out);
+    rec.emplace(*sink, opt.trace_epoch);
+    rec->register_source(
+        [&hierarchy](StatSet& s) { hierarchy.export_stats(s); });
+    hierarchy.set_trace(&*rec);
+    if (scheme != nullptr) scheme->set_trace(&*rec);
+    controller.set_trace(&*rec);
+  }
   controller.force(hw_always_on(v));  // Selective starts OFF; toggles drive it
   cpu::TimingModel cpu(m.cpu, hierarchy, controller);
+  if (rec) {
+    rec->register_source([&cpu](StatSet& s) { cpu.export_stats(s); });
+    rec->register_source(
+        [&controller](StatSet& s) { controller.export_stats(s); });
+  }
 
   // 3. Execute.
   codegen::DataEnv env(product, {.seed = opt.data_seed});
   codegen::TraceEngine engine(product, env, cpu);
   engine.run();
+  if (rec) rec->finish();
 
   // 4. Collect.
   RunResult r;
@@ -85,53 +110,85 @@ RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
   return r;
 }
 
+namespace {
+
+/// Append one workload's five recordings to `traces` in kAllVersions order
+/// (the trace half of the determinism contract).
+void append_captures(const workloads::WorkloadInfo& w,
+                     std::array<trace::Recording, 5>& recs,
+                     std::vector<TraceCapture>* traces) {
+  if (traces == nullptr) return;
+  for (std::size_t i = 0; i < kAllVersions.size(); ++i)
+    traces->push_back({w.name, kAllVersions[i], std::move(recs[i])});
+}
+
+}  // namespace
+
 ImprovementRow improvements_for(const workloads::WorkloadInfo& w,
                                 const MachineConfig& m, const RunOptions& opt,
-                                const ParallelSweepOptions& par) {
+                                const ParallelSweepOptions& par,
+                                std::vector<TraceCapture>* traces) {
   std::array<RunResult, 5> results;
+  std::array<trace::Recording, 5> recs;
+  const bool tracing = traces != nullptr;
   if (par.num_threads > 1) {
     support::ThreadPool pool(par.num_threads);
     std::array<std::future<RunResult>, 5> futures;
     for (std::size_t i = 0; i < kAllVersions.size(); ++i)
       futures[i] = pool.submit(
-          [&w, &m, v = kAllVersions[i], &opt] { return run_version(w, m, v, opt); });
+          [&w, &m, v = kAllVersions[i], &opt,
+           tr = tracing ? &recs[i] : nullptr] {
+            return run_version(w, m, v, opt, tr);
+          });
     for (std::size_t i = 0; i < kAllVersions.size(); ++i)
       results[i] = futures[i].get();
   } else {
     for (std::size_t i = 0; i < kAllVersions.size(); ++i)
-      results[i] = run_version(w, m, kAllVersions[i], opt);
+      results[i] = run_version(w, m, kAllVersions[i], opt,
+                               tracing ? &recs[i] : nullptr);
   }
+  append_captures(w, recs, traces);
   return make_row(w, results);
 }
 
 std::vector<ImprovementRow> sweep_suite(const MachineConfig& m,
                                         const RunOptions& opt,
-                                        const ParallelSweepOptions& par) {
+                                        const ParallelSweepOptions& par,
+                                        std::vector<TraceCapture>* traces) {
   const auto& suite = workloads::all_workloads();
   std::vector<ImprovementRow> rows;
   rows.reserve(suite.size());
 
   if (par.num_threads <= 1) {
-    for (const auto& w : suite) rows.push_back(improvements_for(w, m, opt));
+    for (const auto& w : suite)
+      rows.push_back(improvements_for(w, m, opt, {}, traces));
     return rows;
   }
 
   // Fan out every (workload, version) pair as one task — 13x5 independent
   // simulations, each owning its full machine state. Futures are collected
   // in submission order, so assembly below is deterministic no matter how
-  // the pool schedules the work.
+  // the pool schedules the work. Trace recordings follow the same contract:
+  // each task writes its own pre-allocated slot; captures are appended in
+  // (workload, version) order afterwards.
   support::ThreadPool pool(par.num_threads);
   std::vector<std::array<std::future<RunResult>, 5>> futures(suite.size());
+  std::vector<std::array<trace::Recording, 5>> recs(
+      traces != nullptr ? suite.size() : 0);
   for (std::size_t wi = 0; wi < suite.size(); ++wi)
     for (std::size_t vi = 0; vi < kAllVersions.size(); ++vi)
-      futures[wi][vi] = pool.submit([&w = suite[wi], &m, v = kAllVersions[vi],
-                                     &opt] { return run_version(w, m, v, opt); });
+      futures[wi][vi] = pool.submit(
+          [&w = suite[wi], &m, v = kAllVersions[vi], &opt,
+           tr = traces != nullptr ? &recs[wi][vi] : nullptr] {
+            return run_version(w, m, v, opt, tr);
+          });
 
   for (std::size_t wi = 0; wi < suite.size(); ++wi) {
     std::array<RunResult, 5> results;
     for (std::size_t vi = 0; vi < kAllVersions.size(); ++vi)
       results[vi] = futures[wi][vi].get();
     rows.push_back(make_row(suite[wi], results));
+    if (traces != nullptr) append_captures(suite[wi], recs[wi], traces);
   }
   return rows;
 }

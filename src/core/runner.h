@@ -12,6 +12,7 @@
 #include <map>
 
 #include "core/versions.h"
+#include "trace/sink.h"
 #include "workloads/registry.h"
 
 namespace selcache::core {
@@ -21,6 +22,9 @@ struct RunOptions {
   transform::OptimizeOptions optimize{};
   bool classify_misses = false;  ///< maintain the 3C shadow (Table 2 column)
   std::uint64_t data_seed = 0x5e1c4c4eULL;
+  /// Epoch length (demand accesses per metrics snapshot) when a trace
+  /// recording is requested; ignored otherwise.
+  std::uint64_t trace_epoch = 10000;
 };
 
 /// How to schedule the independent simulations of a sweep.
@@ -40,9 +44,20 @@ struct RunResult {
   StatSet stats;
 };
 
-/// Simulate one version of one workload on one machine.
+/// Simulate one version of one workload on one machine. When `trace_out` is
+/// non-null the run records a phase trace into it (epoch metrics every
+/// opt.trace_epoch accesses plus discrete toggle/decay/bypass/promotion
+/// events); pass nullptr for an untraced run at full speed.
 RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
-                      Version v, const RunOptions& opt = {});
+                      Version v, const RunOptions& opt = {},
+                      trace::Recording* trace_out = nullptr);
+
+/// One (workload, version) phase-trace recording from a sweep.
+struct TraceCapture {
+  std::string workload;
+  Version version = Version::Base;
+  trace::Recording recording;
+};
 
 /// Improvements (%) of the four evaluated versions over Base for one
 /// workload on one machine — one bar group of Figures 4-9.
@@ -60,18 +75,26 @@ struct ImprovementRow {
   StatSet stats;
 };
 
+/// When `traces` is non-null, every per-version run is traced and its
+/// recording appended in fixed version order (the determinism contract
+/// extends to traces: each task records privately; captures are appended
+/// in kAllVersions order regardless of scheduling).
 ImprovementRow improvements_for(const workloads::WorkloadInfo& w,
                                 const MachineConfig& m,
                                 const RunOptions& opt = {},
-                                const ParallelSweepOptions& par = {});
+                                const ParallelSweepOptions& par = {},
+                                std::vector<TraceCapture>* traces = nullptr);
 
 /// Whole-suite sweep (all 13 benchmarks) for one machine+scheme. With
 /// par.num_threads > 1 the 13x5 independent simulations fan out over a
 /// worker pool; results are merged in workload order and are bit-identical
-/// to the serial sweep.
+/// to the serial sweep. `traces` (optional) collects per-(workload, version)
+/// recordings in (workload, version) order — also bit-identical across
+/// thread counts.
 std::vector<ImprovementRow> sweep_suite(const MachineConfig& m,
                                         const RunOptions& opt = {},
-                                        const ParallelSweepOptions& par = {});
+                                        const ParallelSweepOptions& par = {},
+                                        std::vector<TraceCapture>* traces = nullptr);
 
 /// Average of a version's improvement across rows, optionally filtered by
 /// category (nullptr = all).

@@ -113,13 +113,16 @@ void TimingModel::branch(Addr pc, bool taken) {
     branch_stall_ += cfg_.mispredict_penalty;
 }
 
-void TimingModel::toggle(bool on) {
+void TimingModel::toggle(bool on, std::int32_t region) {
+  // The captured trace stores region + 1 in `value` so a region-less toggle
+  // (region -1) round-trips through the unsigned field as 0.
   if (trace_ != nullptr)
     trace_->push_back({TraceEvent::Kind::Toggle,
-                       static_cast<std::uint8_t>(on ? 1 : 0), 0, 0});
+                       static_cast<std::uint8_t>(on ? 1 : 0),
+                       static_cast<std::uint32_t>(region + 1), 0});
   retire_slots(1);
   toggle_stall_ += cfg_.toggle_latency;
-  controller_.toggle(on);
+  controller_.toggle(on, region);
 }
 
 void TimingModel::touch_code(Addr pc, std::uint32_t n_instr) {

@@ -36,7 +36,7 @@ struct TraceEvent {
     Load,     ///< addr; flags bit0 = dependent
     Store,    ///< addr
     Branch,   ///< addr = pc; flags bit0 = taken
-    Toggle,   ///< flags bit0 = on
+    Toggle,   ///< flags bit0 = on; value = static region id + 1 (0 = none)
     Ifetch    ///< addr = pc; value = instruction count
   };
   Kind kind = Kind::Compute;
@@ -83,8 +83,9 @@ class TimingModel {
 
   /// One activate/deactivate instruction: flips the controller and pays the
   /// documented overhead (§4.1: "the performance overhead of ON/OFF
-  /// instructions have also been taken into account").
-  void toggle(bool on);
+  /// instructions have also been taken into account"). `region` is the
+  /// static source-region id the marker belongs to (-1 = unattributed).
+  void toggle(bool on, std::int32_t region = -1);
 
   /// Fetch the code block(s) for `n_instr` instructions located at `pc`.
   void touch_code(Addr pc, std::uint32_t n_instr);

@@ -1,6 +1,7 @@
 #include "hw/bypass_scheme.h"
 
 #include "support/check.h"
+#include "trace/recorder.h"
 
 namespace selcache::hw {
 
@@ -12,6 +13,11 @@ BypassScheme::BypassScheme(BypassSchemeConfig cfg)
       mat_(cfg.mat),
       sldt_(cfg.sldt),
       buffer_(cfg.buffer_entries, cfg.buffer_block_size) {}
+
+void BypassScheme::set_trace(trace::Recorder* rec) {
+  trace_ = rec;
+  mat_.set_trace(rec);
+}
 
 void BypassScheme::on_access(Level level, Addr addr, bool /*is_write*/,
                              bool /*hit*/) {
@@ -40,6 +46,10 @@ FillDecision BypassScheme::fill_decision(Level level, Addr addr,
   if (resident >= static_cast<double>(cfg_.min_victim_freq) &&
       resident >= incoming * cfg_.bypass_bias) {
     ++bypasses_;
+    if (trace_ != nullptr)
+      trace_->event({.kind = trace::EventKind::BypassDecision,
+                     .addr = addr,
+                     .level = static_cast<std::uint8_t>(level)});
     return FillDecision::Bypass;
   }
   return FillDecision::Fill;

@@ -36,6 +36,7 @@ class BypassScheme final : public memsys::HwScheme {
 
   std::string_view name() const override { return "bypass"; }
 
+  void set_trace(trace::Recorder* rec) override;
   void on_access(memsys::Level level, Addr addr, bool is_write,
                  bool hit) override;
   std::optional<AuxHit> service_miss(memsys::Level level, Addr addr,
@@ -58,6 +59,7 @@ class BypassScheme final : public memsys::HwScheme {
   Mat mat_;
   Sldt sldt_;
   BypassBuffer buffer_;
+  trace::Recorder* trace_ = nullptr;
   std::uint64_t bypasses_ = 0;
   std::uint64_t widened_ = 0;
 };

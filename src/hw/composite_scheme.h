@@ -23,6 +23,10 @@ class CompositeScheme final : public memsys::HwScheme {
 
   std::string_view name() const override { return "bypass+victim"; }
 
+  void set_trace(trace::Recorder* rec) override {
+    bypass_.set_trace(rec);
+    victim_.set_trace(rec);
+  }
   void on_access(memsys::Level level, Addr addr, bool is_write,
                  bool hit) override;
   std::optional<AuxHit> service_miss(memsys::Level level, Addr addr,

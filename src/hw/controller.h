@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "memsys/hw_hooks.h"
+#include "trace/recorder.h"
 
 namespace selcache::hw {
 
@@ -31,19 +32,33 @@ class Controller {
   /// `scheme` may be null (machine without the hardware mechanism).
   explicit Controller(memsys::HwScheme* scheme) : scheme_(scheme) {}
 
-  /// Execute an activate (ON) or deactivate (OFF) instruction.
-  void toggle(bool on) {
+  /// Execute an activate (ON) or deactivate (OFF) instruction. `region` is
+  /// the static source-region id the marker belongs to (-1 when unknown,
+  /// e.g. hand-written toggles in tests).
+  void toggle(bool on, std::int32_t region = -1) {
     ++toggles_executed_;
     if (scheme_ == nullptr) return;
     if (scheme_->active() != on) ++effective_toggles_;
     scheme_->set_active(on);
+    if (trace_ != nullptr)
+      trace_->event({.kind = trace::EventKind::Toggle,
+                     .region = region,
+                     .on = on});
   }
 
   /// Force the scheme on for the entire run (PureHardware / Combined
-  /// versions) or off (Base / PureSoftware).
+  /// versions) or off (Base / PureSoftware). Emits a synthetic Toggle event
+  /// (region -1) when a recorder is attached so timelines know the run's
+  /// initial state.
   void force(bool on) {
     if (scheme_ != nullptr) scheme_->set_active(on);
+    if (trace_ != nullptr && scheme_ != nullptr)
+      trace_->event(
+          {.kind = trace::EventKind::Toggle, .region = -1, .on = on});
   }
+
+  /// Attach (non-owning) a phase-trace recorder; nullptr detaches.
+  void set_trace(trace::Recorder* rec) { trace_ = rec; }
 
   bool active() const { return scheme_ != nullptr && scheme_->active(); }
   memsys::HwScheme* scheme() const { return scheme_; }
@@ -58,6 +73,7 @@ class Controller {
 
  private:
   memsys::HwScheme* scheme_;
+  trace::Recorder* trace_ = nullptr;
   std::uint64_t toggles_executed_ = 0;
   std::uint64_t effective_toggles_ = 0;
 };

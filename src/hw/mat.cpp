@@ -1,6 +1,7 @@
 #include "hw/mat.h"
 
 #include "support/check.h"
+#include "trace/recorder.h"
 
 namespace selcache::hw {
 
@@ -29,9 +30,14 @@ void Mat::touch(Addr addr) {
   }
   e.count.increment();
 
-  if (cfg_.decay_interval != 0 && ++touches_ % cfg_.decay_interval == 0) {
+  // Count every touch (the energy model charges per table update) even when
+  // periodic decay is disabled.
+  ++touches_;
+  if (cfg_.decay_interval != 0 && touches_ % cfg_.decay_interval == 0) {
     ++decays_;
     for (Entry& t : table_) t.count.decay();
+    if (trace_ != nullptr)
+      trace_->event({.kind = trace::EventKind::MatDecay});
   }
 }
 
@@ -56,6 +62,7 @@ void Mat::clear() {
 }
 
 void Mat::export_stats(StatSet& out) const {
+  out.add("mat.touches", touches_);
   out.add("mat.replacements", replacements_);
   out.add("mat.decays", decays_);
 }

@@ -21,6 +21,10 @@
 #include "support/stats.h"
 #include "support/types.h"
 
+namespace selcache::trace {
+class Recorder;
+}
+
 namespace selcache::hw {
 
 struct MatConfig {
@@ -50,9 +54,14 @@ class Mat {
   void clear();
 
   const MatConfig& config() const { return cfg_; }
+  std::uint64_t touches() const { return touches_; }
   std::uint64_t replacements() const { return replacements_; }
   std::uint64_t decays() const { return decays_; }
   void export_stats(StatSet& out) const;
+
+  /// Attach (non-owning) a phase-trace recorder; decay sweeps become
+  /// discrete events. nullptr detaches.
+  void set_trace(trace::Recorder* rec) { trace_ = rec; }
 
  private:
   struct Entry {
@@ -75,6 +84,7 @@ class Mat {
   Addr entry_mask_ = 0;     ///< entries-1 when entries_pow2_
   bool entries_pow2_ = false;
   std::vector<Entry> table_;
+  trace::Recorder* trace_ = nullptr;
   std::uint64_t touches_ = 0;
   std::uint64_t replacements_ = 0;
   std::uint64_t decays_ = 0;

@@ -1,6 +1,7 @@
 #include "hw/victim_scheme.h"
 
 #include "support/check.h"
+#include "trace/recorder.h"
 
 namespace selcache::hw {
 
@@ -24,6 +25,10 @@ std::optional<memsys::HwScheme::AuxHit> VictimScheme::service_miss(
   if (auto dirty = vc.extract(addr)) {
     // Classic swap: the block is promoted back into the main cache, and the
     // hierarchy will hand us the displaced block via on_eviction.
+    if (trace_ != nullptr)
+      trace_->event({.kind = trace::EventKind::VictimPromotion,
+                     .addr = addr,
+                     .level = static_cast<std::uint8_t>(level)});
     return AuxHit{.extra_latency = cfg_.swap_latency,
                   .promote = true,
                   .dirty = *dirty};

@@ -25,6 +25,7 @@ class VictimScheme final : public memsys::HwScheme {
 
   std::string_view name() const override { return "victim"; }
 
+  void set_trace(trace::Recorder* rec) override { trace_ = rec; }
   void on_access(memsys::Level level, Addr addr, bool is_write,
                  bool hit) override;
   std::optional<AuxHit> service_miss(memsys::Level level, Addr addr,
@@ -43,6 +44,7 @@ class VictimScheme final : public memsys::HwScheme {
   VictimSchemeConfig cfg_;
   memsys::VictimCache l1v_;
   memsys::VictimCache l2v_;
+  trace::Recorder* trace_ = nullptr;
 };
 
 }  // namespace selcache::hw

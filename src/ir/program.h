@@ -7,6 +7,7 @@
 // variants of the same workload.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -38,12 +39,16 @@ struct StmtNode final : Node {
 };
 
 /// An activate/deactivate instruction inserted by region detection.
+/// `region` identifies the static source region the marker delimits
+/// (sequential per program, assigned at insertion; -1 = unattributed).
 struct ToggleNode final : Node {
-  explicit ToggleNode(bool o) : Node(NodeKind::Toggle), on(o) {}
+  explicit ToggleNode(bool o, std::int32_t r = -1)
+      : Node(NodeKind::Toggle), on(o), region(r) {}
   std::unique_ptr<Node> clone() const override {
-    return std::make_unique<ToggleNode>(on);
+    return std::make_unique<ToggleNode>(on, region);
   }
   bool on;
+  std::int32_t region = -1;
 };
 
 struct LoopNode final : Node {

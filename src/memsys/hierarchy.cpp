@@ -1,6 +1,7 @@
 #include "memsys/hierarchy.h"
 
 #include "support/bitutil.h"
+#include "trace/recorder.h"
 
 namespace selcache::memsys {
 
@@ -87,6 +88,14 @@ Cycle Hierarchy::place_l1d(Addr addr, bool is_write,
 }
 
 Cycle Hierarchy::access(Addr addr, AccessKind kind) {
+  const Cycle lat = access_impl(addr, kind);
+  // Epoch clock ticks after the access fully updated its counters, so an
+  // epoch boundary at access N covers exactly accesses [.., N).
+  if (trace_ != nullptr) trace_->note_access();
+  return lat;
+}
+
+Cycle Hierarchy::access_impl(Addr addr, AccessKind kind) {
   if (kind == AccessKind::IFetch) {
     Cycle lat = itlb_.access(addr);
     lat += cfg_.l1i.latency;

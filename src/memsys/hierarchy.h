@@ -58,6 +58,11 @@ class Hierarchy {
   void attach_hw(HwScheme* hw) { hw_ = hw; }
   HwScheme* hw() const { return hw_; }
 
+  /// Attach (non-owning) a phase-trace recorder; nullptr detaches. The
+  /// hierarchy drives the recorder's epoch clock: one tick per completed
+  /// demand access (data and instruction side alike).
+  void set_trace(trace::Recorder* rec) { trace_ = rec; }
+
   /// Perform one demand access; returns the total latency in cycles.
   Cycle access(Addr addr, AccessKind kind);
 
@@ -80,6 +85,10 @@ class Hierarchy {
  private:
   bool hw_active() const { return hw_ != nullptr && hw_->active(); }
 
+  /// The access path proper; access() wraps it so the epoch tick fires
+  /// after the access's counter updates are complete (single return site).
+  Cycle access_impl(Addr addr, AccessKind kind);
+
   /// Fetch the block containing `addr` into L2 (if absent), returning the
   /// added latency beyond the L2 tag check.
   Cycle refill_l2(Addr addr, bool is_write);
@@ -96,6 +105,7 @@ class Hierarchy {
   Tlb dtlb_, itlb_;
   MainMemory mem_;
   HwScheme* hw_ = nullptr;
+  trace::Recorder* trace_ = nullptr;
   std::unique_ptr<MissClassifier> classifier_;
 };
 

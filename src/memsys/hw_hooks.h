@@ -16,6 +16,10 @@
 #include "memsys/cache_config.h"
 #include "support/stats.h"
 
+namespace selcache::trace {
+class Recorder;
+}
+
 namespace selcache::memsys {
 
 /// What to do with a block that is about to be placed in a cache.
@@ -30,6 +34,12 @@ class HwScheme {
   /// Run-time toggle driven by ON/OFF instructions.
   void set_active(bool a) { active_ = a; }
   bool active() const { return active_; }
+
+  /// Attach (non-owning) a phase-trace recorder; nullptr detaches. Schemes
+  /// with sub-components (MAT, nested schemes) propagate the pointer. The
+  /// default ignores tracing — a scheme only overrides this if it has
+  /// discrete events worth reporting.
+  virtual void set_trace(trace::Recorder* rec) { (void)rec; }
 
   /// Observe a demand access at `level` (called only while active).
   virtual void on_access(Level level, Addr addr, bool is_write, bool hit) = 0;

@@ -33,8 +33,19 @@ class SaturatingCounter {
   constexpr T max() const { return max_; }
   constexpr bool saturated() const { return value_ == max_; }
 
-  /// For 2-bit predictor-style use: true when in the upper half of the range.
-  constexpr bool upper_half() const { return value_ > max_ / 2; }
+  /// First value that counts as "upper half": ceil(max / 2), computed
+  /// overflow-safely. For odd max (even-sized range, e.g. 2-bit max=3) this
+  /// is the classic max/2 + 1 = 2, splitting {0,1} / {2,3}. For even max
+  /// (odd-sized range, e.g. max=4) the midpoint value max/2 is *included* in
+  /// the upper half ({0,1} / {2,3,4}), so a counter with an even ceiling
+  /// does not need a strict majority of its range to count as "high".
+  /// (Earlier revisions used `value > max/2`, which for even max silently
+  /// demoted the midpoint and biased those counters low.)
+  constexpr T threshold() const { return max_ / 2 + max_ % 2; }
+
+  /// For 2-bit predictor-style use: true when in the upper half of the range
+  /// (value >= threshold()). See threshold() for the even-max semantics.
+  constexpr bool upper_half() const { return value_ >= threshold(); }
 
  private:
   T max_ = 3;

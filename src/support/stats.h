@@ -5,6 +5,7 @@
 // simulator is single-threaded by design (deterministic replay).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -54,23 +55,73 @@ class StatSet {
 
   void add(const std::string& name, std::uint64_t v) { counters_[name] += v; }
 
+  /// Sum `other`'s counters into this set under `prefix`. Correct for
+  /// combining *independent* sets (e.g. one per version, distinct prefixes).
+  /// WRONG for repeated snapshots of one live component: merging the same
+  /// component twice under one prefix re-adds its cumulative totals and
+  /// double-counts everything since the first merge — use merge_snapshot().
   void merge(const StatSet& other, const std::string& prefix = "") {
     for (const auto& [k, v] : other.counters_) counters_[prefix + k] += v;
   }
 
-  void reset() { counters_.clear(); }
+  /// Merge a *cumulative* snapshot of a live component: only the movement
+  /// since the previous merge_snapshot() of the same prefix is added, so
+  /// epoch-style repeated merges accumulate deltas instead of re-adding
+  /// totals. After any number of snapshots, get(prefix + k) equals the
+  /// component's latest cumulative value.
+  void merge_snapshot(const StatSet& cumulative, const std::string& prefix = "") {
+    for (const auto& [k, v] : cumulative.counters_) {
+      std::uint64_t& seen = snapshot_seen_[prefix + k];
+      // Saturating counters can be reset/cleared between snapshots; treat a
+      // backwards move as no new movement rather than underflowing.
+      if (v > seen) counters_[prefix + k] += v - seen;
+      seen = v;
+    }
+  }
+
+  /// Per-interval difference against an earlier cumulative snapshot of the
+  /// same counters (missing keys in `prev` count as 0). Counters that moved
+  /// backwards (component reset) report 0 for the interval.
+  StatSet delta_from(const StatSet& prev) const {
+    StatSet d;
+    for (const auto& [k, v] : counters_) {
+      const std::uint64_t before = prev.get(k);
+      d.counters_[k] = v > before ? v - before : 0;
+    }
+    return d;
+  }
+
+  void reset() {
+    counters_.clear();
+    snapshot_seen_.clear();
+  }
 
   const std::map<std::string, std::uint64_t>& all() const { return counters_; }
 
  private:
   std::map<std::string, std::uint64_t> counters_;
+  /// Last cumulative value seen per prefixed key by merge_snapshot().
+  std::map<std::string, std::uint64_t> snapshot_seen_;
 };
+
+/// Times improvement_pct() was handed a zero-cycle baseline (degenerate
+/// workload, e.g. an empty trace). Atomic: parallel sweeps call
+/// improvement_pct from worker threads.
+inline std::atomic<std::uint64_t>& improvement_pct_degenerate_count() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
 
 /// Percentage improvement of `candidate` over `baseline` in execution cycles:
 /// positive means candidate is faster. Matches the paper's Figures 4-9 metric.
+/// A zero-cycle baseline (degenerate zero-access workload) yields 0.0 and
+/// bumps improvement_pct_degenerate_count() instead of crashing the sweep.
 inline double improvement_pct(std::uint64_t baseline_cycles,
                               std::uint64_t candidate_cycles) {
-  SELCACHE_CHECK(baseline_cycles > 0);
+  if (baseline_cycles == 0) {
+    improvement_pct_degenerate_count().fetch_add(1, std::memory_order_relaxed);
+    return 0.0;
+  }
   return 100.0 *
          (static_cast<double>(baseline_cycles) -
           static_cast<double>(candidate_cycles)) /

@@ -1,0 +1,52 @@
+// Structured trace events — the discrete half of the observability layer.
+//
+// The simulator's aggregate counters answer "how many"; events answer
+// "when". Each event is stamped by the Recorder with the demand-access
+// index and the epoch it fell into, so a post-pass can line events up
+// against the per-epoch counter deltas (see recorder.h) and reconstruct
+// phase behavior: which region toggled the hardware on, when the MAT
+// decayed, which fills were bypassed, which victims were promoted.
+#pragma once
+
+#include <cstdint>
+
+#include "support/types.h"
+
+namespace selcache::trace {
+
+enum class EventKind : std::uint8_t {
+  Toggle,           ///< ON/OFF instruction executed (region = source region)
+  MatDecay,         ///< periodic MAT counter halving swept the table
+  BypassDecision,   ///< a fill was redirected to the bypass buffer
+  VictimPromotion,  ///< a victim-cache hit promoted a block back
+};
+
+inline const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::Toggle: return "toggle";
+    case EventKind::MatDecay: return "mat_decay";
+    case EventKind::BypassDecision: return "bypass";
+    case EventKind::VictimPromotion: return "victim_promotion";
+  }
+  return "?";
+}
+
+struct Event {
+  EventKind kind = EventKind::Toggle;
+  /// Demand-access index at which the event occurred (stamped by Recorder).
+  std::uint64_t access = 0;
+  /// Epoch the event fell into (stamped by Recorder).
+  std::uint64_t epoch = 0;
+  /// Block / word address for memory-side events; 0 for toggles and decays.
+  Addr addr = 0;
+  /// Source region id for toggles (-1 = marker without region provenance).
+  std::int32_t region = -1;
+  /// Toggle direction (true = ON); unused for other kinds.
+  bool on = false;
+  /// Cache level for memory-side events: 0 = L1D, 1 = L1I, 2 = L2.
+  std::uint8_t level = 0;
+
+  bool operator==(const Event&) const = default;
+};
+
+}  // namespace selcache::trace

@@ -1,0 +1,115 @@
+#include "trace/jsonl.h"
+
+#include <cstdio>
+
+namespace selcache::trace {
+
+namespace {
+
+const char* level_name(std::uint8_t level) {
+  switch (level) {
+    case 0: return "l1d";
+    case 1: return "l1i";
+    case 2: return "l2";
+  }
+  return "?";
+}
+
+void append_tag(std::string& out, const SimTag& tag) {
+  out += "{\"workload\":\"";
+  out += json_escape(tag.workload);
+  out += "\",\"version\":\"";
+  out += json_escape(tag.version);
+  out += "\"";
+}
+
+void append_u64(std::string& out, const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string events_jsonl(const Recording& rec, const SimTag& tag) {
+  std::string out;
+  for (const Event& e : rec.events) {
+    append_tag(out, tag);
+    out += ",\"kind\":\"";
+    out += to_string(e.kind);
+    out += "\"";
+    append_u64(out, "epoch", e.epoch);
+    append_u64(out, "access", e.access);
+    switch (e.kind) {
+      case EventKind::Toggle: {
+        out += e.on ? ",\"on\":true" : ",\"on\":false";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), ",\"region\":%d", e.region);
+        out += buf;
+        break;
+      }
+      case EventKind::MatDecay:
+        break;
+      case EventKind::BypassDecision:
+      case EventKind::VictimPromotion:
+        append_u64(out, "addr", e.addr);
+        out += ",\"level\":\"";
+        out += level_name(e.level);
+        out += "\"";
+        break;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string metrics_jsonl(const Recording& rec, const SimTag& tag) {
+  std::string out;
+  for (const EpochRecord& r : rec.epochs) {
+    append_tag(out, tag);
+    append_u64(out, "epoch", r.index);
+    append_u64(out, "start", r.start_access);
+    append_u64(out, "end", r.end_access);
+    out += ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [k, v] : r.deltas.all()) {
+      if (v == 0) continue;  // epochs are sparse; zero deltas carry no info
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += json_escape(k);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "\":%llu",
+                    static_cast<unsigned long long>(v));
+      out += buf;
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+}  // namespace selcache::trace

@@ -1,0 +1,116 @@
+#include "trace/timeline.h"
+
+#include <cstdio>
+
+#include "support/table.h"
+
+namespace selcache::trace {
+
+std::vector<TimelineRow> build_timeline(const Recording& rec) {
+  std::vector<TimelineRow> rows;
+  rows.reserve(rec.epochs.size());
+
+  // Region / ON-OFF state is carried forward across epochs; events are in
+  // emission order, each stamped with the epoch it fell into.
+  std::size_t cursor = 0;
+  std::int32_t region = -1;
+  bool hw_on = false;
+
+  for (const EpochRecord& er : rec.epochs) {
+    TimelineRow row;
+    row.epoch = er.index;
+    row.start_access = er.start_access;
+    row.end_access = er.end_access;
+    row.l1d_hits = er.deltas.get("l1d.hits");
+    row.l1d_misses = er.deltas.get("l1d.misses");
+    row.l1d_fills = er.deltas.get("l1d.fills");
+    row.bypasses = er.deltas.get("bypass.bypasses");
+    row.mat_decays = er.deltas.get("mat.decays");
+    row.promotions =
+        er.deltas.get("victim_l1.hits") + er.deltas.get("victim_l2.hits");
+
+    for (; cursor < rec.events.size() && rec.events[cursor].epoch <= er.index;
+         ++cursor) {
+      const Event& e = rec.events[cursor];
+      if (e.kind != EventKind::Toggle) continue;
+      ++row.toggles;
+      hw_on = e.on;
+      if (e.on) region = e.region;
+    }
+    row.region = region;
+    row.hw_on = hw_on;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string timeline_table(const std::string& title,
+                           const std::vector<TimelineRow>& rows) {
+  TextTable t({"epoch", "accesses", "region", "hw", "L1D miss%", "bypass%",
+               "toggles", "decays", "promos"});
+  for (const TimelineRow& r : rows) {
+    char span[64];
+    std::snprintf(span, sizeof(span), "%llu-%llu",
+                  static_cast<unsigned long long>(r.start_access),
+                  static_cast<unsigned long long>(r.end_access));
+    t.add_row({std::to_string(r.epoch), span,
+               r.region < 0 ? "-" : std::to_string(r.region),
+               r.hw_on ? "on" : "off",
+               TextTable::num(100.0 * r.l1d_miss_rate()),
+               TextTable::num(100.0 * r.bypass_fraction()),
+               std::to_string(r.toggles), std::to_string(r.mat_decays),
+               std::to_string(r.promotions)});
+  }
+  return title + "\n" + t.str();
+}
+
+std::string timeline_csv_header() {
+  return "workload,version,epoch,start_access,end_access,region,hw_on,"
+         "l1d_hits,l1d_misses,l1d_fills,bypasses,l1d_miss_rate,"
+         "bypass_fraction,toggles,mat_decays,promotions\n";
+}
+
+namespace {
+
+/// Quote a CSV field when it contains a delimiter (workload "TPC-D,Q6").
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"") == std::string::npos) return s;
+  std::string quoted = "\"";
+  for (char c : s) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string timeline_csv(const std::vector<TimelineRow>& rows,
+                         const std::string& workload,
+                         const std::string& version) {
+  std::string out;
+  const std::string wl = csv_field(workload);
+  for (const TimelineRow& r : rows) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s,%s,%llu,%llu,%llu,%d,%d,%llu,%llu,%llu,%llu,%.6f,%.6f,%llu,"
+        "%llu,%llu\n",
+        wl.c_str(), version.c_str(),
+        static_cast<unsigned long long>(r.epoch),
+        static_cast<unsigned long long>(r.start_access),
+        static_cast<unsigned long long>(r.end_access), r.region,
+        r.hw_on ? 1 : 0, static_cast<unsigned long long>(r.l1d_hits),
+        static_cast<unsigned long long>(r.l1d_misses),
+        static_cast<unsigned long long>(r.l1d_fills),
+        static_cast<unsigned long long>(r.bypasses), r.l1d_miss_rate(),
+        r.bypass_fraction(), static_cast<unsigned long long>(r.toggles),
+        static_cast<unsigned long long>(r.mat_decays),
+        static_cast<unsigned long long>(r.promotions));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace selcache::trace

@@ -142,6 +142,25 @@ TEST(Runner, ImprovementRowCoversAllVersions) {
             row.pct.at(Version::Combined) - 0.5);
 }
 
+TEST(Runner, EmptyWorkloadSweepIsDegenerateNotFatal) {
+  // A workload that executes zero cycles (empty program) used to crash the
+  // whole sweep via the improvement_pct() zero-baseline check. It now
+  // reports 0% for every version and bumps the degenerate-call counter.
+  const workloads::WorkloadInfo w{
+      "empty", "none", workloads::Category::Mixed,
+      [] {
+        ir::ProgramBuilder b("empty");
+        return b.finish();
+      },
+      0.0, 0.0, 0.0};
+  const std::uint64_t before = improvement_pct_degenerate_count().load();
+  ImprovementRow row;
+  ASSERT_NO_THROW(row = improvements_for(w, base_machine()));
+  EXPECT_EQ(row.base_cycles, 0u);
+  for (const auto& [v, pct] : row.pct) EXPECT_DOUBLE_EQ(pct, 0.0);
+  EXPECT_GT(improvement_pct_degenerate_count().load(), before);
+}
+
 TEST(Runner, AverageImprovementFilters) {
   std::vector<ImprovementRow> rows(2);
   rows[0].category = workloads::Category::Regular;

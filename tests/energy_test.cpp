@@ -39,6 +39,43 @@ TEST(Energy, MissierRunCostsMore) {
             estimate_energy(big.stats).total());
 }
 
+TEST(Energy, ChargesMatPerTableUpdateNotPerBypass) {
+  // The MAT spends energy on every table update. bypass.bypasses (the old
+  // proxy) can be zero for a well-cached phase even though the table was
+  // touched millions of times — the charge must follow mat.touches.
+  StatSet s;
+  s.counter("mat.touches") = 1000000;
+  s.counter("bypass.bypasses") = 0;
+  const EnergyParams p;
+  const EnergyBreakdown e = estimate_energy(s, p);
+  EXPECT_DOUBLE_EQ(e.aux, p.mat_touch * 1e6);
+}
+
+TEST(Energy, CounterExclusivityHoldsInRealRuns) {
+  // The energy sum charges each tier once per event that actually reached
+  // it. That is only sound if the counters partition: an L1D miss is
+  // serviced by EXACTLY ONE of the bypass buffer, the L1 victim cache, or
+  // an L2 probe; an L2 miss by EXACTLY ONE of the L2 victim cache or
+  // memory. Pin the two invariants on full runs of both hardware schemes.
+  const auto& w = workloads::workload("Chaos");
+  for (const hw::SchemeKind kind :
+       {hw::SchemeKind::Bypass, hw::SchemeKind::Victim,
+        hw::SchemeKind::Composite}) {
+    RunOptions opt;
+    opt.scheme = kind;
+    const RunResult r =
+        run_version(w, base_machine(), Version::Combined, opt);
+    const StatSet& s = r.stats;
+    EXPECT_EQ(s.get("l2.hits") + s.get("l2.misses"),
+              s.get("l1d.misses") + s.get("l1i.misses") -
+                  s.get("bypass_buffer.hits") - s.get("victim_l1.hits"))
+        << "L2-probe exclusivity, scheme " << static_cast<int>(kind);
+    EXPECT_EQ(s.get("mem.reads"),
+              s.get("l2.misses") - s.get("victim_l2.hits"))
+        << "memory exclusivity, scheme " << static_cast<int>(kind);
+  }
+}
+
 TEST(Energy, SoftwareOptimizationSavesEnergy) {
   // Fewer memory-system events after locality optimization -> less energy.
   const auto& w = workloads::workload("Vpenta");

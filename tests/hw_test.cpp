@@ -5,6 +5,7 @@
 #include "hw/bypass_scheme.h"
 #include "hw/controller.h"
 #include "hw/victim_scheme.h"
+#include "trace/recorder.h"
 
 namespace selcache::hw {
 namespace {
@@ -241,6 +242,111 @@ TEST(Controller, ForceOverridesState) {
   c.force(true);
   EXPECT_TRUE(c.active());
   EXPECT_EQ(c.toggles_executed(), 0u);  // force is not an instruction
+}
+
+TEST(Mat, CountsTouchesEvenWithDecayDisabled) {
+  // The energy model charges per table update, so touches must be counted
+  // even when decay_interval = 0 skips the decay bookkeeping entirely.
+  Mat m(MatConfig{.entries = 16, .macro_block_size = 1024, .counter_max = 255,
+                  .decay_interval = 0});
+  for (int i = 0; i < 10; ++i) m.touch(i * 64);
+  EXPECT_EQ(m.touches(), 10u);
+  StatSet s;
+  m.export_stats(s);
+  EXPECT_EQ(s.get("mat.touches"), 10u);
+  EXPECT_EQ(s.get("mat.decays"), 0u);
+}
+
+TEST(Mat, EpochSnapshotsAccumulateDeltasNotTotals) {
+  // The epoch recorder snapshots cumulative export_stats repeatedly; the
+  // aggregate must equal the latest cumulative value, not the sum of every
+  // snapshot (which plain merge() would produce).
+  Mat m(MatConfig{.entries = 16, .macro_block_size = 1024, .counter_max = 255,
+                  .decay_interval = 4});
+  StatSet agg, wrong;
+
+  for (int i = 0; i < 8; ++i) m.touch(0);  // epoch 1: 2 decays
+  StatSet cum1;
+  m.export_stats(cum1);
+  agg.merge_snapshot(cum1, "");
+  wrong.merge(cum1, "");
+  EXPECT_EQ(agg.get("mat.decays"), 2u);
+
+  for (int i = 0; i < 4; ++i) m.touch(0);  // epoch 2: 1 more decay
+  StatSet cum2;
+  m.export_stats(cum2);
+  EXPECT_EQ(cum2.delta_from(cum1).get("mat.decays"), 1u);
+  EXPECT_EQ(cum2.delta_from(cum1).get("mat.touches"), 4u);
+  agg.merge_snapshot(cum2, "");
+  wrong.merge(cum2, "");
+
+  EXPECT_EQ(agg.get("mat.decays"), m.decays());
+  EXPECT_EQ(agg.get("mat.touches"), m.touches());
+  EXPECT_EQ(wrong.get("mat.decays"), 5u);  // the double-count this replaces
+}
+
+TEST(Mat, DecayEmitsTraceEvent) {
+  trace::Recording out;
+  trace::MemorySink sink(out);
+  trace::Recorder rec(sink, 1000);
+  Mat m(MatConfig{.entries = 16, .macro_block_size = 1024, .counter_max = 255,
+                  .decay_interval = 4});
+  m.set_trace(&rec);
+  for (int i = 0; i < 8; ++i) m.touch(0);
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_EQ(out.events[0].kind, trace::EventKind::MatDecay);
+  EXPECT_EQ(out.events[1].kind, trace::EventKind::MatDecay);
+}
+
+TEST(Controller, EmitsToggleEventsWithRegionProvenance) {
+  trace::Recording out;
+  trace::MemorySink sink(out);
+  trace::Recorder rec(sink, 1000);
+  VictimScheme s(VictimSchemeConfig{});
+  Controller c(&s);
+  c.set_trace(&rec);
+  c.force(true);      // synthetic event so the timeline knows initial state
+  c.toggle(false, 7);  // instruction toggle carries its source region
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_EQ(out.events[0].kind, trace::EventKind::Toggle);
+  EXPECT_TRUE(out.events[0].on);
+  EXPECT_EQ(out.events[0].region, -1);  // force has no region provenance
+  EXPECT_EQ(out.events[1].kind, trace::EventKind::Toggle);
+  EXPECT_FALSE(out.events[1].on);
+  EXPECT_EQ(out.events[1].region, 7);
+}
+
+TEST(BypassScheme, BypassEmitsTraceEventWithAddress) {
+  trace::Recording out;
+  trace::MemorySink sink(out);
+  trace::Recorder rec(sink, 1000);
+  BypassScheme s(test_bypass_config());
+  s.set_trace(&rec);
+  s.set_active(true);
+  const Addr hot = 0, cold = 64 * 1024;
+  for (int i = 0; i < 100; ++i) s.on_access(Level::L1D, hot, false, true);
+  EXPECT_EQ(s.fill_decision(Level::L1D, cold, hot), FillDecision::Bypass);
+  ASSERT_FALSE(out.events.empty());
+  const trace::Event& e = out.events.back();
+  EXPECT_EQ(e.kind, trace::EventKind::BypassDecision);
+  EXPECT_EQ(e.addr, cold);
+  EXPECT_EQ(e.level, 0u);  // L1D
+}
+
+TEST(VictimScheme, PromotionEmitsTraceEvent) {
+  trace::Recording out;
+  trace::MemorySink sink(out);
+  trace::Recorder rec(sink, 1000);
+  VictimScheme s(VictimSchemeConfig{});
+  s.set_trace(&rec);
+  s.set_active(true);
+  s.on_eviction(Level::L1D, 0x400, false);
+  auto aux = s.service_miss(Level::L1D, 0x400, false);
+  ASSERT_TRUE(aux.has_value());
+  EXPECT_TRUE(aux->promote);
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].kind, trace::EventKind::VictimPromotion);
+  EXPECT_EQ(out.events[0].addr, 0x400u);
 }
 
 }  // namespace

@@ -148,6 +148,46 @@ TEST(Saturating, UpperHalf) {
   EXPECT_FALSE(c.upper_half());
 }
 
+// threshold() = ceil(max/2): exhaustive upper_half() partition over odd and
+// even ceilings. The even-max cases are the regression: `value > max/2`
+// would demote the midpoint (e.g. max=4, value=2).
+struct UpperHalfCase {
+  std::uint32_t max;
+  std::uint32_t threshold;  ///< first value in the upper half
+};
+
+class SaturatingThreshold : public ::testing::TestWithParam<UpperHalfCase> {};
+
+TEST_P(SaturatingThreshold, PartitionMatchesThreshold) {
+  const UpperHalfCase p = GetParam();
+  SaturatingCounter<std::uint32_t> c(p.max, 0);
+  EXPECT_EQ(c.threshold(), p.threshold);
+  for (std::uint32_t v = 0; v <= p.max; ++v) {
+    c.reset(v);
+    EXPECT_EQ(c.upper_half(), v >= p.threshold)
+        << "max=" << p.max << " value=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddAndEvenMax, SaturatingThreshold,
+    ::testing::Values(UpperHalfCase{1, 1},    // 1-bit
+                      UpperHalfCase{2, 1},    // even: midpoint 1 included
+                      UpperHalfCase{3, 2},    // 2-bit bimodal
+                      UpperHalfCase{4, 2},    // even: midpoint 2 included
+                      UpperHalfCase{15, 8},   // SLDT default
+                      UpperHalfCase{16, 8},   // even SLDT-style ceiling
+                      UpperHalfCase{255, 128}));
+
+TEST(Saturating, ThresholdDoesNotOverflowAtTypeMax) {
+  SaturatingCounter<std::uint8_t> c(255, 0);
+  EXPECT_EQ(c.threshold(), 128);  // (max+1)/2 would wrap uint8 to 0
+  c.reset(128);
+  EXPECT_TRUE(c.upper_half());
+  c.reset(127);
+  EXPECT_FALSE(c.upper_half());
+}
+
 TEST(Saturating, IncrementByAmountSaturates) {
   SaturatingCounter<std::uint32_t> c(10, 8);
   c.increment(5);
@@ -190,7 +230,53 @@ TEST(Stats, ImprovementPct) {
   EXPECT_DOUBLE_EQ(improvement_pct(100, 80), 20.0);
   EXPECT_DOUBLE_EQ(improvement_pct(100, 120), -20.0);
   EXPECT_DOUBLE_EQ(improvement_pct(100, 100), 0.0);
-  EXPECT_THROW(improvement_pct(0, 1), std::logic_error);
+}
+
+// A zero-cycle baseline (empty workload) must not crash a sweep: it reports
+// 0.0 and bumps the degenerate-call counter so the caller can warn.
+TEST(Stats, ImprovementPctZeroBaselineIsDegenerateNotFatal) {
+  const std::uint64_t before = improvement_pct_degenerate_count().load();
+  EXPECT_DOUBLE_EQ(improvement_pct(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(0, 0), 0.0);
+  EXPECT_EQ(improvement_pct_degenerate_count().load(), before + 2);
+}
+
+TEST(Stats, MergeSnapshotAccumulatesDeltasNotTotals) {
+  StatSet live;  // stands in for a component's cumulative counters
+  live.counter("decays") = 3;
+  live.counter("hits") = 10;
+
+  StatSet agg;
+  agg.merge_snapshot(live, "mat.");
+  EXPECT_EQ(agg.get("mat.decays"), 3u);
+
+  // The component keeps counting; a second snapshot of the SAME prefix must
+  // add only the movement. Plain merge() would re-add the cumulative 5 and
+  // report 8.
+  live.counter("decays") = 5;
+  live.counter("hits") = 25;
+  agg.merge_snapshot(live, "mat.");
+  EXPECT_EQ(agg.get("mat.decays"), 5u);
+  EXPECT_EQ(agg.get("mat.hits"), 25u);
+
+  // A counter that moved backwards (component reset) contributes nothing.
+  live.counter("hits") = 4;
+  agg.merge_snapshot(live, "mat.");
+  EXPECT_EQ(agg.get("mat.hits"), 25u);
+}
+
+TEST(Stats, DeltaFromReportsPerIntervalMovement) {
+  StatSet prev, now;
+  prev.counter("a") = 10;
+  now.counter("a") = 17;
+  now.counter("b") = 4;  // new key: whole value is the delta
+  const StatSet d = now.delta_from(prev);
+  EXPECT_EQ(d.get("a"), 7u);
+  EXPECT_EQ(d.get("b"), 4u);
+  // Backwards movement clamps to 0 rather than underflowing.
+  StatSet later;
+  later.counter("a") = 5;
+  EXPECT_EQ(later.delta_from(now).get("a"), 0u);
 }
 
 TEST(Table, FormatsAligned) {

@@ -3,10 +3,14 @@
 
 Usage:
     check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.15]
+    check_bench_regression.py --self-test
 
 Fails (exit 1) when:
   * either file is missing expected schema keys (a truncated or stale
     bench_throughput run would otherwise sail through the ratio checks),
+  * a compared metric is zero, negative, or non-numeric in either file —
+    a zero baseline means the baseline itself is broken and must never
+    silently disable the check,
   * the fresh run is not deterministic (parallel rows differed from serial),
   * serial accesses/sec dropped more than --tolerance below the baseline,
   * parallel speedup dropped more than --tolerance below the baseline —
@@ -14,6 +18,10 @@ Fails (exit 1) when:
     a single-core host cannot exhibit parallel speedup.
 
 Absolute wall-clock is NOT compared (hosts differ); throughput ratios are.
+
+`--self-test` exercises the comparison logic against synthetic fixtures
+(zero baselines, flipped better-direction, schema gaps) and exits non-zero
+if any scenario misbehaves; CI runs it so the checker cannot rot.
 """
 import argparse
 import json
@@ -59,55 +67,183 @@ def check_schema(path, data):
     return []
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("fresh")
-    ap.add_argument("--tolerance", type=float, default=0.15,
-                    help="allowed fractional drop (default 0.15 = 15%%)")
-    args = ap.parse_args()
+def _positive_number(value):
+    """True for int/float > 0; bools are not numbers here."""
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and value > 0)
 
-    base = load(args.baseline)
-    fresh = load(args.fresh)
+
+def check_ratio(failures, log, name, baseline, fresh, tolerance,
+                higher_is_better=True):
+    """Compare one strictly-positive metric between baseline and fresh.
+
+    A zero / negative / non-numeric value on EITHER side is a hard failure:
+    the old behavior of skipping the comparison when the baseline was 0 let
+    a corrupt baseline (or a fresh run reporting 0) pass silently.
+    `higher_is_better` selects the regression direction: throughput-style
+    metrics regress downward, latency-style metrics regress upward.
+    """
+    if not _positive_number(baseline):
+        failures.append(f"{name}: baseline value {baseline!r} is not a "
+                        f"positive number (rebuild the baseline)")
+        return
+    if not _positive_number(fresh):
+        failures.append(f"{name}: fresh value {fresh!r} is not a "
+                        f"positive number")
+        return
+    ratio = fresh / baseline
+    log.append(f"{name}: baseline {baseline:.2f}, fresh {fresh:.2f} "
+               f"({ratio:.2f}x)")
+    if higher_is_better:
+        floor = 1.0 - tolerance
+        if ratio < floor:
+            failures.append(f"{name} regressed: {ratio:.2f}x of baseline "
+                            f"(floor {floor:.2f}x)")
+    else:
+        ceiling = 1.0 + tolerance
+        if ratio > ceiling:
+            failures.append(f"{name} regressed: {ratio:.2f}x of baseline "
+                            f"(ceiling {ceiling:.2f}x)")
+
+
+def evaluate(base, fresh, tolerance, base_path="baseline",
+             fresh_path="fresh"):
+    """Pure comparison: returns (failures, log_lines)."""
     failures = []
+    log = []
 
-    failures += check_schema(args.baseline, base)
-    failures += check_schema(args.fresh, fresh)
+    failures += check_schema(base_path, base)
+    failures += check_schema(fresh_path, fresh)
     if failures:
-        for f in failures:
-            print(f"FAIL: {f}", file=sys.stderr)
-        return 1
+        return failures, log
 
     if not fresh.get("deterministic", False):
         failures.append("fresh run was NOT deterministic "
                         "(parallel rows differed from serial)")
 
-    floor = 1.0 - args.tolerance
-    b_aps = base.get("serial_accesses_per_sec", 0)
-    f_aps = fresh.get("serial_accesses_per_sec", 0)
-    if b_aps > 0:
-        ratio = f_aps / b_aps
-        print(f"serial accesses/sec: baseline {b_aps:.0f}, "
-              f"fresh {f_aps:.0f} ({ratio:.2f}x)")
-        if ratio < floor:
-            failures.append(
-                f"serial throughput regressed: {ratio:.2f}x of baseline "
-                f"(floor {floor:.2f}x)")
+    check_ratio(failures, log, "serial accesses/sec",
+                base.get("serial_accesses_per_sec"),
+                fresh.get("serial_accesses_per_sec"), tolerance,
+                higher_is_better=True)
 
     b_threads = base.get("hardware_threads", 1)
     f_threads = fresh.get("hardware_threads", 1)
     if b_threads > 1 and f_threads > 1:
-        b_sp = base.get("speedup", 0)
-        f_sp = fresh.get("speedup", 0)
-        print(f"parallel speedup: baseline {b_sp:.2f}x, fresh {f_sp:.2f}x")
-        if b_sp > 0 and f_sp < b_sp * floor:
-            failures.append(
-                f"parallel speedup regressed: {f_sp:.2f}x vs baseline "
-                f"{b_sp:.2f}x (floor {b_sp * floor:.2f}x)")
+        check_ratio(failures, log, "parallel speedup",
+                    base.get("speedup"), fresh.get("speedup"), tolerance,
+                    higher_is_better=True)
     else:
-        print(f"parallel speedup check skipped "
-              f"(hardware_threads: baseline={b_threads}, fresh={f_threads})")
+        log.append(f"parallel speedup check skipped "
+                   f"(hardware_threads: baseline={b_threads}, "
+                   f"fresh={f_threads})")
 
+    return failures, log
+
+
+def _fixture(**overrides):
+    base = {
+        "benchmark": "bench_throughput",
+        "deterministic": True,
+        "hardware_threads": 8,
+        "parallel_accesses_per_sec": 8.0e7,
+        "parallel_seconds": 1.0,
+        "scheme": "bypass",
+        "serial_accesses_per_sec": 2.0e7,
+        "serial_seconds": 4.0,
+        "simulated_accesses": 80000000,
+        "speedup": 4.0,
+        "threads": 8,
+        "workloads": 13,
+    }
+    base.update(overrides)
+    return base
+
+
+def self_test():
+    """Fixture-driven regression tests for the comparison logic itself."""
+    # (name, base overrides, fresh overrides, tolerance, expect_failures)
+    scenarios = [
+        ("identical runs pass", {}, {}, 0.15, False),
+        ("drop within tolerance passes",
+         {}, {"serial_accesses_per_sec": 1.8e7}, 0.15, False),
+        ("serial throughput regression fails",
+         {}, {"serial_accesses_per_sec": 1.0e7}, 0.15, True),
+        ("zero BASELINE throughput fails (was silently skipped)",
+         {"serial_accesses_per_sec": 0}, {}, 0.15, True),
+        ("zero fresh throughput fails",
+         {}, {"serial_accesses_per_sec": 0}, 0.15, True),
+        ("negative baseline fails",
+         {"serial_accesses_per_sec": -5.0}, {}, 0.15, True),
+        ("boolean metric value fails",
+         {"serial_accesses_per_sec": True}, {}, 0.15, True),
+        ("nondeterministic fresh run fails",
+         {}, {"deterministic": False}, 0.15, True),
+        ("zero baseline speedup on multicore fails (was silently skipped)",
+         {"speedup": 0}, {}, 0.15, True),
+        ("speedup regression fails",
+         {}, {"speedup": 2.0}, 0.15, True),
+        ("single-core host skips speedup without failing",
+         {"hardware_threads": 1, "speedup": 0},
+         {"hardware_threads": 1, "speedup": 0}, 0.15, False),
+        ("missing schema key fails",
+         {}, "drop-speedup", 0.15, True),
+    ]
+    problems = []
+    for name, b_over, f_over, tol, expect_fail in scenarios:
+        base = _fixture(**b_over) if isinstance(b_over, dict) else _fixture()
+        if isinstance(f_over, dict):
+            fresh = _fixture(**f_over)
+        else:  # "drop-speedup": remove a key to trigger the schema check
+            fresh = _fixture()
+            del fresh["speedup"]
+        failures, _ = evaluate(base, fresh, tol)
+        if bool(failures) != expect_fail:
+            problems.append(f"scenario '{name}': expected "
+                            f"{'failures' if expect_fail else 'no failures'},"
+                            f" got {failures!r}")
+
+    # Direction flip: a latency-style metric regresses UPWARD.
+    failures, _ = [], []
+    check_ratio(failures, [], "latency-style metric", 100.0, 130.0, 0.15,
+                higher_is_better=False)
+    if not failures:
+        problems.append("lower-is-better metric increase was not flagged")
+    failures = []
+    check_ratio(failures, [], "latency-style metric", 100.0, 80.0, 0.15,
+                higher_is_better=False)
+    if failures:
+        problems.append(f"lower-is-better improvement was flagged: "
+                        f"{failures!r}")
+
+    if problems:
+        for p in problems:
+            print(f"SELF-TEST FAIL: {p}", file=sys.stderr)
+        return 1
+    print(f"self-test OK ({len(scenarios) + 2} scenarios)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("fresh", nargs="?")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional drop (default 0.15 = 15%%)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the checker's own fixture tests and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.fresh is None:
+        ap.error("BASELINE and FRESH are required unless --self-test")
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    failures, log = evaluate(base, fresh, args.tolerance,
+                             args.baseline, args.fresh)
+    for line in log:
+        print(line)
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)

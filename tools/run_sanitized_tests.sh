@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Configure, build, and run the full test suite under ASan+UBSan.
+# Configure, build, and run the full test suite under ASan+UBSan, then
+# exercise one traced sweep serial vs. parallel and diff the trace output
+# (the observability layer's determinism contract, under sanitizers).
 #
 #   tools/run_sanitized_tests.sh [extra ctest args...]
 #
@@ -14,3 +16,13 @@ cd "$repo"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
 ctest --preset asan-ubsan -j "$(nproc)" "$@"
+
+# Traced serial-vs-parallel sweep: the JSONL/CSV trace directories must be
+# byte-identical regardless of thread count.
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+cli="build-asan/tools/selcache"
+"$cli" sweep --workload Compress --threads 1 --trace-dir "$tracedir/serial"
+"$cli" sweep --workload Compress --threads 4 --trace-dir "$tracedir/parallel"
+diff -r "$tracedir/serial" "$tracedir/parallel"
+echo "traced sweep: serial and parallel outputs identical"

@@ -7,6 +7,8 @@
 //   selcache suite [--machine base] [--scheme bypass] [--threads N]
 //   selcache show --workload Swim [--optimized] [--marked]
 //   selcache run-file PROGRAM.loop [--machine M] [--version V] [--scheme S]
+//   selcache trace WORKLOAD VERSION [--machine M] [--scheme S] [--epoch N]
+//                [--events-out FILE] [--metrics-out FILE] [--csv-out FILE]
 //   selcache trace-record --workload NAME --out FILE [--version V]
 //   selcache trace-replay FILE [--machine M] [--scheme S]
 //   selcache verify [FILE.loop] [--workload NAME] [--version V] [--csv]
@@ -16,6 +18,7 @@
 // diagnostic on stderr.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <set>
@@ -31,6 +34,8 @@
 #include "core/runner.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "trace/jsonl.h"
+#include "trace/timeline.h"
 #include "transform/pipeline.h"
 #include "verify/verifier.h"
 
@@ -44,12 +49,18 @@ int usage() {
                "  selcache list\n"
                "  selcache run   --workload NAME [--machine M] [--version V]"
                " [--scheme S] [--threshold T] [--stats]\n"
-               "  selcache sweep --workload NAME [--machine M] [--scheme S]\n"
+               "  selcache sweep --workload NAME [--machine M] [--scheme S]"
+               " [--threads N]\n"
+               "                 [--trace-dir DIR] [--epoch N]\n"
                "  selcache suite [--machine M] [--scheme S] [--threads N]"
-               " [--verify-pipeline]\n"
+               " [--verify-pipeline] [--trace-dir DIR] [--epoch N]\n"
                "  selcache show  --workload NAME [--optimized] [--marked]\n"
                "  selcache run-file FILE.loop [--machine M] [--version V]"
                " [--scheme S]\n"
+               "  selcache trace WORKLOAD VERSION [--machine M] [--scheme S]"
+               " [--epoch N]\n"
+               "                 [--events-out F] [--metrics-out F]"
+               " [--csv-out F]\n"
                "  selcache trace-record --workload NAME --out FILE"
                " [--version V] [--scheme S]\n"
                "  selcache trace-replay FILE [--machine M] [--scheme S]\n"
@@ -184,6 +195,144 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Parse --epoch into `out` (positive integer). Returns false (after a
+/// diagnostic) on a malformed value; leaves `out` untouched when absent.
+bool parse_epoch_flag(const std::map<std::string, std::string>& flags,
+                      std::uint64_t* out) {
+  if (!flags.count("epoch")) return true;
+  const std::string& e = flags.at("epoch");
+  if (e.empty() || e.find_first_not_of("0123456789") != std::string::npos ||
+      std::stoull(e) == 0) {
+    std::fprintf(stderr,
+                 "selcache: flag '--epoch' expects a positive integer, "
+                 "got '%s'\n",
+                 e.c_str());
+    return false;
+  }
+  *out = std::stoull(e);
+  return true;
+}
+
+/// `selcache trace WORKLOAD VERSION` — run one traced simulation and render
+/// its phase timeline; optionally serialize events/metrics/CSV to files.
+int cmd_trace(const std::string& wname, const std::string& vname,
+              const std::map<std::string, std::string>& flags) {
+  const auto* w = workload_by_name(wname);
+  if (w == nullptr) {
+    std::fprintf(stderr, "selcache: unknown workload '%s'\n", wname.c_str());
+    return 2;
+  }
+  const auto version = version_by_name(vname);
+  if (!version) {
+    std::fprintf(stderr, "selcache: unknown version '%s'\n", vname.c_str());
+    return 2;
+  }
+  const auto machine =
+      machine_by_name(flags.count("machine") ? flags.at("machine") : "");
+  const auto scheme =
+      scheme_by_name(flags.count("scheme") ? flags.at("scheme") : "");
+  if (!machine || !scheme) return usage();
+
+  core::RunOptions opt;
+  opt.scheme = *scheme;
+  if (!parse_epoch_flag(flags, &opt.trace_epoch)) return 2;
+
+  trace::Recording recording;
+  const core::RunResult r =
+      core::run_version(*w, *machine, *version, opt, &recording);
+
+  const trace::SimTag tag{w->name, core::version_key(*version)};
+  if (flags.count("events-out") &&
+      !core::write_text_file(flags.at("events-out"),
+                             trace::events_jsonl(recording, tag))) {
+    std::fprintf(stderr, "selcache: cannot write %s\n",
+                 flags.at("events-out").c_str());
+    return 2;
+  }
+  if (flags.count("metrics-out") &&
+      !core::write_text_file(flags.at("metrics-out"),
+                             trace::metrics_jsonl(recording, tag))) {
+    std::fprintf(stderr, "selcache: cannot write %s\n",
+                 flags.at("metrics-out").c_str());
+    return 2;
+  }
+  const auto rows = trace::build_timeline(recording);
+  if (flags.count("csv-out") &&
+      !core::write_text_file(flags.at("csv-out"),
+                             trace::timeline_csv_header() +
+                                 trace::timeline_csv(rows, tag.workload,
+                                                     tag.version))) {
+    std::fprintf(stderr, "selcache: cannot write %s\n",
+                 flags.at("csv-out").c_str());
+    return 2;
+  }
+
+  std::printf("%s", trace::timeline_table(w->name + " / " + tag.version +
+                                              " (" + machine->name + ", " +
+                                              hw::to_string(*scheme) + ")",
+                                          rows)
+                        .c_str());
+  std::printf("%zu epochs (length %llu), %zu events, %llu cycles\n",
+              recording.epochs.size(),
+              static_cast<unsigned long long>(opt.trace_epoch),
+              recording.events.size(),
+              static_cast<unsigned long long>(r.cycles));
+  return 0;
+}
+
+/// Serialize a batch of trace captures into DIR/{events.jsonl,
+/// metrics.jsonl, timeline.csv}. Captures must already be in fixed
+/// (workload, version) order — concatenation preserves it, which keeps the
+/// files bit-identical across thread counts.
+int write_trace_dir(const std::vector<core::TraceCapture>& traces,
+                    const std::string& dir_flag) {
+  const std::filesystem::path dir = dir_flag;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "selcache: cannot create directory %s: %s\n",
+                 dir.string().c_str(), ec.message().c_str());
+    return 2;
+  }
+  std::string events, metrics, csv = trace::timeline_csv_header();
+  for (const auto& c : traces) {
+    const trace::SimTag tag{c.workload, core::version_key(c.version)};
+    events += trace::events_jsonl(c.recording, tag);
+    metrics += trace::metrics_jsonl(c.recording, tag);
+    csv += trace::timeline_csv(trace::build_timeline(c.recording),
+                               tag.workload, tag.version);
+  }
+  const auto emit = [&dir](const char* file, const std::string& content) {
+    const std::string path = (dir / file).string();
+    if (core::write_text_file(path, content)) return true;
+    std::fprintf(stderr, "selcache: cannot write %s\n", path.c_str());
+    return false;
+  };
+  if (!emit("events.jsonl", events) || !emit("metrics.jsonl", metrics) ||
+      !emit("timeline.csv", csv))
+    return 2;
+  std::printf("phase traces: %zu recordings -> %s\n", traces.size(),
+              dir.string().c_str());
+  return 0;
+}
+
+/// Parse --threads into `par` (non-negative integer). Returns false after a
+/// diagnostic on a malformed value.
+bool parse_threads_flag(const std::map<std::string, std::string>& flags,
+                        core::ParallelSweepOptions* par) {
+  if (!flags.count("threads")) return true;
+  const std::string& t = flags.at("threads");
+  if (t.empty() || t.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr,
+                 "selcache: flag '--threads' expects a non-negative "
+                 "integer, got '%s'\n",
+                 t.c_str());
+    return false;
+  }
+  par->num_threads = static_cast<unsigned>(std::stoul(t));
+  return true;
+}
+
 int cmd_sweep(const std::map<std::string, std::string>& flags) {
   const auto* w = workload_by_name(flags.count("workload")
                                        ? flags.at("workload")
@@ -196,12 +345,19 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
 
   core::RunOptions opt;
   opt.scheme = *scheme;
-  const core::ImprovementRow row = core::improvements_for(*w, *machine, opt);
+  if (!parse_epoch_flag(flags, &opt.trace_epoch)) return 2;
+  core::ParallelSweepOptions par;
+  if (!parse_threads_flag(flags, &par)) return 2;
+  std::vector<core::TraceCapture> traces;
+  const bool tracing = flags.count("trace-dir") > 0;
+  const core::ImprovementRow row = core::improvements_for(
+      *w, *machine, opt, par, tracing ? &traces : nullptr);
   std::printf("%s on %s (%s scheme): base %llu cycles\n", w->name.c_str(),
               machine->name.c_str(), hw::to_string(*scheme),
               static_cast<unsigned long long>(row.base_cycles));
   for (core::Version v : core::kEvaluatedVersions)
     std::printf("  %-14s %+7.2f%%\n", to_string(v), row.pct.at(v));
+  if (tracing) return write_trace_dir(traces, flags.at("trace-dir"));
   return 0;
 }
 
@@ -243,17 +399,8 @@ int cmd_suite(const std::map<std::string, std::string>& flags) {
   core::RunOptions opt;
   opt.scheme = *scheme;
   core::ParallelSweepOptions par;
-  if (flags.count("threads")) {
-    const std::string& t = flags.at("threads");
-    if (t.empty() || t.find_first_not_of("0123456789") != std::string::npos) {
-      std::fprintf(stderr,
-                   "selcache: flag '--threads' expects a non-negative "
-                   "integer, got '%s'\n",
-                   t.c_str());
-      return 2;
-    }
-    par.num_threads = static_cast<unsigned>(std::stoul(t));
-  }
+  if (!parse_threads_flag(flags, &par)) return 2;
+  if (!parse_epoch_flag(flags, &opt.trace_epoch)) return 2;
   if (flags.count("verify-pipeline")) {
     std::vector<const workloads::WorkloadInfo*> ws;
     for (const auto& w : workloads::all_workloads()) ws.push_back(&w);
@@ -268,11 +415,15 @@ int cmd_suite(const std::map<std::string, std::string>& flags) {
     }
     std::printf("pipeline verification: %zu products clean\n", products);
   }
-  const auto rows = core::sweep_suite(*machine, opt, par);
+  std::vector<core::TraceCapture> traces;
+  const bool tracing = flags.count("trace-dir") > 0;
+  const auto rows =
+      core::sweep_suite(*machine, opt, par, tracing ? &traces : nullptr);
   std::printf("%s", core::format_figure(
                         machine->name + " (" + hw::to_string(*scheme) + ")",
                         rows)
                         .c_str());
+  if (tracing) return write_trace_dir(traces, flags.at("trace-dir"));
   return 0;
 }
 
@@ -478,11 +629,20 @@ int main(int argc, char** argv) {
       {"run",
        {"run", {"workload", "machine", "version", "scheme", "threshold"},
         {"stats"}}},
-      {"sweep", {"sweep", {"workload", "machine", "scheme"}, {}}},
+      {"sweep",
+       {"sweep",
+        {"workload", "machine", "scheme", "threads", "trace-dir", "epoch"},
+        {}}},
       {"suite",
-       {"suite", {"machine", "scheme", "threads"}, {"verify-pipeline"}}},
+       {"suite", {"machine", "scheme", "threads", "trace-dir", "epoch"},
+        {"verify-pipeline"}}},
       {"show", {"show", {"workload"}, {"optimized", "marked"}}},
       {"run-file", {"run-file", {"machine", "version", "scheme"}, {}}},
+      {"trace",
+       {"trace",
+        {"machine", "scheme", "epoch", "events-out", "metrics-out",
+         "csv-out"},
+        {}}},
       {"trace-record",
        {"trace-record", {"workload", "out", "version", "scheme"}, {}}},
       {"trace-replay", {"trace-replay", {"machine", "scheme"}, {}}},
@@ -499,8 +659,9 @@ int main(int argc, char** argv) {
   const CommandSpec& spec = spec_it->second;
 
   // trace-replay / run-file take a required positional; verify an optional
-  // one. Flags start after any positional.
-  std::string positional;
+  // one; trace takes two (WORKLOAD VERSION). Flags start after any
+  // positionals.
+  std::string positional, positional2;
   int flag_start = 2;
   const bool requires_file = cmd == "trace-replay" || cmd == "run-file";
   const bool accepts_file = requires_file || cmd == "verify";
@@ -514,6 +675,18 @@ int main(int argc, char** argv) {
                  cmd.c_str());
     return 2;
   }
+  if (cmd == "trace") {
+    if (argc < 4 || std::string(argv[2]).rfind("--", 0) == 0 ||
+        std::string(argv[3]).rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "selcache: 'trace' expects WORKLOAD and VERSION"
+                   " arguments\n");
+      return 2;
+    }
+    positional = argv[2];
+    positional2 = argv[3];
+    flag_start = 4;
+  }
 
   bool ok = true;
   const auto flags = parse_flags(argc, argv, flag_start, spec, &ok);
@@ -525,6 +698,7 @@ int main(int argc, char** argv) {
   if (cmd == "suite") return cmd_suite(flags);
   if (cmd == "show") return cmd_show(flags);
   if (cmd == "run-file") return cmd_run_file(positional, flags);
+  if (cmd == "trace") return cmd_trace(positional, positional2, flags);
   if (cmd == "trace-record") return cmd_trace_record(flags);
   if (cmd == "trace-replay") return cmd_trace_replay(positional, flags);
   return cmd_verify(positional, flags);
