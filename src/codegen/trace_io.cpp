@@ -1,7 +1,10 @@
 #include "codegen/trace_io.h"
 
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "support/check.h"
 
@@ -48,16 +51,33 @@ static_assert(sizeof(Record) == 16, "stable on-disk layout");
 }  // namespace
 
 bool save_trace(const Trace& trace, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out.write(kMagic, sizeof(kMagic));
-  const std::uint64_t n = trace.size();
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  for (const TraceEvent& e : trace) {
-    Record r{static_cast<std::uint8_t>(e.kind), e.flags, 0, e.value, e.addr};
-    out.write(reinterpret_cast<const char*>(&r), sizeof(r));
+  // Crash-safe like core::write_text_file: .tmp sibling + atomic rename, so
+  // a killed run never leaves a truncated trace that load_trace rejects.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(kMagic, sizeof(kMagic));
+    const std::uint64_t n = trace.size();
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    for (const TraceEvent& e : trace) {
+      Record r{static_cast<std::uint8_t>(e.kind), e.flags, 0, e.value, e.addr};
+      out.write(reinterpret_cast<const char*>(&r), sizeof(r));
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
   }
-  return static_cast<bool>(out);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 Trace load_trace(const std::string& path) {

@@ -1,7 +1,10 @@
 #include "core/report.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "support/table.h"
 
@@ -61,10 +64,28 @@ std::string figure_csv(const std::vector<ImprovementRow>& rows) {
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  out << content;
-  return static_cast<bool>(out);
+  // Crash-safe: write a .tmp sibling, then atomically rename over the
+  // target. A run killed mid-write leaves either the old file or nothing —
+  // never a truncated JSONL/CSV that downstream tools would mis-parse.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) return false;
+    out << content;
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::string format_machine(const MachineConfig& m) {

@@ -21,6 +21,10 @@ std::string figure_csv(const std::vector<ImprovementRow>& rows);
 
 /// Write `content` to `path`; returns false (and leaves no partial file
 /// guarantee) on I/O failure.
+/// Write `content` to `path` crash-safely: the bytes land in a `.tmp`
+/// sibling first and are atomically renamed into place, so readers never
+/// observe a truncated file. Returns false (and cleans up the sibling) on
+/// any I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);
 
 }  // namespace selcache::core

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "codegen/trace_engine.h"
+#include "fault/injector.h"
 #include "support/thread_pool.h"
 #include "trace/recorder.h"
 
@@ -66,6 +67,19 @@ RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
   hierarchy.attach_hw(scheme.get());
   hw::Controller controller(scheme.get());
 
+  // Optional fault campaign: the injector lives on this task's stack like
+  // the trace recorder, and attaching it is the only thing that makes any
+  // fault hook non-null. Without it this function compiles down to the
+  // pre-fault-layer simulation.
+  std::optional<fault::Injector> injector;
+  if (opt.fault.enabled() || opt.watchdog_accesses > 0) {
+    injector.emplace(opt.fault, opt.watchdog_accesses);
+    hierarchy.set_fault(&*injector);
+    if (scheme != nullptr) scheme->set_fault(&*injector);
+    controller.set_fault(&*injector);
+  }
+  if (opt.degrade.armed()) controller.set_degrade_policy(opt.degrade);
+
   // Optional phase tracing: attach a recorder BEFORE forcing the initial
   // scheme state, so the timeline starts with the synthetic Toggle event
   // that documents it. The recorder and its sink live on this task's stack:
@@ -87,6 +101,9 @@ RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
     rec->register_source([&cpu](StatSet& s) { cpu.export_stats(s); });
     rec->register_source(
         [&controller](StatSet& s) { controller.export_stats(s); });
+    if (injector)
+      rec->register_source(
+          [&inj = *injector](StatSet& s) { inj.export_stats(s); });
   }
 
   // 3. Execute.
@@ -104,9 +121,14 @@ RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
   if (const auto* c = hierarchy.classifier()) r.conflict_share =
       c->conflict_share();
   r.toggles = controller.toggles_executed();
+  r.degradations = controller.degradations();
   hierarchy.export_stats(r.stats);
   cpu.export_stats(r.stats);
   controller.export_stats(r.stats);
+  if (injector) {
+    r.faults_injected = injector->injected();
+    injector->export_stats(r.stats);
+  }
   return r;
 }
 
@@ -191,6 +213,160 @@ std::vector<ImprovementRow> sweep_suite(const MachineConfig& m,
     if (traces != nullptr) append_captures(suite[wi], recs[wi], traces);
   }
   return rows;
+}
+
+namespace {
+
+/// One guarded (workload, version) cell of a resilient sweep.
+struct CellRun {
+  std::optional<RunResult> result;  ///< nullopt when all attempts failed
+  fault::CellOutcome outcome;
+  trace::Recording recording;  ///< from the successful attempt (if any)
+};
+
+/// Run one cell with retry. Catches everything a simulation can throw —
+/// injected crashes, watchdog kills, internal check failures — so the
+/// caller's sweep loop never unwinds. Each attempt reseeds the injector
+/// deterministically and records into a fresh Recording, so a failed
+/// attempt leaves no partial trace behind.
+CellRun run_cell_guarded(const workloads::WorkloadInfo& w,
+                         const MachineConfig& m, std::size_t vi,
+                         const RunOptions& base_opt,
+                         const FaultSweepOptions& fopt, bool want_trace) {
+  const Version v = kAllVersions[vi];
+  CellRun cell;
+  cell.outcome.workload = w.name;
+  cell.outcome.version = version_key(v);
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    RunOptions opt = base_opt;
+    opt.fault = fopt.fault;
+    opt.fault.seed = fault::task_seed(fopt.fault.seed, w.name,
+                                      static_cast<std::uint32_t>(vi), attempt);
+    opt.watchdog_accesses = fopt.watchdog_accesses;
+    opt.degrade = fopt.degrade;
+    cell.outcome.fault_seed = opt.fault.seed;
+    cell.outcome.attempts = attempt + 1;
+    trace::Recording rec;
+    try {
+      RunResult r = run_version(w, m, v, opt, want_trace ? &rec : nullptr);
+      cell.outcome.status = r.degradations > 0
+                                ? fault::CellOutcome::Status::Degraded
+                                : fault::CellOutcome::Status::Ok;
+      cell.outcome.faults_injected = r.faults_injected;
+      cell.outcome.degradations = r.degradations;
+      cell.outcome.error.clear();
+      cell.result = std::move(r);
+      cell.recording = std::move(rec);
+      return cell;
+    } catch (const std::exception& e) {
+      cell.outcome.status = fault::CellOutcome::Status::Failed;
+      cell.outcome.error = e.what();
+      cell.outcome.faults_injected = 0;
+      cell.outcome.degradations = 0;
+      if (attempt >= fopt.max_retries) return cell;
+    } catch (...) {
+      cell.outcome.status = fault::CellOutcome::Status::Failed;
+      cell.outcome.error = "unknown exception";
+      cell.outcome.faults_injected = 0;
+      cell.outcome.degradations = 0;
+      if (attempt >= fopt.max_retries) return cell;
+    }
+  }
+}
+
+/// make_row over possibly-missing per-version results. A quarantined cell
+/// contributes 0.0 improvement (figure tables always render a full row);
+/// the FailureReport tells readers which numbers to trust.
+ImprovementRow make_row_partial(
+    const workloads::WorkloadInfo& w,
+    const std::array<std::optional<RunResult>, 5>& results) {
+  ImprovementRow row;
+  row.benchmark = w.name;
+  row.category = w.category;
+  row.base_cycles = results[0] ? results[0]->cycles : 0;
+  for (std::size_t i = 0; i < kAllVersions.size(); ++i) {
+    const Version v = kAllVersions[i];
+    if (v != Version::Base)
+      row.pct[v] = results[0] && results[i]
+                       ? improvement_pct(row.base_cycles, results[i]->cycles)
+                       : 0.0;
+    if (results[i]) {
+      row.accesses += l1_accesses(*results[i]);
+      row.stats.merge(results[i]->stats, std::string(version_key(v)) + ".");
+    }
+  }
+  return row;
+}
+
+/// Shared body of the resilient entry points: guard every (workload,
+/// version) cell, then assemble rows / report / captures in fixed order so
+/// the whole ResilientSweep is bit-identical at any thread count.
+ResilientSweep run_resilient(
+    const std::vector<const workloads::WorkloadInfo*>& suite,
+    const MachineConfig& m, const RunOptions& opt,
+    const ParallelSweepOptions& par, const FaultSweepOptions& fopt,
+    std::vector<TraceCapture>* traces) {
+  const bool tracing = traces != nullptr;
+  std::vector<std::array<CellRun, 5>> cells(suite.size());
+
+  if (par.num_threads > 1) {
+    support::ThreadPool pool(par.num_threads);
+    std::vector<std::array<std::future<CellRun>, 5>> futures(suite.size());
+    for (std::size_t wi = 0; wi < suite.size(); ++wi)
+      for (std::size_t vi = 0; vi < kAllVersions.size(); ++vi)
+        futures[wi][vi] =
+            pool.submit([w = suite[wi], &m, vi, &opt, &fopt, tracing] {
+              return run_cell_guarded(*w, m, vi, opt, fopt, tracing);
+            });
+    for (std::size_t wi = 0; wi < suite.size(); ++wi)
+      for (std::size_t vi = 0; vi < kAllVersions.size(); ++vi)
+        cells[wi][vi] = futures[wi][vi].get();
+  } else {
+    for (std::size_t wi = 0; wi < suite.size(); ++wi)
+      for (std::size_t vi = 0; vi < kAllVersions.size(); ++vi)
+        cells[wi][vi] = run_cell_guarded(*suite[wi], m, vi, opt, fopt,
+                                         tracing);
+  }
+
+  ResilientSweep out;
+  out.rows.reserve(suite.size());
+  out.report.cells.reserve(suite.size() * kAllVersions.size());
+  for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+    std::array<std::optional<RunResult>, 5> results;
+    for (std::size_t vi = 0; vi < kAllVersions.size(); ++vi) {
+      results[vi] = std::move(cells[wi][vi].result);
+      out.report.cells.push_back(std::move(cells[wi][vi].outcome));
+    }
+    out.rows.push_back(make_row_partial(*suite[wi], results));
+    if (tracing)
+      for (std::size_t vi = 0; vi < kAllVersions.size(); ++vi)
+        traces->push_back({suite[wi]->name, kAllVersions[vi],
+                           std::move(cells[wi][vi].recording)});
+  }
+  return out;
+}
+
+}  // namespace
+
+ResilientSweep improvements_for_resilient(const workloads::WorkloadInfo& w,
+                                          const MachineConfig& m,
+                                          const RunOptions& opt,
+                                          const ParallelSweepOptions& par,
+                                          const FaultSweepOptions& fopt,
+                                          std::vector<TraceCapture>* traces) {
+  return run_resilient({&w}, m, opt, par, fopt, traces);
+}
+
+ResilientSweep sweep_suite_resilient(const MachineConfig& m,
+                                     const RunOptions& opt,
+                                     const ParallelSweepOptions& par,
+                                     const FaultSweepOptions& fopt,
+                                     std::vector<TraceCapture>* traces) {
+  const auto& suite = workloads::all_workloads();
+  std::vector<const workloads::WorkloadInfo*> ptrs;
+  ptrs.reserve(suite.size());
+  for (const auto& w : suite) ptrs.push_back(&w);
+  return run_resilient(ptrs, m, opt, par, fopt, traces);
 }
 
 double average_improvement(const std::vector<ImprovementRow>& rows, Version v,

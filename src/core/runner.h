@@ -12,6 +12,8 @@
 #include <map>
 
 #include "core/versions.h"
+#include "fault/fault.h"
+#include "fault/report.h"
 #include "trace/sink.h"
 #include "workloads/registry.h"
 
@@ -25,6 +27,15 @@ struct RunOptions {
   /// Epoch length (demand accesses per metrics snapshot) when a trace
   /// recording is requested; ignored otherwise.
   std::uint64_t trace_epoch = 10000;
+  /// Fault campaign for this run. Default (kind None, rate 0) means no
+  /// injector is built and every fault hook stays nullptr — the run is
+  /// bit-identical to a pre-fault-layer simulation.
+  fault::FaultConfig fault{};
+  /// Abort the run (fault::WatchdogExceeded) after this many hierarchy
+  /// accesses; 0 disables the watchdog.
+  std::uint64_t watchdog_accesses = 0;
+  /// Controller self-check policy; default-disarmed.
+  hw::DegradePolicy degrade{};
 };
 
 /// How to schedule the independent simulations of a sweep.
@@ -41,6 +52,8 @@ struct RunResult {
   double l2_miss_rate = 0.0;
   double conflict_share = 0.0;  ///< of classified L1D misses (if enabled)
   std::uint64_t toggles = 0;
+  std::uint64_t faults_injected = 0;  ///< 0 unless a fault campaign ran
+  std::uint64_t degradations = 0;     ///< safe-mode demotions (0 or 1)
   StatSet stats;
 };
 
@@ -95,6 +108,49 @@ std::vector<ImprovementRow> sweep_suite(const MachineConfig& m,
                                         const RunOptions& opt = {},
                                         const ParallelSweepOptions& par = {},
                                         std::vector<TraceCapture>* traces = nullptr);
+
+/// Controls for a failure-isolated ("resilient") sweep: the fault campaign
+/// applied to every cell, how often a failed cell is retried, and the
+/// degradation policy armed in each controller.
+struct FaultSweepOptions {
+  /// Per-cell fault campaign. `fault.seed` is the SWEEP-level base seed;
+  /// each (workload, version, attempt) derives its own injector seed via
+  /// fault::task_seed, so results are reproducible at any thread count and
+  /// every retry sees a fresh but deterministic fault stream.
+  fault::FaultConfig fault{};
+  /// Re-attempts after a failed cell (attempts = max_retries + 1).
+  std::uint32_t max_retries = 1;
+  /// Per-cell access watchdog (0 = off).
+  std::uint64_t watchdog_accesses = 0;
+  /// Degradation policy armed in every cell's controller.
+  hw::DegradePolicy degrade{};
+};
+
+/// Result of a resilient sweep: the usual figure rows plus the per-cell
+/// outcome ledger. A failed cell contributes 0.0 improvement to its row
+/// (and nothing to its stats); the FailureReport is the source of truth
+/// for which cells are valid.
+struct ResilientSweep {
+  std::vector<ImprovementRow> rows;
+  fault::FailureReport report;
+};
+
+/// Failure-isolated version of improvements_for: each (workload, version)
+/// cell runs guarded, so an injected crash, watchdog kill, or any other
+/// exception fails only that cell. Never throws for per-cell failures.
+ResilientSweep improvements_for_resilient(
+    const workloads::WorkloadInfo& w, const MachineConfig& m,
+    const RunOptions& opt, const ParallelSweepOptions& par,
+    const FaultSweepOptions& fopt,
+    std::vector<TraceCapture>* traces = nullptr);
+
+/// Failure-isolated version of sweep_suite. Rows, FailureReport, and trace
+/// captures are merged in fixed (workload, version) order — bit-identical
+/// for any par.num_threads, like the un-faulted engine.
+ResilientSweep sweep_suite_resilient(
+    const MachineConfig& m, const RunOptions& opt,
+    const ParallelSweepOptions& par, const FaultSweepOptions& fopt,
+    std::vector<TraceCapture>* traces = nullptr);
 
 /// Average of a version's improvement across rows, optionally filtered by
 /// category (nullptr = all).

@@ -88,6 +88,7 @@ void TimingModel::load(Addr addr, bool dependent) {
                        static_cast<std::uint8_t>(dependent ? 1 : 0), 0,
                        addr});
   retire_slots(1);
+  controller_.tick();
   const Cycle lat = hierarchy_.access(addr, AccessKind::Load);
   charge_memory(lat, hierarchy_.config().l1d.latency, dependent);
 }
@@ -96,6 +97,7 @@ void TimingModel::store(Addr addr) {
   if (trace_ != nullptr)
     trace_->push_back({TraceEvent::Kind::Store, 0, 0, addr});
   retire_slots(1);
+  controller_.tick();
   const Cycle lat = hierarchy_.access(addr, AccessKind::Store);
   // Stores retire through the store queue; they only expose latency when
   // the LSQ would back up. Approximate by halving the exposed latency.

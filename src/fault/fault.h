@@ -1,0 +1,76 @@
+// Fault model for the selective-cache simulator.
+//
+// The paper's mechanism depends on fragile run-time state: activate /
+// deactivate markers in the instruction stream, MAT/SLDT saturating
+// counters, and bypass-buffer / victim-cache entries. This library defines
+// a deterministic, seed-driven fault model over exactly that state so the
+// degradation behavior of each scheme can be measured (EXPERIMENTS.md) and
+// the sweep engine's failure isolation can be exercised.
+//
+// Everything here is pay-for-what-you-use: components hold a nullptr
+// `fault::Injector*` (mirroring the `trace::Recorder*` pattern) and an
+// un-faulted run never draws a random number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace selcache::fault {
+
+/// What kind of fault an Injector introduces. Exactly one kind per
+/// injector; composite campaigns run multiple sweeps.
+enum class FaultKind : std::uint8_t {
+  None,             ///< injector armed only for the watchdog
+  CounterFlip,      ///< flip one bit of a MAT/SLDT saturating counter
+  CounterReset,     ///< zero a MAT/SLDT saturating counter
+  ToggleDrop,       ///< swallow an activate/deactivate marker
+  ToggleDup,        ///< deliver a marker twice
+  ToggleReorder,    ///< hold a marker and deliver it after the next one
+  EntryInvalidate,  ///< silently drop a bypass-buffer / victim-cache entry
+  TaskCrash,        ///< throw InjectedCrash out of the simulation loop
+};
+
+const char* to_string(FaultKind k);
+
+/// Parse the CLI spelling ("toggle-drop", "counter-flip", ...). Returns
+/// nullopt for an unknown name.
+std::optional<FaultKind> fault_kind_by_name(std::string_view name);
+
+/// One fault campaign: which fault, how often, and the seed that makes it
+/// reproducible. `rate` is the per-opportunity probability (per counter
+/// update, per toggle, per buffer insert, per access — whichever hook the
+/// kind listens on).
+struct FaultConfig {
+  FaultKind kind = FaultKind::None;
+  double rate = 0.0;
+  std::uint64_t seed = 0x5eedfa17u;
+
+  bool enabled() const { return kind != FaultKind::None && rate > 0.0; }
+};
+
+/// Thrown by Injector::on_access when the TaskCrash fault fires. Unwinds
+/// through the (fully task-local) simulator state and is caught by the
+/// resilient runner, which quarantines the cell.
+class InjectedCrash : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by Injector::on_access when a run exceeds its access budget —
+/// the per-task watchdog that kills runaway simulations.
+class WatchdogExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Derive the per-task injector seed for one (workload, version, attempt)
+/// cell from the sweep-level base seed. Deterministic and
+/// order-independent, so a parallel sweep seeds each cell identically to a
+/// serial one, and each retry attempt sees a fresh but reproducible stream.
+std::uint64_t task_seed(std::uint64_t base, std::string_view workload,
+                        std::uint32_t version_index, std::uint32_t attempt);
+
+}  // namespace selcache::fault

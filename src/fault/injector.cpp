@@ -1,0 +1,135 @@
+#include "fault/injector.h"
+
+#include <bit>
+
+namespace selcache::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::None: return "none";
+    case FaultKind::CounterFlip: return "counter-flip";
+    case FaultKind::CounterReset: return "counter-reset";
+    case FaultKind::ToggleDrop: return "toggle-drop";
+    case FaultKind::ToggleDup: return "toggle-dup";
+    case FaultKind::ToggleReorder: return "toggle-reorder";
+    case FaultKind::EntryInvalidate: return "entry-invalidate";
+    case FaultKind::TaskCrash: return "task-crash";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> fault_kind_by_name(std::string_view name) {
+  for (FaultKind k :
+       {FaultKind::None, FaultKind::CounterFlip, FaultKind::CounterReset,
+        FaultKind::ToggleDrop, FaultKind::ToggleDup, FaultKind::ToggleReorder,
+        FaultKind::EntryInvalidate, FaultKind::TaskCrash}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t task_seed(std::uint64_t base, std::string_view workload,
+                        std::uint32_t version_index, std::uint32_t attempt) {
+  // FNV-1a over the workload name folded into the base seed, then one
+  // SplitMix64 finalization step so nearby (version, attempt) pairs land in
+  // unrelated parts of the stream.
+  std::uint64_t h = base ^ 0xcbf29ce484222325ULL;
+  for (char c : workload)
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  h ^= (static_cast<std::uint64_t>(version_index) << 32) | attempt;
+  return Rng(h).next();
+}
+
+bool Injector::fire() {
+  if (cfg_.rate <= 0.0) return false;
+  if (!rng_.chance(cfg_.rate)) return false;
+  ++injected_;
+  return true;
+}
+
+std::optional<std::uint32_t> Injector::corrupt_counter(std::uint32_t value,
+                                                       std::uint32_t max,
+                                                       CounterSite site) {
+  (void)site;
+  if (cfg_.kind != FaultKind::CounterFlip &&
+      cfg_.kind != FaultKind::CounterReset)
+    return std::nullopt;
+  if (!fire()) return std::nullopt;
+  ++counters_corrupted_;
+  if (cfg_.kind == FaultKind::CounterReset) return 0;
+  // Flip a uniformly chosen bit among the counter's value bits plus one
+  // guard bit, so the corrupted value can land above `max` and violate the
+  // table invariant (a flip confined to value bits of a 2^n-1 ceiling never
+  // would).
+  const unsigned bits = static_cast<unsigned>(std::bit_width(max)) + 1;
+  const unsigned bit = static_cast<unsigned>(rng_.below(bits));
+  return value ^ (1u << bit);
+}
+
+int Injector::transform_toggle(bool on, bool out[2]) {
+  switch (cfg_.kind) {
+    case FaultKind::ToggleDrop:
+      if (fire()) {
+        ++toggles_dropped_;
+        return 0;
+      }
+      break;
+    case FaultKind::ToggleDup:
+      if (fire()) {
+        ++toggles_duplicated_;
+        out[0] = on;
+        out[1] = on;
+        return 2;
+      }
+      break;
+    case FaultKind::ToggleReorder:
+      if (stash_valid_) {
+        // Deliver the current marker first, then the one held back — the
+        // pair arrives swapped relative to program order.
+        stash_valid_ = false;
+        out[0] = on;
+        out[1] = stash_on_;
+        return 2;
+      }
+      if (fire()) {
+        ++toggles_reordered_;
+        stash_valid_ = true;
+        stash_on_ = on;
+        return 0;  // held; delivered after the next marker (or lost at end)
+      }
+      break;
+    default:
+      break;
+  }
+  out[0] = on;
+  return 1;
+}
+
+bool Injector::should_invalidate(BufferSite site) {
+  (void)site;
+  if (cfg_.kind != FaultKind::EntryInvalidate) return false;
+  if (!fire()) return false;
+  ++entries_invalidated_;
+  return true;
+}
+
+void Injector::on_access() {
+  ++accesses_;
+  if (watchdog_ != 0 && accesses_ > watchdog_)
+    throw WatchdogExceeded("watchdog: access count exceeded " +
+                           std::to_string(watchdog_));
+  if (cfg_.kind == FaultKind::TaskCrash && fire())
+    throw InjectedCrash("injected crash at access " +
+                        std::to_string(accesses_));
+}
+
+void Injector::export_stats(StatSet& out) const {
+  out.add("fault.injected", injected_);
+  out.add("fault.counters_corrupted", counters_corrupted_);
+  out.add("fault.toggles_dropped", toggles_dropped_);
+  out.add("fault.toggles_duplicated", toggles_duplicated_);
+  out.add("fault.toggles_reordered", toggles_reordered_);
+  out.add("fault.entries_invalidated", entries_invalidated_);
+}
+
+}  // namespace selcache::fault

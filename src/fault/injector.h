@@ -1,0 +1,78 @@
+// The fault injector: one per simulated task, attached (non-owning) to the
+// components whose state the fault model covers. Hooks are passive — the
+// component calls IN at the point where the corresponding state is updated,
+// and the injector either leaves the update alone or perturbs it. All
+// randomness comes from a private SplitMix64 stream, so a given
+// (config, call sequence) is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fault/fault.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace selcache::fault {
+
+/// Which saturating-counter table a corrupt_counter call comes from.
+enum class CounterSite : std::uint8_t { Mat, Sldt };
+
+/// Which auxiliary buffer a should_invalidate call comes from.
+enum class BufferSite : std::uint8_t { BypassBuffer, L1Victim, L2Victim };
+
+class Injector {
+ public:
+  /// `watchdog_accesses` caps the number of on_access calls (0 = no cap);
+  /// exceeding it throws WatchdogExceeded regardless of the fault kind.
+  explicit Injector(FaultConfig cfg, std::uint64_t watchdog_accesses = 0)
+      : cfg_(cfg), rng_(cfg.seed), watchdog_(watchdog_accesses) {}
+
+  /// Counter-update hook (MAT touch / SLDT note). Given the counter's
+  /// post-update value and ceiling, returns a raw replacement value when a
+  /// CounterFlip/CounterReset fault fires, nullopt otherwise. A flipped
+  /// value may exceed `max` — that is the point: integrity checks must be
+  /// able to observe a real invariant violation.
+  std::optional<std::uint32_t> corrupt_counter(std::uint32_t value,
+                                               std::uint32_t max,
+                                               CounterSite site);
+
+  /// Toggle-delivery hook (TraceEngine -> Controller boundary). Writes the
+  /// directions actually delivered into `out[0..1]` and returns their count
+  /// (0 = dropped/held, 1 = normal, 2 = duplicated or reordered pair).
+  int transform_toggle(bool on, bool out[2]);
+
+  /// Buffer-insert hook: should the LRU entry of `site` be silently
+  /// invalidated before this insert?
+  bool should_invalidate(BufferSite site);
+
+  /// Per-access hook (top of Hierarchy::access): advances the watchdog and
+  /// the TaskCrash fault. Throws WatchdogExceeded / InjectedCrash.
+  void on_access();
+
+  const FaultConfig& config() const { return cfg_; }
+  std::uint64_t injected() const { return injected_; }
+  std::uint64_t accesses_observed() const { return accesses_; }
+
+  /// Export fault.* counters. Only called when an injector is attached, so
+  /// un-faulted runs keep their stat key set (and JSONL output) unchanged.
+  void export_stats(StatSet& out) const;
+
+ private:
+  bool fire();  ///< one Bernoulli draw at cfg_.rate; counts injected_ on hit
+
+  FaultConfig cfg_;
+  Rng rng_;
+  std::uint64_t watchdog_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t injected_ = 0;
+  std::uint64_t counters_corrupted_ = 0;
+  std::uint64_t toggles_dropped_ = 0;
+  std::uint64_t toggles_duplicated_ = 0;
+  std::uint64_t toggles_reordered_ = 0;
+  std::uint64_t entries_invalidated_ = 0;
+  bool stash_valid_ = false;  ///< ToggleReorder: a marker is being held
+  bool stash_on_ = false;
+};
+
+}  // namespace selcache::fault

@@ -1,0 +1,110 @@
+#include "fault/report.h"
+
+#include <algorithm>
+
+#include "support/table.h"
+#include "trace/jsonl.h"
+
+namespace selcache::fault {
+
+namespace {
+
+// RFC-4180: quote a field when it contains a comma, quote, or newline.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(CellOutcome::Status s) {
+  switch (s) {
+    case CellOutcome::Status::Ok: return "ok";
+    case CellOutcome::Status::Degraded: return "degraded";
+    case CellOutcome::Status::Failed: return "failed";
+  }
+  return "?";
+}
+
+std::size_t FailureReport::failed_cells() const {
+  return static_cast<std::size_t>(
+      std::count_if(cells.begin(), cells.end(), [](const CellOutcome& c) {
+        return c.status == CellOutcome::Status::Failed;
+      }));
+}
+
+std::size_t FailureReport::degraded_cells() const {
+  return static_cast<std::size_t>(
+      std::count_if(cells.begin(), cells.end(), [](const CellOutcome& c) {
+        return c.status == CellOutcome::Status::Degraded;
+      }));
+}
+
+std::string FailureReport::table() const {
+  TextTable t({"Workload", "Version", "Status", "Attempts", "FaultSeed",
+               "Injected", "Degradations", "Error"});
+  for (const CellOutcome& c : cells) {
+    t.add_row({c.workload, c.version, to_string(c.status),
+               std::to_string(c.attempts), std::to_string(c.fault_seed),
+               std::to_string(c.faults_injected),
+               std::to_string(c.degradations), c.error});
+  }
+  return t.str();
+}
+
+std::string FailureReport::csv() const {
+  std::string out =
+      "workload,version,status,attempts,fault_seed,faults_injected,"
+      "degradations,error\n";
+  for (const CellOutcome& c : cells) {
+    out += csv_field(c.workload);
+    out += ',';
+    out += csv_field(c.version);
+    out += ',';
+    out += to_string(c.status);
+    out += ',';
+    out += std::to_string(c.attempts);
+    out += ',';
+    out += std::to_string(c.fault_seed);
+    out += ',';
+    out += std::to_string(c.faults_injected);
+    out += ',';
+    out += std::to_string(c.degradations);
+    out += ',';
+    out += csv_field(c.error);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FailureReport::jsonl() const {
+  std::string out;
+  for (const CellOutcome& c : cells) {
+    out += "{\"workload\":\"";
+    out += trace::json_escape(c.workload);
+    out += "\",\"version\":\"";
+    out += trace::json_escape(c.version);
+    out += "\",\"status\":\"";
+    out += to_string(c.status);
+    out += "\",\"attempts\":";
+    out += std::to_string(c.attempts);
+    out += ",\"fault_seed\":";
+    out += std::to_string(c.fault_seed);
+    out += ",\"faults_injected\":";
+    out += std::to_string(c.faults_injected);
+    out += ",\"degradations\":";
+    out += std::to_string(c.degradations);
+    out += ",\"error\":\"";
+    out += trace::json_escape(c.error);
+    out += "\"}\n";
+  }
+  return out;
+}
+
+}  // namespace selcache::fault

@@ -1,0 +1,53 @@
+// Per-cell outcome bookkeeping for failure-isolated sweeps.
+//
+// Every (workload, version) cell of a resilient sweep produces exactly one
+// CellOutcome — succeeded, succeeded-but-degraded, or failed after retries —
+// and the FailureReport collects them in fixed (workload, version) order so
+// the rendered table / CSV / JSONL is bit-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace selcache::fault {
+
+struct CellOutcome {
+  enum class Status : std::uint8_t {
+    Ok,        ///< simulation completed, no degradation event
+    Degraded,  ///< completed, but the controller demoted to safe mode
+    Failed,    ///< all attempts threw; cell quarantined
+  };
+
+  std::string workload;
+  std::string version;  ///< stable version key ("base", "selective", ...)
+  Status status = Status::Ok;
+  std::uint32_t attempts = 1;        ///< attempts made (retries = attempts-1)
+  std::uint64_t fault_seed = 0;      ///< injector seed of the final attempt
+  std::uint64_t faults_injected = 0; ///< final successful attempt (0 if failed)
+  std::uint64_t degradations = 0;    ///< safe-mode demotions observed
+  std::string error;                 ///< last exception text when Failed
+
+  bool operator==(const CellOutcome&) const = default;
+};
+
+const char* to_string(CellOutcome::Status s);
+
+struct FailureReport {
+  std::vector<CellOutcome> cells;
+
+  std::size_t failed_cells() const;
+  std::size_t degraded_cells() const;
+
+  /// Human-readable summary table (all cells).
+  std::string table() const;
+  /// RFC-4180 CSV with header row.
+  std::string csv() const;
+  /// One JSON object per cell.
+  std::string jsonl() const;
+
+  bool operator==(const FailureReport&) const = default;
+};
+
+}  // namespace selcache::fault

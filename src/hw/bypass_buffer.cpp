@@ -1,5 +1,6 @@
 #include "hw/bypass_buffer.h"
 
+#include "fault/injector.h"
 #include "support/check.h"
 
 namespace selcache::hw {
@@ -25,6 +26,14 @@ bool BypassBuffer::access(Addr addr, bool is_write) {
 }
 
 void BypassBuffer::insert(Addr addr, bool dirty) {
+  if (fault_ != nullptr && !lru_.empty() &&
+      fault_->should_invalidate(fault::BufferSite::BypassBuffer)) {
+    // Silent loss: the LRU word vanishes without a writeback — exactly the
+    // data-loss hazard a faulted buffer introduces.
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++invalidated_;
+  }
   const Addr w = word_of(addr);
   if (auto it = index_.find(w); it != index_.end()) {
     it->second->second = it->second->second || dirty;
@@ -48,6 +57,9 @@ void BypassBuffer::export_stats(StatSet& out) const {
   out.add("bypass_buffer.hits", stats_.hits);
   out.add("bypass_buffer.misses", stats_.misses);
   out.add("bypass_buffer.writebacks", writebacks_);
+  // Fault-only key: kept out of un-faulted runs so their stat/JSONL output
+  // stays byte-identical to the pre-fault-layer format.
+  if (fault_ != nullptr) out.add("bypass_buffer.invalidated", invalidated_);
 }
 
 }  // namespace selcache::hw

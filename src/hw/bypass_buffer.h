@@ -10,6 +10,10 @@
 #include "support/stats.h"
 #include "support/types.h"
 
+namespace selcache::fault {
+class Injector;
+}
+
 namespace selcache::hw {
 
 class BypassBuffer {
@@ -34,7 +38,13 @@ class BypassBuffer {
   std::uint32_t capacity() const { return entries_; }
   const HitMiss& stats() const { return stats_; }
   std::uint64_t writebacks() const { return writebacks_; }
+  std::uint64_t invalidated() const { return invalidated_; }
   void export_stats(StatSet& out) const;
+
+  /// Attach (non-owning) a fault injector; each insert becomes an
+  /// opportunity to silently lose the LRU entry (dirty data and all —
+  /// that is the fault). nullptr detaches.
+  void set_fault(fault::Injector* inj) { fault_ = inj; }
 
  private:
   Addr word_of(Addr addr) const {
@@ -47,8 +57,10 @@ class BypassBuffer {
   bool word_pow2_ = false;
   std::list<std::pair<Addr, bool>> lru_;  ///< front = MRU; (word, dirty)
   std::unordered_map<Addr, std::list<std::pair<Addr, bool>>::iterator> index_;
+  fault::Injector* fault_ = nullptr;
   HitMiss stats_;
   std::uint64_t writebacks_ = 0;
+  std::uint64_t invalidated_ = 0;
 };
 
 }  // namespace selcache::hw

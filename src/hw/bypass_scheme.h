@@ -37,6 +37,14 @@ class BypassScheme final : public memsys::HwScheme {
   std::string_view name() const override { return "bypass"; }
 
   void set_trace(trace::Recorder* rec) override;
+  void set_fault(fault::Injector* inj) override {
+    mat_.set_fault(inj);
+    sldt_.set_fault(inj);
+    buffer_.set_fault(inj);
+  }
+  bool check_integrity() const override {
+    return mat_.check_integrity() && sldt_.check_integrity();
+  }
   void on_access(memsys::Level level, Addr addr, bool is_write,
                  bool hit) override;
   std::optional<AuxHit> service_miss(memsys::Level level, Addr addr,

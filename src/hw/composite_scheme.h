@@ -27,6 +27,13 @@ class CompositeScheme final : public memsys::HwScheme {
     bypass_.set_trace(rec);
     victim_.set_trace(rec);
   }
+  void set_fault(fault::Injector* inj) override {
+    bypass_.set_fault(inj);
+    victim_.set_fault(inj);
+  }
+  bool check_integrity() const override {
+    return bypass_.check_integrity() && victim_.check_integrity();
+  }
   void on_access(memsys::Level level, Addr addr, bool is_write,
                  bool hit) override;
   std::optional<AuxHit> service_miss(memsys::Level level, Addr addr,

@@ -1,4 +1,46 @@
 #include "hw/controller.h"
 
-// Header-only today; TU anchors the target.
-namespace selcache::hw {}
+#include "fault/injector.h"
+
+namespace selcache::hw {
+
+void Controller::faulted_toggle(bool on, std::int32_t region) {
+  if (degraded_) return;  // safe mode: markers cost their slot, do nothing
+  if (fault_ == nullptr) {
+    apply_toggle(on, region);
+  } else {
+    bool delivered[2];
+    const int n = fault_->transform_toggle(on, delivered);
+    for (int i = 0; i < n; ++i) apply_toggle(delivered[i], region);
+  }
+  // Markers are rare relative to accesses; every one that reaches the
+  // controller is also a self-check point (phase boundaries are where a
+  // demotion matters most).
+  if (armed_) run_checks();
+}
+
+void Controller::run_checks() {
+  if (degraded_) return;
+  if (policy_.fault_budget > 0 && fault_ != nullptr &&
+      fault_->injected() > policy_.fault_budget) {
+    demote(DegradeReason::FaultBudget);
+    return;
+  }
+  if (policy_.integrity_checks && scheme_ != nullptr &&
+      !scheme_->check_integrity())
+    demote(DegradeReason::IntegrityCheck);
+}
+
+void Controller::demote(DegradeReason reason) {
+  degraded_ = true;
+  reason_ = reason;
+  ++degradations_;
+  if (scheme_ != nullptr) scheme_->set_active(false);
+  if (trace_ != nullptr)
+    trace_->event({.kind = trace::EventKind::Degradation,
+                   .addr = static_cast<Addr>(reason),
+                   .region = -1,
+                   .on = false});
+}
+
+}  // namespace selcache::hw

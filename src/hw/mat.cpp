@@ -1,5 +1,6 @@
 #include "hw/mat.h"
 
+#include "fault/injector.h"
 #include "support/check.h"
 #include "trace/recorder.h"
 
@@ -29,6 +30,11 @@ void Mat::touch(Addr addr) {
     e.count.reset(0);
   }
   e.count.increment();
+  if (fault_ != nullptr) {
+    if (auto raw = fault_->corrupt_counter(e.count.value(), cfg_.counter_max,
+                                           fault::CounterSite::Mat))
+      e.count.corrupt(*raw);
+  }
 
   // Count every touch (the energy model charges per table update) even when
   // periodic decay is disabled.
@@ -59,6 +65,16 @@ void Mat::clear() {
     e.count.reset(0);
   }
   touches_ = 0;
+}
+
+bool Mat::check_integrity() const {
+  for (std::uint32_t i = 0; i < table_.size(); ++i) {
+    const Entry& e = table_[i];
+    if (!e.valid) continue;
+    if (e.count.value() > cfg_.counter_max) return false;
+    if (index_of(e.tag) != i) return false;
+  }
+  return true;
 }
 
 void Mat::export_stats(StatSet& out) const {

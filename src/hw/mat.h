@@ -25,6 +25,10 @@ namespace selcache::trace {
 class Recorder;
 }
 
+namespace selcache::fault {
+class Injector;
+}
+
 namespace selcache::hw {
 
 struct MatConfig {
@@ -63,6 +67,16 @@ class Mat {
   /// discrete events. nullptr detaches.
   void set_trace(trace::Recorder* rec) { trace_ = rec; }
 
+  /// Attach (non-owning) a fault injector; counter updates become
+  /// corruption opportunities. nullptr detaches.
+  void set_fault(fault::Injector* inj) { fault_ = inj; }
+
+  /// Cheap invariant sweep used by the controller's integrity checks: every
+  /// valid entry's counter is within its ceiling and the entry is stored in
+  /// the slot its tag hashes to. Holds by construction in an un-faulted
+  /// run; an injected bit-flip can break either.
+  bool check_integrity() const;
+
  private:
   struct Entry {
     Addr tag = 0;  ///< macro-block number
@@ -85,6 +99,7 @@ class Mat {
   bool entries_pow2_ = false;
   std::vector<Entry> table_;
   trace::Recorder* trace_ = nullptr;
+  fault::Injector* fault_ = nullptr;
   std::uint64_t touches_ = 0;
   std::uint64_t replacements_ = 0;
   std::uint64_t decays_ = 0;

@@ -1,5 +1,6 @@
 #include "hw/sldt.h"
 
+#include "fault/injector.h"
 #include "support/check.h"
 
 namespace selcache::hw {
@@ -38,7 +39,18 @@ void Sldt::note(Addr addr) {
     ++spatial_misses_;
     ctr.decrement();
   }
+  if (fault_ != nullptr) {
+    if (auto raw = fault_->corrupt_counter(ctr.value(), cfg_.counter_max,
+                                           fault::CounterSite::Sldt))
+      ctr.corrupt(*raw);
+  }
   insert_window(f);
+}
+
+bool Sldt::check_integrity() const {
+  for (const auto& ctr : counters_)
+    if (ctr.value() > cfg_.counter_max) return false;
+  return true;
 }
 
 bool Sldt::spatial(Addr addr) const {

@@ -14,6 +14,10 @@
 #include "support/stats.h"
 #include "support/types.h"
 
+namespace selcache::fault {
+class Injector;
+}
+
 namespace selcache::hw {
 
 struct SldtConfig {
@@ -41,6 +45,14 @@ class Sldt {
   std::uint64_t spatial_misses() const { return spatial_misses_; }
   void export_stats(StatSet& out) const;
 
+  /// Attach (non-owning) a fault injector; spatial-counter updates become
+  /// corruption opportunities. nullptr detaches.
+  void set_fault(fault::Injector* inj) { fault_ = inj; }
+
+  /// Invariant sweep for the controller's integrity checks: every spatial
+  /// counter is within its ceiling.
+  bool check_integrity() const;
+
  private:
   struct WindowEntry {
     Addr frame = 0;
@@ -55,6 +67,7 @@ class Sldt {
   SldtConfig cfg_;
   std::vector<WindowEntry> window_;               ///< direct-mapped by frame
   std::vector<SaturatingCounter<std::uint32_t>> counters_;  ///< by macro-block
+  fault::Injector* fault_ = nullptr;
   std::uint64_t spatial_hits_ = 0;
   std::uint64_t spatial_misses_ = 0;
 };

@@ -26,6 +26,13 @@ class VictimScheme final : public memsys::HwScheme {
   std::string_view name() const override { return "victim"; }
 
   void set_trace(trace::Recorder* rec) override { trace_ = rec; }
+  void set_fault(fault::Injector* inj) override {
+    l1v_.set_fault(inj, fault::BufferSite::L1Victim);
+    l2v_.set_fault(inj, fault::BufferSite::L2Victim);
+  }
+  bool check_integrity() const override {
+    return l1v_.check_integrity() && l2v_.check_integrity();
+  }
   void on_access(memsys::Level level, Addr addr, bool is_write,
                  bool hit) override;
   std::optional<AuxHit> service_miss(memsys::Level level, Addr addr,

@@ -1,5 +1,6 @@
 #include "memsys/hierarchy.h"
 
+#include "fault/injector.h"
 #include "support/bitutil.h"
 #include "trace/recorder.h"
 
@@ -88,6 +89,9 @@ Cycle Hierarchy::place_l1d(Addr addr, bool is_write,
 }
 
 Cycle Hierarchy::access(Addr addr, AccessKind kind) {
+  // Watchdog / crash clock before any state changes: a killed access never
+  // half-updates the hierarchy.
+  if (fault_ != nullptr) fault_->on_access();
   const Cycle lat = access_impl(addr, kind);
   // Epoch clock ticks after the access fully updated its counters, so an
   // epoch boundary at access N covers exactly accesses [.., N).

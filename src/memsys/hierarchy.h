@@ -63,7 +63,15 @@ class Hierarchy {
   /// demand access (data and instruction side alike).
   void set_trace(trace::Recorder* rec) { trace_ = rec; }
 
-  /// Perform one demand access; returns the total latency in cycles.
+  /// Attach (non-owning) a fault injector; nullptr detaches. The hierarchy
+  /// gives it one callback per demand access — the watchdog / task-crash
+  /// clock of the fault model.
+  void set_fault(fault::Injector* inj) { fault_ = inj; }
+
+  /// Perform one demand access; returns the total latency in cycles. With
+  /// a fault injector attached this may throw fault::WatchdogExceeded or
+  /// fault::InjectedCrash — all simulator state is task-local, so the
+  /// exception unwinds cleanly to the resilient runner.
   Cycle access(Addr addr, AccessKind kind);
 
   const Cache& l1d() const { return l1d_; }
@@ -106,6 +114,7 @@ class Hierarchy {
   MainMemory mem_;
   HwScheme* hw_ = nullptr;
   trace::Recorder* trace_ = nullptr;
+  fault::Injector* fault_ = nullptr;
   std::unique_ptr<MissClassifier> classifier_;
 };
 

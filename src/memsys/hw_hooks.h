@@ -20,6 +20,10 @@ namespace selcache::trace {
 class Recorder;
 }
 
+namespace selcache::fault {
+class Injector;
+}
+
 namespace selcache::memsys {
 
 /// What to do with a block that is about to be placed in a cache.
@@ -40,6 +44,17 @@ class HwScheme {
   /// default ignores tracing — a scheme only overrides this if it has
   /// discrete events worth reporting.
   virtual void set_trace(trace::Recorder* rec) { (void)rec; }
+
+  /// Attach (non-owning) a fault injector; nullptr detaches. Schemes
+  /// propagate the pointer to the state the fault model covers (MAT/SLDT
+  /// counters, bypass buffer, victim caches). The default ignores it — a
+  /// scheme with no fault-injectable state pays nothing.
+  virtual void set_fault(fault::Injector* inj) { (void)inj; }
+
+  /// Verify the scheme's internal invariants (controller integrity checks;
+  /// see DegradePolicy). Must be cheap relative to the check interval.
+  /// Default: nothing to check, always healthy.
+  virtual bool check_integrity() const { return true; }
 
   /// Observe a demand access at `level` (called only while active).
   virtual void on_access(Level level, Addr addr, bool is_write, bool hit) = 0;

@@ -13,6 +13,13 @@ VictimCache::VictimCache(std::string name, std::uint32_t entries,
 
 std::optional<VictimCache::Displaced> VictimCache::insert(Addr block_addr,
                                                           bool dirty) {
+  if (fault_ != nullptr && !lru_.empty() &&
+      fault_->should_invalidate(fault_site_)) {
+    // Silent loss: the LRU victim vanishes without a writeback.
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++invalidated_;
+  }
   const Addr f = frame(block_addr);
   if (auto it = index_.find(f); it != index_.end()) {
     // Already present (can happen when a block bounces between main cache
@@ -53,6 +60,9 @@ bool VictimCache::probe(Addr addr) const {
 void VictimCache::export_stats(StatSet& out) const {
   out.add(name_ + ".hits", probes_.hits);
   out.add(name_ + ".misses", probes_.misses);
+  // Fault-only key: kept out of un-faulted runs so their stat/JSONL output
+  // stays byte-identical to the pre-fault-layer format.
+  if (fault_ != nullptr) out.add(name_ + ".invalidated", invalidated_);
 }
 
 }  // namespace selcache::memsys

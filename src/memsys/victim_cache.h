@@ -11,6 +11,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "fault/injector.h"
 #include "support/stats.h"
 #include "support/types.h"
 
@@ -43,7 +44,22 @@ class VictimCache {
   }
   std::uint32_t capacity() const { return entries_; }
   const HitMiss& stats() const { return probes_; }
+  std::uint64_t invalidated() const { return invalidated_; }
   void export_stats(StatSet& out) const;
+
+  /// Attach (non-owning) a fault injector firing at `site`; each insert
+  /// becomes an opportunity to silently lose the LRU victim (no writeback).
+  /// nullptr detaches.
+  void set_fault(fault::Injector* inj, fault::BufferSite site) {
+    fault_ = inj;
+    fault_site_ = site;
+  }
+
+  /// Invariant sweep for the controller's integrity checks: LRU list and
+  /// index agree and occupancy is within capacity.
+  bool check_integrity() const {
+    return lru_.size() == index_.size() && lru_.size() <= entries_;
+  }
 
  private:
   Addr frame(Addr addr) const { return addr / block_size_; }
@@ -54,7 +70,10 @@ class VictimCache {
   /// LRU order: front = most recent. Entries are block frame numbers.
   std::list<std::pair<Addr, bool>> lru_;
   std::unordered_map<Addr, std::list<std::pair<Addr, bool>>::iterator> index_;
+  fault::Injector* fault_ = nullptr;
+  fault::BufferSite fault_site_ = fault::BufferSite::L1Victim;
   HitMiss probes_;
+  std::uint64_t invalidated_ = 0;
 };
 
 }  // namespace selcache::memsys

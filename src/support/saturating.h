@@ -29,6 +29,12 @@ class SaturatingCounter {
 
   constexpr void reset(T v = 0) { value_ = v > max_ ? max_ : v; }
 
+  /// Fault-injection backdoor: store `raw` WITHOUT clamping to the ceiling.
+  /// This is how a simulated bit-flip produces a value the integrity checks
+  /// can actually catch (every regular mutator keeps value <= max by
+  /// construction). Never called outside the fault layer and its tests.
+  constexpr void corrupt(T raw) { value_ = raw; }
+
   constexpr T value() const { return value_; }
   constexpr T max() const { return max_; }
   constexpr bool saturated() const { return value_ == max_; }

@@ -4,11 +4,31 @@
 
 namespace selcache::support {
 
+std::function<void(std::size_t)>& ThreadPool::spawn_fault_hook() {
+  static std::function<void(std::size_t)> hook;
+  return hook;
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
   workers_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (auto& hook = spawn_fault_hook()) hook(i);
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // A failed spawn leaves i running workers; destroying their joinable
+    // std::threads would std::terminate. Stop and join them, then let the
+    // caller see the original exception.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    throw;
+  }
 }
 
 ThreadPool::~ThreadPool() {
@@ -41,7 +61,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // submit() wraps every callable in a packaged_task, which captures its
+    // exception in the future — so nothing should throw here. The backstop
+    // keeps a misbehaving raw entry from unwinding off the worker thread
+    // (which would std::terminate the process mid-sweep).
+    try {
+      task();
+    } catch (...) {
+      stray_exceptions_.fetch_add(1);
+    }
   }
 }
 

@@ -7,12 +7,18 @@
 // serial execution, which the determinism tests rely on.
 //
 // Exceptions thrown by a task are captured in its future and rethrown at
-// get(), never on the worker thread. Destruction drains the queue: every
-// task submitted before ~ThreadPool() runs to completion.
+// get(), never on the worker thread — including during the drain that
+// ~ThreadPool() performs, so a throwing task queued at destruction time is
+// retained in its future instead of terminating the process. A callable
+// that somehow throws outside its packaged_task wrapper (a broken_promise
+// pathway, a hostile std::function) is swallowed by a worker-loop backstop
+// and counted in stray_exceptions() rather than escaping the thread.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -26,7 +32,11 @@ namespace selcache::support {
 
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (at least one).
+  /// Spawns `num_threads` workers (at least one). If spawning worker k
+  /// fails (resource exhaustion), the k-1 already-running workers are
+  /// stopped and joined before the exception propagates — a partially
+  /// constructed pool never leaks joinable threads (whose destruction
+  /// would call std::terminate).
   explicit ThreadPool(std::size_t num_threads);
 
   /// Waits for all queued and running tasks to finish, then joins.
@@ -59,6 +69,17 @@ class ThreadPool {
   /// report 0 on exotic platforms).
   static unsigned hardware_threads();
 
+  /// Tasks whose exception escaped the packaged_task wrapper and was
+  /// absorbed by the worker-loop backstop. Always 0 for tasks entered via
+  /// submit(); a nonzero value means a raw queue entry misbehaved.
+  std::uint64_t stray_exceptions() const { return stray_exceptions_.load(); }
+
+  /// Test/fault-injection hook: invoked with the worker index just before
+  /// each std::thread is spawned; throwing simulates thread-creation
+  /// failure at that point. Process-global and unsynchronized — set it
+  /// only from single-threaded test setup, and reset to nullptr after.
+  static std::function<void(std::size_t)>& spawn_fault_hook();
+
  private:
   void worker_loop();
 
@@ -67,6 +88,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> stray_exceptions_{0};
 };
 
 }  // namespace selcache::support

@@ -19,6 +19,7 @@ enum class EventKind : std::uint8_t {
   MatDecay,         ///< periodic MAT counter halving swept the table
   BypassDecision,   ///< a fill was redirected to the bypass buffer
   VictimPromotion,  ///< a victim-cache hit promoted a block back
+  Degradation,      ///< controller demoted to safe mode (addr = reason code)
 };
 
 inline const char* to_string(EventKind k) {
@@ -27,6 +28,7 @@ inline const char* to_string(EventKind k) {
     case EventKind::MatDecay: return "mat_decay";
     case EventKind::BypassDecision: return "bypass";
     case EventKind::VictimPromotion: return "victim_promotion";
+    case EventKind::Degradation: return "degradation";
   }
   return "?";
 }

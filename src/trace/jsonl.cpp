@@ -74,6 +74,12 @@ std::string events_jsonl(const Recording& rec, const SimTag& tag) {
       }
       case EventKind::MatDecay:
         break;
+      case EventKind::Degradation:
+        // addr carries the hw::DegradeReason code; name it for readers.
+        out += ",\"reason\":\"";
+        out += e.addr == 2 ? "integrity" : "fault_budget";
+        out += "\"";
+        break;
       case EventKind::BypassDecision:
       case EventKind::VictimPromotion:
         append_u64(out, "addr", e.addr);

@@ -32,6 +32,13 @@ std::vector<TimelineRow> build_timeline(const Recording& rec) {
     for (; cursor < rec.events.size() && rec.events[cursor].epoch <= er.index;
          ++cursor) {
       const Event& e = rec.events[cursor];
+      if (e.kind == EventKind::Degradation) {
+        // Safe-mode demotion: the hardware is off from here on, whatever
+        // later markers say (the controller ignores them once degraded).
+        hw_on = false;
+        region = -1;
+        continue;
+      }
       if (e.kind != EventKind::Toggle) continue;
       ++row.toggles;
       hw_on = e.on;

@@ -69,5 +69,121 @@ TEST(SweepDeterminism, RowsCarryAccessCountsAndPrefixedStats) {
   EXPECT_GT(row.stats.get("selective.cpu.instructions"), 0u);
 }
 
+// --- failure-isolated (resilient) engine ---------------------------------
+
+FaultSweepOptions toggle_drop_campaign() {
+  FaultSweepOptions fopt;
+  fopt.fault.kind = fault::FaultKind::ToggleDrop;
+  fopt.fault.rate = 0.5;
+  fopt.fault.seed = 2026;
+  return fopt;
+}
+
+/// The determinism contract extended to faults: the same sweep-level fault
+/// seed must yield a bit-identical ResilientSweep — rows, FailureReport,
+/// and trace captures — at every thread count.
+TEST(ResilientDeterminism, FaultedSweepBitIdenticalAcrossThreadCounts) {
+  const MachineConfig m = base_machine();
+  RunOptions opt;
+  const FaultSweepOptions fopt = toggle_drop_campaign();
+
+  std::vector<TraceCapture> serial_traces;
+  const ResilientSweep serial = sweep_suite_resilient(
+      m, opt, ParallelSweepOptions{.num_threads = 1}, fopt, &serial_traces);
+  for (unsigned threads : {4u, 8u}) {
+    SCOPED_TRACE(threads);
+    std::vector<TraceCapture> traces;
+    const ResilientSweep parallel = sweep_suite_resilient(
+        m, opt, ParallelSweepOptions{.num_threads = threads}, fopt, &traces);
+    expect_rows_identical(serial.rows, parallel.rows);
+    EXPECT_EQ(serial.report, parallel.report);
+    ASSERT_EQ(serial_traces.size(), traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      EXPECT_EQ(serial_traces[i].workload, traces[i].workload);
+      EXPECT_EQ(serial_traces[i].version, traces[i].version);
+      EXPECT_EQ(serial_traces[i].recording, traces[i].recording);
+    }
+  }
+  // The rendered report is part of the contract too.
+  EXPECT_EQ(serial.report.csv(),
+            sweep_suite_resilient(m, opt, ParallelSweepOptions{.num_threads = 4},
+                                  fopt)
+                .report.csv());
+}
+
+/// An injected per-task crash must fail only its own cell: the sweep
+/// completes, the cell lands in the FailureReport with its retry count and
+/// per-attempt fault seed, and every surviving cell matches the unfaulted
+/// sweep bit for bit.
+TEST(ResilientDeterminism, InjectedCrashQuarantinesOnlyItsCell) {
+  const MachineConfig m = base_machine();
+  RunOptions opt;
+  FaultSweepOptions fopt;
+  fopt.fault.kind = fault::FaultKind::TaskCrash;
+  fopt.fault.rate = 1e-7;  // rare: some cells crash, most survive
+  fopt.fault.seed = 7;
+  fopt.max_retries = 2;
+
+  const ResilientSweep rs = sweep_suite_resilient(m, opt, {}, fopt);
+  ASSERT_EQ(rs.report.cells.size(),
+            workloads::all_workloads().size() * kAllVersions.size());
+  const std::size_t failed = rs.report.failed_cells();
+  ASSERT_GT(failed, 0u) << "campaign must actually crash something";
+  ASSERT_LT(failed, rs.report.cells.size()) << "and spare something";
+
+  for (const auto& cell : rs.report.cells) {
+    SCOPED_TRACE(cell.workload + "/" + cell.version);
+    if (cell.status == fault::CellOutcome::Status::Failed) {
+      EXPECT_EQ(cell.attempts, fopt.max_retries + 1);
+      EXPECT_NE(cell.error.find("injected crash"), std::string::npos);
+      std::uint32_t vi = 0;
+      while (version_key(kAllVersions[vi]) != cell.version) ++vi;
+      EXPECT_EQ(cell.fault_seed,
+                fault::task_seed(fopt.fault.seed, cell.workload, vi,
+                                 fopt.max_retries));
+    } else {
+      EXPECT_EQ(cell.status, fault::CellOutcome::Status::Ok);
+    }
+  }
+
+  // Surviving cells carry the same numbers an unfaulted sweep produces
+  // (TaskCrash perturbs nothing unless it kills the run).
+  const auto clean = sweep_suite(m, opt);
+  ASSERT_EQ(rs.rows.size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    bool row_failed = false;
+    for (const auto& cell : rs.report.cells)
+      if (cell.workload == clean[i].benchmark &&
+          cell.status == fault::CellOutcome::Status::Failed)
+        row_failed = true;
+    if (row_failed) continue;
+    SCOPED_TRACE(clean[i].benchmark);
+    EXPECT_EQ(rs.rows[i].base_cycles, clean[i].base_cycles);
+    for (const auto& [v, pct] : clean[i].pct)
+      EXPECT_EQ(rs.rows[i].pct.at(v), pct) << to_string(v);
+  }
+}
+
+TEST(ResilientDeterminism, RetrySeedsDifferPerAttempt) {
+  const std::uint64_t a0 = fault::task_seed(9, "Swim", 4, 0);
+  const std::uint64_t a1 = fault::task_seed(9, "Swim", 4, 1);
+  EXPECT_NE(a0, a1) << "each retry must see a fresh fault stream";
+}
+
+TEST(ResilientDeterminism, WatchdogAloneQuarantinesEveryCell) {
+  const auto& w = workloads::all_workloads().front();
+  FaultSweepOptions fopt;
+  fopt.watchdog_accesses = 50;  // far below any real run
+  fopt.max_retries = 0;
+  const ResilientSweep rs =
+      improvements_for_resilient(w, base_machine(), {}, {}, fopt);
+  ASSERT_EQ(rs.report.cells.size(), kAllVersions.size());
+  for (const auto& cell : rs.report.cells) {
+    EXPECT_EQ(cell.status, fault::CellOutcome::Status::Failed);
+    EXPECT_EQ(cell.attempts, 1u);
+    EXPECT_NE(cell.error.find("watchdog"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace selcache::core

@@ -62,6 +62,45 @@ TEST(ThreadPool, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1u);
 }
 
+// Regression: a throwing task queued right before destruction must keep
+// its exception in the future across the destructor's drain, not unwind a
+// worker thread. (The drain runs every queued task; an unprotected task()
+// call there would std::terminate the whole process on the first throw.)
+TEST(ThreadPool, ThrowingTaskQueuedAtDestructionIsRetainedInFuture) {
+  std::future<int> bad;
+  std::future<int> good;
+  {
+    ThreadPool pool(1);
+    // Park the worker so both tasks are still queued when the destructor
+    // starts draining.
+    pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    bad = pool.submit(
+        []() -> int { throw std::runtime_error("late failure"); });
+    good = pool.submit([] { return 11; });
+  }
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(good.get(), 11);
+}
+
+// Regression: spawning worker k can throw (std::system_error on resource
+// exhaustion). Before the constructor hardening, the k-1 already-started
+// workers were joinable when the half-built pool unwound, so ~thread called
+// std::terminate. Now the constructor stops and joins them first.
+TEST(ThreadPool, PartialSpawnFailureCleansUpStartedWorkers) {
+  ThreadPool::spawn_fault_hook() = [](std::size_t worker) {
+    if (worker == 2) throw std::runtime_error("no more threads");
+  };
+  EXPECT_THROW(ThreadPool pool(4), std::runtime_error);
+  ThreadPool::spawn_fault_hook() = nullptr;
+
+  // The process survived (no std::terminate) and pools still work.
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
+  EXPECT_EQ(pool.stray_exceptions(), 0u);
+}
+
 TEST(ThreadPool, ManySmallTasksAcrossWorkers) {
   ThreadPool pool(8);
   std::atomic<std::uint64_t> sum{0};

@@ -25,7 +25,9 @@ if any scenario misbehaves; CI runs it so the checker cannot rot.
 """
 import argparse
 import json
+import os
 import sys
+import tempfile
 
 
 # Every key bench_throughput emits; a result file missing any of them is
@@ -215,11 +217,33 @@ def self_test():
         problems.append(f"lower-is-better improvement was flagged: "
                         f"{failures!r}")
 
+    # Truncated result files must hard-fail at load (exit 2). A crash-killed
+    # bench run used to leave partial JSON; the writers are atomic now, but
+    # the checker is the last line of defense against any truncated file.
+    def expect_load_exit2(name, content):
+        fd, path = tempfile.mkstemp(suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                f.write(content)
+            try:
+                load(path)
+                problems.append(f"{name}: load() accepted the file")
+            except SystemExit as e:
+                if e.code != 2:
+                    problems.append(f"{name}: exit {e.code}, want 2")
+        finally:
+            os.unlink(path)
+
+    expect_load_exit2("truncated JSON (cut mid-key)",
+                      '{"benchmark": "bench_throughput", "serial_acc')
+    expect_load_exit2("empty file", "")
+    expect_load_exit2("valid JSON but not an object", "[1, 2, 3]")
+
     if problems:
         for p in problems:
             print(f"SELF-TEST FAIL: {p}", file=sys.stderr)
         return 1
-    print(f"self-test OK ({len(scenarios) + 2} scenarios)")
+    print(f"self-test OK ({len(scenarios) + 5} scenarios)")
     return 0
 
 

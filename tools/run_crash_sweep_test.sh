@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# End-to-end failure isolation: run a small sweep under an injected
+# per-task crash campaign and assert the engine quarantines exactly the
+# crashed cells — the sweep exits 0, failed cells land in the FailureReport
+# with their retry count and per-attempt fault seed, surviving cells still
+# produce rows, and the whole report is reproducible across reruns and
+# thread counts.
+#
+# Usage: run_crash_sweep_test.sh path/to/selcache
+set -u
+
+BIN="${1:?usage: run_crash_sweep_test.sh path/to/selcache}"
+# 5e-7 against the default seed crashes some (not all) of the 5 Chaos
+# cells — deterministic because the whole fault model is seed-driven.
+ARGS=(sweep --workload Chaos --scheme bypass --inject-faults
+      --fault-kind task-crash --fault-rate 5e-7 --max-retries 1)
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+out=$("$BIN" "${ARGS[@]}" --threads 4 2>&1)
+rc=$?
+[ "$rc" -eq 0 ] || fail "sweep exited $rc (want 0 despite injected crashes): $out"
+
+echo "$out" | grep -q 'injected crash at access' \
+  || fail "no quarantined cell in the failure report: $out"
+echo "$out" | grep -q '| ok ' \
+  || fail "campaign crashed every cell; surviving cells expected: $out"
+# max-retries 1 => a failed cell records 2 attempts.
+echo "$out" | grep 'failed' | grep -q '| 2 ' \
+  || fail "failed cell does not record its retry count: $out"
+echo "$out" | grep -q 'fault report: 5 cells' \
+  || fail "report does not cover all 5 cells: $out"
+
+# Reproducibility: same campaign, any thread count, byte-identical output.
+for threads in 1 8; do
+  again=$("$BIN" "${ARGS[@]}" --threads "$threads" 2>&1) \
+    || fail "rerun with --threads $threads exited nonzero"
+  [ "$out" = "$again" ] \
+    || fail "output differs at --threads $threads (determinism contract)"
+done
+
+echo "OK: crash sweep quarantined failing cells, exit 0, reproducible"

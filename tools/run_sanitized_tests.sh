@@ -26,3 +26,24 @@ cli="build-asan/tools/selcache"
 "$cli" sweep --workload Compress --threads 4 --trace-dir "$tracedir/parallel"
 diff -r "$tracedir/serial" "$tracedir/parallel"
 echo "traced sweep: serial and parallel outputs identical"
+
+# Same contract under fault injection: a faulted sweep's figure output,
+# FailureReport, and captured traces must not depend on the thread count —
+# diffed here under the sanitizers so races in the resilient fan-out or the
+# injector hooks cannot hide.
+fault_flags=(--inject-faults --fault-kind toggle-drop --fault-rate 0.5
+             --fault-seed 2026 --integrity-checks --fault-budget 64)
+"$cli" sweep --workload Compress --threads 1 "${fault_flags[@]}" \
+  --trace-dir "$tracedir/fserial" --failures-out "$tracedir/fserial.csv" \
+  | sed "s|$tracedir/fserial|TRACEDIR|" > "$tracedir/fserial.txt"
+"$cli" sweep --workload Compress --threads 4 "${fault_flags[@]}" \
+  --trace-dir "$tracedir/fparallel" --failures-out "$tracedir/fparallel.csv" \
+  | sed "s|$tracedir/fparallel|TRACEDIR|" > "$tracedir/fparallel.txt"
+diff -r "$tracedir/fserial" "$tracedir/fparallel"
+diff "$tracedir/fserial.csv" "$tracedir/fparallel.csv"
+diff "$tracedir/fserial.txt" "$tracedir/fparallel.txt"
+echo "faulted sweep: serial and parallel outputs identical"
+
+# End-to-end failure isolation (injected crashes quarantine only their
+# cells), also under sanitizers.
+tools/run_crash_sweep_test.sh "$cli"

@@ -12,11 +12,19 @@
 //   selcache trace-record --workload NAME --out FILE [--version V]
 //   selcache trace-replay FILE [--machine M] [--scheme S]
 //   selcache verify [FILE.loop] [--workload NAME] [--version V] [--csv]
+//   selcache faultsim WORKLOAD VERSION [--fault-kind K] [--fault-rate R]
+//                [--fault-seed N] [--rates R1,R2,..] [--fault-budget N]
+//                [--integrity-checks] [--watchdog-accesses N] [--stats]
 //
-// Exit code 0 on success, 1 when verification reports diagnostics, 2 on
-// usage errors. Unknown subcommands and malformed flags get a one-line
+// Exit code 0 on success, 1 when verification reports diagnostics or a
+// single faultsim run dies to an injected fault, 2 on usage errors
+// (including missing/unreadable/malformed input files — every file-handling
+// path prints a one-line diagnostic instead of letting an exception
+// escape). Unknown subcommands and malformed flags get a one-line
 // diagnostic on stderr.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -34,6 +42,7 @@
 #include "core/runner.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "support/table.h"
 #include "trace/jsonl.h"
 #include "trace/timeline.h"
 #include "transform/pipeline.h"
@@ -66,9 +75,22 @@ int usage() {
                "  selcache trace-replay FILE [--machine M] [--scheme S]\n"
                "  selcache verify [FILE.loop] [--workload NAME] [--version V]"
                " [--csv]\n"
+               "  selcache faultsim WORKLOAD VERSION [--machine M]"
+               " [--scheme S] [--fault-kind K]\n"
+               "                 [--fault-rate R] [--fault-seed N]"
+               " [--rates R1,R2,..]\n"
+               "                 [--fault-budget N] [--integrity-checks]"
+               " [--watchdog-accesses N] [--stats]\n"
+               "  sweep/suite fault flags: --inject-faults --fault-kind K"
+               " --fault-rate R --fault-seed N\n"
+               "                 --max-retries N --watchdog-accesses N"
+               " --fault-budget N --integrity-checks\n"
+               "                 --failures-out F.csv --failures-jsonl F\n"
                "machines: base memlat l2size l1size l2assoc l1assoc\n"
                "versions: base purehw puresw combined selective\n"
-               "schemes:  bypass victim none\n");
+               "schemes:  bypass victim none\n"
+               "faults:   counter-flip counter-reset toggle-drop toggle-dup"
+               " toggle-reorder entry-invalidate task-crash\n");
   return 2;
 }
 
@@ -113,6 +135,50 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
     }
   }
   return flags;
+}
+
+/// Strict base-10 unsigned parse: whole string, no sign, no overflow.
+/// (std::stoull would accept "  12x" prefixes via stol semantics and throw
+/// out_of_range on huge digit strings — both have bitten CLI paths before.)
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict finite-double parse: whole string, no trailing junk.
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Parse an optional unsigned-integer flag; absent leaves `out` untouched.
+/// Returns false after a one-line diagnostic on a malformed value.
+bool parse_u64_flag(const std::map<std::string, std::string>& flags,
+                    const char* name, std::uint64_t* out,
+                    bool require_positive = false) {
+  const auto it = flags.find(name);
+  if (it == flags.end()) return true;
+  std::uint64_t v = 0;
+  if (!parse_u64(it->second, &v) || (require_positive && v == 0)) {
+    std::fprintf(stderr,
+                 "selcache: flag '--%s' expects a %s integer, got '%s'\n",
+                 name, require_positive ? "positive" : "non-negative",
+                 it->second.c_str());
+    return false;
+  }
+  *out = v;
+  return true;
 }
 
 std::optional<core::MachineConfig> machine_by_name(const std::string& n) {
@@ -173,8 +239,13 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
 
   core::RunOptions opt;
   opt.scheme = *scheme;
-  if (flags.count("threshold"))
-    opt.optimize.threshold = std::stod(flags.at("threshold"));
+  if (flags.count("threshold") &&
+      !parse_double(flags.at("threshold"), &opt.optimize.threshold)) {
+    std::fprintf(stderr,
+                 "selcache: flag '--threshold' expects a number, got '%s'\n",
+                 flags.at("threshold").c_str());
+    return 2;
+  }
 
   const core::RunResult r = core::run_version(*w, *machine, *version, opt);
   std::printf("%s / %s / %s / %s\n", w->name.c_str(),
@@ -199,18 +270,7 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
 /// diagnostic) on a malformed value; leaves `out` untouched when absent.
 bool parse_epoch_flag(const std::map<std::string, std::string>& flags,
                       std::uint64_t* out) {
-  if (!flags.count("epoch")) return true;
-  const std::string& e = flags.at("epoch");
-  if (e.empty() || e.find_first_not_of("0123456789") != std::string::npos ||
-      std::stoull(e) == 0) {
-    std::fprintf(stderr,
-                 "selcache: flag '--epoch' expects a positive integer, "
-                 "got '%s'\n",
-                 e.c_str());
-    return false;
-  }
-  *out = std::stoull(e);
-  return true;
+  return parse_u64_flag(flags, "epoch", out, /*require_positive=*/true);
 }
 
 /// `selcache trace WORKLOAD VERSION` — run one traced simulation and render
@@ -320,17 +380,217 @@ int write_trace_dir(const std::vector<core::TraceCapture>& traces,
 /// diagnostic on a malformed value.
 bool parse_threads_flag(const std::map<std::string, std::string>& flags,
                         core::ParallelSweepOptions* par) {
-  if (!flags.count("threads")) return true;
-  const std::string& t = flags.at("threads");
-  if (t.empty() || t.find_first_not_of("0123456789") != std::string::npos) {
+  std::uint64_t t = par->num_threads;
+  if (!parse_u64_flag(flags, "threads", &t)) return false;
+  if (t > 4096) {
     std::fprintf(stderr,
-                 "selcache: flag '--threads' expects a non-negative "
-                 "integer, got '%s'\n",
-                 t.c_str());
+                 "selcache: flag '--threads' out of range (max 4096), "
+                 "got '%s'\n",
+                 flags.at("threads").c_str());
     return false;
   }
-  par->num_threads = static_cast<unsigned>(std::stoul(t));
+  par->num_threads = static_cast<unsigned>(t);
   return true;
+}
+
+/// Parse the fault-campaign flags shared by faultsim and sweep/suite into
+/// a FaultConfig + DegradePolicy + watchdog. Returns false after a one-line
+/// diagnostic.
+bool parse_fault_common(const std::map<std::string, std::string>& flags,
+                        fault::FaultConfig* cfg, hw::DegradePolicy* degrade,
+                        std::uint64_t* watchdog) {
+  if (flags.count("fault-kind")) {
+    const auto k = fault::fault_kind_by_name(flags.at("fault-kind"));
+    if (!k) {
+      std::fprintf(stderr,
+                   "selcache: unknown fault kind '%s' (kinds: counter-flip"
+                   " counter-reset toggle-drop toggle-dup toggle-reorder"
+                   " entry-invalidate task-crash)\n",
+                   flags.at("fault-kind").c_str());
+      return false;
+    }
+    cfg->kind = *k;
+    cfg->rate = 0.1;  // sensible default; --fault-rate overrides
+  }
+  if (flags.count("fault-rate")) {
+    if (!parse_double(flags.at("fault-rate"), &cfg->rate) || cfg->rate < 0.0 ||
+        cfg->rate > 1.0) {
+      std::fprintf(stderr,
+                   "selcache: flag '--fault-rate' expects a probability in"
+                   " [0,1], got '%s'\n",
+                   flags.at("fault-rate").c_str());
+      return false;
+    }
+  }
+  if (!parse_u64_flag(flags, "fault-seed", &cfg->seed)) return false;
+  if (!parse_u64_flag(flags, "fault-budget", &degrade->fault_budget))
+    return false;
+  if (flags.count("integrity-checks")) degrade->integrity_checks = true;
+  if (!parse_u64_flag(flags, "watchdog-accesses", watchdog)) return false;
+  return true;
+}
+
+/// Parse the sweep/suite resilience flags. `*active` comes back true when
+/// the resilient engine should run (--inject-faults, or a watchdog alone).
+bool parse_sweep_fault_flags(const std::map<std::string, std::string>& flags,
+                             core::FaultSweepOptions* fopt, bool* active) {
+  if (!parse_fault_common(flags, &fopt->fault, &fopt->degrade,
+                          &fopt->watchdog_accesses))
+    return false;
+  std::uint64_t retries = fopt->max_retries;
+  if (!parse_u64_flag(flags, "max-retries", &retries)) return false;
+  if (retries > 100) {
+    std::fprintf(stderr,
+                 "selcache: flag '--max-retries' out of range (max 100)\n");
+    return false;
+  }
+  fopt->max_retries = static_cast<std::uint32_t>(retries);
+  const bool inject = flags.count("inject-faults") > 0;
+  if (!inject && fopt->fault.kind != fault::FaultKind::None) {
+    std::fprintf(stderr,
+                 "selcache: fault flags require '--inject-faults'\n");
+    return false;
+  }
+  if (inject && fopt->fault.kind == fault::FaultKind::None) {
+    std::fprintf(stderr,
+                 "selcache: '--inject-faults' requires '--fault-kind'\n");
+    return false;
+  }
+  *active = inject || fopt->watchdog_accesses > 0;
+  return true;
+}
+
+/// Print the per-cell outcome ledger of a resilient sweep and serialize it
+/// where asked. Failed cells do NOT fail the process — quarantining them is
+/// the point — so this only returns nonzero on I/O errors.
+int emit_failure_report(const fault::FailureReport& report,
+                        const std::map<std::string, std::string>& flags) {
+  std::printf("fault report: %zu cells, %zu degraded, %zu failed\n",
+              report.cells.size(), report.degraded_cells(),
+              report.failed_cells());
+  std::printf("%s", report.table().c_str());
+  if (flags.count("failures-out") &&
+      !core::write_text_file(flags.at("failures-out"), report.csv())) {
+    std::fprintf(stderr, "selcache: cannot write %s\n",
+                 flags.at("failures-out").c_str());
+    return 2;
+  }
+  if (flags.count("failures-jsonl") &&
+      !core::write_text_file(flags.at("failures-jsonl"), report.jsonl())) {
+    std::fprintf(stderr, "selcache: cannot write %s\n",
+                 flags.at("failures-jsonl").c_str());
+    return 2;
+  }
+  return 0;
+}
+
+/// `selcache faultsim WORKLOAD VERSION` — run one simulation under a fault
+/// campaign and report how far it degraded; with --rates, sweep the rate
+/// axis and print one degradation row per rate (the EXPERIMENTS table).
+int cmd_faultsim(const std::string& wname, const std::string& vname,
+                 const std::map<std::string, std::string>& flags) {
+  const auto* w = workload_by_name(wname);
+  if (w == nullptr) {
+    std::fprintf(stderr, "selcache: unknown workload '%s'\n", wname.c_str());
+    return 2;
+  }
+  const auto version = version_by_name(vname);
+  if (!version) {
+    std::fprintf(stderr, "selcache: unknown version '%s'\n", vname.c_str());
+    return 2;
+  }
+  const auto machine =
+      machine_by_name(flags.count("machine") ? flags.at("machine") : "");
+  const auto scheme =
+      scheme_by_name(flags.count("scheme") ? flags.at("scheme") : "");
+  if (!machine || !scheme) return usage();
+
+  core::RunOptions opt;
+  opt.scheme = *scheme;
+  if (!parse_fault_common(flags, &opt.fault, &opt.degrade,
+                          &opt.watchdog_accesses))
+    return 2;
+  if (opt.fault.kind == fault::FaultKind::None &&
+      opt.watchdog_accesses == 0) {
+    std::fprintf(stderr,
+                 "selcache: 'faultsim' expects '--fault-kind' (or"
+                 " '--watchdog-accesses')\n");
+    return 2;
+  }
+
+  if (flags.count("rates")) {
+    // Rate sweep: same seed at every point, so the table is reproducible
+    // and each point differs only by the Bernoulli threshold.
+    std::vector<double> rates;
+    std::string list = flags.at("rates");
+    for (std::size_t pos = 0; pos <= list.size();) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string item =
+          list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      double r = 0.0;
+      if (!parse_double(item, &r) || r < 0.0 || r > 1.0) {
+        std::fprintf(stderr,
+                     "selcache: flag '--rates' expects comma-separated"
+                     " probabilities in [0,1], got '%s'\n",
+                     item.c_str());
+        return 2;
+      }
+      rates.push_back(r);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    TextTable t({"rate", "cycles", "L1 miss%", "toggles", "injected",
+                 "degradations", "status"});
+    for (double rate : rates) {
+      opt.fault.rate = rate;
+      try {
+        const core::RunResult r =
+            core::run_version(*w, *machine, *version, opt);
+        t.add_row({TextTable::num(rate, 4),
+                   std::to_string(static_cast<unsigned long long>(r.cycles)),
+                   TextTable::num(100.0 * r.l1_miss_rate),
+                   std::to_string(r.toggles),
+                   std::to_string(r.faults_injected),
+                   std::to_string(r.degradations),
+                   r.degradations > 0 ? "degraded" : "ok"});
+      } catch (const std::exception& e) {
+        t.add_row({TextTable::num(rate, 4), "-", "-", "-", "-", "-",
+                   std::string("failed: ") + e.what()});
+      }
+    }
+    std::printf("%s / %s / %s faults (seed %llu)\n%s", w->name.c_str(),
+                vname.c_str(), fault::to_string(opt.fault.kind),
+                static_cast<unsigned long long>(opt.fault.seed),
+                t.str().c_str());
+    return 0;
+  }
+
+  try {
+    const core::RunResult r = core::run_version(*w, *machine, *version, opt);
+    std::printf("%s / %s / %s / %s faults (rate %g, seed %llu)\n",
+                w->name.c_str(), vname.c_str(), hw::to_string(*scheme),
+                fault::to_string(opt.fault.kind), opt.fault.rate,
+                static_cast<unsigned long long>(opt.fault.seed));
+    std::printf("  cycles        %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("  L1 miss       %.2f%%   L2 miss %.2f%%\n",
+                100.0 * r.l1_miss_rate, 100.0 * r.l2_miss_rate);
+    std::printf("  toggles       %llu\n",
+                static_cast<unsigned long long>(r.toggles));
+    std::printf("  faults        %llu injected, %llu degradation%s%s\n",
+                static_cast<unsigned long long>(r.faults_injected),
+                static_cast<unsigned long long>(r.degradations),
+                r.degradations == 1 ? "" : "s",
+                r.degradations > 0 ? " (safe mode)" : "");
+    if (flags.count("stats"))
+      for (const auto& [k, v] : r.stats.all())
+        std::printf("  %-32s %llu\n", k.c_str(),
+                    static_cast<unsigned long long>(v));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selcache: faultsim run failed: %s\n", e.what());
+    return 1;
+  }
 }
 
 int cmd_sweep(const std::map<std::string, std::string>& flags) {
@@ -348,15 +608,32 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   if (!parse_epoch_flag(flags, &opt.trace_epoch)) return 2;
   core::ParallelSweepOptions par;
   if (!parse_threads_flag(flags, &par)) return 2;
+  core::FaultSweepOptions fopt;
+  bool faulted = false;
+  if (!parse_sweep_fault_flags(flags, &fopt, &faulted)) return 2;
   std::vector<core::TraceCapture> traces;
   const bool tracing = flags.count("trace-dir") > 0;
-  const core::ImprovementRow row = core::improvements_for(
-      *w, *machine, opt, par, tracing ? &traces : nullptr);
-  std::printf("%s on %s (%s scheme): base %llu cycles\n", w->name.c_str(),
-              machine->name.c_str(), hw::to_string(*scheme),
-              static_cast<unsigned long long>(row.base_cycles));
-  for (core::Version v : core::kEvaluatedVersions)
-    std::printf("  %-14s %+7.2f%%\n", to_string(v), row.pct.at(v));
+  core::ImprovementRow row;
+  if (faulted) {
+    const core::ResilientSweep rs = core::improvements_for_resilient(
+        *w, *machine, opt, par, fopt, tracing ? &traces : nullptr);
+    row = rs.rows.front();
+    std::printf("%s on %s (%s scheme): base %llu cycles\n", w->name.c_str(),
+                machine->name.c_str(), hw::to_string(*scheme),
+                static_cast<unsigned long long>(row.base_cycles));
+    for (core::Version v : core::kEvaluatedVersions)
+      std::printf("  %-14s %+7.2f%%\n", to_string(v), row.pct.at(v));
+    const int rc = emit_failure_report(rs.report, flags);
+    if (rc != 0) return rc;
+  } else {
+    row = core::improvements_for(*w, *machine, opt, par,
+                                 tracing ? &traces : nullptr);
+    std::printf("%s on %s (%s scheme): base %llu cycles\n", w->name.c_str(),
+                machine->name.c_str(), hw::to_string(*scheme),
+                static_cast<unsigned long long>(row.base_cycles));
+    for (core::Version v : core::kEvaluatedVersions)
+      std::printf("  %-14s %+7.2f%%\n", to_string(v), row.pct.at(v));
+  }
   if (tracing) return write_trace_dir(traces, flags.at("trace-dir"));
   return 0;
 }
@@ -415,14 +692,29 @@ int cmd_suite(const std::map<std::string, std::string>& flags) {
     }
     std::printf("pipeline verification: %zu products clean\n", products);
   }
+  core::FaultSweepOptions fopt;
+  bool faulted = false;
+  if (!parse_sweep_fault_flags(flags, &fopt, &faulted)) return 2;
   std::vector<core::TraceCapture> traces;
   const bool tracing = flags.count("trace-dir") > 0;
-  const auto rows =
-      core::sweep_suite(*machine, opt, par, tracing ? &traces : nullptr);
-  std::printf("%s", core::format_figure(
-                        machine->name + " (" + hw::to_string(*scheme) + ")",
-                        rows)
-                        .c_str());
+  std::vector<core::ImprovementRow> rows;
+  if (faulted) {
+    core::ResilientSweep rs = core::sweep_suite_resilient(
+        *machine, opt, par, fopt, tracing ? &traces : nullptr);
+    rows = std::move(rs.rows);
+    std::printf("%s", core::format_figure(
+                          machine->name + " (" + hw::to_string(*scheme) + ")",
+                          rows)
+                          .c_str());
+    const int rc = emit_failure_report(rs.report, flags);
+    if (rc != 0) return rc;
+  } else {
+    rows = core::sweep_suite(*machine, opt, par, tracing ? &traces : nullptr);
+    std::printf("%s", core::format_figure(
+                          machine->name + " (" + hw::to_string(*scheme) + ")",
+                          rows)
+                          .c_str());
+  }
   if (tracing) return write_trace_dir(traces, flags.at("trace-dir"));
   return 0;
 }
@@ -523,13 +815,20 @@ int cmd_run_file(const std::string& path,
                  const std::map<std::string, std::string>& flags) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::fprintf(stderr, "selcache: cannot open %s\n", path.c_str());
     return 2;
   }
   std::ostringstream text;
   text << in.rdbuf();
-  ir::Program parsed = ir::parse_program(text.str());
-  const std::string name = parsed.name();
+  std::optional<ir::Program> parsed;
+  try {
+    parsed.emplace(ir::parse_program(text.str()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selcache: cannot parse %s: %s\n", path.c_str(),
+                 e.what());
+    return 2;
+  }
+  const std::string name = parsed->name();
 
   // Wrap the parsed program in a workload whose builder re-parses the text
   // (the runner clones per version).
@@ -603,7 +902,14 @@ int cmd_trace_replay(const std::string& path,
   const auto scheme =
       scheme_by_name(flags.count("scheme") ? flags.at("scheme") : "");
   if (!machine || !scheme) return usage();
-  const codegen::Trace trace = codegen::load_trace(path);
+  codegen::Trace trace;
+  try {
+    trace = codegen::load_trace(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selcache: cannot load trace %s: %s\n", path.c_str(),
+                 e.what());
+    return 2;
+  }
   memsys::Hierarchy hierarchy(machine->hierarchy);
   auto hw_scheme = core::make_scheme(*scheme, *machine);
   hierarchy.attach_hw(hw_scheme.get());
@@ -631,11 +937,21 @@ int main(int argc, char** argv) {
         {"stats"}}},
       {"sweep",
        {"sweep",
-        {"workload", "machine", "scheme", "threads", "trace-dir", "epoch"},
-        {}}},
+        {"workload", "machine", "scheme", "threads", "trace-dir", "epoch",
+         "fault-kind", "fault-rate", "fault-seed", "fault-budget",
+         "watchdog-accesses", "max-retries", "failures-out", "failures-jsonl"},
+        {"inject-faults", "integrity-checks"}}},
       {"suite",
-       {"suite", {"machine", "scheme", "threads", "trace-dir", "epoch"},
-        {"verify-pipeline"}}},
+       {"suite",
+        {"machine", "scheme", "threads", "trace-dir", "epoch", "fault-kind",
+         "fault-rate", "fault-seed", "fault-budget", "watchdog-accesses",
+         "max-retries", "failures-out", "failures-jsonl"},
+        {"verify-pipeline", "inject-faults", "integrity-checks"}}},
+      {"faultsim",
+       {"faultsim",
+        {"machine", "scheme", "fault-kind", "fault-rate", "fault-seed",
+         "fault-budget", "watchdog-accesses", "rates"},
+        {"integrity-checks", "stats"}}},
       {"show", {"show", {"workload"}, {"optimized", "marked"}}},
       {"run-file", {"run-file", {"machine", "version", "scheme"}, {}}},
       {"trace",
@@ -675,12 +991,13 @@ int main(int argc, char** argv) {
                  cmd.c_str());
     return 2;
   }
-  if (cmd == "trace") {
+  if (cmd == "trace" || cmd == "faultsim") {
     if (argc < 4 || std::string(argv[2]).rfind("--", 0) == 0 ||
         std::string(argv[3]).rfind("--", 0) == 0) {
       std::fprintf(stderr,
-                   "selcache: 'trace' expects WORKLOAD and VERSION"
-                   " arguments\n");
+                   "selcache: '%s' expects WORKLOAD and VERSION"
+                   " arguments\n",
+                   cmd.c_str());
       return 2;
     }
     positional = argv[2];
@@ -699,6 +1016,7 @@ int main(int argc, char** argv) {
   if (cmd == "show") return cmd_show(flags);
   if (cmd == "run-file") return cmd_run_file(positional, flags);
   if (cmd == "trace") return cmd_trace(positional, positional2, flags);
+  if (cmd == "faultsim") return cmd_faultsim(positional, positional2, flags);
   if (cmd == "trace-record") return cmd_trace_record(flags);
   if (cmd == "trace-replay") return cmd_trace_replay(positional, flags);
   return cmd_verify(positional, flags);
