@@ -2,8 +2,10 @@
 // four versions x 13 benchmarks, cache-bypassing hardware scheme.
 #include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto fopt = selcache::bench::parse_figure_options(argc, argv);
   return selcache::bench::run_figure(
       selcache::core::base_machine(),
-      "Figure 4: base configuration (bypass scheme)");
+      "Figure 4: base configuration (bypass scheme)",
+      selcache::hw::SchemeKind::Bypass, fopt);
 }

@@ -1,5 +1,10 @@
+// Figure 4 companion: same base configuration under the victim-cache
+// hardware scheme.
 #include "figure_common.h"
-int main() {
+
+int main(int argc, char** argv) {
+  const auto fopt = selcache::bench::parse_figure_options(argc, argv);
   return selcache::bench::run_figure(selcache::core::base_machine(),
-      "victim check", selcache::hw::SchemeKind::Victim);
+                                     "victim check",
+                                     selcache::hw::SchemeKind::Victim, fopt);
 }

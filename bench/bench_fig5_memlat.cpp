@@ -1,8 +1,21 @@
-// Figure 5: larger memory latency (200 cycles) — % improvement in execution cycles over this configuration's
-// base run, four versions x 13 benchmarks, cache-bypassing scheme.
+// Figure 5: memory-latency axis. The paper's point is 200 cycles; the sweep
+// traces the whole axis, recording each (workload, version) cell's trace
+// tape at the first point and replaying it for the rest.
 #include "figure_common.h"
 
-int main() {
-  return selcache::bench::run_figure(selcache::core::higher_mem_latency(),
-                                     "Figure 5: larger memory latency (200 cycles) (bypass scheme)");
+int main(int argc, char** argv) {
+  using namespace selcache;
+  const auto fopt = bench::parse_figure_options(argc, argv);
+  std::vector<bench::SweepPoint> points;
+  for (unsigned lat : {100u, 150u, 200u, 300u}) {
+    core::MachineConfig m = core::higher_mem_latency();
+    m.hierarchy.mem.access_latency = lat;
+    m.name = "Mem. Lat. " + std::to_string(lat);
+    points.push_back(
+        {m, "Figure 5: memory latency " + std::to_string(lat) +
+                " cycles (bypass scheme)" +
+                (lat == 200 ? " [paper point]" : "")});
+  }
+  return bench::run_figure_sweep(std::move(points), hw::SchemeKind::Bypass,
+                                 fopt);
 }

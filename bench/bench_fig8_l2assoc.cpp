@@ -1,8 +1,19 @@
-// Figure 8: higher L2 associativity (8) — % improvement in execution cycles over this configuration's
-// base run, four versions x 13 benchmarks, cache-bypassing scheme.
+// Figure 8: L2-associativity axis. The paper's point is 8-way; the sweep
+// traces the whole axis via record-once/replay-many tapes.
 #include "figure_common.h"
 
-int main() {
-  return selcache::bench::run_figure(selcache::core::higher_l2_assoc(),
-                                     "Figure 8: higher L2 associativity (8) (bypass scheme)");
+int main(int argc, char** argv) {
+  using namespace selcache;
+  const auto fopt = bench::parse_figure_options(argc, argv);
+  std::vector<bench::SweepPoint> points;
+  for (unsigned ways : {2u, 4u, 8u, 16u}) {
+    core::MachineConfig m = core::higher_l2_assoc();
+    m.hierarchy.l2.assoc = ways;
+    m.name = "L2 " + std::to_string(ways) + "-way";
+    points.push_back(
+        {m, "Figure 8: L2 associativity " + std::to_string(ways) +
+                " (bypass scheme)" + (ways == 8 ? " [paper point]" : "")});
+  }
+  return bench::run_figure_sweep(std::move(points), hw::SchemeKind::Bypass,
+                                 fopt);
 }

@@ -1,12 +1,15 @@
 // Engine-throughput benchmark: simulated accesses/second for the full
-// 13-benchmark DATE-2003 sweep, serial vs. the parallel experiment engine.
+// 13-benchmark DATE-2003 sweep — serial vs. the parallel experiment engine,
+// and interpreted vs. the trace-tape record/replay path.
 //
 //   bench_throughput [--threads N] [--out FILE] [--scheme bypass|victim]
 //
-// Reports wall-clock, simulated-accesses/second, and the parallel speedup,
-// verifies the parallel sweep is bit-identical to the serial one, and writes
-// a JSON baseline (default results/BENCH_throughput.json) that
-// tools/check_bench_regression.py compares future runs against.
+// Reports wall-clock, simulated-accesses/second, the parallel speedup, and
+// the tape record/replay throughput plus encoded density; verifies both the
+// parallel sweep and the tape passes are bit-identical to the serial
+// interpreted one, and writes a JSON baseline (default
+// results/BENCH_throughput.json) that tools/check_bench_regression.py
+// compares future runs against.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -15,6 +18,7 @@
 #include "core/report.h"
 #include "core/runner.h"
 #include "support/thread_pool.h"
+#include "tape/cache.h"
 
 namespace {
 
@@ -92,11 +96,46 @@ int main(int argc, char** argv) {
   std::printf("%2u threads:%6.2fs  %12.0f accesses/s  (%.2fx)\n", threads,
               parallel_s, parallel_aps, speedup);
 
-  const bool deterministic = identical(serial_rows, parallel_rows);
-  std::printf("determinism: parallel rows %s serial rows\n",
+  // Tape phases: one serial sweep that records every (workload, version)
+  // cell into a fresh cache, then one that replays all 65 tapes. Replay
+  // throughput over interpreted throughput is the record-once/replay-many
+  // win each extra machine point of a figure sweep enjoys.
+  selcache::tape::TapeCache cache;
+  selcache::core::RunOptions taped = opt;
+  taped.reuse_tape = true;
+  taped.tape_cache = &cache;
+
+  t0 = std::chrono::steady_clock::now();
+  const auto recorded_rows = selcache::core::sweep_suite(machine, taped);
+  const double record_s = seconds_since(t0);
+  const double record_aps = static_cast<double>(accesses) / record_s;
+  std::printf("tape rec:  %6.2fs  %12.0f accesses/s  (%zu tapes)\n", record_s,
+              record_aps, cache.size());
+
+  t0 = std::chrono::steady_clock::now();
+  const auto replayed_rows = selcache::core::sweep_suite(machine, taped);
+  const double replay_s = seconds_since(t0);
+  const double replay_aps = static_cast<double>(accesses) / replay_s;
+  const double replay_speedup = serial_s / replay_s;
+  std::printf("tape play: %6.2fs  %12.0f accesses/s  (%.2fx vs interpret)\n",
+              replay_s, replay_aps, replay_speedup);
+
+  const double tape_bytes_per_access =
+      cache.total_data_accesses() == 0
+          ? 0.0
+          : static_cast<double>(cache.total_bytes()) /
+                static_cast<double>(cache.total_data_accesses());
+  std::printf("tape size: %.1f MB total, %.2f bytes/recorded access\n",
+              static_cast<double>(cache.total_bytes()) / (1024.0 * 1024.0),
+              tape_bytes_per_access);
+
+  const bool deterministic = identical(serial_rows, parallel_rows) &&
+                             identical(serial_rows, recorded_rows) &&
+                             identical(serial_rows, replayed_rows);
+  std::printf("determinism: parallel + tape rows %s serial rows\n",
               deterministic ? "IDENTICAL to" : "DIFFER from");
 
-  char json[1024];
+  char json[1536];
   std::snprintf(json, sizeof(json),
                 "{\n"
                 "  \"benchmark\": \"bench_throughput\",\n"
@@ -110,12 +149,16 @@ int main(int argc, char** argv) {
                 "  \"parallel_seconds\": %.3f,\n"
                 "  \"parallel_accesses_per_sec\": %.0f,\n"
                 "  \"speedup\": %.3f,\n"
+                "  \"tape_record_accesses_per_sec\": %.0f,\n"
+                "  \"tape_replay_accesses_per_sec\": %.0f,\n"
+                "  \"tape_bytes_per_access\": %.3f,\n"
                 "  \"deterministic\": %s\n"
                 "}\n",
                 selcache::hw::to_string(scheme), serial_rows.size(),
                 selcache::support::ThreadPool::hardware_threads(), threads,
                 static_cast<unsigned long long>(accesses), serial_s,
-                serial_aps, parallel_s, parallel_aps, speedup,
+                serial_aps, parallel_s, parallel_aps, speedup, record_aps,
+                replay_aps, tape_bytes_per_access,
                 deterministic ? "true" : "false");
   if (!selcache::core::write_text_file(out, json)) {
     std::fprintf(stderr, "warning: could not write %s\n", out.c_str());

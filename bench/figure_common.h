@@ -1,46 +1,138 @@
 // Shared driver for the figure/table benches: run the 13-benchmark suite on
-// one machine configuration and print the paper-style improvement table.
+// one machine configuration — or a whole axis of them — and print the
+// paper-style improvement table per point.
+//
+// Every figure bench accepts the same flags (strict — unknown flags exit 2):
+//   --threads N       worker threads for the (workload, version) fan-out
+//                     (default: SELCACHE_THREADS env, else serial)
+//   --no-reuse-tape   interpret every point instead of record-once/
+//                     replay-many (the default records each (workload,
+//                     version) cell at the first machine point and replays
+//                     the tape for every other point)
+//   --max-points N    truncate a sweep axis to its first N points (smoke
+//                     tests / CI)
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/report.h"
 #include "core/runner.h"
+#include "tape/cache.h"
 
 namespace selcache::bench {
 
-inline int run_figure(const core::MachineConfig& machine,
-                      const std::string& title,
-                      hw::SchemeKind scheme = hw::SchemeKind::Bypass) {
-  const auto t0 = std::chrono::steady_clock::now();
+struct FigureOptions {
+  unsigned threads = 0;    ///< 0 = serial
+  bool reuse_tape = true;  ///< record-once / replay-many across points
+  int max_points = -1;     ///< -1 = all points of a sweep axis
+};
+
+/// Parse the shared figure-bench flags; exits(2) on anything unrecognized.
+inline FigureOptions parse_figure_options(int argc, char** argv) {
+  FigureOptions f;
+  if (const char* env = std::getenv("SELCACHE_THREADS"))
+    f.threads = static_cast<unsigned>(std::atoi(env));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      f.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--no-reuse-tape") == 0) {
+      f.reuse_tape = false;
+    } else if (std::strcmp(argv[i], "--max-points") == 0 && i + 1 < argc) {
+      f.max_points = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--no-reuse-tape]"
+                   " [--max-points N]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+/// One machine point of a sweep axis.
+struct SweepPoint {
+  core::MachineConfig machine;
+  std::string title;  ///< full figure title printed above this point's table
+};
+
+namespace detail {
+
+inline void maybe_write_csv(const std::string& title,
+                            const std::vector<core::ImprovementRow>& rows) {
+  // Optional plotting output: SELCACHE_CSV_DIR=<dir> writes one CSV per
+  // figure point, named after the title's leading word(s).
+  const char* dir = std::getenv("SELCACHE_CSV_DIR");
+  if (dir == nullptr) return;
+  std::string slug;
+  for (char c : title) {
+    if (c == ':') break;
+    slug.push_back(isalnum(static_cast<unsigned char>(c))
+                       ? static_cast<char>(tolower(c))
+                       : '_');
+  }
+  const std::string path = std::string(dir) + "/" + slug + ".csv";
+  if (!core::write_text_file(path, core::figure_csv(rows)))
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+}
+
+}  // namespace detail
+
+/// Run the full suite over every machine point of one axis. With
+/// fopt.reuse_tape (the default) the 13x5 cell tapes are recorded at the
+/// first point and replayed — bit-identically — for every later point, so
+/// an N-point axis pays the IR pipeline once, not N times.
+inline int run_figure_sweep(std::vector<SweepPoint> points,
+                            hw::SchemeKind scheme, const FigureOptions& fopt) {
+  if (fopt.max_points >= 0 &&
+      static_cast<std::size_t>(fopt.max_points) < points.size())
+    points.resize(static_cast<std::size_t>(fopt.max_points));
+
+  tape::TapeCache cache;
   core::RunOptions opt;
   opt.scheme = scheme;
-  const auto rows = core::sweep_suite(machine, opt);
-  const auto dt = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-  std::printf("%s", core::format_machine(machine).c_str());
-  std::printf("%s", core::format_figure(title, rows).c_str());
-  std::printf("(simulated in %.1fs, scheme=%s)\n\n", dt,
-              hw::to_string(scheme));
+  // A single-point run has nothing to replay, so skip the recording cost.
+  opt.reuse_tape = fopt.reuse_tape && points.size() > 1;
+  opt.tape_cache = &cache;
+  const core::ParallelSweepOptions par{.num_threads = fopt.threads};
 
-  // Optional plotting output: SELCACHE_CSV_DIR=<dir> writes one CSV per
-  // figure, named after the title's leading word(s).
-  if (const char* dir = std::getenv("SELCACHE_CSV_DIR")) {
-    std::string slug;
-    for (char c : title) {
-      if (c == ':') break;
-      slug.push_back(isalnum(static_cast<unsigned char>(c))
-                         ? static_cast<char>(tolower(c))
-                         : '_');
-    }
-    const std::string path = std::string(dir) + "/" + slug + ".csv";
-    if (!core::write_text_file(path, core::figure_csv(rows)))
-      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  const auto sweep_t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rows = core::sweep_suite(points[i].machine, opt, par);
+    const auto dt = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    std::printf("%s", core::format_machine(points[i].machine).c_str());
+    std::printf("%s", core::format_figure(points[i].title, rows).c_str());
+    const char* mode = !opt.reuse_tape ? "interpreted"
+                       : i == 0        ? "recorded"
+                                       : "replayed";
+    std::printf("(simulated in %.1fs, scheme=%s, %s)\n\n", dt,
+                hw::to_string(scheme), mode);
+    detail::maybe_write_csv(points[i].title, rows);
   }
+  const auto total = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - sweep_t0)
+                         .count();
+  if (points.size() > 1)
+    std::printf("axis total: %zu machine points in %.1fs%s\n",
+                points.size(), total,
+                fopt.reuse_tape ? " (record-once/replay-many)" : "");
   return 0;
+}
+
+/// Single-point figure (Figure 4 and the ablations).
+inline int run_figure(const core::MachineConfig& machine,
+                      const std::string& title,
+                      hw::SchemeKind scheme = hw::SchemeKind::Bypass,
+                      const FigureOptions& fopt = {}) {
+  return run_figure_sweep({{machine, title}}, scheme, fopt);
 }
 
 }  // namespace selcache::bench

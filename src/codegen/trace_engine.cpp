@@ -1,139 +1,9 @@
 #include "codegen/trace_engine.h"
 
-#include <array>
-#include <span>
-
-#include "support/check.h"
-
 namespace selcache::codegen {
 
-using ir::LoopNode;
-using ir::Node;
-using ir::NodeKind;
-using ir::Reference;
-using ir::StmtNode;
-using ir::Subscript;
-using ir::ToggleNode;
-
-TraceEngine::TraceEngine(const ir::Program& p, DataEnv& env,
-                         cpu::TimingModel& cpu)
-    : prog_(p), env_(env), cpu_(cpu) {
-  vars_.assign(p.var_names().size(), 0);
-}
-
-void TraceEngine::run() {
-  env_.reset_walks();
-  exec_body(prog_.top());
-}
-
-void TraceEngine::exec_body(const std::vector<std::unique_ptr<Node>>& body) {
-  for (const auto& n : body) {
-    switch (n->kind) {
-      case NodeKind::Loop:
-        exec_loop(static_cast<const LoopNode&>(*n));
-        break;
-      case NodeKind::Stmt:
-        exec_stmt(static_cast<const StmtNode&>(*n).stmt);
-        break;
-      case NodeKind::Toggle: {
-        const auto& t = static_cast<const ToggleNode&>(*n);
-        cpu_.toggle(t.on, t.region);
-        break;
-      }
-    }
-  }
-}
-
-void TraceEngine::exec_loop(const LoopNode& loop) {
-  const std::int64_t lo = loop.lower.eval(vars_);
-  const std::int64_t hi = loop.upper.eval(vars_);
-  for (std::int64_t v = lo; v < hi; v += loop.step) {
-    vars_[loop.var] = v;
-    ++iterations_;
-    exec_body(loop.body);
-    // Loop overhead: index update + back-edge branch (taken except when
-    // falling out).
-    cpu_.compute(1);
-    cpu_.branch(loop.code_addr, /*taken=*/v + loop.step < hi);
-  }
-}
-
-std::int64_t TraceEngine::eval_subscript(const Subscript& s, bool* dependent) {
-  return std::visit(
-      [&](const auto& sub) -> std::int64_t {
-        using T = std::decay_t<decltype(sub)>;
-        if constexpr (std::is_same_v<T, Subscript::Affine>) {
-          return sub.expr.eval(vars_);
-        } else if constexpr (std::is_same_v<T, Subscript::Product>) {
-          return sub.lhs.eval(vars_) * sub.rhs.eval(vars_);
-        } else if constexpr (std::is_same_v<T, Subscript::Divide>) {
-          const std::int64_t d = sub.rhs.eval(vars_);
-          const std::int64_t n = sub.lhs.eval(vars_);
-          return d == 0 ? n : n / d;
-        } else {
-          // Indexed: load the index element, then the consumer access is
-          // address-dependent on it.
-          const std::int64_t pos = sub.index.eval(vars_);
-          const auto& layout = env_.array_layout(sub.index_array);
-          const std::int64_t idx[1] = {pos};
-          cpu_.load(layout.element_addr(idx));
-          ++loads_;
-          *dependent = true;
-          return env_.index_value(sub.index_array, pos) + sub.offset;
-        }
-      },
-      s.value);
-}
-
-void TraceEngine::exec_ref(const Reference& r) {
-  std::visit(
-      [&](const auto& t) {
-        using T = std::decay_t<decltype(t)>;
-        if constexpr (std::is_same_v<T, Reference::Scalar>) {
-          const Addr a = env_.scalar_addr(t.id);
-          r.is_write ? cpu_.store(a) : cpu_.load(a);
-        } else if constexpr (std::is_same_v<T, Reference::Array>) {
-          bool dependent = false;
-          // Hot path: a fixed-size index buffer keeps the per-reference
-          // subscript evaluation allocation-free.
-          std::array<std::int64_t, kMaxDims> idx;
-          SELCACHE_CHECK(t.subs.size() <= kMaxDims);
-          for (std::size_t d = 0; d < t.subs.size(); ++d)
-            idx[d] = eval_subscript(t.subs[d], &dependent);
-          const Addr a = env_.array_layout(t.id).element_addr(
-              std::span<const std::int64_t>(idx.data(), t.subs.size()));
-          if (r.is_write) {
-            cpu_.store(a);
-          } else {
-            cpu_.load(a, dependent);
-          }
-        } else if constexpr (std::is_same_v<T, Reference::Pointer>) {
-          const Addr a = env_.chase_next(t.pool, t.field_offset);
-          // Following the link: the address came from the previous load.
-          if (r.is_write) {
-            cpu_.store(a);
-          } else {
-            cpu_.load(a, /*dependent=*/true);
-          }
-        } else {
-          bool dependent = false;
-          const std::int64_t e = eval_subscript(t.element, &dependent);
-          const Addr a = env_.record_addr(t.pool, e, t.field_offset);
-          if (r.is_write) {
-            cpu_.store(a);
-          } else {
-            cpu_.load(a, dependent);
-          }
-        }
-      },
-      r.target);
-  r.is_write ? ++stores_ : ++loads_;
-}
-
-void TraceEngine::exec_stmt(const ir::Stmt& stmt) {
-  cpu_.touch_code(stmt.code_addr, stmt.instruction_count());
-  for (const auto& r : stmt.refs) exec_ref(r);
-  if (stmt.compute_ops > 0) cpu_.compute(stmt.compute_ops);
-}
+// The cpu::TimingModel instantiation is compiled once here; other
+// instantiations (the tape recorder's shim) are implicit at their use site.
+template class BasicTraceEngine<cpu::TimingModel>;
 
 }  // namespace selcache::codegen

@@ -10,19 +10,35 @@
 // load), then perform the dependent gather/scatter. Pointer references walk
 // the pool's next-chain with fully serialized (dependent) loads. Toggle
 // nodes execute the activate/deactivate instruction.
+//
+// The engine is a template over the CPU it drives so the tape layer can
+// interpose its RecordingTimingModel shim (same six entry points as
+// cpu::TimingModel) with zero overhead on the plain path. `TraceEngine`
+// remains the cpu::TimingModel instantiation every existing caller uses.
 #pragma once
+
+#include <array>
+#include <span>
 
 #include "codegen/data_env.h"
 #include "cpu/timing_model.h"
+#include "support/check.h"
 
 namespace selcache::codegen {
 
-class TraceEngine {
+template <typename Cpu>
+class BasicTraceEngine {
  public:
-  TraceEngine(const ir::Program& p, DataEnv& env, cpu::TimingModel& cpu);
+  BasicTraceEngine(const ir::Program& p, DataEnv& env, Cpu& cpu)
+      : prog_(p), env_(env), cpu_(cpu) {
+    vars_.assign(p.var_names().size(), 0);
+  }
 
   /// Execute the whole program once.
-  void run();
+  void run() {
+    env_.reset_walks();
+    exec_body(prog_.top());
+  }
 
   /// Dynamic counts (diagnostics).
   std::uint64_t loads_executed() const { return loads_; }
@@ -34,20 +50,129 @@ class TraceEngine {
   /// (synthetic workloads use at most 3 dimensions).
   static constexpr std::size_t kMaxDims = 8;
 
-  void exec_body(const std::vector<std::unique_ptr<ir::Node>>& body);
-  void exec_loop(const ir::LoopNode& loop);
-  void exec_stmt(const ir::Stmt& stmt);
+  void exec_body(const std::vector<std::unique_ptr<ir::Node>>& body) {
+    for (const auto& n : body) {
+      switch (n->kind) {
+        case ir::NodeKind::Loop:
+          exec_loop(static_cast<const ir::LoopNode&>(*n));
+          break;
+        case ir::NodeKind::Stmt:
+          exec_stmt(static_cast<const ir::StmtNode&>(*n).stmt);
+          break;
+        case ir::NodeKind::Toggle: {
+          const auto& t = static_cast<const ir::ToggleNode&>(*n);
+          cpu_.toggle(t.on, t.region);
+          break;
+        }
+      }
+    }
+  }
+
+  void exec_loop(const ir::LoopNode& loop) {
+    const std::int64_t lo = loop.lower.eval(vars_);
+    const std::int64_t hi = loop.upper.eval(vars_);
+    for (std::int64_t v = lo; v < hi; v += loop.step) {
+      vars_[loop.var] = v;
+      ++iterations_;
+      exec_body(loop.body);
+      // Loop overhead: index update + back-edge branch (taken except when
+      // falling out).
+      cpu_.compute(1);
+      cpu_.branch(loop.code_addr, /*taken=*/v + loop.step < hi);
+    }
+  }
+
   /// Evaluate one subscript; emits the index-array load for Indexed
   /// subscripts and reports whether the enclosing access is now
   /// address-dependent.
-  std::int64_t eval_subscript(const ir::Subscript& s, bool* dependent);
-  void exec_ref(const ir::Reference& r);
+  std::int64_t eval_subscript(const ir::Subscript& s, bool* dependent) {
+    return std::visit(
+        [&](const auto& sub) -> std::int64_t {
+          using T = std::decay_t<decltype(sub)>;
+          if constexpr (std::is_same_v<T, ir::Subscript::Affine>) {
+            return sub.expr.eval(vars_);
+          } else if constexpr (std::is_same_v<T, ir::Subscript::Product>) {
+            return sub.lhs.eval(vars_) * sub.rhs.eval(vars_);
+          } else if constexpr (std::is_same_v<T, ir::Subscript::Divide>) {
+            const std::int64_t d = sub.rhs.eval(vars_);
+            const std::int64_t n = sub.lhs.eval(vars_);
+            return d == 0 ? n : n / d;
+          } else {
+            // Indexed: load the index element, then the consumer access is
+            // address-dependent on it.
+            const std::int64_t pos = sub.index.eval(vars_);
+            const auto& layout = env_.array_layout(sub.index_array);
+            const std::int64_t idx[1] = {pos};
+            cpu_.load(layout.element_addr(idx));
+            ++loads_;
+            *dependent = true;
+            return env_.index_value(sub.index_array, pos) + sub.offset;
+          }
+        },
+        s.value);
+  }
+
+  void exec_ref(const ir::Reference& r) {
+    std::visit(
+        [&](const auto& t) {
+          using T = std::decay_t<decltype(t)>;
+          if constexpr (std::is_same_v<T, ir::Reference::Scalar>) {
+            const Addr a = env_.scalar_addr(t.id);
+            r.is_write ? cpu_.store(a) : cpu_.load(a);
+          } else if constexpr (std::is_same_v<T, ir::Reference::Array>) {
+            bool dependent = false;
+            // Hot path: a fixed-size index buffer keeps the per-reference
+            // subscript evaluation allocation-free.
+            std::array<std::int64_t, kMaxDims> idx;
+            SELCACHE_CHECK(t.subs.size() <= kMaxDims);
+            for (std::size_t d = 0; d < t.subs.size(); ++d)
+              idx[d] = eval_subscript(t.subs[d], &dependent);
+            const Addr a = env_.array_layout(t.id).element_addr(
+                std::span<const std::int64_t>(idx.data(), t.subs.size()));
+            if (r.is_write) {
+              cpu_.store(a);
+            } else {
+              cpu_.load(a, dependent);
+            }
+          } else if constexpr (std::is_same_v<T, ir::Reference::Pointer>) {
+            const Addr a = env_.chase_next(t.pool, t.field_offset);
+            // Following the link: the address came from the previous load.
+            if (r.is_write) {
+              cpu_.store(a);
+            } else {
+              cpu_.load(a, /*dependent=*/true);
+            }
+          } else {
+            bool dependent = false;
+            const std::int64_t e = eval_subscript(t.element, &dependent);
+            const Addr a = env_.record_addr(t.pool, e, t.field_offset);
+            if (r.is_write) {
+              cpu_.store(a);
+            } else {
+              cpu_.load(a, dependent);
+            }
+          }
+        },
+        r.target);
+    r.is_write ? ++stores_ : ++loads_;
+  }
+
+  void exec_stmt(const ir::Stmt& stmt) {
+    cpu_.touch_code(stmt.code_addr, stmt.instruction_count());
+    for (const auto& r : stmt.refs) exec_ref(r);
+    if (stmt.compute_ops > 0) cpu_.compute(stmt.compute_ops);
+  }
 
   const ir::Program& prog_;
   DataEnv& env_;
-  cpu::TimingModel& cpu_;
+  Cpu& cpu_;
   std::vector<std::int64_t> vars_;
   std::uint64_t loads_ = 0, stores_ = 0, iterations_ = 0;
 };
+
+/// The plain engine every simulation path uses.
+using TraceEngine = BasicTraceEngine<cpu::TimingModel>;
+
+extern template class BasicTraceEngine<cpu::TimingModel>;
 
 }  // namespace selcache::codegen

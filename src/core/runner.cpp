@@ -1,12 +1,17 @@
 #include "core/runner.h"
 
 #include <array>
+#include <bit>
+#include <cstdio>
 #include <future>
 #include <optional>
 
 #include "codegen/trace_engine.h"
 #include "fault/injector.h"
 #include "support/thread_pool.h"
+#include "tape/cache.h"
+#include "tape/recording_model.h"
+#include "tape/replayer.h"
 #include "trace/recorder.h"
 
 namespace selcache::core {
@@ -49,87 +54,206 @@ const char* version_key(Version v) {
   return "?";
 }
 
+namespace {
+
+memsys::HierarchyConfig hierarchy_config(const MachineConfig& m,
+                                         const RunOptions& opt) {
+  memsys::HierarchyConfig hcfg = m.hierarchy;
+  hcfg.classify_misses = opt.classify_misses;
+  return hcfg;
+}
+
+/// All mutable machine state one simulation owns: hierarchy + scheme +
+/// controller + timing model, with the optional fault injector and phase
+/// recorder attached. Shared by the interpret, record, and replay paths so
+/// a replayed run reconstructs *exactly* the machine an interpreted run
+/// would see (attachment and source-registration order are part of the
+/// bit-identical contract — the recorder is attached BEFORE the initial
+/// force() so the timeline starts with the synthetic Toggle event, and the
+/// stat sources register in hierarchy, cpu, controller, injector order).
+struct Simulation {
+  memsys::Hierarchy hierarchy;
+  std::unique_ptr<memsys::HwScheme> scheme;
+  hw::Controller controller;
+  std::optional<fault::Injector> injector;
+  std::optional<trace::MemorySink> sink;
+  std::optional<trace::Recorder> rec;
+  cpu::TimingModel cpu;
+
+  Simulation(const MachineConfig& m, Version v, const RunOptions& opt,
+             trace::Recording* trace_out)
+      : hierarchy(hierarchy_config(m, opt)),
+        scheme(v == Version::Base || v == Version::PureSoftware
+                   ? nullptr
+                   : make_scheme(opt.scheme, m)),
+        controller(scheme.get()),
+        cpu(m.cpu, hierarchy, controller) {
+    hierarchy.attach_hw(scheme.get());
+
+    // Optional fault campaign: the injector lives on this task's stack like
+    // the trace recorder, and attaching it is the only thing that makes any
+    // fault hook non-null. Without it this simulation compiles down to the
+    // pre-fault-layer machine.
+    if (opt.fault.enabled() || opt.watchdog_accesses > 0) {
+      injector.emplace(opt.fault, opt.watchdog_accesses);
+      hierarchy.set_fault(&*injector);
+      if (scheme != nullptr) scheme->set_fault(&*injector);
+      controller.set_fault(&*injector);
+    }
+    if (opt.degrade.armed()) controller.set_degrade_policy(opt.degrade);
+
+    // Optional phase tracing. The recorder and its sink live on this task's
+    // stack: a parallel sweep never shares trace state between tasks.
+    if (trace_out != nullptr) {
+      sink.emplace(*trace_out);
+      rec.emplace(*sink, opt.trace_epoch);
+      rec->register_source(
+          [this](StatSet& s) { hierarchy.export_stats(s); });
+      hierarchy.set_trace(&*rec);
+      if (scheme != nullptr) scheme->set_trace(&*rec);
+      controller.set_trace(&*rec);
+    }
+    controller.force(hw_always_on(v));  // Selective starts OFF; toggles drive
+    if (rec) {
+      rec->register_source([this](StatSet& s) { cpu.export_stats(s); });
+      rec->register_source(
+          [this](StatSet& s) { controller.export_stats(s); });
+      if (injector)
+        rec->register_source(
+            [this](StatSet& s) { injector->export_stats(s); });
+    }
+  }
+
+  /// Finish the phase recording (if any) and harvest the run's results.
+  RunResult collect() {
+    if (rec) rec->finish();
+    RunResult r;
+    r.cycles = cpu.cycles();
+    r.instructions = cpu.instructions();
+    r.l1_miss_rate = hierarchy.l1_miss_rate();
+    r.l2_miss_rate = hierarchy.l2_miss_rate();
+    if (const auto* c = hierarchy.classifier())
+      r.conflict_share = c->conflict_share();
+    r.toggles = controller.toggles_executed();
+    r.degradations = controller.degradations();
+    hierarchy.export_stats(r.stats);
+    cpu.export_stats(r.stats);
+    controller.export_stats(r.stats);
+    if (injector) {
+      r.faults_injected = injector->injected();
+      injector->export_stats(r.stats);
+    }
+    return r;
+  }
+};
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Hash of every RunOptions field the recorded stream depends on. The
+/// machine and scheme are deliberately excluded (the stream is invariant
+/// under both: geometry only changes the hierarchy's response, and the
+/// scheme never feeds back into address generation); the verification
+/// hooks (log / after_stage) observe the pipeline without changing its
+/// output, so they are excluded too.
+std::uint64_t stream_fingerprint(const RunOptions& opt) {
+  const transform::OptimizeOptions& o = opt.optimize;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, opt.data_seed);
+  h = fnv1a(h, std::bit_cast<std::uint64_t>(o.threshold));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.tiling.tile));
+  h = fnv1a(h, static_cast<std::uint64_t>(o.tiling.min_tile));
+  h = fnv1a(h, o.tiling.cache_bytes);
+  h = fnv1a(h, o.unroll);
+  std::uint64_t bits = 0;
+  for (bool b : {o.enable_fusion, o.enable_interchange, o.enable_tiling,
+                 o.enable_unroll_jam, o.enable_scalar_replacement,
+                 o.enable_layout_selection, o.insert_markers,
+                 o.eliminate_markers})
+    bits = (bits << 1) | (b ? 1 : 0);
+  return fnv1a(h, bits);
+}
+
+/// Is this run allowed on the tape path? Fault campaigns and watchdogs
+/// perturb or truncate the run midstream, so they always interpret.
+bool tape_eligible(const RunOptions& opt) {
+  return opt.reuse_tape && !opt.fault.enabled() && opt.watchdog_accesses == 0;
+}
+
+}  // namespace
+
+std::string tape_key(const workloads::WorkloadInfo& w, Version v,
+                     const RunOptions& opt) {
+  char fp[17];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(stream_fingerprint(opt)));
+  return w.name + "/" + version_key(v) + "/" + fp;
+}
+
+tape::Tape record_tape(const workloads::WorkloadInfo& w,
+                       const MachineConfig& m, Version v,
+                       const RunOptions& opt, RunResult* result,
+                       trace::Recording* trace_out) {
+  SELCACHE_CHECK_MSG(!opt.fault.enabled() && opt.watchdog_accesses == 0,
+                     "cannot record a tape under a fault campaign");
+  // Code product (§4.4), then the instrumented interpretation: the
+  // RecordingTimingModel shim tees every timing-model call into the tape
+  // builder while the real model simulates, so the recording run's results
+  // are ordinary simulation results.
+  const ir::Program base = w.build();
+  ir::Program product = prepare_program(base, v, opt.optimize);
+  Simulation sim(m, v, opt, trace_out);
+  codegen::DataEnv env(product, {.seed = opt.data_seed});
+  tape::TapeBuilder builder;
+  tape::RecordingTimingModel shim(sim.cpu, builder);
+  codegen::BasicTraceEngine<tape::RecordingTimingModel> engine(product, env,
+                                                               shim);
+  engine.run();
+  RunResult r = sim.collect();  // always: finishes the phase recording too
+  if (result != nullptr) *result = std::move(r);
+  return builder.take();
+}
+
+RunResult replay_tape(const tape::Tape& t, const MachineConfig& m, Version v,
+                      const RunOptions& opt, trace::Recording* trace_out) {
+  Simulation sim(m, v, opt, trace_out);
+  tape::TapeReplayer::replay(t, sim.cpu);
+  return sim.collect();
+}
+
 RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
                       Version v, const RunOptions& opt,
                       trace::Recording* trace_out) {
-  // 1. Code product (§4.4).
+  if (tape_eligible(opt)) {
+    tape::TapeCache& cache =
+        opt.tape_cache != nullptr ? *opt.tape_cache : tape::TapeCache::global();
+    // First run for this key records (and its results are used directly —
+    // the recording run IS the interpreted run); every later run replays.
+    std::optional<RunResult> recorded;
+    const tape::TapeCache::TapePtr t =
+        cache.get_or_record(tape_key(w, v, opt), [&] {
+          RunResult r;
+          tape::Tape fresh = record_tape(w, m, v, opt, &r, trace_out);
+          recorded = std::move(r);
+          return fresh;
+        });
+    if (recorded) return std::move(*recorded);
+    return replay_tape(*t, m, v, opt, trace_out);
+  }
+
+  // Plain interpretation: code product (§4.4), machine, execute, collect.
   const ir::Program base = w.build();
   ir::Program product = prepare_program(base, v, opt.optimize);
-
-  // 2. Machine: hierarchy + scheme + controller + timing model.
-  memsys::HierarchyConfig hcfg = m.hierarchy;
-  hcfg.classify_misses = opt.classify_misses;
-  memsys::Hierarchy hierarchy(hcfg);
-  std::unique_ptr<memsys::HwScheme> scheme =
-      v == Version::Base || v == Version::PureSoftware
-          ? nullptr
-          : make_scheme(opt.scheme, m);
-  hierarchy.attach_hw(scheme.get());
-  hw::Controller controller(scheme.get());
-
-  // Optional fault campaign: the injector lives on this task's stack like
-  // the trace recorder, and attaching it is the only thing that makes any
-  // fault hook non-null. Without it this function compiles down to the
-  // pre-fault-layer simulation.
-  std::optional<fault::Injector> injector;
-  if (opt.fault.enabled() || opt.watchdog_accesses > 0) {
-    injector.emplace(opt.fault, opt.watchdog_accesses);
-    hierarchy.set_fault(&*injector);
-    if (scheme != nullptr) scheme->set_fault(&*injector);
-    controller.set_fault(&*injector);
-  }
-  if (opt.degrade.armed()) controller.set_degrade_policy(opt.degrade);
-
-  // Optional phase tracing: attach a recorder BEFORE forcing the initial
-  // scheme state, so the timeline starts with the synthetic Toggle event
-  // that documents it. The recorder and its sink live on this task's stack:
-  // a parallel sweep never shares trace state between tasks.
-  std::optional<trace::MemorySink> sink;
-  std::optional<trace::Recorder> rec;
-  if (trace_out != nullptr) {
-    sink.emplace(*trace_out);
-    rec.emplace(*sink, opt.trace_epoch);
-    rec->register_source(
-        [&hierarchy](StatSet& s) { hierarchy.export_stats(s); });
-    hierarchy.set_trace(&*rec);
-    if (scheme != nullptr) scheme->set_trace(&*rec);
-    controller.set_trace(&*rec);
-  }
-  controller.force(hw_always_on(v));  // Selective starts OFF; toggles drive it
-  cpu::TimingModel cpu(m.cpu, hierarchy, controller);
-  if (rec) {
-    rec->register_source([&cpu](StatSet& s) { cpu.export_stats(s); });
-    rec->register_source(
-        [&controller](StatSet& s) { controller.export_stats(s); });
-    if (injector)
-      rec->register_source(
-          [&inj = *injector](StatSet& s) { inj.export_stats(s); });
-  }
-
-  // 3. Execute.
+  Simulation sim(m, v, opt, trace_out);
   codegen::DataEnv env(product, {.seed = opt.data_seed});
-  codegen::TraceEngine engine(product, env, cpu);
+  codegen::TraceEngine engine(product, env, sim.cpu);
   engine.run();
-  if (rec) rec->finish();
-
-  // 4. Collect.
-  RunResult r;
-  r.cycles = cpu.cycles();
-  r.instructions = cpu.instructions();
-  r.l1_miss_rate = hierarchy.l1_miss_rate();
-  r.l2_miss_rate = hierarchy.l2_miss_rate();
-  if (const auto* c = hierarchy.classifier()) r.conflict_share =
-      c->conflict_share();
-  r.toggles = controller.toggles_executed();
-  r.degradations = controller.degradations();
-  hierarchy.export_stats(r.stats);
-  cpu.export_stats(r.stats);
-  controller.export_stats(r.stats);
-  if (injector) {
-    r.faults_injected = injector->injected();
-    injector->export_stats(r.stats);
-  }
-  return r;
+  return sim.collect();
 }
 
 namespace {

@@ -14,8 +14,13 @@
 #include "core/versions.h"
 #include "fault/fault.h"
 #include "fault/report.h"
+#include "tape/tape.h"
 #include "trace/sink.h"
 #include "workloads/registry.h"
+
+namespace selcache::tape {
+class TapeCache;
+}
 
 namespace selcache::core {
 
@@ -36,6 +41,15 @@ struct RunOptions {
   std::uint64_t watchdog_accesses = 0;
   /// Controller self-check policy; default-disarmed.
   hw::DegradePolicy degrade{};
+  /// Record-once / replay-many: serve this run from a trace tape when one
+  /// exists for its (workload, version, stream-fingerprint) key, recording
+  /// it on first use. Replay is bit-identical to interpretation, so machine
+  /// sweeps over a fixed cell matrix pay the IR pipeline once per cell.
+  /// Fault-armed runs (a fault campaign or an access watchdog) always fall
+  /// back to plain interpretation and never touch the cache.
+  bool reuse_tape = false;
+  /// Cache consulted by reuse_tape; nullptr = the process-global cache.
+  tape::TapeCache* tape_cache = nullptr;
 };
 
 /// How to schedule the independent simulations of a sweep.
@@ -63,6 +77,32 @@ struct RunResult {
 /// events); pass nullptr for an untraced run at full speed.
 RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
                       Version v, const RunOptions& opt = {},
+                      trace::Recording* trace_out = nullptr);
+
+/// TapeCache key for one run: workload, version, plus a fingerprint of
+/// everything else the recorded stream depends on (data seed, optimization
+/// pipeline settings). The machine is deliberately absent — the stream is
+/// machine-invariant, which is what makes record-once/replay-many sweeps
+/// possible.
+std::string tape_key(const workloads::WorkloadInfo& w, Version v,
+                     const RunOptions& opt);
+
+/// Record one (workload, version) trace tape by running an instrumented
+/// interpretation on machine `m`. The recording run is a bona fide
+/// simulation: pass `result` / `trace_out` to keep its results. Must not be
+/// called with a fault campaign or watchdog armed (the tape would capture a
+/// truncated or perturbed stream); run_version enforces the same rule by
+/// falling back to interpretation.
+tape::Tape record_tape(const workloads::WorkloadInfo& w,
+                       const MachineConfig& m, Version v,
+                       const RunOptions& opt = {}, RunResult* result = nullptr,
+                       trace::Recording* trace_out = nullptr);
+
+/// Replay a recorded tape on machine `m` as version `v`, reconstructing the
+/// machine exactly as run_version would and driving it with the tape
+/// instead of the IR. Bit-identical to the interpreted run for any machine.
+RunResult replay_tape(const tape::Tape& t, const MachineConfig& m, Version v,
+                      const RunOptions& opt = {},
                       trace::Recording* trace_out = nullptr);
 
 /// One (workload, version) phase-trace recording from a sweep.

@@ -7,19 +7,6 @@ BimodalPredictor::BimodalPredictor(std::uint32_t entries) {
   table_.assign(entries, Counter2Bit(3, 2));  // start weakly taken
 }
 
-bool BimodalPredictor::predict_and_train(Addr pc, bool taken) {
-  Counter2Bit& c = table_[index(pc)];
-  const bool predicted = c.upper_half();
-  if (taken) {
-    c.increment();
-  } else {
-    c.decrement();
-  }
-  const bool correct = (predicted == taken);
-  stats_.record(correct);
-  return correct;
-}
-
 void BimodalPredictor::export_stats(StatSet& out) const {
   out.add("bpred.correct", stats_.hits);
   out.add("bpred.mispredicted", stats_.misses);

@@ -16,8 +16,20 @@ class BimodalPredictor {
   explicit BimodalPredictor(std::uint32_t entries = 2048);
 
   /// Predict the branch at `pc`, then train with the actual outcome.
-  /// Returns true iff the prediction was correct.
-  bool predict_and_train(Addr pc, bool taken);
+  /// Returns true iff the prediction was correct. Inline: one table access
+  /// per simulated branch.
+  bool predict_and_train(Addr pc, bool taken) {
+    Counter2Bit& c = table_[index(pc)];
+    const bool predicted = c.upper_half();
+    if (taken) {
+      c.increment();
+    } else {
+      c.decrement();
+    }
+    const bool correct = (predicted == taken);
+    stats_.record(correct);
+    return correct;
+  }
 
   const HitMiss& stats() const { return stats_; }  // hits = correct
   double accuracy() const { return stats_.hit_rate(); }

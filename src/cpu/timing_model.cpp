@@ -16,25 +16,10 @@ TimingModel::TimingModel(CpuConfig cfg, memsys::Hierarchy& hierarchy,
       bpred_(cfg.bimodal_entries) {
   SELCACHE_CHECK(cfg_.issue_width > 0);
   SELCACHE_CHECK(cfg_.memory_ports > 0);
+  l1i_shift_ = log2_exact(hierarchy.config().l1i.block_size);
 }
 
-Cycle TimingModel::cycles() const {
-  const Cycle issue = (slots_ + cfg_.issue_width - 1) / cfg_.issue_width;
-  return issue + mem_stall_ + branch_stall_ + toggle_stall_;
-}
-
-void TimingModel::compute(std::uint64_t n) {
-  if (trace_ != nullptr)
-    trace_->push_back({TraceEvent::Kind::Compute, 0,
-                       static_cast<std::uint32_t>(n), 0});
-  retire_slots(n);
-}
-
-void TimingModel::charge_memory(Cycle lat, Cycle pipelined_lat,
-                                bool dependent) {
-  const Cycle extra = lat > pipelined_lat ? lat - pipelined_lat : 0;
-  if (extra == 0) return;
-
+void TimingModel::charge_memory_slow(Cycle extra, bool dependent) {
   const Cycle now = cycles();
   if (now >= shadow_end_) inflight_ = 0;
 
@@ -80,68 +65,6 @@ void TimingModel::charge_memory(Cycle lat, Cycle pipelined_lat,
   shadow_end_ = cycles() + (extra - charged);
   inflight_ = 1;
   ++serialized_misses_;
-}
-
-void TimingModel::load(Addr addr, bool dependent) {
-  if (trace_ != nullptr)
-    trace_->push_back({TraceEvent::Kind::Load,
-                       static_cast<std::uint8_t>(dependent ? 1 : 0), 0,
-                       addr});
-  retire_slots(1);
-  controller_.tick();
-  const Cycle lat = hierarchy_.access(addr, AccessKind::Load);
-  charge_memory(lat, hierarchy_.config().l1d.latency, dependent);
-}
-
-void TimingModel::store(Addr addr) {
-  if (trace_ != nullptr)
-    trace_->push_back({TraceEvent::Kind::Store, 0, 0, addr});
-  retire_slots(1);
-  controller_.tick();
-  const Cycle lat = hierarchy_.access(addr, AccessKind::Store);
-  // Stores retire through the store queue; they only expose latency when
-  // the LSQ would back up. Approximate by halving the exposed latency.
-  const Cycle l1 = hierarchy_.config().l1d.latency;
-  const Cycle extra = lat > l1 ? (lat - l1) / 2 : 0;
-  charge_memory(l1 + extra, l1, /*dependent=*/false);
-}
-
-void TimingModel::branch(Addr pc, bool taken) {
-  if (trace_ != nullptr)
-    trace_->push_back({TraceEvent::Kind::Branch,
-                       static_cast<std::uint8_t>(taken ? 1 : 0), 0, pc});
-  retire_slots(1);
-  if (!bpred_.predict_and_train(pc, taken))
-    branch_stall_ += cfg_.mispredict_penalty;
-}
-
-void TimingModel::toggle(bool on, std::int32_t region) {
-  // The captured trace stores region + 1 in `value` so a region-less toggle
-  // (region -1) round-trips through the unsigned field as 0.
-  if (trace_ != nullptr)
-    trace_->push_back({TraceEvent::Kind::Toggle,
-                       static_cast<std::uint8_t>(on ? 1 : 0),
-                       static_cast<std::uint32_t>(region + 1), 0});
-  retire_slots(1);
-  toggle_stall_ += cfg_.toggle_latency;
-  controller_.toggle(on, region);
-}
-
-void TimingModel::touch_code(Addr pc, std::uint32_t n_instr) {
-  if (trace_ != nullptr)
-    trace_->push_back({TraceEvent::Kind::Ifetch, 0, n_instr, pc});
-  if (!cfg_.model_ifetch) return;
-  // 4 bytes per instruction; touch each I-cache block the group spans.
-  const std::uint32_t bytes = n_instr * 4;
-  const std::uint32_t bs = hierarchy_.config().l1i.block_size;
-  const Addr first = block_base(pc, bs);
-  const Addr last = block_base(pc + (bytes > 0 ? bytes - 1 : 0), bs);
-  for (Addr a = first; a <= last; a += bs) {
-    const Cycle lat = hierarchy_.access(a, AccessKind::IFetch);
-    const Cycle l1 = hierarchy_.config().l1i.latency;
-    // Frontend stalls are partly absorbed by the fetch queue.
-    if (lat > l1) mem_stall_ += (lat - l1) / 2;
-  }
 }
 
 void TimingModel::export_stats(StatSet& out) const {

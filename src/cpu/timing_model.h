@@ -20,11 +20,13 @@
 // depend on: miss counts translate to cycles, streams get MLP, chains don't.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "cpu/branch_predictor.h"
 #include "hw/controller.h"
 #include "memsys/hierarchy.h"
+#include "support/bitutil.h"
 
 namespace selcache::cpu {
 
@@ -68,32 +70,100 @@ class TimingModel {
   TimingModel(CpuConfig cfg, memsys::Hierarchy& hierarchy,
               hw::Controller& controller);
 
+  // The six entry points are defined inline: every simulated instruction
+  // passes through exactly one of them, and together with the inline
+  // hierarchy hit path this keeps the whole hit-case event in one call
+  // frame — the throughput floor of both the IR interpreter and the
+  // trace-tape replay loop.
+
   /// `n` plain ALU instructions.
-  void compute(std::uint64_t n);
+  void compute(std::uint64_t n) {
+    if (trace_ != nullptr)
+      trace_->push_back({TraceEvent::Kind::Compute, 0,
+                         static_cast<std::uint32_t>(n), 0});
+    retire_slots(n);
+  }
 
   /// One load instruction. `dependent` marks address-dependent loads
   /// (pointer chasing) that cannot overlap with outstanding misses.
-  void load(Addr addr, bool dependent = false);
+  void load(Addr addr, bool dependent = false) {
+    if (trace_ != nullptr)
+      trace_->push_back({TraceEvent::Kind::Load,
+                         static_cast<std::uint8_t>(dependent ? 1 : 0), 0,
+                         addr});
+    retire_slots(1);
+    controller_.tick();
+    const Cycle lat = hierarchy_.access(addr, memsys::AccessKind::Load);
+    charge_memory(lat, hierarchy_.config().l1d.latency, dependent);
+  }
 
   /// One store instruction (write-allocate; retires through the LSQ).
-  void store(Addr addr);
+  void store(Addr addr) {
+    if (trace_ != nullptr)
+      trace_->push_back({TraceEvent::Kind::Store, 0, 0, addr});
+    retire_slots(1);
+    controller_.tick();
+    const Cycle lat = hierarchy_.access(addr, memsys::AccessKind::Store);
+    // Stores retire through the store queue; they only expose latency when
+    // the LSQ would back up. Approximate by halving the exposed latency.
+    const Cycle l1 = hierarchy_.config().l1d.latency;
+    const Cycle extra = lat > l1 ? (lat - l1) / 2 : 0;
+    charge_memory(l1 + extra, l1, /*dependent=*/false);
+  }
 
   /// One conditional branch at `pc` with actual outcome `taken`.
-  void branch(Addr pc, bool taken);
+  void branch(Addr pc, bool taken) {
+    if (trace_ != nullptr)
+      trace_->push_back({TraceEvent::Kind::Branch,
+                         static_cast<std::uint8_t>(taken ? 1 : 0), 0, pc});
+    retire_slots(1);
+    if (!bpred_.predict_and_train(pc, taken))
+      branch_stall_ += cfg_.mispredict_penalty;
+  }
 
   /// One activate/deactivate instruction: flips the controller and pays the
   /// documented overhead (§4.1: "the performance overhead of ON/OFF
   /// instructions have also been taken into account"). `region` is the
   /// static source-region id the marker belongs to (-1 = unattributed).
-  void toggle(bool on, std::int32_t region = -1);
+  void toggle(bool on, std::int32_t region = -1) {
+    // The captured trace stores region + 1 in `value` so a region-less
+    // toggle (region -1) round-trips through the unsigned field as 0.
+    if (trace_ != nullptr)
+      trace_->push_back({TraceEvent::Kind::Toggle,
+                         static_cast<std::uint8_t>(on ? 1 : 0),
+                         static_cast<std::uint32_t>(region + 1), 0});
+    retire_slots(1);
+    toggle_stall_ += cfg_.toggle_latency;
+    controller_.toggle(on, region);
+  }
 
   /// Fetch the code block(s) for `n_instr` instructions located at `pc`.
-  void touch_code(Addr pc, std::uint32_t n_instr);
+  void touch_code(Addr pc, std::uint32_t n_instr) {
+    if (trace_ != nullptr)
+      trace_->push_back({TraceEvent::Kind::Ifetch, 0, n_instr, pc});
+    if (!cfg_.model_ifetch) return;
+    // 4 bytes per instruction; touch each I-cache block the group spans.
+    // Block size is validated power-of-two, so the span bounds are shifts.
+    const std::uint32_t bytes = n_instr * 4;
+    const std::uint32_t bs = hierarchy_.config().l1i.block_size;
+    const Addr first = (pc >> l1i_shift_) << l1i_shift_;
+    const Addr end = pc + (bytes > 0 ? bytes - 1 : 0);
+    const Addr last = (end >> l1i_shift_) << l1i_shift_;
+    for (Addr a = first; a <= last; a += bs) {
+      const Cycle lat = hierarchy_.access(a, memsys::AccessKind::IFetch);
+      const Cycle l1 = hierarchy_.config().l1i.latency;
+      // Frontend stalls are partly absorbed by the fetch queue.
+      if (lat > l1) mem_stall_ += (lat - l1) / 2;
+    }
+  }
 
   /// Tee every subsequent event into `sink` (nullptr stops recording).
   void set_trace_sink(Trace* sink) { trace_ = sink; }
 
-  Cycle cycles() const;
+  Cycle cycles() const {
+    const Cycle issue = (slots_ + cfg_.issue_width - 1) / cfg_.issue_width;
+    return issue + mem_stall_ + branch_stall_ + toggle_stall_;
+  }
   InstrCount instructions() const { return instructions_; }
   /// Cycles lost to exposed memory latency (diagnostic).
   Cycle memory_stall_cycles() const { return mem_stall_; }
@@ -114,10 +184,19 @@ class TimingModel {
   }
 
   /// Charge an access whose total latency was `lat`; `pipelined_lat` is the
-  /// portion absorbed by the pipeline (L1 hit time).
-  void charge_memory(Cycle lat, Cycle pipelined_lat, bool dependent);
+  /// portion absorbed by the pipeline (L1 hit time). Inline: the early
+  /// return (fully pipelined hit) is the overwhelmingly common case.
+  void charge_memory(Cycle lat, Cycle pipelined_lat, bool dependent) {
+    const Cycle extra = lat > pipelined_lat ? lat - pipelined_lat : 0;
+    if (extra == 0) return;
+    charge_memory_slow(extra, dependent);
+  }
+
+  /// Miss accounting (interval/MLP model); out of line.
+  void charge_memory_slow(Cycle extra, bool dependent);
 
   CpuConfig cfg_;
+  unsigned l1i_shift_ = 0;  ///< log2(l1i block size); validated pow2
   memsys::Hierarchy& hierarchy_;
   hw::Controller& controller_;
   BimodalPredictor bpred_;

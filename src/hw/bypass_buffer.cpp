@@ -11,46 +11,54 @@ BypassBuffer::BypassBuffer(std::uint32_t entries, std::uint32_t word_size)
   SELCACHE_CHECK(word_size_ > 0);
   word_pow2_ = is_pow2(word_size_);
   if (word_pow2_) word_shift_ = log2_exact(word_size_);
+  slots_.resize(entries_);
 }
 
-bool BypassBuffer::access(Addr addr, bool is_write) {
-  auto it = index_.find(word_of(addr));
-  if (it == index_.end()) {
-    stats_.record(false);
-    return false;
-  }
-  stats_.record(true);
-  it->second->second = it->second->second || is_write;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return true;
+BypassBuffer::Entry& BypassBuffer::lru_entry() {
+  Entry* lru = nullptr;
+  for (Entry& e : slots_)
+    if (e.valid && (lru == nullptr || e.stamp < lru->stamp)) lru = &e;
+  return *lru;
 }
 
 void BypassBuffer::insert(Addr addr, bool dirty) {
-  if (fault_ != nullptr && !lru_.empty() &&
+  if (fault_ != nullptr && live_ > 0 &&
       fault_->should_invalidate(fault::BufferSite::BypassBuffer)) {
     // Silent loss: the LRU word vanishes without a writeback — exactly the
     // data-loss hazard a faulted buffer introduces.
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
+    lru_entry().valid = false;
+    --live_;
     ++invalidated_;
   }
+  // One pass resolves all three outcomes: refresh a matching word, take the
+  // first free slot, or displace the minimum-stamp (LRU) word.
   const Addr w = word_of(addr);
-  if (auto it = index_.find(w); it != index_.end()) {
-    it->second->second = it->second->second || dirty;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  Entry* free_slot = nullptr;
+  Entry* lru = nullptr;
+  for (Entry& e : slots_) {
+    if (e.valid) {
+      if (e.word == w) {
+        e.dirty = e.dirty || dirty;
+        e.stamp = ++stamp_;
+        return;
+      }
+      if (lru == nullptr || e.stamp < lru->stamp) lru = &e;
+    } else if (free_slot == nullptr) {
+      free_slot = &e;
+    }
   }
-  if (lru_.size() == entries_) {
-    if (lru_.back().second) ++writebacks_;
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
+  Entry* slot = free_slot;
+  if (slot == nullptr) {
+    // Full: displace the least recently used word.
+    slot = lru;
+    if (slot->dirty) ++writebacks_;
+  } else {
+    ++live_;
   }
-  lru_.emplace_front(w, dirty);
-  index_[w] = lru_.begin();
-}
-
-bool BypassBuffer::probe(Addr addr) const {
-  return index_.find(word_of(addr)) != index_.end();
+  slot->valid = true;
+  slot->word = w;
+  slot->dirty = dirty;
+  slot->stamp = ++stamp_;
 }
 
 void BypassBuffer::export_stats(StatSet& out) const {

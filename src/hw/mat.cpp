@@ -13,50 +13,29 @@ Mat::Mat(MatConfig cfg) : cfg_(cfg) {
   if (mb_pow2_) mb_shift_ = log2_exact(cfg_.macro_block_size);
   entries_pow2_ = is_pow2(cfg_.entries);
   if (entries_pow2_) entry_mask_ = cfg_.entries - 1;
+  if (cfg_.decay_interval != 0 && is_pow2(cfg_.decay_interval))
+    decay_mask_ = cfg_.decay_interval - 1;
   table_.resize(cfg_.entries);
   for (Entry& e : table_)
     e.count = SaturatingCounter<std::uint32_t>(cfg_.counter_max, 0);
 }
 
-void Mat::touch(Addr addr) {
-  const Addr mb = macro_block(addr);
-  Entry& e = table_[index_of(mb)];
-  if (!e.valid || e.tag != mb) {
-    // Direct-mapped replacement: the evicted macro-block's history is lost;
-    // the newcomer starts from scratch.
-    if (e.valid) ++replacements_;
-    e.valid = true;
-    e.tag = mb;
-    e.count.reset(0);
-  }
-  e.count.increment();
-  if (fault_ != nullptr) {
-    if (auto raw = fault_->corrupt_counter(e.count.value(), cfg_.counter_max,
-                                           fault::CounterSite::Mat))
-      e.count.corrupt(*raw);
-  }
+void Mat::touch_fault(Entry& e) {
+  if (auto raw = fault_->corrupt_counter(e.count.value(), cfg_.counter_max,
+                                         fault::CounterSite::Mat))
+    e.count.corrupt(*raw);
+}
 
-  // Count every touch (the energy model charges per table update) even when
-  // periodic decay is disabled.
-  ++touches_;
-  if (cfg_.decay_interval != 0 && touches_ % cfg_.decay_interval == 0) {
-    ++decays_;
-    for (Entry& t : table_) t.count.decay();
-    if (trace_ != nullptr)
-      trace_->event({.kind = trace::EventKind::MatDecay});
-  }
+void Mat::decay_sweep() {
+  ++decays_;
+  for (Entry& t : table_) t.count.decay();
+  if (trace_ != nullptr) trace_->event({.kind = trace::EventKind::MatDecay});
 }
 
 void Mat::punish(Addr addr, std::uint32_t by) {
   const Addr mb = macro_block(addr);
   Entry& e = table_[index_of(mb)];
   if (e.valid && e.tag == mb) e.count.decrement(by);
-}
-
-std::uint32_t Mat::frequency(Addr addr) const {
-  const Addr mb = macro_block(addr);
-  const Entry& e = table_[index_of(mb)];
-  return (e.valid && e.tag == mb) ? e.count.value() : 0;
 }
 
 void Mat::clear() {

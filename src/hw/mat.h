@@ -42,8 +42,32 @@ class Mat {
  public:
   explicit Mat(MatConfig cfg);
 
-  /// Record one access to the macro-block containing `addr`.
-  void touch(Addr addr);
+  /// Record one access to the macro-block containing `addr`. Inline: runs
+  /// once per data access while the scheme is on; the decay check is a mask
+  /// for the shipped power-of-two interval.
+  void touch(Addr addr) {
+    const Addr mb = macro_block(addr);
+    Entry& e = table_[index_of(mb)];
+    if (!e.valid || e.tag != mb) {
+      // Direct-mapped replacement: the evicted macro-block's history is
+      // lost; the newcomer starts from scratch.
+      if (e.valid) ++replacements_;
+      e.valid = true;
+      e.tag = mb;
+      e.count.reset(0);
+    }
+    e.count.increment();
+    if (fault_ != nullptr) touch_fault(e);
+    // Count every touch (the energy model charges per table update) even
+    // when periodic decay is disabled.
+    ++touches_;
+    const bool decay_due =
+        decay_mask_ != 0
+            ? (touches_ & decay_mask_) == 0
+            : (cfg_.decay_interval != 0 &&
+               touches_ % cfg_.decay_interval == 0);
+    if (decay_due) decay_sweep();
+  }
 
   /// Penalize the macro-block whose cache block was just evicted ([8]
   /// adjusts the loser of a replacement decision downward so streams that
@@ -52,7 +76,11 @@ class Mat {
 
   /// Current frequency estimate for the macro-block containing `addr`.
   /// A macro-block not resident in the table counts as frequency 0.
-  std::uint32_t frequency(Addr addr) const;
+  std::uint32_t frequency(Addr addr) const {
+    const Addr mb = macro_block(addr);
+    const Entry& e = table_[index_of(mb)];
+    return (e.valid && e.tag == mb) ? e.count.value() : 0;
+  }
 
   /// Reset all entries (not normally used at run time; tests only).
   void clear();
@@ -92,7 +120,12 @@ class Mat {
                                                     : (mb % cfg_.entries));
   }
 
+  /// Out-of-line slow paths of touch().
+  void touch_fault(Entry& e);
+  void decay_sweep();
+
   MatConfig cfg_;
+  std::uint64_t decay_mask_ = 0;  ///< decay_interval-1 when pow2, else 0
   unsigned mb_shift_ = 0;   ///< log2(macro_block_size) when mb_pow2_
   bool mb_pow2_ = false;
   Addr entry_mask_ = 0;     ///< entries-1 when entries_pow2_

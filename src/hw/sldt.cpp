@@ -9,52 +9,30 @@ Sldt::Sldt(SldtConfig cfg) : cfg_(cfg) {
   SELCACHE_CHECK(cfg_.entries > 0);
   SELCACHE_CHECK(cfg_.block_size > 0);
   SELCACHE_CHECK(cfg_.counter_entries > 0);
+  block_pow2_ = is_pow2(cfg_.block_size);
+  if (block_pow2_) block_shift_ = log2_exact(cfg_.block_size);
+  macro_pow2_ = is_pow2(cfg_.macro_block_size);
+  if (macro_pow2_) macro_shift_ = log2_exact(cfg_.macro_block_size);
+  window_pow2_ = is_pow2(cfg_.entries);
+  if (window_pow2_) window_mask_ = cfg_.entries - 1;
+  counters_pow2_ = is_pow2(cfg_.counter_entries);
+  if (counters_pow2_) counter_mask_ = cfg_.counter_entries - 1;
   window_.resize(cfg_.entries);
   counters_.assign(cfg_.counter_entries,
                    SaturatingCounter<std::uint32_t>(cfg_.counter_max,
                                                     cfg_.counter_initial));
 }
 
-bool Sldt::in_window(Addr frame) const {
-  const WindowEntry& e = window_[frame % cfg_.entries];
-  return e.valid && e.frame == frame;
-}
-
-void Sldt::insert_window(Addr frame) {
-  WindowEntry& e = window_[frame % cfg_.entries];
-  e.valid = true;
-  e.frame = frame;
-}
-
-void Sldt::note(Addr addr) {
-  const Addr f = frame_of(addr);
-  auto& ctr = counters_[macro_of(addr) % cfg_.counter_entries];
-  // A spatial hit: either neighbor block was touched within the window.
-  if (in_window(f - 1) || in_window(f + 1)) {
-    ++spatial_hits_;
-    ctr.increment();
-  } else if (!in_window(f)) {
-    // Re-touching the same block is neutral; a genuinely isolated touch
-    // decays the spatial expectation.
-    ++spatial_misses_;
-    ctr.decrement();
-  }
-  if (fault_ != nullptr) {
-    if (auto raw = fault_->corrupt_counter(ctr.value(), cfg_.counter_max,
-                                           fault::CounterSite::Sldt))
-      ctr.corrupt(*raw);
-  }
-  insert_window(f);
+void Sldt::note_fault(SaturatingCounter<std::uint32_t>& ctr) {
+  if (auto raw = fault_->corrupt_counter(ctr.value(), cfg_.counter_max,
+                                         fault::CounterSite::Sldt))
+    ctr.corrupt(*raw);
 }
 
 bool Sldt::check_integrity() const {
   for (const auto& ctr : counters_)
     if (ctr.value() > cfg_.counter_max) return false;
   return true;
-}
-
-bool Sldt::spatial(Addr addr) const {
-  return counters_[macro_of(addr) % cfg_.counter_entries].upper_half();
 }
 
 void Sldt::export_stats(StatSet& out) const {

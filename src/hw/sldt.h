@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/bitutil.h"
 #include "support/saturating.h"
 #include "support/stats.h"
 #include "support/types.h"
@@ -34,12 +35,31 @@ class Sldt {
   explicit Sldt(SldtConfig cfg);
 
   /// Observe an access; updates the recent-block window and the spatial
-  /// counter of the enclosing macro-block.
-  void note(Addr addr);
+  /// counter of the enclosing macro-block. Inline: this runs once per data
+  /// access while the scheme is on, and with the shipped power-of-two
+  /// geometry every table index is a shift/mask (no division).
+  void note(Addr addr) {
+    const Addr f = frame_of(addr);
+    auto& ctr = counters_[counter_index(macro_of(addr))];
+    // A spatial hit: either neighbor block was touched within the window.
+    if (in_window(f - 1) || in_window(f + 1)) {
+      ++spatial_hits_;
+      ctr.increment();
+    } else if (!in_window(f)) {
+      // Re-touching the same block is neutral; a genuinely isolated touch
+      // decays the spatial expectation.
+      ++spatial_misses_;
+      ctr.decrement();
+    }
+    if (fault_ != nullptr) note_fault(ctr);
+    insert_window(f);
+  }
 
   /// Does the macro-block containing `addr` currently exhibit spatial
   /// locality (counter in upper half)?
-  bool spatial(Addr addr) const;
+  bool spatial(Addr addr) const {
+    return counters_[counter_index(macro_of(addr))].upper_half();
+  }
 
   std::uint64_t spatial_hits() const { return spatial_hits_; }
   std::uint64_t spatial_misses() const { return spatial_misses_; }
@@ -59,12 +79,37 @@ class Sldt {
     bool valid = false;
   };
 
-  Addr frame_of(Addr addr) const { return addr / cfg_.block_size; }
-  Addr macro_of(Addr addr) const { return addr / cfg_.macro_block_size; }
-  bool in_window(Addr frame) const;
-  void insert_window(Addr frame);
+  Addr frame_of(Addr addr) const {
+    return block_pow2_ ? (addr >> block_shift_) : (addr / cfg_.block_size);
+  }
+  Addr macro_of(Addr addr) const {
+    return macro_pow2_ ? (addr >> macro_shift_)
+                       : (addr / cfg_.macro_block_size);
+  }
+  std::size_t window_index(Addr frame) const {
+    return window_pow2_ ? (frame & window_mask_) : (frame % cfg_.entries);
+  }
+  std::size_t counter_index(Addr mb) const {
+    return counters_pow2_ ? (mb & counter_mask_)
+                          : (mb % cfg_.counter_entries);
+  }
+  bool in_window(Addr frame) const {
+    const WindowEntry& e = window_[window_index(frame)];
+    return e.valid && e.frame == frame;
+  }
+  void insert_window(Addr frame) {
+    WindowEntry& e = window_[window_index(frame)];
+    e.valid = true;
+    e.frame = frame;
+  }
+  /// Out-of-line fault hook (fault campaigns never ride the fast path).
+  void note_fault(SaturatingCounter<std::uint32_t>& ctr);
 
   SldtConfig cfg_;
+  unsigned block_shift_ = 0, macro_shift_ = 0;
+  bool block_pow2_ = false, macro_pow2_ = false;
+  bool window_pow2_ = false, counters_pow2_ = false;
+  Addr window_mask_ = 0, counter_mask_ = 0;
   std::vector<WindowEntry> window_;               ///< direct-mapped by frame
   std::vector<SaturatingCounter<std::uint32_t>> counters_;  ///< by macro-block
   fault::Injector* fault_ = nullptr;

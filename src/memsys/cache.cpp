@@ -1,5 +1,7 @@
 #include "memsys/cache.h"
 
+#include <algorithm>
+
 namespace selcache::memsys {
 
 Cache::Cache(CacheConfig cfg) : cfg_(std::move(cfg)) {
@@ -9,59 +11,52 @@ Cache::Cache(CacheConfig cfg) : cfg_(std::move(cfg)) {
   sets_pow2_ = is_pow2(num_sets_);
   set_mask_ = sets_pow2_ ? num_sets_ - 1 : 0;
   blocks_.resize(cfg_.num_blocks());
+  way_.resize(num_sets_, 0);
 }
 
-Cache::Block* Cache::find(Addr addr) {
-  const Addr tag = tag_of(addr);
-  Block* set = set_of(addr);
-  for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
-    if (set[w].valid && set[w].tag == tag) return &set[w];
-  return nullptr;
-}
-
-const Cache::Block* Cache::find(Addr addr) const {
-  return const_cast<Cache*>(this)->find(addr);
-}
-
-bool Cache::access(Addr addr, bool is_write) {
-  Block* b = find(addr);
-  if (b != nullptr) {
-    b->lru = ++stamp_;
-    b->dirty = b->dirty || is_write;
-    demand_.record(true);
-    return true;
+bool Cache::access_scan(std::uint64_t si, Addr tag, bool is_write) {
+  Block* set = &blocks_[si * cfg_.assoc];
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (set[w].valid && set[w].tag == tag) {
+      touch_hit(set[w], is_write);
+      way_[si] = w;
+      return true;
+    }
   }
   demand_.record(false);
   return false;
 }
 
-Cache::LookupResult Cache::access_with_victim(Addr addr, bool is_write) {
-  const Addr tag = tag_of(addr);
-  Block* set = set_of(addr);
-  Block* lru = nullptr;
-  bool free_way = false;
+Cache::LookupResult Cache::access_with_victim_scan(std::uint64_t si, Addr tag,
+                                                   bool is_write) {
+  constexpr std::uint32_t kNone = ~0u;
+  Block* set = &blocks_[si * cfg_.assoc];
+  std::uint32_t free_way = kNone;
+  std::uint32_t lru_way = kNone;
   for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
     Block& b = set[w];
     if (b.valid && b.tag == tag) {
-      b.lru = ++stamp_;
-      b.dirty = b.dirty || is_write;
-      demand_.record(true);
-      return {.hit = true, .victim = std::nullopt};
+      touch_hit(b, is_write);
+      way_[si] = w;
+      return {.hit = true};
     }
     if (!b.valid) {
-      free_way = true;
-    } else if (lru == nullptr || b.lru < lru->lru) {
-      lru = &b;
+      if (free_way == kNone) free_way = w;
+    } else if (lru_way == kNone || b.lru < set[lru_way].lru) {
+      lru_way = w;
     }
   }
   demand_.record(false);
   LookupResult r;
-  if (!free_way && lru != nullptr)
-    r.victim = static_cast<Addr>(lru->tag) << block_shift_;
+  if (free_way == kNone) {
+    // Same victim fill() would pick: the LRU way of a full set.
+    r.fill_way = lru_way;
+    r.victim = static_cast<Addr>(set[lru_way].tag) << block_shift_;
+  } else {
+    r.fill_way = free_way;
+  }
   return r;
 }
-
-bool Cache::probe(Addr addr) const { return find(addr) != nullptr; }
 
 std::optional<Addr> Cache::victim_for(Addr addr) const {
   const Block* set = set_of(addr);
@@ -75,7 +70,8 @@ std::optional<Addr> Cache::victim_for(Addr addr) const {
 
 std::optional<Eviction> Cache::fill(Addr addr, bool dirty) {
   const Addr tag = tag_of(addr);
-  Block* set = set_of(addr);
+  const std::uint64_t si = set_index(addr);
+  Block* set = &blocks_[si * cfg_.assoc];
   Block* victim = nullptr;
   bool free_way = false;
   // One scan: residency check (fill of a resident block is a caller bug)
@@ -100,9 +96,44 @@ std::optional<Eviction> Cache::fill(Addr addr, bool dirty) {
   victim->valid = true;
   victim->tag = tag;
   victim->dirty = dirty;
-  victim->lru = ++stamp_;
+  victim->lru = bump();
   ++fills_;
+  // The freshly filled way is the likeliest next hit in this set.
+  way_[si] = static_cast<std::uint32_t>(victim - set);
   return evicted;
+}
+
+std::optional<Eviction> Cache::fill_at(Addr addr, std::uint32_t way,
+                                       bool dirty) {
+  SELCACHE_CHECK(way < cfg_.assoc);
+  const std::uint64_t si = set_index(addr);
+  Block& victim = blocks_[si * cfg_.assoc + way];
+  std::optional<Eviction> evicted;
+  if (victim.valid) {
+    evicted = Eviction{static_cast<Addr>(victim.tag) << block_shift_,
+                       victim.dirty};
+    if (victim.dirty) ++writebacks_;
+  }
+  victim.valid = true;
+  victim.tag = tag_of(addr);
+  victim.dirty = dirty;
+  victim.lru = bump();
+  ++fills_;
+  way_[si] = way;
+  return evicted;
+}
+
+void Cache::renormalize() {
+  // Rank every block by its current stamp; ranks 1..n preserve the exact
+  // recency order with the counter reset far away from the wrap point.
+  std::vector<Block*> order;
+  order.reserve(blocks_.size());
+  for (Block& b : blocks_) order.push_back(&b);
+  std::sort(order.begin(), order.end(),
+            [](const Block* a, const Block* b) { return a->lru < b->lru; });
+  std::uint32_t next = 0;
+  for (Block* b : order) b->lru = ++next;
+  stamp_ = next;
 }
 
 std::optional<bool> Cache::invalidate(Addr addr) {

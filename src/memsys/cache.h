@@ -10,9 +10,20 @@
 // extraction are a shift (plus a mask when the set count is also a power of
 // two — true for every shipped configuration). access_with_victim() performs
 // lookup, LRU update, and victim preview in ONE pass over the set, so the
-// demand path never scans a set twice.
+// demand path never scans a set twice. The demand-path methods are defined
+// here (not in the .cpp) so the hierarchy/timing chain inlines them, and a
+// per-set way predictor — the way of the last hit or fill in each set —
+// short-circuits the set scan. A global last-hit memo thrashes as soon as
+// an inner loop walks two arrays; a per-set predictor keeps each stream's
+// entry because distinct arrays land in distinct sets. The prediction is
+// validated by the block's own (valid, tag) state, so every mutation path
+// (fill, invalidate, flush) is covered without bookkeeping, and the fast
+// path performs exactly the scan path's updates: same LRU stamp, same dirty
+// bit, same counters.
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -35,6 +46,10 @@ class Cache {
   /// Outcome of a combined lookup + victim preview (one set scan).
   struct LookupResult {
     bool hit = false;
+    /// On a miss: the way fill(addr) would use right now (first free way,
+    /// else the LRU way) — valid input for fill_at() as long as the set is
+    /// not mutated in between. Meaningless on a hit.
+    std::uint32_t fill_way = 0;
     /// On a miss: the block fill(addr) would evict right now, or nullopt if
     /// the set still has a free way. Meaningless on a hit.
     std::optional<Addr> victim;
@@ -42,15 +57,33 @@ class Cache {
 
   /// Look up the block containing `addr`; updates LRU and dirty state on a
   /// hit. Returns true on hit. Does NOT allocate on miss.
-  bool access(Addr addr, bool is_write);
+  bool access(Addr addr, bool is_write) {
+    const Addr tag = tag_of(addr);
+    const std::uint64_t si = set_index(addr);
+    Block& pred = blocks_[si * cfg_.assoc + way_[si]];
+    if (pred.valid && pred.tag == tag) {
+      touch_hit(pred, is_write);
+      return true;
+    }
+    return access_scan(si, tag, is_write);
+  }
 
   /// Fused access + victim preview: exactly the observable behavior of
   /// access() followed (on a miss) by victim_for(), in a single scan of the
   /// set. This is the demand-path entry point used by the hierarchy.
-  LookupResult access_with_victim(Addr addr, bool is_write);
+  LookupResult access_with_victim(Addr addr, bool is_write) {
+    const Addr tag = tag_of(addr);
+    const std::uint64_t si = set_index(addr);
+    Block& pred = blocks_[si * cfg_.assoc + way_[si]];
+    if (pred.valid && pred.tag == tag) {
+      touch_hit(pred, is_write);
+      return {.hit = true, .victim = std::nullopt};
+    }
+    return access_with_victim_scan(si, tag, is_write);
+  }
 
   /// Side-effect-free lookup.
-  bool probe(Addr addr) const;
+  bool probe(Addr addr) const { return find(addr) != nullptr; }
 
   /// Address of the block that fill(addr) would evict right now, or nullopt
   /// if the set still has an invalid way (no eviction needed).
@@ -59,6 +92,16 @@ class Cache {
   /// Insert the block containing `addr` (LRU way replaced). Returns the
   /// eviction that occurred, if any. Must not be called while resident.
   std::optional<Eviction> fill(Addr addr, bool dirty);
+
+  /// fill() without the victim-selection scan: `way` must be the fill_way
+  /// previewed by access_with_victim() on this set, with no intervening
+  /// mutation of the set. Exactly fill()'s updates, one line touched.
+  std::optional<Eviction> fill_at(Addr addr, std::uint32_t way, bool dirty);
+
+  /// First byte address of the block containing `addr`.
+  Addr block_base_of(Addr addr) const {
+    return (addr >> block_shift_) << block_shift_;
+  }
 
   /// Remove the block containing `addr` if resident; returns its dirtiness.
   std::optional<bool> invalidate(Addr addr);
@@ -82,20 +125,56 @@ class Cache {
   void export_stats(StatSet& out) const;
 
  private:
+  /// 16 bytes so a 4-way set is one 64-byte line (the scan touches one line
+  /// instead of two). The 32-bit LRU stamp is renormalized before it can
+  /// wrap, preserving the exact recency order (see bump()).
   struct Block {
     Addr tag = 0;
+    std::uint32_t lru = 0;  ///< per-cache stamp; larger = more recent
     bool valid = false;
     bool dirty = false;
-    std::uint64_t lru = 0;  ///< global stamp; larger = more recently used
   };
+  static_assert(sizeof(Block) == 16);
 
   Addr tag_of(Addr addr) const { return addr >> block_shift_; }
   Block* set_of(Addr addr) { return &blocks_[set_index(addr) * cfg_.assoc]; }
   const Block* set_of(Addr addr) const {
     return &blocks_[set_index(addr) * cfg_.assoc];
   }
-  Block* find(Addr addr);
-  const Block* find(Addr addr) const;
+
+  /// Next LRU stamp; renormalizes all stamps (order-preserving) before the
+  /// 32-bit counter could wrap, so recency comparisons stay exact forever.
+  std::uint32_t bump() {
+    if (stamp_ == std::numeric_limits<std::uint32_t>::max()) renormalize();
+    return ++stamp_;
+  }
+
+  /// The hit-path updates, identical for the memo and the scan route.
+  void touch_hit(Block& b, bool is_write) {
+    b.lru = bump();
+    b.dirty = b.dirty || is_write;
+    demand_.record(true);
+  }
+
+  Block* find(Addr addr) {
+    const Addr tag = tag_of(addr);
+    Block* set = set_of(addr);
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+      if (set[w].valid && set[w].tag == tag) return &set[w];
+    return nullptr;
+  }
+  const Block* find(Addr addr) const {
+    return const_cast<Cache*>(this)->find(addr);
+  }
+
+  /// Slow paths (way prediction missed): full set scan.
+  bool access_scan(std::uint64_t si, Addr tag, bool is_write);
+  LookupResult access_with_victim_scan(std::uint64_t si, Addr tag,
+                                       bool is_write);
+
+  /// Reassign all LRU stamps to their rank in recency order (out of line;
+  /// runs at most once per 2^32 stamps).
+  void renormalize();
 
   CacheConfig cfg_;
   unsigned block_shift_ = 0;    ///< log2(block_size); block size is pow2
@@ -103,7 +182,10 @@ class Cache {
   std::uint64_t set_mask_ = 0;  ///< num_sets-1 when sets_pow2_
   bool sets_pow2_ = false;      ///< fall back to modulo for odd set counts
   std::vector<Block> blocks_;   ///< num_sets * assoc, set-major
-  std::uint64_t stamp_ = 0;
+  /// Per-set way predictor: way of the last hit/fill in the set. Staleness
+  /// is detected through the predicted block's own valid/tag state.
+  std::vector<std::uint32_t> way_;
+  std::uint32_t stamp_ = 0;
   HitMiss demand_;
   std::uint64_t writebacks_ = 0;
   std::uint64_t fills_ = 0;

@@ -31,7 +31,7 @@ Cycle Hierarchy::refill_l2(Addr addr, bool is_write) {
   if (hw_active()) {
     if (auto aux = hw_->service_miss(Level::L2, addr, is_write)) {
       if (aux->promote) {
-        if (auto ev = l2_.fill(addr, aux->dirty || is_write))
+        if (auto ev = l2_.fill_at(addr, lr.fill_way, aux->dirty || is_write))
           hw_->on_eviction(Level::L2, ev->block_addr, ev->dirty);
       }
       return aux->extra_latency;
@@ -42,7 +42,7 @@ Cycle Hierarchy::refill_l2(Addr addr, bool is_write) {
   FillDecision d = FillDecision::Fill;
   if (hw_active()) d = hw_->fill_decision(Level::L2, addr, lr.victim);
   if (d == FillDecision::Fill) {
-    if (auto ev = l2_.fill(addr, is_write)) {
+    if (auto ev = l2_.fill_at(addr, lr.fill_way, is_write)) {
       if (hw_active()) hw_->on_eviction(Level::L2, ev->block_addr, ev->dirty);
     }
   } else {
@@ -52,12 +52,13 @@ Cycle Hierarchy::refill_l2(Addr addr, bool is_write) {
 }
 
 Cycle Hierarchy::place_l1d(Addr addr, bool is_write,
-                           std::optional<Addr> first_victim) {
+                           std::optional<Addr> first_victim,
+                           std::uint32_t first_way) {
   std::uint32_t width = 1;
   if (hw_active()) width = std::max(1u, hw_->fetch_width(Level::L1D, addr));
 
   Cycle extra = 0;
-  const Addr base = block_base(addr, cfg_.l1d.block_size);
+  const Addr base = l1d_.block_base_of(addr);
   for (std::uint32_t i = 0; i < width; ++i) {
     const Addr blk = base + static_cast<Addr>(i) * cfg_.l1d.block_size;
     // The demand block (i == 0) is a known miss with a victim previewed by
@@ -77,10 +78,12 @@ Cycle Hierarchy::place_l1d(Addr addr, bool is_write,
     FillDecision d = FillDecision::Fill;
     if (hw_active()) d = hw_->fill_decision(Level::L1D, blk, victim);
     if (d == FillDecision::Fill) {
-      if (auto ev = l1d_.fill(blk, i == 0 && is_write)) {
-        if (hw_active())
-          hw_->on_eviction(Level::L1D, ev->block_addr, ev->dirty);
-      }
+      // The demand block reuses the previewed way; extras scanned their own
+      // victim just above.
+      auto ev = i == 0 ? l1d_.fill_at(blk, first_way, is_write)
+                       : l1d_.fill(blk, false);
+      if (ev && hw_active())
+        hw_->on_eviction(Level::L1D, ev->block_addr, ev->dirty);
     } else if (i == 0) {
       hw_->on_bypassed(Level::L1D, addr, is_write);
     }
@@ -88,67 +91,37 @@ Cycle Hierarchy::place_l1d(Addr addr, bool is_write,
   return extra;
 }
 
-Cycle Hierarchy::access(Addr addr, AccessKind kind) {
-  // Watchdog / crash clock before any state changes: a killed access never
-  // half-updates the hierarchy.
-  if (fault_ != nullptr) fault_->on_access();
-  const Cycle lat = access_impl(addr, kind);
-  // Epoch clock ticks after the access fully updated its counters, so an
-  // epoch boundary at access N covers exactly accesses [.., N).
-  if (trace_ != nullptr) trace_->note_access();
+Cycle Hierarchy::refill_l1i(Addr addr) {
+  Cycle lat = cfg_.l2.latency;
+  // Instruction path bypasses the data-side hardware scheme.
+  if (!l2_.access(addr, false)) {
+    lat += mem_.fetch_latency(cfg_.l2.block_size);
+    l2_.fill(addr, false);
+  }
+  l1i_.fill(addr, false);
   return lat;
 }
 
-Cycle Hierarchy::access_impl(Addr addr, AccessKind kind) {
-  if (kind == AccessKind::IFetch) {
-    Cycle lat = itlb_.access(addr);
-    lat += cfg_.l1i.latency;
-    if (l1i_.access(addr, /*is_write=*/false)) return lat;
-    lat += cfg_.l2.latency;
-    // Instruction path bypasses the data-side hardware scheme.
-    if (!l2_.access(addr, false)) {
-      lat += mem_.fetch_latency(cfg_.l2.block_size);
-      l2_.fill(addr, false);
-    }
-    l1i_.fill(addr, false);
-    return lat;
-  }
-
-  const bool is_write = (kind == AccessKind::Store);
-  Cycle lat = dtlb_.access(addr);
-  lat += cfg_.l1d.latency;
-
-  // One scan of the L1D set: lookup, LRU update, and victim preview. The
-  // preview feeds place_l1d() below; it stays valid because the only code
-  // that could touch this set before the fill (aux service) returns early.
-  const Cache::LookupResult lr = l1d_.access_with_victim(addr, is_write);
-
-  if (classifier_ != nullptr) {
-    if (!lr.hit) classifier_->classify_miss(addr);
-    classifier_->note_access(addr);
-  }
-
-  if (lr.hit) {
-    if (hw_active()) hw_->on_access(Level::L1D, addr, is_write, true);
-    return lat;
-  }
+Cycle Hierarchy::miss_l1d(Addr addr, bool is_write,
+                          std::optional<Addr> victim,
+                          std::uint32_t fill_way) {
   if (hw_active()) hw_->on_access(Level::L1D, addr, is_write, false);
 
   // L1D miss: auxiliary structure first (victim cache swap / bypass buffer).
   if (hw_active()) {
     if (auto aux = hw_->service_miss(Level::L1D, addr, is_write)) {
       if (aux->promote) {
-        if (auto ev = l1d_.fill(addr, aux->dirty || is_write))
+        if (auto ev = l1d_.fill_at(addr, fill_way, aux->dirty || is_write))
           hw_->on_eviction(Level::L1D, ev->block_addr, ev->dirty);
       }
-      return lat + aux->extra_latency;
+      return aux->extra_latency;
     }
   }
 
   // Down to L2 (and memory if needed), then place into L1D.
-  lat += cfg_.l2.latency;
+  Cycle lat = cfg_.l2.latency;
   lat += refill_l2(addr, is_write);
-  lat += place_l1d(addr, is_write, lr.victim);
+  lat += place_l1d(addr, is_write, victim, fill_way);
   return lat;
 }
 

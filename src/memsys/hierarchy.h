@@ -18,11 +18,13 @@
 
 #include <memory>
 
+#include "fault/injector.h"
 #include "memsys/cache.h"
 #include "memsys/hw_hooks.h"
 #include "memsys/main_memory.h"
 #include "memsys/miss_classifier.h"
 #include "memsys/tlb.h"
+#include "trace/recorder.h"
 
 namespace selcache::memsys {
 
@@ -71,8 +73,20 @@ class Hierarchy {
   /// Perform one demand access; returns the total latency in cycles. With
   /// a fault injector attached this may throw fault::WatchdogExceeded or
   /// fault::InjectedCrash — all simulator state is task-local, so the
-  /// exception unwinds cleanly to the resilient runner.
-  Cycle access(Addr addr, AccessKind kind);
+  /// exception unwinds cleanly to the resilient runner. Defined inline —
+  /// together with the inline Cache/Tlb hit paths this collapses the whole
+  /// hit-case access into one call frame, which is what the trace-tape
+  /// replay loop's throughput rides on.
+  Cycle access(Addr addr, AccessKind kind) {
+    // Watchdog / crash clock before any state changes: a killed access
+    // never half-updates the hierarchy.
+    if (fault_ != nullptr) fault_->on_access();
+    const Cycle lat = access_impl(addr, kind);
+    // Epoch clock ticks after the access fully updated its counters, so an
+    // epoch boundary at access N covers exactly accesses [.., N).
+    if (trace_ != nullptr) trace_->note_access();
+    return lat;
+  }
 
   const Cache& l1d() const { return l1d_; }
   const Cache& l1i() const { return l1i_; }
@@ -95,7 +109,43 @@ class Hierarchy {
 
   /// The access path proper; access() wraps it so the epoch tick fires
   /// after the access's counter updates are complete (single return site).
-  Cycle access_impl(Addr addr, AccessKind kind);
+  /// Inline for the hit cases; misses leave through the out-of-line
+  /// refill/place helpers.
+  Cycle access_impl(Addr addr, AccessKind kind) {
+    if (kind == AccessKind::IFetch) {
+      Cycle lat = itlb_.access(addr);
+      lat += cfg_.l1i.latency;
+      if (l1i_.access(addr, /*is_write=*/false)) return lat;
+      return lat + refill_l1i(addr);
+    }
+
+    const bool is_write = (kind == AccessKind::Store);
+    Cycle lat = dtlb_.access(addr);
+    lat += cfg_.l1d.latency;
+    // One scan of the L1D set: lookup, LRU update, and victim preview. The
+    // preview feeds place_l1d(); it stays valid because the only code that
+    // could touch this set before the fill (aux service) returns early.
+    const Cache::LookupResult lr = l1d_.access_with_victim(addr, is_write);
+
+    if (classifier_ != nullptr) {
+      if (!lr.hit) classifier_->classify_miss(addr);
+      classifier_->note_access(addr);
+    }
+
+    if (lr.hit) {
+      if (hw_active()) hw_->on_access(Level::L1D, addr, is_write, true);
+      return lat;
+    }
+    return lat + miss_l1d(addr, is_write, lr.victim, lr.fill_way);
+  }
+
+  /// L1I refill path (out of line: misses are rare).
+  Cycle refill_l1i(Addr addr);
+
+  /// L1D miss path beyond the TLB + L1 tag check (out of line). `fill_way`
+  /// is the victim way previewed by the miss-detecting scan.
+  Cycle miss_l1d(Addr addr, bool is_write, std::optional<Addr> victim,
+                 std::uint32_t fill_way);
 
   /// Fetch the block containing `addr` into L2 (if absent), returning the
   /// added latency beyond the L2 tag check.
@@ -104,9 +154,11 @@ class Hierarchy {
   /// Place the block containing `addr` into L1D, honoring the scheme's
   /// fill/bypass decision and SLDT fetch width. `first_victim` is the
   /// demand block's victim previewed by the miss-detecting scan (so the
-  /// set is not scanned again). Returns the extra cycles spent transferring
-  /// SLDT-widened fetches over the L1-L2 path.
-  Cycle place_l1d(Addr addr, bool is_write, std::optional<Addr> first_victim);
+  /// set is not scanned again); `first_way` is the way it occupies. Returns
+  /// the extra cycles spent transferring SLDT-widened fetches over the
+  /// L1-L2 path.
+  Cycle place_l1d(Addr addr, bool is_write, std::optional<Addr> first_victim,
+                  std::uint32_t first_way);
 
   HierarchyConfig cfg_;
   Cache l1d_, l1i_, l2_;

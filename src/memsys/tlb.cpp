@@ -1,5 +1,7 @@
 #include "memsys/tlb.h"
 
+#include <algorithm>
+
 #include "support/check.h"
 
 namespace selcache::memsys {
@@ -14,17 +16,18 @@ Tlb::Tlb(TlbConfig cfg) : cfg_(std::move(cfg)) {
   sets_pow2_ = is_pow2(num_sets_);
   if (sets_pow2_) set_mask_ = num_sets_ - 1;
   entries_.resize(cfg_.entries);
+  way_.resize(num_sets_, 0);
 }
 
-Cycle Tlb::access(Addr addr) {
-  const Addr vpn = vpn_of(addr);
-  Entry* set = &entries_[set_index(vpn) * cfg_.assoc];
+Cycle Tlb::access_scan(std::uint64_t si, Addr vpn) {
+  Entry* set = &entries_[si * cfg_.assoc];
   Entry* victim = nullptr;
   for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
     Entry& e = set[w];
     if (e.valid && e.vpn == vpn) {
-      e.lru = ++stamp_;
+      e.lru = bump();
       stats_.record(true);
+      way_[si] = w;
       return 0;
     }
     if (victim == nullptr || !e.valid ||
@@ -35,8 +38,21 @@ Cycle Tlb::access(Addr addr) {
   stats_.record(false);
   victim->valid = true;
   victim->vpn = vpn;
-  victim->lru = ++stamp_;
+  victim->lru = bump();
+  // The freshly refilled way is the likeliest next hit in this set.
+  way_[si] = static_cast<std::uint32_t>(victim - set);
   return cfg_.miss_penalty;
+}
+
+void Tlb::renormalize() {
+  std::vector<Entry*> order;
+  order.reserve(entries_.size());
+  for (Entry& e : entries_) order.push_back(&e);
+  std::sort(order.begin(), order.end(),
+            [](const Entry* a, const Entry* b) { return a->lru < b->lru; });
+  std::uint32_t next = 0;
+  for (Entry* e : order) e->lru = ++next;
+  stamp_ = next;
 }
 
 bool Tlb::probe(Addr addr) const {

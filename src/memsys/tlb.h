@@ -6,6 +6,8 @@
 // 64 instruction-TLB entries, matching SimpleScalar's defaults.
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -29,7 +31,22 @@ class Tlb {
 
   /// Translate the page containing `addr`; returns the cycles charged
   /// (0 on hit, miss_penalty on miss). The missing translation is filled.
-  Cycle access(Addr addr);
+  /// Defined inline (with a per-set way predictor) because it runs once per
+  /// demand access: page-local streams short-circuit to one compare + LRU
+  /// stamp, with exactly the scan path's updates. The prediction is
+  /// validated by the entry's own (valid, vpn) state, so refills that
+  /// recycle the predicted entry are detected without bookkeeping.
+  Cycle access(Addr addr) {
+    const Addr vpn = vpn_of(addr);
+    const std::uint64_t si = set_index(vpn);
+    Entry& pred = entries_[si * cfg_.assoc + way_[si]];
+    if (pred.valid && pred.vpn == vpn) {
+      pred.lru = bump();
+      stats_.record(true);
+      return 0;
+    }
+    return access_scan(si, vpn);
+  }
 
   bool probe(Addr addr) const;
 
@@ -38,11 +55,20 @@ class Tlb {
   void export_stats(StatSet& out) const;
 
  private:
+  /// 16 bytes so a 4-way set is one 64-byte line. The 32-bit LRU stamp is
+  /// renormalized (order-preserving) before it can wrap.
   struct Entry {
     Addr vpn = 0;
+    std::uint32_t lru = 0;
     bool valid = false;
-    std::uint64_t lru = 0;
   };
+  static_assert(sizeof(Entry) == 16);
+
+  std::uint32_t bump() {
+    if (stamp_ == std::numeric_limits<std::uint32_t>::max()) renormalize();
+    return ++stamp_;
+  }
+  void renormalize();
 
   Addr vpn_of(Addr addr) const {
     return page_pow2_ ? (addr >> page_shift_) : (addr / cfg_.page_size);
@@ -51,6 +77,9 @@ class Tlb {
     return sets_pow2_ ? (vpn & set_mask_) : (vpn % num_sets_);
   }
 
+  /// Slow path of access() (prediction missed): set scan + refill on miss.
+  Cycle access_scan(std::uint64_t si, Addr vpn);
+
   TlbConfig cfg_;
   std::uint64_t num_sets_;
   unsigned page_shift_ = 0;     ///< log2(page_size) when page_pow2_
@@ -58,7 +87,9 @@ class Tlb {
   std::uint64_t set_mask_ = 0;  ///< num_sets-1 when sets_pow2_
   bool sets_pow2_ = false;
   std::vector<Entry> entries_;
-  std::uint64_t stamp_ = 0;
+  /// Per-set way predictor: way of the last hit/refill in the set.
+  std::vector<std::uint32_t> way_;
+  std::uint32_t stamp_ = 0;
   HitMiss stats_;
 };
 

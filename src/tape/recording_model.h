@@ -1,0 +1,56 @@
+// RecordingTimingModel — the record-side shim of the tape engine.
+//
+// Presents the same six entry points as cpu::TimingModel, forwards every
+// call to the real model unchanged (so the recording run IS a bona fide
+// simulation whose results are used directly), and streams each operation
+// into a TapeBuilder. codegen::BasicTraceEngine duck-types its CPU
+// parameter, so one interpreted run through this shim yields both the
+// run's results and the tape that replays them.
+#pragma once
+
+#include "cpu/timing_model.h"
+#include "tape/tape.h"
+
+namespace selcache::tape {
+
+class RecordingTimingModel {
+ public:
+  RecordingTimingModel(cpu::TimingModel& inner, TapeBuilder& builder)
+      : inner_(inner), builder_(builder) {}
+
+  void compute(std::uint64_t n) {
+    builder_.compute(n);
+    inner_.compute(n);
+  }
+
+  void load(Addr addr, bool dependent = false) {
+    builder_.load(addr, dependent);
+    inner_.load(addr, dependent);
+  }
+
+  void store(Addr addr) {
+    builder_.store(addr);
+    inner_.store(addr);
+  }
+
+  void branch(Addr pc, bool taken) {
+    builder_.branch(pc, taken);
+    inner_.branch(pc, taken);
+  }
+
+  void toggle(bool on, std::int32_t region = -1) {
+    builder_.toggle(on, region);
+    inner_.toggle(on, region);
+  }
+
+  void touch_code(Addr pc, std::uint32_t n_instr) {
+    builder_.ifetch(pc, n_instr);
+    inner_.touch_code(pc, n_instr);
+  }
+
+ private:
+  cpu::TimingModel& inner_;
+  TapeBuilder& builder_;
+};
+
+}  // namespace selcache::tape

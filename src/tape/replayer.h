@@ -1,0 +1,24 @@
+// TapeReplayer — the replay side of the tape engine.
+//
+// Feeds a recorded tape straight into cpu::TimingModel: one switch over
+// the opcode byte plus varint decodes per operation — no IR dispatch, no
+// variable table, no subscript evaluation, no DataEnv. Because the tape
+// stores the pre-expansion stream (one record per touch_code call), the
+// replayed machine re-expands I-fetches with its own block size and the
+// run is bit-identical to interpreting the program on that machine.
+#pragma once
+
+#include "cpu/timing_model.h"
+#include "tape/tape.h"
+
+namespace selcache::tape {
+
+class TapeReplayer {
+ public:
+  /// Replay `tape` into `cpu`. Throws std::logic_error on a corrupt tape.
+  static void replay(const Tape& tape, cpu::TimingModel& cpu) {
+    replay_into(tape, cpu);
+  }
+};
+
+}  // namespace selcache::tape

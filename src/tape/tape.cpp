@@ -1,0 +1,115 @@
+#include "tape/tape.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace selcache::tape {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'C', 'T', 'A', 'P', 'E', '0', '1'};
+
+/// Fixed-width little-endian file header following the magic. The stat
+/// counts are part of the header so load_tape can cross-check them against
+/// the decoded stream length without decoding.
+struct FileHeader {
+  std::uint8_t version;
+  std::uint8_t pad[7] = {0, 0, 0, 0, 0, 0, 0};
+  std::uint64_t loads;
+  std::uint64_t stores;
+  std::uint64_t ifetch_batches;
+  std::uint64_t branches;
+  std::uint64_t computes;
+  std::uint64_t toggles;
+  std::uint64_t n_bytes;
+};
+static_assert(sizeof(FileHeader) == 64, "stable on-disk layout");
+
+}  // namespace
+
+bool save_tape(const Tape& tape, const std::string& path) {
+  // Crash-safe like core::write_text_file / codegen::save_trace: write a
+  // .tmp sibling, then atomically rename over the target.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(kMagic, sizeof(kMagic));
+    FileHeader h{};
+    h.version = tape.version;
+    h.loads = tape.stats.loads;
+    h.stores = tape.stats.stores;
+    h.ifetch_batches = tape.stats.ifetch_batches;
+    h.branches = tape.stats.branches;
+    h.computes = tape.stats.computes;
+    h.toggles = tape.stats.toggles;
+    h.n_bytes = tape.bytes.size();
+    out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    out.write(reinterpret_cast<const char*>(tape.bytes.data()),
+              static_cast<std::streamsize>(tape.bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+Tape load_tape(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SELCACHE_CHECK_MSG(static_cast<bool>(in), "cannot open tape " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  SELCACHE_CHECK_MSG(in && std::memcmp(magic, kMagic, 8) == 0,
+                     "bad tape magic in " + path);
+  FileHeader h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  SELCACHE_CHECK_MSG(static_cast<bool>(in), "truncated tape header");
+  SELCACHE_CHECK_MSG(h.version == kTapeVersion,
+                     "unsupported tape version in " + path);
+
+  Tape tape;
+  tape.version = h.version;
+  tape.stats.loads = h.loads;
+  tape.stats.stores = h.stores;
+  tape.stats.ifetch_batches = h.ifetch_batches;
+  tape.stats.branches = h.branches;
+  tape.stats.computes = h.computes;
+  tape.stats.toggles = h.toggles;
+  tape.bytes.resize(h.n_bytes);
+  in.read(reinterpret_cast<char*>(tape.bytes.data()),
+          static_cast<std::streamsize>(h.n_bytes));
+  SELCACHE_CHECK_MSG(static_cast<bool>(in) &&
+                         static_cast<std::uint64_t>(in.gcount()) == h.n_bytes,
+                     "truncated tape body");
+
+  // Cross-check: the stream must decode cleanly and contain exactly the
+  // operation counts the header claims (a counting null sink costs one
+  // linear pass at load time — loads are rare next to replays).
+  struct CountingSink {
+    TapeStats s;
+    void load(Addr, bool) { ++s.loads; }
+    void store(Addr) { ++s.stores; }
+    void touch_code(Addr, std::uint32_t) { ++s.ifetch_batches; }
+    void branch(Addr, bool) { ++s.branches; }
+    void compute(std::uint64_t) { ++s.computes; }
+    void toggle(bool, std::int32_t) { ++s.toggles; }
+  } counter;
+  replay_into(tape, counter);
+  SELCACHE_CHECK_MSG(counter.s == tape.stats,
+                     "tape stats disagree with stream in " + path);
+  return tape;
+}
+
+}  // namespace selcache::tape

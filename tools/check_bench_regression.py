@@ -43,6 +43,9 @@ EXPECTED_KEYS = frozenset({
     "serial_seconds",
     "simulated_accesses",
     "speedup",
+    "tape_bytes_per_access",
+    "tape_record_accesses_per_sec",
+    "tape_replay_accesses_per_sec",
     "threads",
     "workloads",
 })
@@ -128,6 +131,24 @@ def evaluate(base, fresh, tolerance, base_path="baseline",
                 fresh.get("serial_accesses_per_sec"), tolerance,
                 higher_is_better=True)
 
+    check_ratio(failures, log, "tape record accesses/sec",
+                base.get("tape_record_accesses_per_sec"),
+                fresh.get("tape_record_accesses_per_sec"), tolerance,
+                higher_is_better=True)
+
+    check_ratio(failures, log, "tape replay accesses/sec",
+                base.get("tape_replay_accesses_per_sec"),
+                fresh.get("tape_replay_accesses_per_sec"), tolerance,
+                higher_is_better=True)
+
+    # Tape density is a size metric, not a timing one: it regresses UPWARD
+    # (a fatter encoding), and it is host-independent so the same tolerance
+    # is conservative for it.
+    check_ratio(failures, log, "tape bytes/access",
+                base.get("tape_bytes_per_access"),
+                fresh.get("tape_bytes_per_access"), tolerance,
+                higher_is_better=False)
+
     b_threads = base.get("hardware_threads", 1)
     f_threads = fresh.get("hardware_threads", 1)
     if b_threads > 1 and f_threads > 1:
@@ -154,6 +175,9 @@ def _fixture(**overrides):
         "serial_seconds": 4.0,
         "simulated_accesses": 80000000,
         "speedup": 4.0,
+        "tape_bytes_per_access": 2.5,
+        "tape_record_accesses_per_sec": 1.8e7,
+        "tape_replay_accesses_per_sec": 2.6e7,
         "threads": 8,
         "workloads": 13,
     }
@@ -184,6 +208,16 @@ def self_test():
          {"speedup": 0}, {}, 0.15, True),
         ("speedup regression fails",
          {}, {"speedup": 2.0}, 0.15, True),
+        ("tape replay throughput regression fails",
+         {}, {"tape_replay_accesses_per_sec": 1.0e7}, 0.15, True),
+        ("tape record throughput regression fails",
+         {}, {"tape_record_accesses_per_sec": 1.0e7}, 0.15, True),
+        ("tape encoding bloat fails (lower-is-better direction)",
+         {}, {"tape_bytes_per_access": 4.0}, 0.15, True),
+        ("tape encoding shrink passes",
+         {}, {"tape_bytes_per_access": 1.0}, 0.15, False),
+        ("zero tape bytes/access fails",
+         {}, {"tape_bytes_per_access": 0}, 0.15, True),
         ("single-core host skips speedup without failing",
          {"hardware_threads": 1, "speedup": 0},
          {"hardware_threads": 1, "speedup": 0}, 0.15, False),

@@ -44,6 +44,23 @@ diff "$tracedir/fserial.csv" "$tracedir/fparallel.csv"
 diff "$tracedir/fserial.txt" "$tracedir/fparallel.txt"
 echo "faulted sweep: serial and parallel outputs identical"
 
+# Tape replay equivalence under sanitizers: a traced sweep must be
+# byte-identical whether each cell is interpreted or replayed from its
+# recorded tape (encoder/decoder memory errors would surface here).
+"$cli" sweep --workload Compress --threads 1 --reuse-tape \
+  --trace-dir "$tracedir/taped" \
+  | sed "s|$tracedir/taped|TRACEDIR|" > "$tracedir/taped.txt"
+"$cli" sweep --workload Compress --threads 1 \
+  --trace-dir "$tracedir/interp" \
+  | sed "s|$tracedir/interp|TRACEDIR|" > "$tracedir/interp.txt"
+diff -r "$tracedir/serial" "$tracedir/taped"
+diff -r "$tracedir/interp" "$tracedir/taped"
+diff "$tracedir/interp.txt" "$tracedir/taped.txt"
+echo "taped sweep: interpreted and replayed outputs identical"
+
+# Record-once/replay-many figure sweep, also under sanitizers.
+tools/run_tape_figure_test.sh build-asan/bench/bench_fig5_memlat
+
 # End-to-end failure isolation (injected crashes quarantine only their
 # cells), also under sanitizers.
 tools/run_crash_sweep_test.sh "$cli"

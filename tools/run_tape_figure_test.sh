@@ -1,0 +1,31 @@
+#!/bin/sh
+# End-to-end tape smoke: a figure sweep's published output must be
+# byte-identical whether the machine points are interpreted directly or
+# replayed from the tape recorded at the first point. Any drift here means
+# the record/replay contract broke somewhere between the IR walker and the
+# stats printer. Truncated to 2 machine points so the test stays fast.
+set -eu
+
+BENCH="${1:?usage: run_tape_figure_test.sh PATH_TO_bench_fig5_memlat}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Wall-clock footers ("simulated in Ns, ..., replayed" / "axis total: ...")
+# legitimately differ between the two modes; everything else must not.
+strip_timing() {
+  grep -v -e '^(simulated in ' -e '^axis total: ' "$1" > "$2"
+}
+
+"$BENCH" --max-points 2 --threads 1 > "$TMP/tape_raw.txt"
+"$BENCH" --max-points 2 --threads 1 --no-reuse-tape > "$TMP/interp_raw.txt"
+strip_timing "$TMP/tape_raw.txt" "$TMP/tape.txt"
+strip_timing "$TMP/interp_raw.txt" "$TMP/interp.txt"
+
+if ! cmp -s "$TMP/interp.txt" "$TMP/tape.txt"; then
+  echo "FAIL: tape-replay figure output differs from interpreted output" >&2
+  diff -u "$TMP/interp.txt" "$TMP/tape.txt" | head -40 >&2
+  exit 1
+fi
+
+echo "tape_figure_smoke OK: fig5 (2 points) byte-identical with tape reuse"

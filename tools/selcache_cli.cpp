@@ -11,6 +11,7 @@
 //                [--events-out FILE] [--metrics-out FILE] [--csv-out FILE]
 //   selcache trace-record --workload NAME --out FILE [--version V]
 //   selcache trace-replay FILE [--machine M] [--scheme S]
+//   selcache tape WORKLOAD VERSION [--machine M] [--scheme S] [--out FILE]
 //   selcache verify [FILE.loop] [--workload NAME] [--version V] [--csv]
 //   selcache faultsim WORKLOAD VERSION [--fault-kind K] [--fault-rate R]
 //                [--fault-seed N] [--rates R1,R2,..] [--fault-budget N]
@@ -37,6 +38,7 @@
 #include <fstream>
 
 #include "codegen/trace_engine.h"
+#include "tape/tape.h"
 #include "codegen/trace_io.h"
 #include "core/report.h"
 #include "core/runner.h"
@@ -60,9 +62,10 @@ int usage() {
                " [--scheme S] [--threshold T] [--stats]\n"
                "  selcache sweep --workload NAME [--machine M] [--scheme S]"
                " [--threads N]\n"
-               "                 [--trace-dir DIR] [--epoch N]\n"
+               "                 [--trace-dir DIR] [--epoch N] [--reuse-tape]\n"
                "  selcache suite [--machine M] [--scheme S] [--threads N]"
-               " [--verify-pipeline] [--trace-dir DIR] [--epoch N]\n"
+               " [--verify-pipeline] [--trace-dir DIR] [--epoch N]"
+               " [--reuse-tape]\n"
                "  selcache show  --workload NAME [--optimized] [--marked]\n"
                "  selcache run-file FILE.loop [--machine M] [--version V]"
                " [--scheme S]\n"
@@ -73,6 +76,8 @@ int usage() {
                "  selcache trace-record --workload NAME --out FILE"
                " [--version V] [--scheme S]\n"
                "  selcache trace-replay FILE [--machine M] [--scheme S]\n"
+               "  selcache tape  WORKLOAD VERSION [--machine M] [--scheme S]"
+               " [--out FILE]\n"
                "  selcache verify [FILE.loop] [--workload NAME] [--version V]"
                " [--csv]\n"
                "  selcache faultsim WORKLOAD VERSION [--machine M]"
@@ -593,6 +598,50 @@ int cmd_faultsim(const std::string& wname, const std::string& vname,
   }
 }
 
+int cmd_tape(const std::string& wname, const std::string& vname,
+             const std::map<std::string, std::string>& flags) {
+  const auto* w = workload_by_name(wname);
+  if (w == nullptr) {
+    std::fprintf(stderr, "selcache: unknown workload '%s'\n", wname.c_str());
+    return 2;
+  }
+  const auto version = version_by_name(vname);
+  if (!version) {
+    std::fprintf(stderr, "selcache: unknown version '%s'\n", vname.c_str());
+    return 2;
+  }
+  const auto machine =
+      machine_by_name(flags.count("machine") ? flags.at("machine") : "");
+  const auto scheme =
+      scheme_by_name(flags.count("scheme") ? flags.at("scheme") : "");
+  if (!machine || !scheme) return usage();
+
+  core::RunOptions opt;
+  opt.scheme = *scheme;
+  core::RunResult r;
+  const tape::Tape t = core::record_tape(*w, *machine, *version, opt, &r);
+  const double accesses = static_cast<double>(t.stats.data_accesses());
+  std::printf("%s / %s tape: %llu bytes, %llu data accesses"
+              " (%.3f bytes/access)\n",
+              w->name.c_str(), core::version_key(*version),
+              static_cast<unsigned long long>(t.bytes.size()),
+              static_cast<unsigned long long>(t.stats.data_accesses()),
+              accesses > 0 ? static_cast<double>(t.bytes.size()) / accesses
+                           : 0.0);
+  std::printf("  recording run: %llu cycles, L1 miss %.2f%%\n",
+              static_cast<unsigned long long>(r.cycles),
+              100.0 * r.l1_miss_rate);
+  if (flags.count("out")) {
+    if (!tape::save_tape(t, flags.at("out"))) {
+      std::fprintf(stderr, "selcache: cannot write %s\n",
+                   flags.at("out").c_str());
+      return 2;
+    }
+    std::printf("  saved to %s\n", flags.at("out").c_str());
+  }
+  return 0;
+}
+
 int cmd_sweep(const std::map<std::string, std::string>& flags) {
   const auto* w = workload_by_name(flags.count("workload")
                                        ? flags.at("workload")
@@ -605,6 +654,7 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
 
   core::RunOptions opt;
   opt.scheme = *scheme;
+  opt.reuse_tape = flags.count("reuse-tape") > 0;
   if (!parse_epoch_flag(flags, &opt.trace_epoch)) return 2;
   core::ParallelSweepOptions par;
   if (!parse_threads_flag(flags, &par)) return 2;
@@ -675,6 +725,7 @@ int cmd_suite(const std::map<std::string, std::string>& flags) {
   if (!machine || !scheme) return usage();
   core::RunOptions opt;
   opt.scheme = *scheme;
+  opt.reuse_tape = flags.count("reuse-tape") > 0;
   core::ParallelSweepOptions par;
   if (!parse_threads_flag(flags, &par)) return 2;
   if (!parse_epoch_flag(flags, &opt.trace_epoch)) return 2;
@@ -940,13 +991,14 @@ int main(int argc, char** argv) {
         {"workload", "machine", "scheme", "threads", "trace-dir", "epoch",
          "fault-kind", "fault-rate", "fault-seed", "fault-budget",
          "watchdog-accesses", "max-retries", "failures-out", "failures-jsonl"},
-        {"inject-faults", "integrity-checks"}}},
+        {"inject-faults", "integrity-checks", "reuse-tape"}}},
       {"suite",
        {"suite",
         {"machine", "scheme", "threads", "trace-dir", "epoch", "fault-kind",
          "fault-rate", "fault-seed", "fault-budget", "watchdog-accesses",
          "max-retries", "failures-out", "failures-jsonl"},
-        {"verify-pipeline", "inject-faults", "integrity-checks"}}},
+        {"verify-pipeline", "inject-faults", "integrity-checks",
+         "reuse-tape"}}},
       {"faultsim",
        {"faultsim",
         {"machine", "scheme", "fault-kind", "fault-rate", "fault-seed",
@@ -962,6 +1014,7 @@ int main(int argc, char** argv) {
       {"trace-record",
        {"trace-record", {"workload", "out", "version", "scheme"}, {}}},
       {"trace-replay", {"trace-replay", {"machine", "scheme"}, {}}},
+      {"tape", {"tape", {"machine", "scheme", "out"}, {}}},
       {"verify", {"verify", {"workload", "version"}, {"csv"}}},
   };
   const auto spec_it = kSpecs.find(cmd);
@@ -991,7 +1044,7 @@ int main(int argc, char** argv) {
                  cmd.c_str());
     return 2;
   }
-  if (cmd == "trace" || cmd == "faultsim") {
+  if (cmd == "trace" || cmd == "faultsim" || cmd == "tape") {
     if (argc < 4 || std::string(argv[2]).rfind("--", 0) == 0 ||
         std::string(argv[3]).rfind("--", 0) == 0) {
       std::fprintf(stderr,
@@ -1019,5 +1072,6 @@ int main(int argc, char** argv) {
   if (cmd == "faultsim") return cmd_faultsim(positional, positional2, flags);
   if (cmd == "trace-record") return cmd_trace_record(flags);
   if (cmd == "trace-replay") return cmd_trace_replay(positional, flags);
+  if (cmd == "tape") return cmd_tape(positional, positional2, flags);
   return cmd_verify(positional, flags);
 }
