@@ -7,9 +7,20 @@ Method select_method(const ir::LoopNode& loop, double threshold) {
                                                : Method::Hardware;
 }
 
+Method select_method(const ir::LoopNode& loop, const MethodPolicy& policy) {
+  if (policy.loop_predictor) {
+    if (auto m = policy.loop_predictor(loop)) return *m;
+  }
+  return select_method(loop, policy.threshold);
+}
+
 Method select_method(const ir::Stmt& stmt, double threshold) {
   return count_refs(stmt).ratio() >= threshold ? Method::Compiler
                                                : Method::Hardware;
+}
+
+Method select_method(const ir::Stmt& stmt, const MethodPolicy& policy) {
+  return select_method(stmt, policy.threshold);
 }
 
 }  // namespace selcache::analysis

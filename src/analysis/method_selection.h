@@ -3,6 +3,9 @@
 // the loop; otherwise the hardware mechanism handles it at run time.
 #pragma once
 
+#include <functional>
+#include <optional>
+
 #include "analysis/classify.h"
 
 namespace selcache::analysis {
@@ -16,13 +19,30 @@ inline const char* to_string(Method m) {
 /// Paper §4.1: "a threshold value of 0.5 was selected".
 inline constexpr double kDefaultThreshold = 0.5;
 
+/// How loops are assigned to the compiler or the hardware. The default
+/// (empty predictor) is the paper's static-count heuristic; a predictor —
+/// e.g. locality::make_method_predictor, which weights references by
+/// predicted dynamic access counts — can override the decision for
+/// innermost loops. A predictor returning nullopt falls back to the
+/// heuristic for that loop, so installing one degrades gracefully.
+struct MethodPolicy {
+  double threshold = kDefaultThreshold;
+  std::function<std::optional<Method>(const ir::LoopNode&)> loop_predictor;
+};
+
 /// Decide the method for a loop from the references in its whole subtree.
 Method select_method(const ir::LoopNode& loop,
                      double threshold = kDefaultThreshold);
+/// Policy-driven variant: consults policy.loop_predictor first (innermost
+/// decisions only — see region_detection).
+Method select_method(const ir::LoopNode& loop, const MethodPolicy& policy);
 
 /// Decide for a bare statement (the "imaginary loop that iterates once"
-/// treatment of §2.2 for statements sandwiched between nests).
+/// treatment of §2.2 for statements sandwiched between nests). Statements
+/// have no loop prediction, so the policy variant uses the heuristic with
+/// the policy's threshold.
 Method select_method(const ir::Stmt& stmt,
                      double threshold = kDefaultThreshold);
+Method select_method(const ir::Stmt& stmt, const MethodPolicy& policy);
 
 }  // namespace selcache::analysis

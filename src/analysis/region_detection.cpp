@@ -11,18 +11,19 @@ using ir::ToggleNode;
 namespace {
 
 /// Bottom-up decision for one loop (Figure 2 walk, steps 1-7).
-RegionDecision decide(LoopNode& loop, double threshold,
+RegionDecision decide(LoopNode& loop, const MethodPolicy& policy,
                       RegionAnalysis& out) {
   std::vector<RegionDecision> child_decisions;
   for (auto& child : loop.body)
     if (child->kind == NodeKind::Loop)
       child_decisions.push_back(
-          decide(static_cast<LoopNode&>(*child), threshold, out));
+          decide(static_cast<LoopNode&>(*child), policy, out));
 
   RegionDecision d;
   if (child_decisions.empty()) {
-    // Innermost loop: decided by its own references (§2.3).
-    d = select_method(loop, threshold) == Method::Compiler
+    // Innermost loop: decided by its own references (§2.3) — or, when the
+    // policy carries a locality predictor, by predicted dynamic behavior.
+    d = select_method(loop, policy) == Method::Compiler
             ? RegionDecision::Compiler
             : RegionDecision::Hardware;
   } else {
@@ -44,13 +45,13 @@ RegionDecision decide(LoopNode& loop, double threshold,
 /// Insert ON/OFF markers into a mixed scope: hardware subtrees are
 /// bracketed; compiler subtrees are recorded as roots for the optimizer;
 /// mixed loops recurse.
-void mark_scope(std::vector<std::unique_ptr<Node>>& body, double threshold,
-                RegionAnalysis& out) {
+void mark_scope(std::vector<std::unique_ptr<Node>>& body,
+                const MethodPolicy& policy, RegionAnalysis& out) {
   for (std::size_t i = 0; i < body.size(); ++i) {
     Node& n = *body[i];
     if (n.kind == NodeKind::Stmt) {
       // Sandwiched statement: imaginary one-iteration loop (§2.2, end).
-      if (select_method(static_cast<StmtNode&>(n).stmt, threshold) ==
+      if (select_method(static_cast<StmtNode&>(n).stmt, policy) ==
           Method::Hardware) {
         const std::int32_t region = out.regions_assigned++;
         body.insert(body.begin() + static_cast<std::ptrdiff_t>(i),
@@ -79,7 +80,7 @@ void mark_scope(std::vector<std::unique_ptr<Node>>& body, double threshold,
         out.compiler_roots.push_back(&loop);
         break;
       case RegionDecision::Mixed:
-        mark_scope(loop.body, threshold, out);
+        mark_scope(loop.body, policy, out);
         break;
     }
   }
@@ -106,22 +107,30 @@ void collect_compiler_roots(std::vector<std::unique_ptr<Node>>& body,
 }  // namespace
 
 RegionAnalysis analyze_regions(ir::Program& p, double threshold) {
+  return analyze_regions(p, MethodPolicy{threshold, {}});
+}
+
+RegionAnalysis analyze_regions(ir::Program& p, const MethodPolicy& policy) {
   RegionAnalysis out;
   for (auto& n : p.top())
     if (n->kind == NodeKind::Loop)
-      decide(static_cast<LoopNode&>(*n), threshold, out);
+      decide(static_cast<LoopNode&>(*n), policy, out);
   collect_compiler_roots(p.top(), out);
   return out;
 }
 
 RegionAnalysis detect_and_mark(ir::Program& p, double threshold) {
+  return detect_and_mark(p, MethodPolicy{threshold, {}});
+}
+
+RegionAnalysis detect_and_mark(ir::Program& p, const MethodPolicy& policy) {
   RegionAnalysis out;
   for (auto& n : p.top())
     if (n->kind == NodeKind::Loop)
-      decide(static_cast<LoopNode&>(*n), threshold, out);
+      decide(static_cast<LoopNode&>(*n), policy, out);
   // The program's top level behaves like a mixed region that starts in
   // software mode.
-  mark_scope(p.top(), threshold, out);
+  mark_scope(p.top(), policy, out);
   return out;
 }
 

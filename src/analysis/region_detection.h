@@ -57,10 +57,15 @@ struct RegionAnalysis {
 /// Analyze only: compute per-loop decisions without touching the program.
 RegionAnalysis analyze_regions(ir::Program& p,
                                double threshold = kDefaultThreshold);
+/// Policy-driven variant: the policy's predictor (if any) decides innermost
+/// loops; everything above stays the Figure 2 bottom-up propagation. With a
+/// default-constructed policy this is bit-identical to the threshold form.
+RegionAnalysis analyze_regions(ir::Program& p, const MethodPolicy& policy);
 
 /// Analyze and insert ON/OFF ToggleNodes around hardware regions.
 /// Run eliminate_redundant_markers() afterwards to obtain Figure 2(c).
 RegionAnalysis detect_and_mark(ir::Program& p,
                                double threshold = kDefaultThreshold);
+RegionAnalysis detect_and_mark(ir::Program& p, const MethodPolicy& policy);
 
 }  // namespace selcache::analysis

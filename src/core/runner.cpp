@@ -174,9 +174,13 @@ std::uint64_t stream_fingerprint(const RunOptions& opt) {
   for (bool b : {o.enable_fusion, o.enable_interchange, o.enable_tiling,
                  o.enable_unroll_jam, o.enable_scalar_replacement,
                  o.enable_layout_selection, o.insert_markers,
-                 o.eliminate_markers})
+                 o.eliminate_markers,
+                 static_cast<bool>(o.method_predictor)})
     bits = (bits << 1) | (b ? 1 : 0);
-  return fnv1a(h, bits);
+  h = fnv1a(h, bits);
+  // A method predictor reshapes the marked program, so its configuration
+  // fingerprint is part of the stream identity.
+  return fnv1a(h, o.method_predictor_fingerprint);
 }
 
 /// Is this run allowed on the tape path? Fault campaigns and watchdogs

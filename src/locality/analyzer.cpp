@@ -1,0 +1,623 @@
+#include "locality/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+
+namespace selcache::locality {
+namespace {
+
+/// One cache level's knobs for the footprint-vs-capacity test.
+struct Geometry {
+  double capacity = 0.0;  ///< effective bytes (capacity_fraction applied)
+  double block = 1.0;
+};
+
+/// Byte stride of each array dimension, replicating codegen::ArrayLayout
+/// (layout.cpp): row-major puts the fastest dim last, padding extends the
+/// fastest dim's extent. locality_test cross-checks this against the real
+/// layout so the two cannot drift silently.
+std::vector<std::int64_t> layout_strides_bytes(const ir::ArrayDecl& d) {
+  std::vector<std::int64_t> s(d.dims.size(), 1);
+  std::int64_t stride = 1;
+  if (d.layout == ir::Layout::RowMajor) {
+    for (std::size_t i = d.dims.size(); i-- > 0;) {
+      s[i] = stride;
+      stride *= d.dims[i] + (i + 1 == d.dims.size() ? d.pad_elems : 0);
+    }
+  } else {
+    for (std::size_t i = 0; i < d.dims.size(); ++i) {
+      s[i] = stride;
+      stride *= d.dims[i] + (i == 0 ? d.pad_elems : 0);
+    }
+  }
+  for (auto& v : s) v *= static_cast<std::int64_t>(d.elem_size);
+  return s;
+}
+
+constexpr int kEntityArray = 0;
+constexpr int kEntityScalars = 1;
+constexpr int kEntityPool = 2;
+
+/// Raw facts about one prediction entry, kept alongside RefPrediction for
+/// the grouping / footprint / miss passes. Vectors parallel `chain`.
+struct RefFacts {
+  std::size_t pred = 0;  ///< index into ProgramPrediction::refs
+  std::vector<const ir::LoopNode*> chain;  ///< outermost -> innermost
+  std::vector<double> trips;
+  std::vector<std::int64_t> adv;  ///< bytes advanced per iteration
+  bool affine = false;            ///< adv/const_offset are meaningful
+  std::int64_t const_offset = 0;
+  int entity_kind = kEntityArray;
+  std::uint32_t entity_id = 0;
+  double entity_bytes = 0.0;
+  bool follower = false;
+  std::int64_t follower_delta = 0;
+  /// Cross-iteration follower: this reference touches the line some group
+  /// leader fetched `xfollow_k` iterations earlier along chain level
+  /// `xfollow_level` (a stencil neighbor such as y[i-1][j] behind y[i][j]).
+  /// Whether that reuse is realized depends on capacity, so it is decided
+  /// in the estimate phase, not here.
+  int xfollow_level = -1;
+  std::int64_t xfollow_k = 0;
+};
+
+/// Stencil neighbors further apart than this many iterations of the reused
+/// loop level are treated as independent leaders. Real stencils in the
+/// suite span at most +/-2; larger distances rarely survive the capacity
+/// test anyway.
+constexpr std::int64_t kMaxGroupIterDistance = 8;
+
+struct LoopRec {
+  const ir::LoopNode* loop = nullptr;
+  std::string location;
+  double trip = 0.0;
+};
+
+double line_factor(double trip, double d, double block) {
+  if (d == 0.0) return 1.0;
+  if (d < block) return std::max(1.0, trip * d / block);
+  return trip;
+}
+
+/// Distinct cache lines a reference touches over the loop levels strictly
+/// inside position `k` of its chain (k == chain size - 1 or an empty chain
+/// means a single access: one line).
+double lines_inside(const RefFacts& f, std::size_t k, const Geometry& g) {
+  const double entity_lines = std::max(1.0, f.entity_bytes / g.block);
+  double lines = 1.0;
+  for (std::size_t j = f.chain.size(); j-- > k + 1;) {
+    if (f.trips[j] <= 0.0) return 0.0;
+    lines *= f.affine
+                 ? line_factor(f.trips[j],
+                               std::abs(static_cast<double>(f.adv[j])), g.block)
+                 : f.trips[j];
+  }
+  return std::min(lines, entity_lines);
+}
+
+class Walker {
+ public:
+  Walker(const ir::Program& p, const LocalityOptions& opt) : p_(p), opt_(opt) {
+    out_.program = p.name();
+    midvals_.assign(p.var_names().size(), 0);
+    array_strides_.reserve(p.arrays().size());
+    for (const auto& a : p.arrays())
+      array_strides_.push_back(layout_strides_bytes(a));
+  }
+
+  ProgramPrediction run() {
+    walk(p_.top());
+    group_refs();
+    const Geometry g1{opt_.capacity_fraction * opt_.l1.size_bytes,
+                      static_cast<double>(opt_.l1.block_size)};
+    const Geometry g2{opt_.capacity_fraction * opt_.l2.size_bytes,
+                      static_cast<double>(opt_.l2.block_size)};
+    const auto b1 = loop_footprints(g1);
+    const auto b2 = loop_footprints(g2);
+    estimate_all(g1, g2, b1, b2);
+    aggregate(b1);
+    return std::move(out_);
+  }
+
+ private:
+  // ---- tree walk ---------------------------------------------------------
+
+  void walk(const std::vector<std::unique_ptr<ir::Node>>& body) {
+    for (const auto& n : body) {
+      switch (n->kind) {
+        case ir::NodeKind::Loop:
+          enter_loop(static_cast<const ir::LoopNode&>(*n));
+          break;
+        case ir::NodeKind::Stmt:
+          visit_stmt(static_cast<const ir::StmtNode&>(*n).stmt);
+          break;
+        case ir::NodeKind::Toggle:
+          break;  // markers touch no data
+      }
+    }
+  }
+
+  void enter_loop(const ir::LoopNode& loop) {
+    const ir::AffineExpr diff = loop.upper - loop.lower;
+    double trip = 0.0;
+    bool exact = true;
+    if (diff.is_constant()) {
+      const std::int64_t c = diff.constant_term();
+      trip = c <= 0 ? 0.0
+                    : static_cast<double>((c + loop.step - 1) / loop.step);
+    } else {
+      // Triangular / skewed bounds: estimate the trip count at the midpoint
+      // of every enclosing loop and say so (trip_exact = false downstream).
+      const std::int64_t c = diff.eval(midvals_);
+      trip = c <= 0 ? 0.0
+                    : static_cast<double>((c + loop.step - 1) / loop.step);
+      exact = false;
+    }
+    const std::int64_t lo = loop.lower.eval(midvals_);
+    const auto it = static_cast<std::int64_t>(trip);
+    midvals_[loop.var] = lo + (it > 0 ? ((it - 1) / 2) * loop.step : 0);
+
+    std::vector<std::int64_t> deriv(stack_.size(), 0);
+    for (std::size_t k = 0; k < stack_.size(); ++k) {
+      deriv[k] = loop.lower.coeff(stack_[k].loop->var);
+      for (std::size_t m = k + 1; m < stack_.size(); ++m)
+        deriv[k] += loop.lower.coeff(stack_[m].loop->var) *
+                    stack_[m].deriv[k];
+    }
+    path_.push_back("loop " + p_.var_names()[loop.var]);
+    stack_.push_back({&loop, trip, exact, loop.step, std::move(deriv)});
+    loops_.push_back({&loop, join_path(), trip});
+    walk(loop.body);
+    stack_.pop_back();
+    path_.pop_back();
+  }
+
+  struct LevelCtx {
+    const ir::LoopNode* loop;
+    double trip;
+    bool exact;
+    std::int64_t step;
+    /// d(this loop's var) / d(enclosing var k), per unit of var k, chained
+    /// through lower bounds. Tiled point loops (ip = ipt*T .. ipt*T+T) carry
+    /// no tile var in their subscripts; the advance per tile iteration lives
+    /// entirely in this bound coupling.
+    std::vector<std::int64_t> deriv;
+  };
+
+  void visit_stmt(const ir::Stmt& stmt) {
+    path_.push_back(stmt.label.empty() ? "stmt" : "stmt '" + stmt.label + "'");
+    for (const auto& r : stmt.refs) visit_ref(r);
+    path_.pop_back();
+  }
+
+  void visit_ref(const ir::Reference& r) {
+    std::visit(
+        [&](const auto& t) {
+          using T = std::decay_t<decltype(t)>;
+          if constexpr (std::is_same_v<T, ir::Reference::Scalar>) {
+            emit_scalar(t.id, r.is_write);
+          } else if constexpr (std::is_same_v<T, ir::Reference::Array>) {
+            for (const auto& s : t.subs) emit_index_load(s);
+            emit_array(t, r.is_write);
+          } else if constexpr (std::is_same_v<T, ir::Reference::Pointer>) {
+            emit_irregular(kEntityPool, t.pool, "*" + p_.pool(t.pool).name,
+                           pool_bytes(t.pool), "pointer chase", r.is_write);
+          } else {  // Field
+            emit_index_load(t.element);
+            emit_irregular(kEntityPool, t.pool,
+                           p_.pool(t.pool).name + "[" +
+                               subscript_str(t.element) + "]",
+                           pool_bytes(t.pool), "record field", r.is_write);
+          }
+        },
+        r.target);
+  }
+
+  /// The trace engine loads index_array[pos] before any access whose
+  /// subscript is Indexed; mirror that load with its own (affine,
+  /// analyzable) prediction entry so access totals can match exactly.
+  void emit_index_load(const ir::Subscript& s) {
+    if (!s.is_indexed()) return;
+    const auto& sub = std::get<ir::Subscript::Indexed>(s.value);
+    ir::Reference::Array synthetic{sub.index_array,
+                                   {ir::Subscript::affine(sub.index)}};
+    emit_array(synthetic, /*is_write=*/false);
+  }
+
+  void emit_scalar(ir::ScalarId id, bool is_write) {
+    RefPrediction pred = base_pred(p_.scalar(id).name, "(scalars)", is_write);
+    RefFacts f = base_facts(kEntityScalars, 0);
+    // Scalars pack at 8-byte spacing in one block of the data environment;
+    // the whole set is one entity with stride 0 at every level.
+    f.affine = true;
+    f.adv.assign(f.chain.size(), 0);
+    f.const_offset = static_cast<std::int64_t>(id) * 8;
+    f.entity_bytes = static_cast<double>(p_.scalars().size()) * 8.0;
+    finish(std::move(pred), std::move(f));
+  }
+
+  void emit_array(const ir::Reference::Array& t, bool is_write) {
+    const auto& decl = p_.array(t.id);
+    std::string rendered = decl.name;
+    const char* reason = nullptr;
+    for (const auto& s : t.subs) {
+      rendered += "[" + subscript_str(s) + "]";
+      if (s.is_affine()) continue;
+      if (std::holds_alternative<ir::Subscript::Product>(s.value))
+        reason = "product subscript";
+      else if (std::holds_alternative<ir::Subscript::Divide>(s.value))
+        reason = "quotient subscript";
+      else
+        reason = "subscripted subscript";
+    }
+    RefPrediction pred = base_pred(rendered, decl.name, is_write);
+    RefFacts f = base_facts(kEntityArray, t.id);
+    f.entity_bytes = static_cast<double>(decl.footprint_bytes());
+    if (reason != nullptr) {
+      pred.verdict = Verdict::NonAnalyzable;
+      pred.reason = reason;
+      finish(std::move(pred), std::move(f));
+      return;
+    }
+    const auto& strides = array_strides_[t.id];
+    SELCACHE_CHECK(strides.size() == t.subs.size());
+    f.affine = true;
+    f.adv.assign(f.chain.size(), 0);
+    for (std::size_t d = 0; d < t.subs.size(); ++d) {
+      const auto& e = std::get<ir::Subscript::Affine>(t.subs[d].value).expr;
+      f.const_offset += e.constant_term() * strides[d];
+      for (std::size_t k = 0; k < f.chain.size(); ++k) {
+        // Effective coefficient: direct use of var k plus inner loop vars
+        // whose bounds shift with var k (tiled point loops).
+        std::int64_t c = e.coeff(f.chain[k]->var);
+        for (std::size_t j = k + 1; j < f.chain.size(); ++j)
+          c += e.coeff(f.chain[j]->var) * stack_[j].deriv[k];
+        f.adv[k] += c * strides[d] * stack_[k].step;
+      }
+    }
+    finish(std::move(pred), std::move(f));
+  }
+
+  void emit_irregular(int kind, std::uint32_t id, std::string rendered,
+                      double entity_bytes, const char* reason, bool is_write) {
+    RefPrediction pred =
+        base_pred(std::move(rendered), p_.pool(id).name, is_write);
+    pred.verdict = Verdict::NonAnalyzable;
+    pred.reason = reason;
+    RefFacts f = base_facts(kind, id);
+    f.entity_bytes = entity_bytes;
+    finish(std::move(pred), std::move(f));
+  }
+
+  RefPrediction base_pred(std::string rendered, std::string entity,
+                          bool is_write) {
+    RefPrediction pred;
+    pred.location = join_path();
+    pred.ref = std::move(rendered);
+    pred.entity = std::move(entity);
+    pred.is_write = is_write;
+    pred.accesses = 1.0;
+    for (const auto& l : stack_) {
+      pred.levels.push_back({p_.var_names()[l.loop->var], l.trip, l.exact, 0,
+                             Reuse::None});
+      pred.accesses *= l.trip;
+      pred.accesses_exact = pred.accesses_exact && l.exact;
+    }
+    return pred;
+  }
+
+  RefFacts base_facts(int kind, std::uint32_t id) {
+    RefFacts f;
+    f.pred = out_.refs.size();
+    f.entity_kind = kind;
+    f.entity_id = id;
+    for (const auto& l : stack_) {
+      f.chain.push_back(l.loop);
+      f.trips.push_back(l.trip);
+    }
+    return f;
+  }
+
+  void finish(RefPrediction pred, RefFacts f) {
+    out_.refs.push_back(std::move(pred));
+    facts_.push_back(std::move(f));
+  }
+
+  double pool_bytes(ir::PoolId id) const {
+    const auto& pd = p_.pool(id);
+    return static_cast<double>(pd.count) * pd.elem_size;
+  }
+
+  std::string subscript_str(const ir::Subscript& s) const {
+    return std::visit(
+        [&](const auto& sub) -> std::string {
+          using T = std::decay_t<decltype(sub)>;
+          const auto names = std::span<const std::string>(p_.var_names());
+          if constexpr (std::is_same_v<T, ir::Subscript::Affine>) {
+            return sub.expr.str(names);
+          } else if constexpr (std::is_same_v<T, ir::Subscript::Product>) {
+            return "(" + sub.lhs.str(names) + ")*(" + sub.rhs.str(names) + ")";
+          } else if constexpr (std::is_same_v<T, ir::Subscript::Divide>) {
+            return "(" + sub.lhs.str(names) + ")/(" + sub.rhs.str(names) + ")";
+          } else {
+            std::string r =
+                p_.array(sub.index_array).name + "[" + sub.index.str(names) +
+                "]";
+            if (sub.offset != 0) r += "+" + std::to_string(sub.offset);
+            return r;
+          }
+        },
+        s.value);
+  }
+
+  std::string join_path() const {
+    std::string out;
+    for (const auto& c : path_) {
+      if (!out.empty()) out += "/";
+      out += c;
+    }
+    return out;
+  }
+
+  // ---- group reuse -------------------------------------------------------
+
+  /// References to the same entity, under the same loop chain, with the
+  /// same per-level advance, sorted by constant byte offset: the leader
+  /// (lowest offset) pays the misses; anything within one L1 block of the
+  /// previous member rides along (GroupTemporal when the offset is
+  /// identical, GroupSpatial otherwise).
+  void group_refs() {
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < facts_.size(); ++i) {
+      const auto& f = facts_[i];
+      if (!f.affine) continue;
+      std::ostringstream key;
+      key << f.entity_kind << ":" << f.entity_id;
+      for (const auto* l : f.chain) key << "|" << l;
+      for (auto a : f.adv) key << "," << a;
+      groups[key.str()].push_back(i);
+    }
+    const auto block = static_cast<std::int64_t>(opt_.l1.block_size);
+    for (auto& [key, members] : groups) {
+      std::stable_sort(members.begin(), members.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return facts_[a].const_offset <
+                                facts_[b].const_offset;
+                       });
+      for (std::size_t m = 1; m < members.size(); ++m) {
+        auto& f = facts_[members[m]];
+        const auto& prev = facts_[members[m - 1]];
+        const std::int64_t delta = f.const_offset - prev.const_offset;
+        if (delta >= block) {
+          mark_cross_iteration(members[m - 1], members[m], delta, block);
+          continue;  // not in the leader's block: separate first touch
+        }
+        f.follower = true;
+        f.follower_delta = delta;
+        auto& pred = out_.refs[f.pred];
+        if (!pred.levels.empty())
+          pred.levels.back().reuse =
+              delta == 0 ? Reuse::GroupTemporal : Reuse::GroupSpatial;
+      }
+    }
+  }
+
+  /// Group members whose offsets differ by a whole number of iterations'
+  /// advance along some loop level reuse each other's lines one or more
+  /// iterations apart (stencil rows: y[i-1][j] touches the row y[i][j]
+  /// fetched on the previous i iteration). The member that touches a given
+  /// address *later* is the follower; whichever member leads, the reuse
+  /// only pays off if the lines survive `k` iterations, so the estimate
+  /// phase re-tests it against capacity.
+  void mark_cross_iteration(std::size_t lo_idx, std::size_t hi_idx,
+                            std::int64_t delta, std::int64_t block) {
+    const auto& any = facts_[lo_idx];  // lo/hi share chain and adv
+    for (std::size_t j = any.chain.size(); j-- > 0;) {
+      const std::int64_t a = any.adv[j];
+      if (a == 0) continue;
+      const std::int64_t mag = std::abs(a);
+      const std::int64_t k = (delta + mag / 2) / mag;  // nearest multiple
+      if (k < 1 || k > kMaxGroupIterDistance) continue;
+      if (std::abs(delta - k * mag) >= block) continue;
+      // Addresses equal when iteration difference is delta/a: with a > 0
+      // the lower-offset member lags (touches shared lines later).
+      auto& foll = facts_[a > 0 ? lo_idx : hi_idx];
+      if (foll.follower || foll.xfollow_level >= 0) return;
+      foll.xfollow_level = static_cast<int>(j);
+      foll.xfollow_k = k;
+      auto& pred = out_.refs[foll.pred];
+      pred.levels[j].reuse =
+          delta == k * mag ? Reuse::GroupTemporal : Reuse::GroupSpatial;
+      return;
+    }
+  }
+
+  // ---- footprints & misses ----------------------------------------------
+
+  /// One-iteration footprint of every loop: the distinct bytes all
+  /// references in its subtree touch during a single iteration. Group
+  /// followers contribute nothing (their leader already counted the lines);
+  /// irregular references contribute their trip product capped at the
+  /// entity size.
+  std::map<const ir::LoopNode*, double> loop_footprints(
+      const Geometry& g) const {
+    std::map<const ir::LoopNode*, double> out;
+    for (const auto& lr : loops_) out[lr.loop] = 0.0;
+    for (const auto& f : facts_) {
+      // Cross-iteration followers are excluded too: over a whole loop their
+      // line set is the leader's shifted by k iterations, near-total overlap.
+      if (f.follower || f.xfollow_level >= 0) continue;
+      for (std::size_t k = 0; k < f.chain.size(); ++k)
+        out[f.chain[k]] += lines_inside(f, k, g) * g.block;
+    }
+    return out;
+  }
+
+  /// Per-reference miss estimate for one cache level: walk the chain
+  /// innermost to outermost multiplying per-level factors. A level's reuse
+  /// is realized when the loop's one-iteration footprint fits the effective
+  /// capacity; realized temporal reuse keeps the line warm (dense accesses)
+  /// so every outer level is free.
+  std::optional<double> estimate(const RefFacts& f, const Geometry& g,
+                                 const std::map<const ir::LoopNode*, double>& b,
+                                 double accesses) const {
+    double misses = 1.0;
+    bool warm = false;
+    for (std::size_t j = f.chain.size(); j-- > 0;) {
+      const double t = f.trips[j];
+      if (t <= 0.0) return 0.0;
+      const double d = std::abs(static_cast<double>(f.adv[j]));
+      const double fp = b.at(f.chain[j]);
+      if (d == 0.0) {
+        const bool realized = warm || fp <= g.capacity;
+        misses *= realized ? 1.0 : t;
+        warm = realized;
+      } else if (d < g.block) {
+        const bool realized = warm || fp <= g.capacity;
+        misses *= realized ? std::max(1.0, t * d / g.block) : t;
+        warm = false;
+      } else {
+        misses *= t;
+        warm = false;
+      }
+    }
+    return std::min(misses, accesses);
+  }
+
+  /// Miss estimate honoring a cross-iteration follower marking: realized
+  /// when the k iterations separating follower from leader fit in cache,
+  /// leaving only the cold lead-in (the first k iterations of the reused
+  /// level, where no leader data exists yet). Falls back to the plain
+  /// leader estimate otherwise.
+  std::optional<double> xfollow_estimate(
+      const RefFacts& f, const Geometry& g,
+      const std::map<const ir::LoopNode*, double>& b, double accesses) const {
+    const std::optional<double> full = estimate(f, g, b, accesses);
+    if (f.xfollow_level < 0) return full;
+    const auto lvl = static_cast<std::size_t>(f.xfollow_level);
+    const double trip = f.trips[lvl];
+    const double k = static_cast<double>(f.xfollow_k);
+    const bool realized = k * b.at(f.chain[lvl]) <= g.capacity;
+    if (!realized || !full) return full;
+    return *full * std::min(1.0, trip > 0.0 ? k / trip : 1.0);
+  }
+
+  void estimate_all(const Geometry& g1, const Geometry& g2,
+                    const std::map<const ir::LoopNode*, double>& b1,
+                    const std::map<const ir::LoopNode*, double>& b2) {
+    for (auto& f : facts_) {
+      auto& pred = out_.refs[f.pred];
+      if (!f.affine) continue;  // non-analyzable: no miss estimate
+      // Reuse labels + reuse distance from the L1 geometry.
+      for (std::size_t j = 0; j < f.chain.size(); ++j) {
+        const double d = std::abs(static_cast<double>(f.adv[j]));
+        pred.levels[j].stride_bytes = f.adv[j];
+        if (pred.levels[j].reuse == Reuse::None)
+          pred.levels[j].reuse = d == 0.0          ? Reuse::SelfTemporal
+                                 : d < g1.block    ? Reuse::SelfSpatial
+                                                   : Reuse::None;
+      }
+      for (std::size_t j = f.chain.size(); j-- > 0;) {
+        const double d = std::abs(static_cast<double>(f.adv[j]));
+        if (d < g1.block) {
+          pred.reuse_distance_bytes = b1.at(f.chain[j]);
+          break;
+        }
+      }
+      if (f.follower) {
+        pred.l1_misses = 0.0;
+        pred.l2_misses = 0.0;
+        continue;
+      }
+      pred.l1_misses = xfollow_estimate(f, g1, b1, pred.accesses);
+      pred.l2_misses = xfollow_estimate(f, g2, b2, pred.accesses);
+    }
+  }
+
+  // ---- aggregation -------------------------------------------------------
+
+  void aggregate(const std::map<const ir::LoopNode*, double>& b1) {
+    std::map<std::string, EntityPrediction> entities;
+    for (std::size_t i = 0; i < out_.refs.size(); ++i) {
+      const auto& pred = out_.refs[i];
+      auto& e = entities[pred.entity];
+      e.entity = pred.entity;
+      e.accesses += pred.accesses;
+      e.accesses_exact = e.accesses_exact && pred.accesses_exact;
+      out_.total_accesses += pred.accesses;
+      out_.total_accesses_exact =
+          out_.total_accesses_exact && pred.accesses_exact;
+      if (pred.verdict == Verdict::Analyzable) {
+        e.analyzable_accesses += pred.accesses;
+        out_.analyzable_accesses += pred.accesses;
+        e.l1_misses = e.l1_misses.value_or(0.0) + *pred.l1_misses;
+        e.l2_misses = e.l2_misses.value_or(0.0) + *pred.l2_misses;
+        out_.l1_misses = out_.l1_misses.value_or(0.0) + *pred.l1_misses;
+        out_.l2_misses = out_.l2_misses.value_or(0.0) + *pred.l2_misses;
+      }
+    }
+    // An entity with any non-analyzable reference has no usable miss total.
+    for (auto& [name, e] : entities)
+      if (e.analyzable_accesses < e.accesses) {
+        e.l1_misses.reset();
+        e.l2_misses.reset();
+      }
+    for (auto& [name, e] : entities) out_.entities.push_back(std::move(e));
+
+    for (const auto& lr : loops_) {
+      LoopPrediction lp;
+      lp.location = lr.location;
+      lp.trip = lr.trip;
+      lp.one_iteration_footprint_bytes = b1.at(lr.loop);
+      for (std::size_t i = 0; i < facts_.size(); ++i) {
+        const auto& f = facts_[i];
+        if (std::find(f.chain.begin(), f.chain.end(), lr.loop) ==
+            f.chain.end())
+          continue;
+        const auto& pred = out_.refs[f.pred];
+        lp.accesses += pred.accesses;
+        if (pred.verdict == Verdict::Analyzable) {
+          lp.analyzable_accesses += pred.accesses;
+          lp.l1_misses = lp.l1_misses.value_or(0.0) + *pred.l1_misses;
+        }
+      }
+      out_.loops.emplace(lr.loop, std::move(lp));
+    }
+  }
+
+  const ir::Program& p_;
+  const LocalityOptions& opt_;
+  ProgramPrediction out_;
+  std::vector<RefFacts> facts_;
+  std::vector<LevelCtx> stack_;
+  std::vector<LoopRec> loops_;
+  std::vector<std::string> path_;
+  std::vector<std::int64_t> midvals_;
+  std::vector<std::vector<std::int64_t>> array_strides_;
+};
+
+}  // namespace
+
+ProgramPrediction predict(const ir::Program& p, const LocalityOptions& opt) {
+  return Walker(p, opt).run();
+}
+
+std::vector<Verdict> ref_verdicts(const ir::Program& p) {
+  // Correct by construction: the same walk predict() uses, verdicts only.
+  // The analyzer runs in microseconds, so re-walking is cheap.
+  ProgramPrediction pred = predict(p, LocalityOptions{});
+  std::vector<Verdict> out;
+  out.reserve(pred.refs.size());
+  for (const auto& r : pred.refs) out.push_back(r.verdict);
+  return out;
+}
+
+}  // namespace selcache::locality

@@ -1,0 +1,165 @@
+#include "locality/crosscheck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace selcache::locality {
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+bool counts_match(double predicted, double measured, bool exact,
+                  double rel_tol) {
+  if (exact) return std::abs(predicted - measured) < 0.5;
+  const double scale = std::max(1.0, measured);
+  return std::abs(predicted - measured) <= rel_tol * scale;
+}
+
+}  // namespace
+
+std::size_t crosscheck(const ir::Program& p, const ProgramPrediction& pred,
+                       const MeasuredProfile& meas, verify::Report& report,
+                       const CrosscheckOptions& opt) {
+  report.set_pass("locality");
+  const std::size_t before = report.diagnostics().size();
+  using verify::Severity;
+
+  // --- SP-SANITY: the prediction must be internally consistent -----------
+  double ref_accesses = 0.0, ref_analyzable = 0.0;
+  double ref_l1 = 0.0;
+  bool have_l1 = false;
+  for (const auto& r : pred.refs) {
+    ref_accesses += r.accesses;
+    if (r.accesses < 0.0)
+      report.add(Severity::Error, "SP-SANITY", r.location,
+                 r.ref + ": negative access count " + fmt(r.accesses));
+    if (r.verdict == Verdict::Analyzable) {
+      ref_analyzable += r.accesses;
+      if (!r.l1_misses) {
+        report.add(Severity::Error, "SP-SANITY", r.location,
+                   r.ref + ": analyzable but has no L1 miss estimate");
+      } else {
+        have_l1 = true;
+        ref_l1 += *r.l1_misses;
+        if (*r.l1_misses < 0.0 || *r.l1_misses > r.accesses * 1.000001)
+          report.add(Severity::Error, "SP-SANITY", r.location,
+                     r.ref + ": miss estimate " + fmt(*r.l1_misses) +
+                         " outside [0, accesses=" + fmt(r.accesses) + "]");
+      }
+    }
+  }
+  const double total_scale = std::max(1.0, ref_accesses);
+  if (std::abs(pred.total_accesses - ref_accesses) > 1e-6 * total_scale ||
+      std::abs(pred.analyzable_accesses - ref_analyzable) >
+          1e-6 * total_scale)
+    report.add(Severity::Error, "SP-SANITY", "",
+               "program totals (" + fmt(pred.total_accesses) + "/" +
+                   fmt(pred.analyzable_accesses) +
+                   ") do not equal the sum over references (" +
+                   fmt(ref_accesses) + "/" + fmt(ref_analyzable) + ")");
+  else if (have_l1 &&
+           (!pred.l1_misses ||
+            std::abs(*pred.l1_misses - ref_l1) > 1e-6 * std::max(1.0, ref_l1)))
+    report.add(Severity::Error, "SP-SANITY", "",
+               "program L1 miss total does not equal the sum over references");
+
+  // --- SP-VERDICT: verdicts must re-derive from the IR --------------------
+  const std::vector<Verdict> fresh = ref_verdicts(p);
+  if (fresh.size() != pred.refs.size()) {
+    report.add(Severity::Error, "SP-VERDICT", "",
+               "prediction enumerates " + std::to_string(pred.refs.size()) +
+                   " references, the program has " +
+                   std::to_string(fresh.size()));
+  } else {
+    for (std::size_t i = 0; i < fresh.size(); ++i)
+      if (fresh[i] != pred.refs[i].verdict)
+        report.add(Severity::Error, "SP-VERDICT", pred.refs[i].location,
+                   pred.refs[i].ref + ": predicted " +
+                       to_string(pred.refs[i].verdict) +
+                       " but the IR re-derives " + to_string(fresh[i]));
+  }
+
+  // --- SP-ACCESS: program-level access count ------------------------------
+  const auto measured_total = static_cast<double>(meas.l1d_accesses);
+  if (!counts_match(pred.total_accesses, measured_total,
+                    pred.total_accesses_exact, opt.access_rel_tol))
+    report.add(Severity::Error, "SP-ACCESS", "",
+               "predicted " + fmt(pred.total_accesses) + " data accesses (" +
+                   (pred.total_accesses_exact ? "exact" : "estimated") +
+                   "), simulation performed " + fmt(measured_total));
+
+  // --- SP-ACCESS-ENTITY / SP-COVERAGE -------------------------------------
+  std::set<std::string> seen;
+  for (const auto& e : pred.entities) {
+    seen.insert(e.entity);
+    const auto it = meas.entities.find(e.entity);
+    const double measured =
+        it == meas.entities.end() ? 0.0
+                                  : static_cast<double>(it->second.accesses);
+    if (e.accesses > 0.0 && measured == 0.0) {
+      report.add(Severity::Error, "SP-COVERAGE", "",
+                 "entity '" + e.entity +
+                     "' predicted to be touched but never accessed");
+      continue;
+    }
+    if (!counts_match(e.accesses, measured, e.accesses_exact,
+                      opt.access_rel_tol))
+      report.add(Severity::Error, "SP-ACCESS-ENTITY", "",
+                 "entity '" + e.entity + "': predicted " + fmt(e.accesses) +
+                     " accesses (" +
+                     (e.accesses_exact ? "exact" : "estimated") +
+                     "), measured " + fmt(measured));
+  }
+  for (const auto& [name, counts] : meas.entities)
+    if (counts.accesses > 0 && seen.find(name) == seen.end())
+      report.add(Severity::Error, "SP-COVERAGE", "",
+                 "entity '" + name + "' accessed " +
+                     std::to_string(counts.accesses) +
+                     " times but absent from the prediction");
+  if (meas.unattributed > 0)
+    report.add(Severity::Error, "SP-COVERAGE", "",
+               std::to_string(meas.unattributed) +
+                   " accesses hit no known data entity");
+
+  // --- SP-MISS: program-level miss ratio -----------------------------------
+  const bool judge_misses =
+      pred.verdict(opt.coverage_floor) == Verdict::Analyzable &&
+      pred.total_accesses_exact && meas.l1d_accesses > 0;
+  if (judge_misses && pred.l1_miss_ratio()) {
+    const double predicted = *pred.l1_miss_ratio();
+    const double measured = meas.l1d_miss_ratio();
+    if (std::abs(predicted - measured) > opt.miss_ratio_abs_tol)
+      report.add(Severity::Error, "SP-MISS", "",
+                 "predicted L1D miss ratio " + fmt(predicted) +
+                     ", measured " + fmt(measured) + " (tolerance " +
+                     fmt(opt.miss_ratio_abs_tol) + ")");
+  }
+
+  // --- SP-MISS-ENTITY: per-entity miss counts ------------------------------
+  if (judge_misses) {
+    for (const auto& e : pred.entities) {
+      if (!e.l1_misses || !e.accesses_exact) continue;
+      const auto it = meas.entities.find(e.entity);
+      if (it == meas.entities.end()) continue;
+      const auto measured = static_cast<double>(it->second.l1d_misses);
+      const double abs_err = std::abs(*e.l1_misses - measured);
+      if (abs_err <= opt.entity_miss_abs_floor) continue;
+      if (abs_err > opt.entity_miss_rel_tol * std::max(1.0, measured))
+        report.add(Severity::Error, "SP-MISS-ENTITY", "",
+                   "entity '" + e.entity + "': predicted " +
+                       fmt(*e.l1_misses) + " L1D misses, measured " +
+                       fmt(measured));
+    }
+  }
+
+  return report.diagnostics().size() - before;
+}
+
+}  // namespace selcache::locality

@@ -1,0 +1,53 @@
+// SP-* diagnostic pass: cross-check a static locality prediction against
+// the measured profile of a real simulated run. A standing lint with two
+// blades — a wrong prediction flags an analyzer bug, an unexplained shift
+// in the measured counts flags a simulator regression.
+//
+// Rule taxonomy (stable IDs, documented in DESIGN.md):
+//   SP-SANITY         prediction is internally inconsistent (misses out of
+//                     [0, accesses], totals that do not add up)
+//   SP-VERDICT        a reference's analyzability verdict disagrees with a
+//                     fresh geometry-independent re-derivation from the IR
+//   SP-ACCESS         program-level access count off (exact counts must
+//                     match to the unit; estimated counts get rel_tol)
+//   SP-ACCESS-ENTITY  per-entity access count off (same exact/estimated
+//                     split)
+//   SP-COVERAGE       entity observed in the run but absent/empty in the
+//                     prediction, vice versa, or unattributed accesses
+//   SP-MISS           program-level L1D miss-ratio error beyond tolerance
+//                     (only when the program verdict is Analyzable and trip
+//                     counts are exact)
+//   SP-MISS-ENTITY    per-entity L1D miss count beyond tolerance for a
+//                     fully analyzable entity with enough traffic to judge
+#pragma once
+
+#include "locality/analyzer.h"
+#include "locality/measure.h"
+#include "verify/diagnostics.h"
+
+namespace selcache::locality {
+
+struct CrosscheckOptions {
+  /// Relative tolerance for access counts that are estimates (trip counts
+  /// from midpoint approximation). Exact counts must match exactly.
+  double access_rel_tol = 0.10;
+  /// Program-level absolute miss-ratio tolerance (predicted vs measured
+  /// L1D miss ratio, both over data accesses).
+  double miss_ratio_abs_tol = 0.15;
+  /// Per-entity miss-count tolerance: flagged only when both the relative
+  /// error exceeds this and the absolute error exceeds the floor (tiny
+  /// entities drown in boundary effects).
+  double entity_miss_rel_tol = 0.75;
+  double entity_miss_abs_floor = 8192.0;
+  /// Analyzable-access fraction below which miss rules are skipped.
+  double coverage_floor = 0.99;
+};
+
+/// Append SP-* diagnostics comparing `pred` to `meas` (a run of the same
+/// program on the geometry the prediction targeted). Returns the number of
+/// diagnostics added. `report`'s pass label is set to "locality".
+std::size_t crosscheck(const ir::Program& p, const ProgramPrediction& pred,
+                       const MeasuredProfile& meas, verify::Report& report,
+                       const CrosscheckOptions& opt = {});
+
+}  // namespace selcache::locality

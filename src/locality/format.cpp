@@ -1,0 +1,158 @@
+#include "locality/format.h"
+
+#include <sstream>
+
+#include "support/table.h"
+
+namespace selcache::locality {
+namespace {
+
+std::string num(double v, int prec = 0) { return TextTable::num(v, prec); }
+
+std::string opt_num(const std::optional<double>& v, int prec = 0) {
+  return v ? num(*v, prec) : "-";
+}
+
+std::string reuse_vector(const RefPrediction& r) {
+  std::string out;
+  for (const auto& l : r.levels) {
+    if (!out.empty()) out += ",";
+    out += l.var + ":";
+    out += reuse_code(l.reuse);
+  }
+  return out.empty() ? "-" : out;
+}
+
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+
+std::string ratio_of(const std::optional<double>& misses, double accesses) {
+  if (!misses || accesses <= 0.0) return "-";
+  return num(*misses / accesses, 4);
+}
+
+}  // namespace
+
+std::string prediction_str(const ProgramPrediction& pred) {
+  std::ostringstream os;
+  os << "program: " << pred.program << "\n";
+
+  TextTable refs({"location", "ref", "verdict", "reuse", "accesses",
+                  "l1_misses", "l1_ratio", "reuse_dist_B"});
+  for (const auto& r : pred.refs) {
+    refs.add_row({r.location,
+                  (r.is_write ? "st " : "ld ") + r.ref,
+                  r.verdict == Verdict::Analyzable ? "analyzable" : r.reason,
+                  reuse_vector(r),
+                  num(r.accesses) + (r.accesses_exact ? "" : "~"),
+                  opt_num(r.l1_misses),
+                  ratio_of(r.l1_misses, r.accesses),
+                  opt_num(r.reuse_distance_bytes)});
+  }
+  os << refs.str() << "\n";
+
+  TextTable loops({"loop", "trip", "iter_footprint_B", "accesses",
+                   "analyzable", "l1_misses", "l1_ratio"});
+  for (const auto& [node, lp] : pred.loops) {
+    loops.add_row({lp.location, num(lp.trip),
+                   num(lp.one_iteration_footprint_bytes), num(lp.accesses),
+                   num(lp.analyzable_accesses), opt_num(lp.l1_misses),
+                   ratio_of(lp.l1_misses, lp.analyzable_accesses)});
+  }
+  os << loops.str() << "\n";
+
+  os << "verdict: " << to_string(pred.verdict())
+     << "  analyzable_fraction: " << num(pred.analyzable_fraction(), 4)
+     << "\n";
+  os << "accesses: " << num(pred.total_accesses)
+     << (pred.total_accesses_exact ? " (exact)" : " (estimated)")
+     << "  predicted_l1_misses: " << opt_num(pred.l1_misses)
+     << "  predicted_l1_ratio: " << opt_num(pred.l1_miss_ratio(), 4)
+     << "  predicted_l2_misses: " << opt_num(pred.l2_misses) << "\n";
+  return os.str();
+}
+
+std::string prediction_csv(const ProgramPrediction& pred) {
+  std::ostringstream os;
+  os << "program,location,ref,is_write,verdict,reason,reuse,accesses,"
+        "accesses_exact,l1_misses,l2_misses,reuse_distance_bytes\n";
+  for (const auto& r : pred.refs) {
+    os << csv_field(pred.program) << "," << csv_field(r.location) << ","
+       << csv_field(r.ref) << "," << (r.is_write ? 1 : 0) << ","
+       << to_string(r.verdict) << "," << csv_field(r.reason) << ","
+       << csv_field(reuse_vector(r)) << "," << num(r.accesses) << ","
+       << (r.accesses_exact ? 1 : 0) << "," << opt_num(r.l1_misses) << ","
+       << opt_num(r.l2_misses) << "," << opt_num(r.reuse_distance_bytes)
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string comparison_str(const ProgramPrediction& pred,
+                           const MeasuredProfile& meas) {
+  std::ostringstream os;
+  TextTable t({"entity", "pred_accesses", "meas_accesses", "pred_l1_misses",
+               "meas_l1_misses", "pred_ratio", "meas_ratio"});
+  for (const auto& e : pred.entities) {
+    const auto it = meas.entities.find(e.entity);
+    const double ma =
+        it == meas.entities.end() ? 0.0
+                                  : static_cast<double>(it->second.accesses);
+    const double mm = it == meas.entities.end()
+                          ? 0.0
+                          : static_cast<double>(it->second.l1d_misses);
+    t.add_row({e.entity, num(e.accesses) + (e.accesses_exact ? "" : "~"),
+               num(ma), opt_num(e.l1_misses), num(mm),
+               ratio_of(e.l1_misses, e.accesses),
+               ma > 0.0 ? num(mm / ma, 4) : "-"});
+  }
+  t.add_row({"(total)",
+             num(pred.total_accesses) +
+                 (pred.total_accesses_exact ? "" : "~"),
+             num(static_cast<double>(meas.l1d_accesses)),
+             opt_num(pred.l1_misses),
+             num(static_cast<double>(meas.l1d_misses)),
+             opt_num(pred.l1_miss_ratio(), 4), num(meas.l1d_miss_ratio(), 4)});
+  os << t.str();
+  return os.str();
+}
+
+std::string comparison_csv(const ProgramPrediction& pred,
+                           const MeasuredProfile& meas) {
+  std::ostringstream os;
+  os << "program,entity,pred_accesses,accesses_exact,meas_accesses,"
+        "pred_l1_misses,meas_l1_misses,pred_ratio,meas_ratio\n";
+  auto row = [&](const std::string& entity, double pa, bool exact, double ma,
+                 const std::optional<double>& pm, double mm,
+                 const std::optional<double>& pr) {
+    os << csv_field(pred.program) << "," << csv_field(entity) << "," << num(pa)
+       << "," << (exact ? 1 : 0) << "," << num(ma) << "," << opt_num(pm)
+       << "," << num(mm) << "," << opt_num(pr, 6) << ","
+       << (ma > 0.0 ? num(mm / ma, 6) : "-") << "\n";
+  };
+  for (const auto& e : pred.entities) {
+    const auto it = meas.entities.find(e.entity);
+    const double ma =
+        it == meas.entities.end() ? 0.0
+                                  : static_cast<double>(it->second.accesses);
+    const double mm = it == meas.entities.end()
+                          ? 0.0
+                          : static_cast<double>(it->second.l1d_misses);
+    std::optional<double> pr;
+    if (e.l1_misses && e.accesses > 0.0) pr = *e.l1_misses / e.accesses;
+    row(e.entity, e.accesses, e.accesses_exact, ma, e.l1_misses, mm, pr);
+  }
+  row("(total)", pred.total_accesses, pred.total_accesses_exact,
+      static_cast<double>(meas.l1d_accesses), pred.l1_misses,
+      static_cast<double>(meas.l1d_misses), pred.l1_miss_ratio());
+  return os.str();
+}
+
+}  // namespace selcache::locality

@@ -1,0 +1,27 @@
+// Rendering of locality predictions for the `selcache predict` CLI:
+// aligned text tables (support::TextTable) and RFC-4180-ish CSV matching
+// the repo's other CSV emitters.
+#pragma once
+
+#include <string>
+
+#include "locality/analyzer.h"
+#include "locality/measure.h"
+
+namespace selcache::locality {
+
+/// Per-reference reuse/miss table plus per-loop and program summaries.
+std::string prediction_str(const ProgramPrediction& pred);
+
+/// Per-reference CSV (one row per prediction entry, header included).
+std::string prediction_csv(const ProgramPrediction& pred);
+
+/// Side-by-side predicted-vs-measured table (per entity + totals).
+std::string comparison_str(const ProgramPrediction& pred,
+                           const MeasuredProfile& meas);
+
+/// Per-entity comparison CSV.
+std::string comparison_csv(const ProgramPrediction& pred,
+                           const MeasuredProfile& meas);
+
+}  // namespace selcache::locality

@@ -1,0 +1,59 @@
+// Measured ground truth for the static locality predictor: run one program
+// through the real trace engine + memory hierarchy with an L1D access probe
+// attached, attributing every data access and miss to the entity (array /
+// pool / scalar block) that owns its address.
+//
+// Measurement runs use no hardware scheme (the prediction models the plain
+// cache) — with the scheme absent, the engine's loads + stores equal the
+// hierarchy's L1D accesses exactly, which is what makes the SP access-count
+// cross-checks exact rather than approximate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cpu/timing_model.h"
+#include "ir/program.h"
+#include "memsys/hierarchy.h"
+
+namespace selcache::locality {
+
+struct EntityCounts {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1d_misses = 0;
+};
+
+/// Per-entity and total L1D/L2 behavior of one simulated run.
+struct MeasuredProfile {
+  /// Keyed by the same entity names predictions use: array name, pool name,
+  /// "(scalars)" for the packed scalar block.
+  std::map<std::string, EntityCounts> entities;
+  std::uint64_t l1d_accesses = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l2_accesses = 0;  ///< includes the instruction side
+  std::uint64_t l2_misses = 0;
+  /// Data accesses whose address fell outside every known entity (always 0
+  /// unless the data environment changes shape under us — SP-COVERAGE
+  /// treats any nonzero value as an error).
+  std::uint64_t unattributed = 0;
+  Cycle cycles = 0;
+
+  double l1d_miss_ratio() const {
+    return l1d_accesses == 0
+               ? 0.0
+               : static_cast<double>(l1d_misses) / l1d_accesses;
+  }
+};
+
+struct MeasureOptions {
+  memsys::HierarchyConfig hierarchy{};
+  cpu::CpuConfig cpu{};
+  std::uint64_t data_seed = 0x5e1c4c4eULL;
+};
+
+/// Execute `p` once on a scheme-less machine and collect the profile.
+MeasuredProfile measure_program(const ir::Program& p,
+                                const MeasureOptions& opt = {});
+
+}  // namespace selcache::locality

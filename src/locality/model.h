@@ -1,0 +1,155 @@
+// Static locality prediction — result model.
+//
+// The analyzer (analyzer.h) walks an ir::Program without simulating it and
+// produces, per memory reference, a symbolic reuse vector (one entry per
+// enclosing loop level), an estimated dynamic access count (closed-form over
+// trip counts), and an estimated L1D/L2 miss count for a given cache
+// geometry. References the subscript language cannot express affinely
+// (products, quotients, subscripted subscripts, pointer chases, record
+// fields) get an explicit NonAnalyzable verdict instead of a number — the
+// paper's §2.3 distinction, upgraded from "can the compiler transform it"
+// to "can its cache behavior be predicted in closed form".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace selcache::locality {
+
+/// Why a reference (or a whole program) resists closed-form analysis.
+enum class Verdict {
+  Analyzable,     ///< affine subscripts / scalar: misses predicted
+  NonAnalyzable,  ///< irregular: access count may still be exact
+};
+
+inline const char* to_string(Verdict v) {
+  return v == Verdict::Analyzable ? "analyzable" : "non-analyzable";
+}
+
+/// Reuse of one reference with respect to one enclosing loop level
+/// (Wolf & Lam vocabulary, specialized to our separable-affine IR).
+enum class Reuse {
+  None,          ///< every iteration touches a new cache line
+  SelfSpatial,   ///< consecutive iterations walk within a line
+  SelfTemporal,  ///< the subscripts ignore this loop variable
+  GroupSpatial,  ///< a leader reference already fetched the line (offset)
+  GroupTemporal  ///< a leader reference touches the identical location
+};
+
+inline char reuse_code(Reuse r) {
+  switch (r) {
+    case Reuse::None: return '-';
+    case Reuse::SelfSpatial: return 'S';
+    case Reuse::SelfTemporal: return 'T';
+    case Reuse::GroupSpatial: return 'g';
+    case Reuse::GroupTemporal: return 'G';
+  }
+  return '?';
+}
+
+/// One enclosing loop level of a reference, outermost first.
+struct LevelReuse {
+  std::string var;             ///< induction variable name
+  double trip = 0.0;           ///< iterations (exact or midpoint estimate)
+  bool trip_exact = true;      ///< (upper - lower) was loop-invariant
+  std::int64_t stride_bytes = 0;  ///< address advance per iteration
+  Reuse reuse = Reuse::None;
+};
+
+/// Prediction for one memory reference (plus one synthetic entry for each
+/// index-array load feeding a subscripted subscript — those loads are
+/// themselves affine and predictable even when their consumer is not).
+struct RefPrediction {
+  std::string location;  ///< IR path, "loop j/loop i/stmt 'elim_d'"
+  std::string ref;       ///< rendered reference, "a[i][j]" / "*H" / "s"
+  std::string entity;    ///< data entity touched: array/pool name, "(scalars)"
+  bool is_write = false;
+  Verdict verdict = Verdict::Analyzable;
+  std::string reason;    ///< non-analyzable cause ("product subscript", ...)
+
+  std::vector<LevelReuse> levels;  ///< enclosing loops, outermost first
+  double accesses = 0.0;           ///< predicted dynamic accesses
+  bool accesses_exact = true;      ///< all trip counts were exact
+  /// Estimated demand misses (L1D / L2); absent when non-analyzable.
+  std::optional<double> l1_misses;
+  std::optional<double> l2_misses;
+
+  /// Estimated reuse distance (bytes touched between successive reuses of
+  /// the same line — the one-iteration footprint of the reuse-carrying
+  /// loop); absent without self reuse.
+  std::optional<double> reuse_distance_bytes;
+};
+
+/// Per data entity (array / pool / the packed scalar block) aggregation —
+/// the granularity the measured profile can attribute addresses to.
+struct EntityPrediction {
+  std::string entity;
+  double accesses = 0.0;
+  bool accesses_exact = true;
+  double analyzable_accesses = 0.0;
+  std::optional<double> l1_misses;  ///< absent if any ref is non-analyzable
+  std::optional<double> l2_misses;
+};
+
+/// Prediction for one loop (aggregated over every reference in its subtree).
+struct LoopPrediction {
+  std::string location;         ///< "loop j/loop i"
+  double trip = 0.0;
+  double one_iteration_footprint_bytes = 0.0;  ///< drives capacity tests
+  double accesses = 0.0;        ///< refs in subtree, per full program run
+  double analyzable_accesses = 0.0;
+  std::optional<double> l1_misses;  ///< over analyzable refs only
+  /// Predicted miss ratio of the analyzable references (absent when the
+  /// subtree has none) — the quantity the prediction-driven region
+  /// classifier thresholds on.
+  std::optional<double> analyzable_miss_ratio() const {
+    if (!l1_misses || analyzable_accesses <= 0.0) return std::nullopt;
+    return *l1_misses / analyzable_accesses;
+  }
+};
+
+struct ProgramPrediction {
+  std::string program;
+  std::vector<RefPrediction> refs;
+  std::vector<EntityPrediction> entities;  ///< sorted by entity name
+  /// Keyed by loop identity for the classifier hook; also rendered in
+  /// CLI/report order (pre-order).
+  std::map<const ir::LoopNode*, LoopPrediction> loops;
+
+  double total_accesses = 0.0;
+  bool total_accesses_exact = true;
+  double analyzable_accesses = 0.0;
+  std::optional<double> l1_misses;  ///< sum over analyzable refs
+  std::optional<double> l2_misses;
+
+  /// Fraction of predicted dynamic accesses with analyzable verdicts.
+  double analyzable_fraction() const {
+    return total_accesses <= 0.0 ? 1.0
+                                 : analyzable_accesses / total_accesses;
+  }
+  /// Program verdict: miss-ratio predictions are only meaningful when
+  /// almost every access is analyzable.
+  Verdict verdict(double coverage_floor = 0.99) const {
+    return analyzable_fraction() >= coverage_floor ? Verdict::Analyzable
+                                                   : Verdict::NonAnalyzable;
+  }
+  /// Predicted L1D miss ratio over analyzable accesses (absent when the
+  /// program has none).
+  std::optional<double> l1_miss_ratio() const {
+    if (!l1_misses || analyzable_accesses <= 0.0) return std::nullopt;
+    return *l1_misses / analyzable_accesses;
+  }
+
+  const EntityPrediction* entity(const std::string& name) const {
+    for (const auto& e : entities)
+      if (e.entity == name) return &e;
+    return nullptr;
+  }
+};
+
+}  // namespace selcache::locality

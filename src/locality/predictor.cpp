@@ -1,0 +1,61 @@
+#include "locality/predictor.h"
+
+#include <bit>
+#include <memory>
+#include <mutex>
+
+namespace selcache::locality {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// One-program prediction cache shared by all copies of the predictor.
+/// Region detection asks about every innermost loop of the same program
+/// back to back; parallel sweeps may do so from several tasks at once.
+struct Cache {
+  std::mutex mu;
+  const ir::Program* program = nullptr;
+  ProgramPrediction prediction;
+};
+
+}  // namespace
+
+std::function<std::optional<analysis::Method>(const ir::Program&,
+                                              const ir::LoopNode&)>
+make_method_predictor(const PredictorOptions& opt) {
+  auto cache = std::make_shared<Cache>();
+  return [opt, cache](const ir::Program& p, const ir::LoopNode& loop)
+             -> std::optional<analysis::Method> {
+    std::lock_guard<std::mutex> lock(cache->mu);
+    if (cache->program != &p) {
+      cache->prediction = predict(p, opt.locality);
+      cache->program = &p;
+    }
+    const auto it = cache->prediction.loops.find(&loop);
+    if (it == cache->prediction.loops.end()) return std::nullopt;
+    const LoopPrediction& lp = it->second;
+    if (lp.accesses <= 0.0) return std::nullopt;
+    const double dyn_frac = lp.analyzable_accesses / lp.accesses;
+    return dyn_frac >= opt.dynamic_threshold ? analysis::Method::Compiler
+                                             : analysis::Method::Hardware;
+  };
+}
+
+std::uint64_t method_predictor_fingerprint(const PredictorOptions& opt) {
+  std::uint64_t h = 0x5e1cca11fe1dULL;
+  h = fnv1a(h, opt.locality.l1.size_bytes);
+  h = fnv1a(h, opt.locality.l1.block_size);
+  h = fnv1a(h, opt.locality.l2.size_bytes);
+  h = fnv1a(h, opt.locality.l2.block_size);
+  h = fnv1a(h, std::bit_cast<std::uint64_t>(opt.locality.capacity_fraction));
+  h = fnv1a(h, std::bit_cast<std::uint64_t>(opt.dynamic_threshold));
+  return h | 1;  // never 0: fingerprint 0 means "no predictor"
+}
+
+}  // namespace selcache::locality

@@ -1,0 +1,44 @@
+// Prediction-driven region classification (the tentpole's analysis-layer
+// integration): builds the transform::OptimizeOptions::method_predictor
+// hook from the static locality analyzer.
+//
+// The paper's §2.3 heuristic counts *static* references: a loop whose
+// analyzable-to-total ref ratio meets the threshold goes to the compiler.
+// The predictor re-weights that judgment by predicted *dynamic* access
+// counts — a single pointer chase buried under a deep nest dominates the
+// loop's runtime behavior even though it is one reference among many, and
+// vice versa. Decisions still happen only at innermost loops (the Figure 2
+// walk propagates them upward unchanged), and any loop the analyzer cannot
+// judge falls back to the static heuristic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "analysis/method_selection.h"
+#include "locality/analyzer.h"
+
+namespace selcache::locality {
+
+struct PredictorOptions {
+  LocalityOptions locality{};
+  /// Analyzable fraction of predicted dynamic accesses at or above which an
+  /// innermost loop is assigned to the compiler. Plays the role of the
+  /// paper's static threshold, access-weighted.
+  double dynamic_threshold = analysis::kDefaultThreshold;
+};
+
+/// Build a predictor suitable for OptimizeOptions::method_predictor. The
+/// returned callable caches one program's prediction at a time (region
+/// detection queries every innermost loop of the same program in a burst)
+/// and is safe to share across parallel sweep tasks.
+std::function<std::optional<analysis::Method>(const ir::Program&,
+                                              const ir::LoopNode&)>
+make_method_predictor(const PredictorOptions& opt = {});
+
+/// Stable hash of the predictor configuration, for
+/// OptimizeOptions::method_predictor_fingerprint (tape stream identity).
+std::uint64_t method_predictor_fingerprint(const PredictorOptions& opt = {});
+
+}  // namespace selcache::locality

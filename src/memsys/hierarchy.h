@@ -30,6 +30,17 @@ namespace selcache::memsys {
 
 enum class AccessKind { Load, Store, IFetch };
 
+/// Per-access observer of the L1D data path (loads/stores only), invoked
+/// after the tag check with the demand address and hit/miss outcome. Used by
+/// the static-locality measurement harness to attribute misses to data
+/// entities. Attached nullptr-gated like the trace recorder and fault
+/// injector: an unprobed run executes the pre-probe code path bit-for-bit.
+class DataAccessProbe {
+ public:
+  virtual ~DataAccessProbe() = default;
+  virtual void on_l1d_access(Addr addr, bool is_write, bool hit) = 0;
+};
+
 struct HierarchyConfig {
   CacheConfig l1d{.name = "l1d",
                   .size_bytes = 32 * 1024,
@@ -69,6 +80,9 @@ class Hierarchy {
   /// gives it one callback per demand access — the watchdog / task-crash
   /// clock of the fault model.
   void set_fault(fault::Injector* inj) { fault_ = inj; }
+
+  /// Attach (non-owning) an L1D access probe; nullptr detaches.
+  void set_probe(DataAccessProbe* p) { probe_ = p; }
 
   /// Perform one demand access; returns the total latency in cycles. With
   /// a fault injector attached this may throw fault::WatchdogExceeded or
@@ -126,6 +140,7 @@ class Hierarchy {
     // preview feeds place_l1d(); it stays valid because the only code that
     // could touch this set before the fill (aux service) returns early.
     const Cache::LookupResult lr = l1d_.access_with_victim(addr, is_write);
+    if (probe_ != nullptr) probe_->on_l1d_access(addr, is_write, lr.hit);
 
     if (classifier_ != nullptr) {
       if (!lr.hit) classifier_->classify_miss(addr);
@@ -167,6 +182,7 @@ class Hierarchy {
   HwScheme* hw_ = nullptr;
   trace::Recorder* trace_ = nullptr;
   fault::Injector* fault_ = nullptr;
+  DataAccessProbe* probe_ = nullptr;
   std::unique_ptr<MissClassifier> classifier_;
 };
 

@@ -63,9 +63,14 @@ OptimizeReport optimize_program(ir::Program& p, const OptimizeOptions& opt) {
     if (opt.after_stage) opt.after_stage(stage, p);
   };
 
-  analysis::RegionAnalysis regions =
-      opt.insert_markers ? analysis::detect_and_mark(p, opt.threshold)
-                         : analysis::analyze_regions(p, opt.threshold);
+  analysis::MethodPolicy policy{opt.threshold, {}};
+  if (opt.method_predictor)
+    policy.loop_predictor = [&](const ir::LoopNode& l) {
+      return opt.method_predictor(p, l);
+    };
+  analysis::RegionAnalysis regions = opt.insert_markers
+                                         ? analysis::detect_and_mark(p, policy)
+                                         : analysis::analyze_regions(p, policy);
   report.markers_inserted = regions.markers_inserted;
   report.compiler_regions = regions.compiler_roots.size();
   stage_done("regions");

@@ -48,6 +48,20 @@ struct OptimizeOptions {
   /// verify::enable_pipeline_verification installs to re-check IR
   /// invariants as the pipeline runs.
   std::function<void(const char* stage, const ir::Program&)> after_stage;
+  /// Prediction-driven region classification: when set, innermost-loop
+  /// method decisions consult this (the program being optimized plus the
+  /// loop) instead of the static ref-count ratio; a nullopt return falls
+  /// back to the heuristic. locality::make_method_predictor builds one.
+  /// Left empty (the default), classification is bit-identical to the
+  /// pre-predictor pipeline.
+  std::function<std::optional<analysis::Method>(const ir::Program&,
+                                                const ir::LoopNode&)>
+      method_predictor;
+  /// Identifies the predictor's configuration in the trace-tape stream key
+  /// (a predictor changes where markers land, so tapes recorded under
+  /// different predictors must not collide). Set it to a stable nonzero
+  /// hash whenever method_predictor is set.
+  std::uint64_t method_predictor_fingerprint = 0;
 };
 
 struct OptimizeReport {

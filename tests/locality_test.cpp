@@ -1,0 +1,332 @@
+// Static locality analyzer: reuse vectors, miss estimates, the measurement
+// probe, the SP cross-check on real workloads, and the prediction-driven
+// classification hook.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "analysis/region_detection.h"
+#include "codegen/layout.h"
+#include "core/versions.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "locality/analyzer.h"
+#include "locality/crosscheck.h"
+#include "locality/measure.h"
+#include "locality/predictor.h"
+#include "transform/pipeline.h"
+#include "workloads/registry.h"
+
+namespace selcache {
+namespace {
+
+using ir::ProgramBuilder;
+using locality::LocalityOptions;
+using locality::ProgramPrediction;
+using locality::RefPrediction;
+using locality::Reuse;
+using locality::Verdict;
+
+const RefPrediction& ref_named(const ProgramPrediction& pred,
+                               const std::string& rendered) {
+  for (const auto& r : pred.refs)
+    if (r.ref == rendered || r.ref.substr(3) == rendered) return r;
+  ADD_FAILURE() << "no prediction entry for '" << rendered << "'";
+  static RefPrediction dummy;
+  return dummy;
+}
+
+// The analyzer recomputes array strides from the declaration instead of
+// asking codegen (no DataEnv exists at prediction time). This guard pins
+// the two implementations together: the per-level stride the analyzer
+// reports must equal the address delta the real layout produces.
+TEST(LayoutGuard, StrideMatchesElementAddr) {
+  ProgramBuilder b("layout");
+  auto A = b.array("A", {16, 48}, /*elem_size=*/8, /*pad_elems=*/5);
+  auto i = b.begin_loop("i", 0, 16);
+  auto j = b.begin_loop("j", 0, 48);
+  b.stmt({ir::load_array(A, {b.sub(i), b.sub(j)})});
+  b.end_loop();
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  const ProgramPrediction pred = locality::predict(p);
+  ASSERT_EQ(pred.refs.size(), 1u);
+  const auto& levels = pred.refs[0].levels;
+  ASSERT_EQ(levels.size(), 2u);
+
+  const codegen::ArrayLayout layout(p.array(A), /*base=*/0);
+  const std::array<std::int64_t, 2> origin{0, 0};
+  const std::array<std::int64_t, 2> di{1, 0};
+  const std::array<std::int64_t, 2> dj{0, 1};
+  EXPECT_EQ(static_cast<std::int64_t>(levels[0].stride_bytes),
+            static_cast<std::int64_t>(layout.element_addr(di)) -
+                static_cast<std::int64_t>(layout.element_addr(origin)));
+  EXPECT_EQ(static_cast<std::int64_t>(levels[1].stride_bytes),
+            static_cast<std::int64_t>(layout.element_addr(dj)) -
+                static_cast<std::int64_t>(layout.element_addr(origin)));
+}
+
+TEST(Verdicts, IrregularReferencesAreNonAnalyzable) {
+  ProgramBuilder b("irregular");
+  auto A = b.array("A", {64});
+  auto F = b.array("F", {64, 64});
+  auto idx = b.index_array("idx", 64, ir::ArrayDecl::Content::Permutation);
+  auto P = b.chase_pool("P", 32, 64);
+  auto i = b.begin_loop("i", 0, 8);
+  auto j = b.begin_loop("j", 0, 8);
+  b.stmt({ir::load_array(F, {b.sub(i), ir::Subscript::product(ir::x(i),
+                                                              ir::x(j))}),
+          ir::load_array(A, {ir::Subscript::indexed(idx, ir::x(j))}),
+          ir::chase(P)});
+  b.end_loop();
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  const ProgramPrediction pred = locality::predict(p);
+  // F (product), idx (synthetic index load), A (indexed), P (chase).
+  ASSERT_EQ(pred.refs.size(), 4u);
+  EXPECT_EQ(pred.refs[0].verdict, Verdict::NonAnalyzable);
+  EXPECT_EQ(pred.refs[0].reason, "product subscript");
+  EXPECT_EQ(pred.refs[1].verdict, Verdict::Analyzable);  // idx[j] itself
+  EXPECT_EQ(pred.refs[1].entity, "idx");
+  EXPECT_EQ(pred.refs[2].verdict, Verdict::NonAnalyzable);
+  EXPECT_EQ(pred.refs[2].reason, "subscripted subscript");
+  EXPECT_EQ(pred.refs[3].verdict, Verdict::NonAnalyzable);
+  EXPECT_EQ(pred.refs[3].reason, "pointer chase");
+
+  EXPECT_EQ(pred.verdict(), Verdict::NonAnalyzable);
+  EXPECT_LT(pred.analyzable_fraction(), 0.5);
+  // Verdict extraction must agree with the full prediction, entry for entry.
+  const auto verdicts = locality::ref_verdicts(p);
+  ASSERT_EQ(verdicts.size(), pred.refs.size());
+  for (std::size_t k = 0; k < verdicts.size(); ++k)
+    EXPECT_EQ(verdicts[k], pred.refs[k].verdict) << k;
+}
+
+TEST(TripCounts, TriangularLoopIsEstimatedNotExact) {
+  ProgramBuilder b("tri");
+  auto A = b.array("A", {64, 64});
+  auto i = b.begin_loop("i", 0, 64);
+  auto j = b.begin_loop("j", ir::AffineExpr::constant(0), ir::x(i));
+  b.stmt({ir::load_array(A, {b.sub(i), b.sub(j)})});
+  b.end_loop();
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  const ProgramPrediction pred = locality::predict(p);
+  ASSERT_EQ(pred.refs.size(), 1u);
+  EXPECT_FALSE(pred.refs[0].accesses_exact);
+  EXPECT_FALSE(pred.total_accesses_exact);
+  // Midpoint estimate: 64 * ~32 accesses; exact sum is 2016.
+  EXPECT_GT(pred.total_accesses, 1000.0);
+  EXPECT_LT(pred.total_accesses, 4000.0);
+}
+
+TEST(MissModel, StreamingTemporalAndTransposedAccess) {
+  constexpr std::int64_t kN = 1024;  // a column sweep spans 1024 lines,
+                                     // 32 KiB -- over effective L1 capacity
+  ProgramBuilder b("model");
+  auto S = b.array("S", {kN, kN});  // streamed row-major
+  auto T = b.array("T", {kN, kN});  // streamed column-major (transposed)
+  auto H = b.array("H", {64});      // 512 B: survives in L1 across rounds
+  auto r = b.begin_loop("r", 0, 4);
+  auto i = b.begin_loop("i", 0, kN);
+  auto j = b.begin_loop("j", 0, kN);
+  b.stmt({ir::load_array(S, {b.sub(i), b.sub(j)}),
+          ir::load_array(T, {b.sub(j), b.sub(i)})});
+  b.end_loop();
+  b.end_loop();
+  auto k = b.begin_loop("k", 0, 64);
+  b.stmt({ir::load_array(H, {b.sub(k)})});
+  b.end_loop();
+  b.end_loop();
+  (void)r;
+  ir::Program p = b.finish();
+
+  const LocalityOptions opt;  // 32 KiB L1, 32 B blocks
+  const ProgramPrediction pred = locality::predict(p, opt);
+
+  // Row-major stream: pure self-spatial, one miss per 32B block = ratio 1/4.
+  const auto& s = ref_named(pred, "S[i][j]");
+  ASSERT_TRUE(s.l1_misses.has_value());
+  EXPECT_NEAR(*s.l1_misses / s.accesses, 0.25, 0.01);
+  EXPECT_EQ(s.levels.back().reuse, Reuse::SelfSpatial);
+
+  // Transposed stream: the spatial reuse along i is separated by a full
+  // column sweep whose lines overflow effective L1 capacity, so every
+  // access misses.
+  const auto& t = ref_named(pred, "T[j][i]");
+  ASSERT_TRUE(t.l1_misses.has_value());
+  EXPECT_NEAR(*t.l1_misses / t.accesses, 1.0, 0.01);
+
+  // Small hot array: the repeat loop's temporal reuse is realized, so the
+  // total misses stay near the array's line count regardless of rounds.
+  const auto& h = ref_named(pred, "H[k]");
+  ASSERT_TRUE(h.l1_misses.has_value());
+  EXPECT_LT(*h.l1_misses, 4.0 * 64.0 * 0.25 + 1.0);
+  bool has_temporal = false;
+  for (const auto& l : h.levels) has_temporal |= l.reuse == Reuse::SelfTemporal;
+  EXPECT_TRUE(has_temporal);
+}
+
+TEST(GroupReuse, SameIterationFollowerPaysNothing) {
+  ProgramBuilder b("group");
+  auto A = b.array("A", {4096});
+  auto i = b.begin_loop("i", 0, 4096);
+  b.stmt({ir::load_array(A, {b.sub(i)}),
+          ir::load_array(A, {b.sub(i, 1)}),
+          ir::store_array(A, {b.sub(i)})});
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  const ProgramPrediction pred = locality::predict(p);
+  ASSERT_EQ(pred.refs.size(), 3u);
+  const auto& leader = pred.refs[0];
+  const auto& spatial = pred.refs[1];   // A[i+1]: one element ahead
+  const auto& temporal = pred.refs[2];  // st A[i]: same address
+  EXPECT_NEAR(*leader.l1_misses / leader.accesses, 0.25, 0.01);
+  EXPECT_EQ(*spatial.l1_misses, 0.0);
+  EXPECT_EQ(spatial.levels.back().reuse, Reuse::GroupSpatial);
+  EXPECT_EQ(*temporal.l1_misses, 0.0);
+  EXPECT_EQ(temporal.levels.back().reuse, Reuse::GroupTemporal);
+}
+
+TEST(GroupReuse, CrossIterationStencilNeighborRidesPreviousRow) {
+  constexpr std::int64_t kN = 128;  // 128x128x8B = 128 KiB, rows fit L1
+  ProgramBuilder b("stencil");
+  auto Y = b.array("Y", {kN, kN});
+  auto i = b.begin_loop("i", 1, kN);
+  auto j = b.begin_loop("j", 0, kN);
+  b.stmt({ir::load_array(Y, {b.sub(i), b.sub(j)}),
+          ir::load_array(Y, {b.sub(i, -1), b.sub(j)})});
+  b.end_loop();
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  const ProgramPrediction pred = locality::predict(p);
+  const auto& lead = ref_named(pred, "Y[i][j]");
+  const auto& foll = ref_named(pred, "Y[i - 1][j]");
+  EXPECT_NEAR(*lead.l1_misses / lead.accesses, 0.25, 0.01);
+  // Y[i-1][j] touches the row Y[i][j] fetched one i-iteration earlier; a
+  // couple of rows fit easily, so only the cold first iteration pays.
+  EXPECT_LT(*foll.l1_misses, *lead.l1_misses * 0.02);
+  bool group = false;
+  for (const auto& l : foll.levels)
+    group |= l.reuse == Reuse::GroupTemporal || l.reuse == Reuse::GroupSpatial;
+  EXPECT_TRUE(group);
+}
+
+TEST(TiledBounds, TileLoopCarriesTheAdvanceOfItsPointLoop) {
+  // it selects a 64-element tile, i walks it: the subscript never mentions
+  // `it`, yet each it-iteration advances the footprint by a whole tile.
+  // Claiming temporal reuse at the tile level is the bug this test pins.
+  constexpr std::int64_t kTiles = 64, kTile = 64;
+  ProgramBuilder b("tiled");
+  auto A = b.array("A", {kTiles * kTile});  // 32 K elements, 256 KiB
+  auto it = b.begin_loop("it", 0, kTiles);
+  auto i = b.begin_loop("i", ir::x(it) * kTile, ir::x(it) * kTile + kTile);
+  b.stmt({ir::load_array(A, {b.sub(i)})});
+  b.end_loop();
+  b.end_loop();
+  ir::Program p = b.finish();
+
+  const ProgramPrediction pred = locality::predict(p);
+  ASSERT_EQ(pred.refs.size(), 1u);
+  const auto& r = pred.refs[0];
+  EXPECT_NE(r.levels[0].reuse, Reuse::SelfTemporal);
+  EXPECT_EQ(static_cast<std::int64_t>(r.levels[0].stride_bytes), kTile * 8);
+  // Cold sequential scan: ratio 1/4, not 1/(4*kTiles).
+  EXPECT_NEAR(*r.l1_misses / r.accesses, 0.25, 0.01);
+}
+
+TEST(Measure, VpentaAttributesEveryAccessToAnEntity) {
+  const auto& w = workloads::workload("Vpenta");
+  const ir::Program p =
+      core::prepare_program(w.build(), core::Version::Base, {});
+  const locality::MeasuredProfile meas = locality::measure_program(p);
+  EXPECT_GT(meas.l1d_accesses, 0u);
+  EXPECT_GT(meas.l1d_misses, 0u);
+  EXPECT_EQ(meas.unattributed, 0u);
+  std::uint64_t sum = 0;
+  for (const auto& [name, c] : meas.entities) sum += c.accesses;
+  EXPECT_EQ(sum, meas.l1d_accesses);
+}
+
+TEST(Crosscheck, CleanOnRealWorkloadAndTripsOnTampering) {
+  const auto& w = workloads::workload("Vpenta");
+  const ir::Program p =
+      core::prepare_program(w.build(), core::Version::Base, {});
+  const ProgramPrediction pred = locality::predict(p);
+  const locality::MeasuredProfile meas = locality::measure_program(p);
+
+  verify::Report clean;
+  EXPECT_EQ(locality::crosscheck(p, pred, meas, clean), 0u) << clean.str();
+  EXPECT_TRUE(clean.ok());
+
+  // Any forged access total must trip the lint (exact counts, no slack).
+  ProgramPrediction forged = locality::predict(p);
+  forged.total_accesses += 1.0;
+  verify::Report dirty;
+  EXPECT_GT(locality::crosscheck(p, forged, meas, dirty), 0u);
+  EXPECT_FALSE(dirty.ok());
+}
+
+// ---- prediction-driven classification ------------------------------------
+
+TEST(PredictClassify, DefaultPolicyIsBitIdentical) {
+  for (const char* name : {"Vpenta", "Chaos", "Compress", "Swim"}) {
+    const auto& w = workloads::workload(name);
+    ir::Program a = w.build();
+    ir::Program b2 = w.build();
+    analysis::detect_and_mark(a);
+    analysis::detect_and_mark(b2, analysis::MethodPolicy{});
+    EXPECT_EQ(ir::print(a), ir::print(b2)) << name;
+  }
+}
+
+TEST(PredictClassify, PredictorOverridesInnermostDecisions) {
+  const auto& w = workloads::workload("Chaos");
+  ir::Program p = w.build();
+  analysis::MethodPolicy all_hw;
+  all_hw.loop_predictor = [](const ir::LoopNode&) {
+    return analysis::Method::Hardware;
+  };
+  const auto regions = analysis::analyze_regions(p, all_hw);
+  for (const auto& [loop, decision] : regions.decisions) {
+    (void)loop;
+    EXPECT_NE(decision, analysis::RegionDecision::Compiler);
+  }
+  EXPECT_TRUE(regions.compiler_roots.empty());
+}
+
+TEST(PredictClassify, LocalityPredictorRunsThroughThePipeline) {
+  const auto& w = workloads::workload("Chaos");
+  locality::PredictorOptions popt;
+  transform::OptimizeOptions oopt;
+  oopt.method_predictor = locality::make_method_predictor(popt);
+  oopt.method_predictor_fingerprint =
+      locality::method_predictor_fingerprint(popt);
+  const ir::Program marked =
+      core::prepare_program(w.build(), core::Version::Selective, oopt);
+  // The predictor-driven program still verifies and simulates: measure it.
+  const locality::MeasuredProfile meas = locality::measure_program(marked);
+  EXPECT_GT(meas.l1d_accesses, 0u);
+}
+
+TEST(PredictClassify, FingerprintIsStableNonZeroAndConfigSensitive) {
+  locality::PredictorOptions a;
+  locality::PredictorOptions b2;
+  b2.dynamic_threshold = a.dynamic_threshold + 0.125;
+  locality::PredictorOptions c;
+  c.locality.l1.size_bytes *= 2;
+  const auto fa = locality::method_predictor_fingerprint(a);
+  EXPECT_NE(fa, 0u);
+  EXPECT_EQ(fa, locality::method_predictor_fingerprint(a));
+  EXPECT_NE(fa, locality::method_predictor_fingerprint(b2));
+  EXPECT_NE(fa, locality::method_predictor_fingerprint(c));
+}
+
+}  // namespace
+}  // namespace selcache

@@ -6,6 +6,9 @@
 #include <utility>
 
 #include "ir/builder.h"
+#include "locality/analyzer.h"
+#include "locality/crosscheck.h"
+#include "locality/measure.h"
 #include "verify/verifier.h"
 
 namespace selcache {
@@ -420,6 +423,141 @@ TEST(LegalityNegative, MalformedRecord) {
   EXPECT_TRUE(has_rule(r, "TL-RECORD")) << rules_of(r);
 }
 
+// ---- locality cross-check family (SP-*) ------------------------------------
+//
+// Each fixture takes an honest prediction of a real (tiny) program, forges
+// exactly one aspect, and asserts the lint names the forgery. The honest
+// prediction itself must stay clean (asserted first in every test), so a
+// fixture can only pass because of its own tampering.
+
+/// Two streamed arrays: A dominates the access count, B is large enough
+/// that per-entity miss tampering clears the absolute-error floor.
+ir::Program locality_fixture() {
+  ir::ProgramBuilder b("spfix");
+  auto A = b.array("A", {65536});
+  auto B = b.array("B", {16384});
+  auto i = b.begin_loop("i", 0, 65536);
+  b.stmt({ir::load_array(A, {b.sub(i)})});
+  b.end_loop();
+  auto j = b.begin_loop("j", 0, 16384);
+  b.stmt({ir::load_array(B, {b.sub(j)})});
+  b.end_loop();
+  return b.finish();
+}
+
+struct SpFixture {
+  ir::Program p = locality_fixture();
+  locality::ProgramPrediction pred = locality::predict(p);
+  locality::MeasuredProfile meas = locality::measure_program(p);
+
+  SpFixture() {
+    Report baseline;
+    EXPECT_EQ(locality::crosscheck(p, pred, meas, baseline), 0u)
+        << baseline.str();
+  }
+
+  Report check() {
+    Report r;
+    locality::crosscheck(p, pred, meas, r);
+    return r;
+  }
+
+  locality::EntityPrediction& entity(const std::string& name) {
+    for (auto& e : pred.entities)
+      if (e.entity == name) return e;
+    ADD_FAILURE() << "no entity " << name;
+    return pred.entities.front();
+  }
+};
+
+TEST(LocalityNegative, SanityCatchesMissEstimateAboveAccessCount) {
+  SpFixture f;
+  f.pred.refs[0].l1_misses = f.pred.refs[0].accesses * 2.0;
+  const Report r = f.check();
+  EXPECT_TRUE(has_rule(r, "SP-SANITY")) << rules_of(r);
+}
+
+TEST(LocalityNegative, SanityCatchesTotalsDisagreeingWithRefSum) {
+  SpFixture f;
+  f.pred.total_accesses += 64.0;  // refs no longer sum to the total
+  const Report r = f.check();
+  EXPECT_TRUE(has_rule(r, "SP-SANITY")) << rules_of(r);
+}
+
+TEST(LocalityNegative, VerdictMustRederiveFromTheIr) {
+  SpFixture f;
+  f.pred.refs[0].verdict = locality::Verdict::NonAnalyzable;
+  f.pred.refs[0].reason = "forged";
+  // Keep the per-ref/total sums consistent so only the verdict is wrong.
+  f.pred.analyzable_accesses -= f.pred.refs[0].accesses;
+  const Report r = f.check();
+  EXPECT_TRUE(has_rule(r, "SP-VERDICT")) << rules_of(r);
+}
+
+TEST(LocalityNegative, AccessTotalMustMatchSimulationExactly) {
+  SpFixture f;
+  // Coherent forgery: ref, entity-free total, and analyzable sum all agree,
+  // so SP-SANITY stays quiet and only the simulator comparison can object.
+  f.pred.refs[0].accesses += 128.0;
+  f.pred.total_accesses += 128.0;
+  f.pred.analyzable_accesses += 128.0;
+  const Report r = f.check();
+  EXPECT_TRUE(has_rule(r, "SP-ACCESS")) << rules_of(r);
+  EXPECT_FALSE(has_rule(r, "SP-SANITY")) << rules_of(r);
+}
+
+TEST(LocalityNegative, PerEntityAccessCountMustMatch) {
+  SpFixture f;
+  f.entity("B").accesses += 128.0;
+  const Report r = f.check();
+  EXPECT_TRUE(has_rule(r, "SP-ACCESS-ENTITY")) << rules_of(r);
+}
+
+TEST(LocalityNegative, CoverageCatchesPhantomMissingAndUnattributed) {
+  SpFixture phantom;
+  locality::EntityPrediction ghost;
+  ghost.entity = "ghost";
+  ghost.accesses = 512.0;
+  phantom.pred.entities.push_back(ghost);
+  EXPECT_TRUE(has_rule(phantom.check(), "SP-COVERAGE"));
+
+  SpFixture missing;
+  missing.pred.entities.erase(missing.pred.entities.begin());
+  EXPECT_TRUE(has_rule(missing.check(), "SP-COVERAGE"));
+
+  SpFixture unattributed;
+  unattributed.meas.unattributed = 7;
+  EXPECT_TRUE(has_rule(unattributed.check(), "SP-COVERAGE"));
+}
+
+TEST(LocalityNegative, ProgramMissRatioBeyondToleranceIsFlagged) {
+  SpFixture f;
+  // Triple every miss estimate coherently: ratio 0.25 -> 0.75, far past
+  // the 0.15 absolute tolerance.
+  for (auto& ref : f.pred.refs)
+    if (ref.l1_misses) *ref.l1_misses *= 3.0;
+  for (auto& e : f.pred.entities)
+    if (e.l1_misses) *e.l1_misses *= 3.0;
+  *f.pred.l1_misses *= 3.0;
+  const Report r = f.check();
+  EXPECT_TRUE(has_rule(r, "SP-MISS")) << rules_of(r);
+}
+
+TEST(LocalityNegative, EntityMissCountBeyondToleranceIsFlagged) {
+  SpFixture f;
+  // Forge only B (1/5 of the accesses): the program-level ratio moves by
+  // 0.12 < 0.15 so SP-MISS stays quiet, but B's own error is over 2x its
+  // measured count and clears the absolute floor.
+  const double extra = f.entity("B").accesses * 0.6;
+  *f.entity("B").l1_misses += extra;
+  for (auto& ref : f.pred.refs)
+    if (ref.entity == "B" && ref.l1_misses) *ref.l1_misses += extra;
+  *f.pred.l1_misses += extra;
+  const Report r = f.check();
+  EXPECT_TRUE(has_rule(r, "SP-MISS-ENTITY")) << rules_of(r);
+  EXPECT_FALSE(has_rule(r, "SP-MISS")) << rules_of(r);
+}
+
 /// The acceptance criterion asks for >= 10 distinct rule IDs across the
 /// three analyzer families; this meta-test documents the coverage.
 TEST(NegativeSuite, CoversAtLeastTenDistinctRules) {
@@ -433,6 +571,9 @@ TEST(NegativeSuite, CoversAtLeastTenDistinctRules) {
       "MK-REDUNDANT",   "TL-INTERCHANGE", "TL-TILE",
       "TL-UNROLL",      "TL-UNROLL-DIV",  "TL-FUSION",
       "TL-FUSE-BOUNDS", "TL-HOIST",       "TL-RECORD",
+      "SP-SANITY",      "SP-VERDICT",     "SP-ACCESS",
+      "SP-ACCESS-ENTITY", "SP-COVERAGE",  "SP-MISS",
+      "SP-MISS-ENTITY",
   };
   EXPECT_GE(std::size(covered), 10u);
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over src/ using the
+# CMake compilation database.
+#
+#   tools/run_clang_tidy.sh [build-dir] [paths...]
+#
+# Defaults: build-dir `build/`, paths `src/`. Registered as an optional
+# ctest; exits 77 (the test's SKIP_RETURN_CODE) when clang-tidy is not
+# installed so suites on toolchains without it report SKIP, not FAIL.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+build_dir="${1:-build}"
+shift || true
+paths=("$@")
+if [ "${#paths[@]}" -eq 0 ]; then paths=(src); fi
+
+tidy=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    tidy="$candidate"
+    break
+  fi
+done
+if [ -z "$tidy" ]; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping"
+  exit 77
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  cmake -B "$build_dir" -S . > /dev/null
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json under $build_dir" >&2
+  exit 1
+fi
+
+mapfile -t files < <(find "${paths[@]}" -name '*.cpp' | sort)
+echo "run_clang_tidy: checking ${#files[@]} files with $tidy"
+status=0
+for f in "${files[@]}"; do
+  "$tidy" -p "$build_dir" --quiet "$f" || status=1
+done
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy: warnings found"
+  exit 1
+fi
+echo "run_clang_tidy: clean"

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CLI contract for the predict subcommands: unknown flags and malformed
+# invocations must exit 2 (same as every other subcommand), good runs 0,
+# and a failed cross-check 1.
+#
+#   tools/run_cli_flags_test.sh path/to/selcache
+set -u
+
+cli="$1"
+fails=0
+
+expect() {
+  local want="$1"; shift
+  "$@" > /dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: '$*' exited $got, expected $want"
+    fails=$((fails + 1))
+  fi
+}
+
+# Unknown flags exit 2 before any work happens.
+expect 2 "$cli" predict Vpenta base --bogus
+expect 2 "$cli" predict Vpenta base --machine        # value flag, no value
+expect 2 "$cli" predict-matrix --bogus
+expect 2 "$cli" predict-matrix --workload            # value flag, no value
+
+# Malformed positionals / values also exit 2.
+expect 2 "$cli" predict Vpenta                       # missing VERSION
+expect 2 "$cli" predict NoSuchWorkload base
+expect 2 "$cli" predict Vpenta nosuchversion
+expect 2 "$cli" predict Vpenta base --threshold abc
+expect 2 "$cli" predict Vpenta base --capacity-fraction -1
+
+# Healthy invocations exit 0 (static-only is fast; --check simulates).
+expect 0 "$cli" predict Vpenta base
+expect 0 "$cli" predict Vpenta base --csv
+expect 0 "$cli" predict Perl base                    # non-analyzable is not an error
+expect 0 "$cli" predict Vpenta base --check
+expect 0 "$cli" predict Vpenta base --check --predict-classify
+
+if [ "$fails" -ne 0 ]; then
+  echo "cli flag contract: $fails failure(s)"
+  exit 1
+fi
+echo "cli flag contract: all exit codes as specified"

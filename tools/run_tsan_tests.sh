@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Build and run the multi-threaded portions of the suite under
+# ThreadSanitizer: the parallel sweep runner, the thread pool, tape
+# record/replay under concurrency, and the fault-resilient sweep.
+#
+#   tools/run_tsan_tests.sh [extra ctest args...]
+#
+# Uses the `tsan` CMake preset (build-tsan/). Skips with exit 0 and a clear
+# message when the toolchain cannot link -fsanitize=thread (some container
+# images ship gcc without libtsan) so CI lanes without TSan stay green.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+# Probe: can this toolchain actually produce a TSan binary?
+probe_dir="$(mktemp -d)"
+trap 'rm -rf "$probe_dir"' EXIT
+cat > "$probe_dir/probe.cc" <<'EOF'
+#include <thread>
+int main() {
+  int x = 0;
+  std::thread t([&] { x = 1; });
+  t.join();
+  return x - 1;
+}
+EOF
+cxx="${CXX:-c++}"
+if ! "$cxx" -fsanitize=thread -o "$probe_dir/probe" "$probe_dir/probe.cc" \
+    > "$probe_dir/probe.log" 2>&1 || ! "$probe_dir/probe"; then
+  echo "run_tsan_tests: toolchain cannot build/run -fsanitize=thread" \
+       "binaries; skipping (see $probe_dir/probe.log if still present)"
+  exit 0
+fi
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target \
+  parallel_runner_test thread_pool_test tape_test tape_equivalence_test \
+  fault_test selcache
+
+# The concurrency-heavy tests: parallel sweep determinism, the pool itself,
+# tape record/replay equivalence (shared tape cache), and the resilient
+# sweep's failure isolation.
+ctest --preset tsan -j 2 \
+  -R 'ParallelSweep|ThreadPool|Tape|Resilient|FaultSweep|parallel' "$@"
+
+# A real multi-threaded sweep end to end (4 workers over the full matrix),
+# plus the same under fault injection: the paths where sweep tasks share
+# the tape cache, trace sinks, and the failure report.
+build-tsan/tools/selcache sweep --workload Compress --threads 4 > /dev/null
+build-tsan/tools/selcache sweep --workload Compress --threads 4 \
+  --inject-faults --fault-kind toggle-drop --fault-rate 0.5 \
+  --fault-seed 2026 --fault-budget 64 > /dev/null
+echo "run_tsan_tests: all thread-sanitized tests passed"

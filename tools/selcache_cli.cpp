@@ -13,6 +13,9 @@
 //   selcache trace-replay FILE [--machine M] [--scheme S]
 //   selcache tape WORKLOAD VERSION [--machine M] [--scheme S] [--out FILE]
 //   selcache verify [FILE.loop] [--workload NAME] [--version V] [--csv]
+//   selcache predict WORKLOAD VERSION [--machine M] [--csv] [--check]
+//                [--predict-classify] [--threshold T] [--capacity-fraction F]
+//   selcache predict-matrix [--machine M] [--workload NAME] [--csv]
 //   selcache faultsim WORKLOAD VERSION [--fault-kind K] [--fault-rate R]
 //                [--fault-seed N] [--rates R1,R2,..] [--fault-budget N]
 //                [--integrity-checks] [--watchdog-accesses N] [--stats]
@@ -43,6 +46,9 @@
 #include "core/report.h"
 #include "core/runner.h"
 #include "ir/parser.h"
+#include "locality/crosscheck.h"
+#include "locality/format.h"
+#include "locality/predictor.h"
 #include "ir/printer.h"
 #include "support/table.h"
 #include "trace/jsonl.h"
@@ -79,6 +85,12 @@ int usage() {
                "  selcache tape  WORKLOAD VERSION [--machine M] [--scheme S]"
                " [--out FILE]\n"
                "  selcache verify [FILE.loop] [--workload NAME] [--version V]"
+               " [--csv]\n"
+               "  selcache predict WORKLOAD VERSION [--machine M] [--csv]"
+               " [--check]\n"
+               "                 [--predict-classify] [--threshold T]"
+               " [--capacity-fraction F]\n"
+               "  selcache predict-matrix [--machine M] [--workload NAME]"
                " [--csv]\n"
                "  selcache faultsim WORKLOAD VERSION [--machine M]"
                " [--scheme S] [--fault-kind K]\n"
@@ -977,6 +989,199 @@ int cmd_trace_replay(const std::string& path,
   return 0;
 }
 
+
+/// Shared setup for the predict commands: locality options from a machine's
+/// cache geometry.
+locality::LocalityOptions locality_options(const core::MachineConfig& m) {
+  locality::LocalityOptions lopt;
+  lopt.l1 = m.hierarchy.l1d;
+  lopt.l2 = m.hierarchy.l2;
+  return lopt;
+}
+
+int cmd_predict(const std::string& wname, const std::string& vname,
+                const std::map<std::string, std::string>& flags) {
+  const auto* w = workload_by_name(wname);
+  const auto version = version_by_name(vname);
+  const auto machine =
+      machine_by_name(flags.count("machine") ? flags.at("machine") : "");
+  if (w == nullptr || !version || !machine) return usage();
+
+  transform::OptimizeOptions oopt;
+  if (flags.count("threshold") &&
+      !parse_double(flags.at("threshold"), &oopt.threshold)) {
+    std::fprintf(stderr,
+                 "selcache: flag '--threshold' expects a number, got '%s'\n",
+                 flags.at("threshold").c_str());
+    return 2;
+  }
+  locality::LocalityOptions lopt = locality_options(*machine);
+  if (flags.count("capacity-fraction")) {
+    if (!parse_double(flags.at("capacity-fraction"),
+                      &lopt.capacity_fraction) ||
+        lopt.capacity_fraction <= 0.0) {
+      std::fprintf(stderr,
+                   "selcache: flag '--capacity-fraction' expects a positive"
+                   " number, got '%s'\n",
+                   flags.at("capacity-fraction").c_str());
+      return 2;
+    }
+  }
+  if (flags.count("predict-classify")) {
+    locality::PredictorOptions popt;
+    popt.locality = lopt;
+    popt.dynamic_threshold = oopt.threshold;
+    oopt.method_predictor = locality::make_method_predictor(popt);
+    oopt.method_predictor_fingerprint =
+        locality::method_predictor_fingerprint(popt);
+  }
+
+  const ir::Program product = core::prepare_program(w->build(), *version, oopt);
+  const locality::ProgramPrediction pred = locality::predict(product, lopt);
+
+  if (!flags.count("check")) {
+    // Static-only: no simulation happens on this path.
+    std::fputs(flags.count("csv") ? locality::prediction_csv(pred).c_str()
+                                  : locality::prediction_str(pred).c_str(),
+               stdout);
+    return 0;
+  }
+
+  locality::MeasureOptions mopt;
+  mopt.hierarchy = machine->hierarchy;
+  mopt.cpu = machine->cpu;
+  const locality::MeasuredProfile meas =
+      locality::measure_program(product, mopt);
+  verify::Report report;
+  locality::crosscheck(product, pred, meas, report);
+  if (flags.count("csv")) {
+    std::fputs(locality::comparison_csv(pred, meas).c_str(), stdout);
+  } else {
+    std::fputs(locality::prediction_str(pred).c_str(), stdout);
+    std::fputs(locality::comparison_str(pred, meas).c_str(), stdout);
+  }
+  if (!report.empty()) std::fputs(report.str().c_str(), stdout);
+  std::printf("SP cross-check: %zu error(s), %zu warning(s)\n",
+              report.errors(), report.warnings());
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_predict_matrix(const std::map<std::string, std::string>& flags) {
+  const auto machine =
+      machine_by_name(flags.count("machine") ? flags.at("machine") : "");
+  if (!machine) return usage();
+  std::vector<const workloads::WorkloadInfo*> ws;
+  if (flags.count("workload")) {
+    const auto* w = workload_by_name(flags.at("workload"));
+    if (w == nullptr) return usage();
+    ws.push_back(w);
+  } else {
+    for (const auto& w : workloads::all_workloads()) ws.push_back(&w);
+  }
+  const locality::LocalityOptions lopt = locality_options(*machine);
+  locality::MeasureOptions mopt;
+  mopt.hierarchy = machine->hierarchy;
+  mopt.cpu = machine->cpu;
+
+  struct Cell {
+    core::Version version;
+    bool analyzable = false;
+    double pred_ratio = 0.0;
+    double meas_ratio = 0.0;
+  };
+  const bool csv = flags.count("csv") > 0;
+  TextTable table({"workload", "version", "verdict", "analyzable_frac",
+                   "pred_l1_ratio", "meas_l1_ratio", "abs_err", "sp"});
+  if (csv)
+    std::printf(
+        "workload,version,category,verdict,analyzable_frac,pred_l1_ratio,"
+        "meas_l1_ratio,abs_err,sp_diags\n");
+  std::size_t sp_total = 0, analyzable_cells = 0, cells = 0;
+  double abs_err_sum = 0.0;
+  std::string mismatches;
+  for (const auto* w : ws) {
+    std::vector<Cell> row_cells;
+    for (core::Version v : core::kAllVersions) {
+      const ir::Program product =
+          core::prepare_program(w->build(), v, transform::OptimizeOptions{});
+      const locality::ProgramPrediction pred =
+          locality::predict(product, lopt);
+      const locality::MeasuredProfile meas =
+          locality::measure_program(product, mopt);
+      verify::Report report;
+      locality::crosscheck(product, pred, meas, report);
+      sp_total += report.diagnostics().size();
+      ++cells;
+
+      Cell c{v};
+      c.meas_ratio = meas.l1d_miss_ratio();
+      const auto ratio = pred.l1_miss_ratio();
+      c.analyzable =
+          pred.verdict(lopt.coverage_floor) == locality::Verdict::Analyzable &&
+          pred.total_accesses_exact && ratio.has_value();
+      if (c.analyzable) {
+        c.pred_ratio = *ratio;
+        abs_err_sum += std::abs(c.pred_ratio - c.meas_ratio);
+        ++analyzable_cells;
+      }
+      row_cells.push_back(c);
+
+      const std::string verdict =
+          c.analyzable ? "analyzable" : "non-analyzable";
+      if (csv) {
+        std::printf("%s,%s,%s,%s,%.6f,%s,%.6f,%s,%zu\n", w->name.c_str(),
+                    core::version_key(v), to_string(w->category),
+                    verdict.c_str(), pred.analyzable_fraction(),
+                    c.analyzable ? TextTable::num(c.pred_ratio, 6).c_str()
+                                 : "-",
+                    c.meas_ratio,
+                    c.analyzable
+                        ? TextTable::num(
+                              std::abs(c.pred_ratio - c.meas_ratio), 6)
+                              .c_str()
+                        : "-",
+                    report.diagnostics().size());
+      } else {
+        table.add_row(
+            {w->name, core::version_key(v), verdict,
+             TextTable::num(pred.analyzable_fraction(), 3),
+             c.analyzable ? TextTable::num(c.pred_ratio, 4) : "-",
+             TextTable::num(c.meas_ratio, 4),
+             c.analyzable
+                 ? TextTable::num(std::abs(c.pred_ratio - c.meas_ratio), 4)
+                 : "-",
+             std::to_string(report.diagnostics().size())});
+      }
+    }
+    // Ranking concordance: for every version pair whose *measured* ratios
+    // differ meaningfully, the prediction must order them the same way.
+    for (std::size_t a = 0; a < row_cells.size(); ++a)
+      for (std::size_t b = a + 1; b < row_cells.size(); ++b) {
+        const Cell& ca = row_cells[a];
+        const Cell& cb = row_cells[b];
+        if (!ca.analyzable || !cb.analyzable) continue;
+        const double md = ca.meas_ratio - cb.meas_ratio;
+        if (std::abs(md) < 1e-4) continue;
+        const double pd = ca.pred_ratio - cb.pred_ratio;
+        if ((md > 0) != (pd > 0))
+          mismatches += "  " + w->name + ": " +
+                        core::version_key(ca.version) + " vs " +
+                        core::version_key(cb.version) + "\n";
+      }
+  }
+  if (!csv) std::fputs(table.str().c_str(), stdout);
+  std::printf("cells: %zu  analyzable: %zu  sp_diagnostics: %zu\n", cells,
+              analyzable_cells, sp_total);
+  if (analyzable_cells > 0)
+    std::printf("MAE(L1D miss ratio) over analyzable cells: %.4f\n",
+                abs_err_sum / static_cast<double>(analyzable_cells));
+  if (mismatches.empty())
+    std::printf("version ranking: concordant with simulation\n");
+  else
+    std::printf("version ranking MISMATCHES:\n%s", mismatches.c_str());
+  return sp_total == 0 && mismatches.empty() ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
@@ -1016,6 +1221,11 @@ int main(int argc, char** argv) {
       {"trace-replay", {"trace-replay", {"machine", "scheme"}, {}}},
       {"tape", {"tape", {"machine", "scheme", "out"}, {}}},
       {"verify", {"verify", {"workload", "version"}, {"csv"}}},
+      {"predict",
+       {"predict", {"machine", "threshold", "capacity-fraction"},
+        {"csv", "check", "predict-classify"}}},
+      {"predict-matrix",
+       {"predict-matrix", {"machine", "workload"}, {"csv"}}},
   };
   const auto spec_it = kSpecs.find(cmd);
   if (spec_it == kSpecs.end()) {
@@ -1044,7 +1254,8 @@ int main(int argc, char** argv) {
                  cmd.c_str());
     return 2;
   }
-  if (cmd == "trace" || cmd == "faultsim" || cmd == "tape") {
+  if (cmd == "trace" || cmd == "faultsim" || cmd == "tape" ||
+      cmd == "predict") {
     if (argc < 4 || std::string(argv[2]).rfind("--", 0) == 0 ||
         std::string(argv[3]).rfind("--", 0) == 0) {
       std::fprintf(stderr,
@@ -1073,5 +1284,7 @@ int main(int argc, char** argv) {
   if (cmd == "trace-record") return cmd_trace_record(flags);
   if (cmd == "trace-replay") return cmd_trace_replay(positional, flags);
   if (cmd == "tape") return cmd_tape(positional, positional2, flags);
+  if (cmd == "predict") return cmd_predict(positional, positional2, flags);
+  if (cmd == "predict-matrix") return cmd_predict_matrix(flags);
   return cmd_verify(positional, flags);
 }
