@@ -4,19 +4,22 @@
 //
 //   bench_throughput [--threads N] [--out FILE] [--scheme bypass|victim]
 //
-// Reports wall-clock, simulated-accesses/second, the parallel speedup, and
-// the tape record/replay throughput plus encoded density; verifies both the
-// parallel sweep and the tape passes are bit-identical to the serial
-// interpreted one, and writes a JSON baseline (default
+// Reports wall-clock, simulated-accesses/second, the parallel speedup, the
+// tape record/replay throughput plus encoded density, and the persistent
+// result store's cold-fill vs warm-serve suite times; verifies the parallel,
+// tape, and store passes are all bit-identical to the serial interpreted
+// one, and writes a JSON baseline (default
 // results/BENCH_throughput.json) that tools/check_bench_regression.py
 // compares future runs against.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "core/report.h"
 #include "core/runner.h"
+#include "store/store.h"
 #include "support/thread_pool.h"
 #include "tape/cache.h"
 
@@ -129,13 +132,43 @@ int main(int argc, char** argv) {
               static_cast<double>(cache.total_bytes()) / (1024.0 * 1024.0),
               tape_bytes_per_access);
 
+  // Store phases: one sweep that fills a fresh on-disk result store (cold),
+  // then one that serves every cell from it (warm). Warm over cold is the
+  // incremental-sweep win a repeated suite run enjoys across processes.
+  const std::string store_dir =
+      (std::filesystem::temp_directory_path() / "selcache_bench_store")
+          .string();
+  selcache::store::ResultStore rstore(store_dir);
+  rstore.clear();
+  selcache::core::RunOptions stored = opt;
+  stored.result_store = &rstore;
+
+  t0 = std::chrono::steady_clock::now();
+  const auto store_cold_rows = selcache::core::sweep_suite(machine, stored);
+  const double store_cold_s = seconds_since(t0);
+  std::printf("store cold:%6.2fs  (%llu cells written)\n", store_cold_s,
+              static_cast<unsigned long long>(rstore.counters().writes));
+
+  t0 = std::chrono::steady_clock::now();
+  const auto store_warm_rows = selcache::core::sweep_suite(machine, stored);
+  const double store_warm_s = seconds_since(t0);
+  const auto sc = rstore.counters();
+  std::printf("store warm:%6.2fs  (%llu hits, %llu misses, %.1fx vs cold)\n",
+              store_warm_s, static_cast<unsigned long long>(sc.hits),
+              static_cast<unsigned long long>(sc.misses),
+              store_warm_s > 0 ? store_cold_s / store_warm_s : 0.0);
+  std::error_code ec;
+  std::filesystem::remove_all(store_dir, ec);
+
   const bool deterministic = identical(serial_rows, parallel_rows) &&
                              identical(serial_rows, recorded_rows) &&
-                             identical(serial_rows, replayed_rows);
-  std::printf("determinism: parallel + tape rows %s serial rows\n",
+                             identical(serial_rows, replayed_rows) &&
+                             identical(serial_rows, store_cold_rows) &&
+                             identical(serial_rows, store_warm_rows);
+  std::printf("determinism: parallel + tape + store rows %s serial rows\n",
               deterministic ? "IDENTICAL to" : "DIFFER from");
 
-  char json[1536];
+  char json[2048];
   std::snprintf(json, sizeof(json),
                 "{\n"
                 "  \"benchmark\": \"bench_throughput\",\n"
@@ -152,13 +185,15 @@ int main(int argc, char** argv) {
                 "  \"tape_record_accesses_per_sec\": %.0f,\n"
                 "  \"tape_replay_accesses_per_sec\": %.0f,\n"
                 "  \"tape_bytes_per_access\": %.3f,\n"
+                "  \"store_cold_suite_seconds\": %.3f,\n"
+                "  \"store_warm_suite_seconds\": %.3f,\n"
                 "  \"deterministic\": %s\n"
                 "}\n",
                 selcache::hw::to_string(scheme), serial_rows.size(),
                 selcache::support::ThreadPool::hardware_threads(), threads,
                 static_cast<unsigned long long>(accesses), serial_s,
                 serial_aps, parallel_s, parallel_aps, speedup, record_aps,
-                replay_aps, tape_bytes_per_access,
+                replay_aps, tape_bytes_per_access, store_cold_s, store_warm_s,
                 deterministic ? "true" : "false");
   if (!selcache::core::write_text_file(out, json)) {
     std::fprintf(stderr, "warning: could not write %s\n", out.c_str());

@@ -11,25 +11,35 @@
 //                     the tape for every other point)
 //   --max-points N    truncate a sweep axis to its first N points (smoke
 //                     tests / CI)
+//   --store DIR       persistent result store: cells already in DIR are
+//                     loaded instead of simulated; new cells (and tapes)
+//                     are written back for the next run
+//   --store-readonly  consult the store but never write to it
+//   --store-clear     empty the store before the run (cold-start baseline)
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/report.h"
 #include "core/runner.h"
+#include "store/store.h"
 #include "tape/cache.h"
 
 namespace selcache::bench {
 
 struct FigureOptions {
-  unsigned threads = 0;    ///< 0 = serial
-  bool reuse_tape = true;  ///< record-once / replay-many across points
-  int max_points = -1;     ///< -1 = all points of a sweep axis
+  unsigned threads = 0;     ///< 0 = serial
+  bool reuse_tape = true;   ///< record-once / replay-many across points
+  int max_points = -1;      ///< -1 = all points of a sweep axis
+  std::string store_dir;    ///< empty = no persistent store
+  bool store_readonly = false;
+  bool store_clear = false;
 };
 
 /// Parse the shared figure-bench flags; exits(2) on anything unrecognized.
@@ -44,13 +54,32 @@ inline FigureOptions parse_figure_options(int argc, char** argv) {
       f.reuse_tape = false;
     } else if (std::strcmp(argv[i], "--max-points") == 0 && i + 1 < argc) {
       f.max_points = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+      f.store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--store-readonly") == 0) {
+      f.store_readonly = true;
+    } else if (std::strcmp(argv[i], "--store-clear") == 0) {
+      f.store_clear = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--no-reuse-tape]"
-                   " [--max-points N]\n",
+                   " [--max-points N] [--store DIR] [--store-readonly]"
+                   " [--store-clear]\n",
                    argv[0]);
       std::exit(2);
     }
+  }
+  if (f.store_dir.empty() && (f.store_readonly || f.store_clear)) {
+    std::fprintf(stderr,
+                 "%s: --store-readonly / --store-clear require --store DIR\n",
+                 argv[0]);
+    std::exit(2);
+  }
+  if (f.store_readonly && f.store_clear) {
+    std::fprintf(stderr,
+                 "%s: --store-readonly and --store-clear are exclusive\n",
+                 argv[0]);
+    std::exit(2);
   }
   return f;
 }
@@ -99,6 +128,27 @@ inline int run_figure_sweep(std::vector<SweepPoint> points,
   // A single-point run has nothing to replay, so skip the recording cost.
   opt.reuse_tape = fopt.reuse_tape && points.size() > 1;
   opt.tape_cache = &cache;
+
+  // Persistent store: cells already on disk are loaded instead of simulated,
+  // and persisted tapes make even the cold cells replay-from-disk. A warm
+  // store turns a whole figure run into pure load + formatting.
+  std::unique_ptr<store::ResultStore> rstore;
+  if (!fopt.store_dir.empty()) {
+    try {
+      rstore = std::make_unique<store::ResultStore>(
+          fopt.store_dir,
+          store::ResultStore::Options{.read_only = fopt.store_readonly});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: cannot open store: %s\n", e.what());
+      return 2;
+    }
+    if (fopt.store_clear) rstore->clear();
+    // Tapes persisted by an earlier run mean no cell needs the IR pipeline:
+    // when every point's tapes are preloaded, "recorded" below is really
+    // replayed-from-disk.
+    if (opt.reuse_tape) rstore->preload_tapes(cache);
+    opt.result_store = rstore.get();
+  }
   const core::ParallelSweepOptions par{.num_threads = fopt.threads};
 
   const auto sweep_t0 = std::chrono::steady_clock::now();
@@ -124,6 +174,20 @@ inline int run_figure_sweep(std::vector<SweepPoint> points,
     std::printf("axis total: %zu machine points in %.1fs%s\n",
                 points.size(), total,
                 fopt.reuse_tape ? " (record-once/replay-many)" : "");
+  if (rstore != nullptr) {
+    std::size_t persisted = 0;
+    if (opt.reuse_tape) persisted = rstore->persist_tapes(cache);
+    const auto c = rstore->counters();
+    // Stats go to stderr so stdout stays byte-identical cold vs warm.
+    std::fprintf(stderr,
+                 "store: %llu hits, %llu misses (%llu corrupt), %llu cells"
+                 " written, %zu tapes persisted -> %s\n",
+                 static_cast<unsigned long long>(c.hits),
+                 static_cast<unsigned long long>(c.misses),
+                 static_cast<unsigned long long>(c.corrupt),
+                 static_cast<unsigned long long>(c.writes), persisted,
+                 rstore->dir().c_str());
+  }
   return 0;
 }
 

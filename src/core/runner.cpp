@@ -8,6 +8,8 @@
 
 #include "codegen/trace_engine.h"
 #include "fault/injector.h"
+#include "store/store.h"
+#include "support/fingerprint.h"
 #include "support/thread_pool.h"
 #include "tape/cache.h"
 #include "tape/recording_model.h"
@@ -147,13 +149,7 @@ struct Simulation {
   }
 };
 
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xFF;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
+constexpr auto fnv1a = fnv1a_u64;  // shared fold (support/fingerprint.h)
 
 /// Hash of every RunOptions field the recorded stream depends on. The
 /// machine and scheme are deliberately excluded (the stream is invariant
@@ -189,6 +185,71 @@ bool tape_eligible(const RunOptions& opt) {
   return opt.reuse_tape && !opt.fault.enabled() && opt.watchdog_accesses == 0;
 }
 
+/// Fingerprint of every machine parameter a simulation's outputs depend
+/// on. Scheme *configurations* are pure functions of (kind, machine) — see
+/// make_scheme — so hashing the kind plus these fields covers them too.
+std::uint64_t machine_fingerprint(const MachineConfig& m) {
+  std::uint64_t h = kFnv1aOffset;
+  for (const memsys::CacheConfig* c :
+       {&m.hierarchy.l1d, &m.hierarchy.l1i, &m.hierarchy.l2}) {
+    h = fnv1a(h, c->size_bytes);
+    h = fnv1a(h, c->assoc);
+    h = fnv1a(h, c->block_size);
+    h = fnv1a(h, c->latency);
+  }
+  for (const memsys::TlbConfig* t : {&m.hierarchy.dtlb, &m.hierarchy.itlb}) {
+    h = fnv1a(h, t->entries);
+    h = fnv1a(h, t->assoc);
+    h = fnv1a(h, t->page_size);
+    h = fnv1a(h, t->miss_penalty);
+  }
+  h = fnv1a(h, m.hierarchy.mem.access_latency);
+  h = fnv1a(h, m.hierarchy.mem.bus_width);
+  h = fnv1a(h, m.cpu.issue_width);
+  h = fnv1a(h, m.cpu.ruu_entries);
+  h = fnv1a(h, m.cpu.lsq_entries);
+  h = fnv1a(h, m.cpu.memory_ports);
+  h = fnv1a(h, m.cpu.bimodal_entries);
+  h = fnv1a(h, m.cpu.mispredict_penalty);
+  h = fnv1a(h, m.cpu.overlap_bandwidth_cycles);
+  h = fnv1a(h, m.cpu.toggle_latency);
+  h = fnv1a(h, m.cpu.model_ifetch ? 1 : 0);
+  return h;
+}
+
+/// Is this run allowed on the persistent-store path? Stored results carry
+/// no fault/degradation counters and no trace recording, so any of those
+/// features forces a live simulation.
+bool store_eligible(const RunOptions& opt, const trace::Recording* trace_out) {
+  return opt.result_store != nullptr && trace_out == nullptr &&
+         !opt.fault.enabled() && opt.watchdog_accesses == 0 &&
+         !opt.degrade.armed();
+}
+
+store::StoredResult to_stored(const RunResult& r) {
+  // faults_injected / degradations are structurally 0 on the store path
+  // (store_eligible excludes every run that could set them).
+  return {.cycles = r.cycles,
+          .instructions = r.instructions,
+          .l1_miss_rate = r.l1_miss_rate,
+          .l2_miss_rate = r.l2_miss_rate,
+          .conflict_share = r.conflict_share,
+          .toggles = r.toggles,
+          .stats = r.stats};
+}
+
+RunResult from_stored(const store::StoredResult& s) {
+  RunResult r;
+  r.cycles = s.cycles;
+  r.instructions = s.instructions;
+  r.l1_miss_rate = s.l1_miss_rate;
+  r.l2_miss_rate = s.l2_miss_rate;
+  r.conflict_share = s.conflict_share;
+  r.toggles = s.toggles;
+  r.stats = s.stats;
+  return r;
+}
+
 }  // namespace
 
 std::string tape_key(const workloads::WorkloadInfo& w, Version v,
@@ -197,6 +258,21 @@ std::string tape_key(const workloads::WorkloadInfo& w, Version v,
   std::snprintf(fp, sizeof(fp), "%016llx",
                 static_cast<unsigned long long>(stream_fingerprint(opt)));
   return w.name + "/" + version_key(v) + "/" + fp;
+}
+
+std::string store_key(const workloads::WorkloadInfo& w, const MachineConfig& m,
+                      Version v, const RunOptions& opt) {
+  char fp[40];
+  std::snprintf(fp, sizeof(fp), "%016llx/%016llx",
+                static_cast<unsigned long long>(machine_fingerprint(m)),
+                static_cast<unsigned long long>(stream_fingerprint(opt)));
+  // Readable prefix (workload/version/scheme) + machine and stream
+  // fingerprints + the 3C flag (it adds classifier counters to the
+  // StatSet) + the store format version, which invalidates everything at
+  // once when the encoding or this derivation changes.
+  return w.name + "/" + version_key(v) + "/" + hw::to_string(opt.scheme) +
+         "/" + fp + (opt.classify_misses ? "/3c" : "/-") + "/s" +
+         std::to_string(store::kStoreFormatVersion);
 }
 
 tape::Tape record_tape(const workloads::WorkloadInfo& w,
@@ -233,31 +309,49 @@ RunResult replay_tape(const tape::Tape& t, const MachineConfig& m, Version v,
 RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
                       Version v, const RunOptions& opt,
                       trace::Recording* trace_out) {
-  if (tape_eligible(opt)) {
-    tape::TapeCache& cache =
-        opt.tape_cache != nullptr ? *opt.tape_cache : tape::TapeCache::global();
-    // First run for this key records (and its results are used directly —
-    // the recording run IS the interpreted run); every later run replays.
-    std::optional<RunResult> recorded;
-    const tape::TapeCache::TapePtr t =
-        cache.get_or_record(tape_key(w, v, opt), [&] {
-          RunResult r;
-          tape::Tape fresh = record_tape(w, m, v, opt, &r, trace_out);
-          recorded = std::move(r);
-          return fresh;
-        });
-    if (recorded) return std::move(*recorded);
-    return replay_tape(*t, m, v, opt, trace_out);
+  // Persistent-store fast path: a hit reconstructs the whole RunResult
+  // from disk and skips simulation entirely (including the tape path — a
+  // stored result is strictly cheaper than a replay). A miss falls through
+  // to whichever execution path applies and persists its result.
+  const bool stored = store_eligible(opt, trace_out);
+  std::string skey;
+  if (stored) {
+    skey = store_key(w, m, v, opt);
+    if (std::optional<store::StoredResult> hit = opt.result_store->load(skey))
+      return from_stored(*hit);
   }
 
-  // Plain interpretation: code product (§4.4), machine, execute, collect.
-  const ir::Program base = w.build();
-  ir::Program product = prepare_program(base, v, opt.optimize);
-  Simulation sim(m, v, opt, trace_out);
-  codegen::DataEnv env(product, {.seed = opt.data_seed});
-  codegen::TraceEngine engine(product, env, sim.cpu);
-  engine.run();
-  return sim.collect();
+  RunResult result = [&]() -> RunResult {
+    if (tape_eligible(opt)) {
+      tape::TapeCache& cache = opt.tape_cache != nullptr
+                                   ? *opt.tape_cache
+                                   : tape::TapeCache::global();
+      // First run for this key records (and its results are used directly —
+      // the recording run IS the interpreted run); every later run replays.
+      std::optional<RunResult> recorded;
+      const tape::TapeCache::TapePtr t =
+          cache.get_or_record(tape_key(w, v, opt), [&] {
+            RunResult r;
+            tape::Tape fresh = record_tape(w, m, v, opt, &r, trace_out);
+            recorded = std::move(r);
+            return fresh;
+          });
+      if (recorded) return std::move(*recorded);
+      return replay_tape(*t, m, v, opt, trace_out);
+    }
+
+    // Plain interpretation: code product (§4.4), machine, execute, collect.
+    const ir::Program base = w.build();
+    ir::Program product = prepare_program(base, v, opt.optimize);
+    Simulation sim(m, v, opt, trace_out);
+    codegen::DataEnv env(product, {.seed = opt.data_seed});
+    codegen::TraceEngine engine(product, env, sim.cpu);
+    engine.run();
+    return sim.collect();
+  }();
+
+  if (stored) opt.result_store->save(skey, to_stored(result));
+  return result;
 }
 
 namespace {

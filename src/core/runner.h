@@ -22,6 +22,10 @@ namespace selcache::tape {
 class TapeCache;
 }
 
+namespace selcache::store {
+class ResultStore;
+}
+
 namespace selcache::core {
 
 struct RunOptions {
@@ -50,6 +54,14 @@ struct RunOptions {
   bool reuse_tape = false;
   /// Cache consulted by reuse_tape; nullptr = the process-global cache.
   tape::TapeCache* tape_cache = nullptr;
+  /// Persistent result store consulted before simulating and updated after
+  /// (nullptr = no store). A hit skips the whole simulation — program
+  /// construction, pipeline, interpretation — and reconstructs the
+  /// RunResult from disk, bit-identical to a fresh run. Fault-armed,
+  /// watchdog-armed, degrade-armed, and traced runs bypass the store
+  /// (mirroring the tape rule: their outputs are not pure functions of the
+  /// cell key, or carry a recording the store does not).
+  store::ResultStore* result_store = nullptr;
 };
 
 /// How to schedule the independent simulations of a sweep.
@@ -86,6 +98,15 @@ RunResult run_version(const workloads::WorkloadInfo& w, const MachineConfig& m,
 /// possible.
 std::string tape_key(const workloads::WorkloadInfo& w, Version v,
                      const RunOptions& opt);
+
+/// Persistent-store key for one cell: workload, version, scheme, a
+/// fingerprint of every machine parameter, the stream fingerprint (data
+/// seed + optimization pipeline + method-predictor configuration), the
+/// miss-classification flag, and the store format version. Unlike
+/// tape_key, the machine IS part of the identity — a stored result is the
+/// response of one machine to the stream, not the stream itself.
+std::string store_key(const workloads::WorkloadInfo& w, const MachineConfig& m,
+                      Version v, const RunOptions& opt);
 
 /// Record one (workload, version) trace tape by running an instrumented
 /// interpretation on machine `m`. The recording run is a bona fide

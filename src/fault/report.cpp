@@ -7,21 +7,7 @@
 
 namespace selcache::fault {
 
-namespace {
-
-// RFC-4180: quote a field when it contains a comma, quote, or newline.
-std::string csv_field(const std::string& s) {
-  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
-}  // namespace
+// CSV fields go through the shared selcache::csv_field (support/table.h).
 
 const char* to_string(CellOutcome::Status s) {
   switch (s) {

@@ -23,16 +23,6 @@ std::string reuse_vector(const RefPrediction& r) {
   return out.empty() ? "-" : out;
 }
 
-std::string csv_field(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  return out + "\"";
-}
-
 std::string ratio_of(const std::optional<double>& misses, double accesses) {
   if (!misses || accesses <= 0.0) return "-";
   return num(*misses / accesses, 4);

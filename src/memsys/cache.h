@@ -124,6 +124,20 @@ class Cache {
 
   void export_stats(StatSet& out) const;
 
+  /// Test-only: jump the LRU stamp counter to `v` so the next accesses
+  /// drive it across the uint32_t wrap boundary without 2^32 warm-up
+  /// accesses. Existing block stamps are untouched (they stay far below
+  /// `v`, exactly as after a long real run).
+  void debug_set_stamp(std::uint32_t v) { stamp_ = v; }
+  std::uint32_t debug_stamp() const { return stamp_; }
+  /// Test-only: LRU stamp of the resident block containing `addr`, or
+  /// nullopt when absent. Lets wrap tests assert strict stamp distinctness
+  /// across a renormalization.
+  std::optional<std::uint32_t> debug_lru_of(Addr addr) const {
+    const Block* b = find(addr);
+    return b == nullptr ? std::nullopt : std::optional(b->lru);
+  }
+
  private:
   /// 16 bytes so a 4-way set is one 64-byte line (the scan touches one line
   /// instead of two). The 32-bit LRU stamp is renormalized before it can

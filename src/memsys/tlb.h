@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,20 @@ class Tlb {
   const TlbConfig& config() const { return cfg_; }
   const HitMiss& stats() const { return stats_; }
   void export_stats(StatSet& out) const;
+
+  /// Test-only wrap hooks, mirroring Cache's (see cache.h): force the
+  /// stamp counter near the uint32_t boundary and observe entry stamps.
+  void debug_set_stamp(std::uint32_t v) { stamp_ = v; }
+  std::uint32_t debug_stamp() const { return stamp_; }
+  std::optional<std::uint32_t> debug_lru_of(Addr addr) const {
+    const Addr vpn = vpn_of(addr);
+    const std::uint64_t si = set_index(vpn);
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+      const Entry& e = entries_[si * cfg_.assoc + w];
+      if (e.valid && e.vpn == vpn) return e.lru;
+    }
+    return std::nullopt;
+  }
 
  private:
   /// 16 bytes so a 4-way set is one 64-byte line. The 32-bit LRU stamp is

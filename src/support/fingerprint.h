@@ -1,0 +1,44 @@
+// FNV-1a 64-bit fingerprinting, shared by every layer that needs a stable
+// content hash (tape keys, the persistent result store, entry checksums).
+//
+// FNV-1a is not cryptographic — it is a fast, endian-independent,
+// well-distributed hash whose value is part of on-disk formats, so the
+// byte-at-a-time fold below must never change. Multi-byte integers are
+// folded little-endian (low byte first) regardless of host order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace selcache {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a_byte(std::uint64_t h, std::uint8_t b) {
+  return (h ^ b) * kFnv1aPrime;
+}
+
+/// Fold a 64-bit value low byte first (fixed width: hashing 1 then 2 is
+/// distinct from hashing 0x201).
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) h = fnv1a_byte(h, (v >> (8 * i)) & 0xFF);
+  return h;
+}
+
+inline std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data,
+                                 std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) h = fnv1a_byte(h, p[i]);
+  return h;
+}
+
+/// Length-prefixed string fold, so consecutive strings can't alias across
+/// their boundary ("ab","c" vs "a","bc").
+inline std::uint64_t fnv1a_str(std::uint64_t h, std::string_view s) {
+  h = fnv1a_u64(h, s.size());
+  return fnv1a_bytes(h, s.data(), s.size());
+}
+
+}  // namespace selcache

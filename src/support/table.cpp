@@ -7,6 +7,20 @@
 
 namespace selcache {
 
+std::string csv_field(const std::string& s) {
+  const bool edge_ws =
+      !s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                     s.back() == ' ' || s.back() == '\t');
+  if (!edge_ws && s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 TextTable::TextTable(std::vector<std::string> headers)
     : headers_(std::move(headers)) {
   SELCACHE_CHECK(!headers_.empty());

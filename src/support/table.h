@@ -10,6 +10,13 @@
 
 namespace selcache {
 
+/// RFC-4180 CSV field encoding, shared by every CSV writer in the tree
+/// (failure reports, phase timelines, locality tables, diagnostics).
+/// Quotes the field — doubling embedded quotes — when it contains a comma,
+/// a quote, a CR or LF, or leading/trailing whitespace (which RFC 4180
+/// declares significant; quoting keeps lax parsers from trimming it).
+std::string csv_field(const std::string& s);
+
 class TextTable {
  public:
   /// Create a table with the given column headers.

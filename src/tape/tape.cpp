@@ -87,6 +87,17 @@ Tape load_tape(const std::string& path) {
   tape.stats.branches = h.branches;
   tape.stats.computes = h.computes;
   tape.stats.toggles = h.toggles;
+  // Bound the claimed body size by what the file can actually hold before
+  // allocating: a corrupt header must fail as corruption, not as a
+  // multi-gigabyte resize.
+  const auto body_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto file_end = in.tellg();
+  in.seekg(body_start);
+  SELCACHE_CHECK_MSG(body_start >= 0 && file_end >= body_start &&
+                         h.n_bytes <= static_cast<std::uint64_t>(
+                                          file_end - body_start),
+                     "tape body larger than file in " + path);
   tape.bytes.resize(h.n_bytes);
   in.read(reinterpret_cast<char*>(tape.bytes.data()),
           static_cast<std::streamsize>(h.n_bytes));

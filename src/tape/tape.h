@@ -169,6 +169,11 @@ inline std::uint64_t get_varint(const std::uint8_t** p,
     SELCACHE_CHECK_MSG(*p < end, "truncated tape varint");
     const std::uint8_t b = *(*p)++;
     SELCACHE_CHECK_MSG(shift < 64, "overlong tape varint");
+    // The 10th byte holds only bit 63: any higher payload bit would be
+    // shifted out silently, decoding a >64-bit value to a wrapped uint64.
+    // That is corruption, not data (the encoder never emits it).
+    SELCACHE_CHECK_MSG(shift < 63 || (b & 0x7E) == 0,
+                       "overflowing tape varint");
     v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
     if ((b & 0x80) == 0) return v;
     shift += 7;

@@ -77,21 +77,8 @@ std::string timeline_csv_header() {
          "bypass_fraction,toggles,mat_decays,promotions\n";
 }
 
-namespace {
-
-/// Quote a CSV field when it contains a delimiter (workload "TPC-D,Q6").
-std::string csv_field(const std::string& s) {
-  if (s.find_first_of(",\"") == std::string::npos) return s;
-  std::string quoted = "\"";
-  for (char c : s) {
-    if (c == '"') quoted += '"';
-    quoted += c;
-  }
-  quoted += '"';
-  return quoted;
-}
-
-}  // namespace
+// Workload names can contain delimiters ("TPC-D,Q6"); fields go through
+// the shared selcache::csv_field (support/table.h).
 
 std::string timeline_csv(const std::vector<TimelineRow>& rows,
                          const std::string& workload,

@@ -46,21 +46,6 @@ std::string Report::str() const {
   return t.str();
 }
 
-namespace {
-
-std::string csv_field(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
-}  // namespace
-
 std::string Report::csv() const {
   std::ostringstream os;
   os << "severity,rule,pass,location,message\n";

@@ -2,6 +2,10 @@
 // the three-C miss classifier.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <vector>
+
 #include "memsys/cache.h"
 #include "memsys/main_memory.h"
 #include "memsys/miss_classifier.h"
@@ -326,6 +330,113 @@ TEST(MissClassifier, ConflictDetectedAgainstSetPressure) {
     }
   }
   EXPECT_GT(conflicts, 30u);  // nearly every repeat miss is a conflict
+}
+
+// --- LRU stamp wrap ------------------------------------------------------
+//
+// The 32-bit recency stamps renormalize (order-preserving) when the counter
+// reaches UINT32_MAX. These tests force the counter to the boundary via the
+// debug hook and prove the replacement order across the wrap is exactly the
+// order of an identical cache whose counter is nowhere near it.
+
+TEST(Cache, StampWrapPreservesExactRecencyOrder) {
+  // Twin caches, identical access sequence; `forced` crosses the wrap
+  // boundary mid-sequence. Every access outcome and every victim choice
+  // must match the unforced twin.
+  Cache forced(tiny_cache(4));
+  Cache normal(tiny_cache(4));
+  const std::uint64_t set_span = 4 * 32;  // assoc-4, 2 sets of 32B blocks
+  // Fill one set with 4 blocks in a known recency order: a b c d.
+  const Addr a = 0x000, b = a + 2 * set_span, c = a + 4 * set_span,
+             d = a + 6 * set_span, e = a + 8 * set_span;
+  for (Addr x : {a, b, c, d}) {
+    forced.fill(x, false);
+    normal.fill(x, false);
+  }
+  // Park the forced twin's counter so the second touch renormalizes.
+  forced.debug_set_stamp(std::numeric_limits<std::uint32_t>::max() - 1);
+  // Touch a and b across the boundary: recency becomes c d a b.
+  for (Addr x : {a, b}) {
+    EXPECT_TRUE(forced.access(x, false));
+    EXPECT_TRUE(normal.access(x, false));
+  }
+  // Renormalization ranks the 8 blocks 1..8 and continues from there.
+  EXPECT_LT(forced.debug_stamp(), 20u) << "counter must have wrapped";
+  // Both twins must now victimize c (the true LRU), not a or b.
+  EXPECT_EQ(forced.victim_for(e), normal.victim_for(e));
+  EXPECT_EQ(forced.victim_for(e), forced.block_base_of(c));
+  // And the stamps must be strictly distinct after renormalization —
+  // a collapsed (all-equal) stamp set would also "pass" a single victim
+  // probe by accident of scan order.
+  std::vector<std::uint32_t> stamps;
+  for (Addr x : {a, b, c, d}) {
+    const auto s = forced.debug_lru_of(x);
+    ASSERT_TRUE(s.has_value());
+    stamps.push_back(*s);
+  }
+  std::sort(stamps.begin(), stamps.end());
+  EXPECT_TRUE(std::adjacent_find(stamps.begin(), stamps.end()) ==
+              stamps.end())
+      << "renormalized stamps must stay strictly ordered";
+  // Continue past the wrap with fresh blocks: each fill must evict the
+  // same victim in both twins (c, then d, then a — exact LRU order).
+  const Addr f = a + 10 * set_span, g = a + 12 * set_span;
+  const Addr expected_victims[] = {c, d, a};
+  int vi = 0;
+  for (Addr x : {e, f, g}) {
+    const auto fv = forced.fill(x, false);
+    const auto nv = normal.fill(x, false);
+    ASSERT_TRUE(fv.has_value());
+    ASSERT_TRUE(nv.has_value());
+    EXPECT_EQ(fv->block_addr, nv->block_addr);
+    EXPECT_EQ(fv->block_addr, forced.block_base_of(expected_victims[vi++]));
+  }
+}
+
+TEST(Cache, StampWrapLockstepUnderRandomTraffic) {
+  // Differential fuzz across the boundary: thousands of mixed accesses and
+  // fills, every hit/miss and eviction compared against the unforced twin.
+  Cache forced(tiny_cache(4));
+  Cache normal(tiny_cache(4));
+  forced.debug_set_stamp(std::numeric_limits<std::uint32_t>::max() - 500);
+  Rng rng(0xace5);
+  for (int i = 0; i < 4000; ++i) {
+    const Addr addr = (rng.next() % 64) * 32;  // 64 blocks over 2 sets
+    const bool write = (rng.next() & 1) != 0;
+    const bool fh = forced.access(addr, write);
+    const bool nh = normal.access(addr, write);
+    ASSERT_EQ(fh, nh) << "hit/miss diverged at access " << i;
+    if (!fh) {
+      const auto fe = forced.fill(addr, write);
+      const auto ne = normal.fill(addr, write);
+      ASSERT_EQ(fe.has_value(), ne.has_value()) << "eviction diverged " << i;
+      if (fe.has_value()) {
+        ASSERT_EQ(fe->block_addr, ne->block_addr) << "victim diverged " << i;
+        ASSERT_EQ(fe->dirty, ne->dirty) << "dirtiness diverged " << i;
+      }
+    }
+  }
+  EXPECT_EQ(forced.demand_stats().hits, normal.demand_stats().hits);
+  EXPECT_EQ(forced.writebacks(), normal.writebacks());
+}
+
+TEST(Tlb, StampWrapPreservesExactRecencyOrder) {
+  // Same differential scheme for the TLB's independent stamp counter.
+  TlbConfig cfg{.name = "t", .entries = 8, .assoc = 4, .page_size = 4096,
+                .miss_penalty = 30};
+  Tlb forced(cfg);
+  Tlb normal(cfg);
+  forced.debug_set_stamp(std::numeric_limits<std::uint32_t>::max() - 100);
+  Rng rng(0x71b);
+  for (int i = 0; i < 2000; ++i) {
+    const Addr addr = (rng.next() % 12) * 4096 * 2;  // 12 pages, one set
+    const Cycle fc = forced.access(addr);
+    const Cycle nc = normal.access(addr);
+    ASSERT_EQ(fc, nc) << "hit/miss diverged at access " << i;
+  }
+  EXPECT_LT(forced.debug_stamp(), 3000u) << "counter must have wrapped";
+  EXPECT_EQ(forced.stats().hits, normal.stats().hits);
+  EXPECT_EQ(forced.stats().misses, normal.stats().misses);
 }
 
 }  // namespace

@@ -299,5 +299,36 @@ TEST(Table, NumberFormatting) {
   EXPECT_EQ(TextTable::count(1234567), "1,234,567");
 }
 
+TEST(CsvField, PlainFieldsPassThroughUnquoted) {
+  EXPECT_EQ(csv_field("Swim"), "Swim");
+  EXPECT_EQ(csv_field(""), "");
+  EXPECT_EQ(csv_field("a b"), "a b");  // interior space needs no quoting
+  EXPECT_EQ(csv_field("3.14"), "3.14");
+}
+
+TEST(CsvField, QuotesDelimitersAndDoublesEmbeddedQuotes) {
+  EXPECT_EQ(csv_field("TPC-D,Q6"), "\"TPC-D,Q6\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_field("\""), "\"\"\"\"");
+}
+
+TEST(CsvField, QuotesCrLfAndEdgeWhitespacePerRfc4180) {
+  // Embedded line breaks — bare LF, bare CR, and a CRLF pair — must be
+  // quoted or the row structure is destroyed.
+  EXPECT_EQ(csv_field("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(csv_field("carriage\rreturn"), "\"carriage\rreturn\"");
+  EXPECT_EQ(csv_field("dos\r\nending"), "\"dos\r\nending\"");
+  EXPECT_EQ(csv_field("\n"), "\"\n\"");
+  // Leading/trailing whitespace is significant per RFC 4180; quote it so
+  // trimming consumers cannot eat it.
+  EXPECT_EQ(csv_field(" padded"), "\" padded\"");
+  EXPECT_EQ(csv_field("padded "), "\"padded \"");
+  EXPECT_EQ(csv_field("\ttabbed"), "\"\ttabbed\"");
+  EXPECT_EQ(csv_field("tabbed\t"), "\"tabbed\t\"");
+  EXPECT_EQ(csv_field(" "), "\" \"");
+  // Combined: CRLF + comma + quote in one field.
+  EXPECT_EQ(csv_field("a,\r\n\"b\""), "\"a,\r\n\"\"b\"\"\"");
+}
+
 }  // namespace
 }  // namespace selcache

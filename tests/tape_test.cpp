@@ -54,6 +54,60 @@ TEST(Varint, RejectsOverlongEncoding) {
   EXPECT_THROW(get_varint(&p, buf.data() + buf.size()), std::logic_error);
 }
 
+TEST(Varint, TenByteMaxEncodingRoundTrips) {
+  // UINT64_MAX legitimately needs ten bytes: nine full continuation bytes
+  // plus a final 0x01 carrying only bit 63.
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, ~0ULL);
+  ASSERT_EQ(buf.size(), 10u);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(buf[i], 0xFF);
+  EXPECT_EQ(buf[9], 0x01);
+  const std::uint8_t* p = buf.data();
+  EXPECT_EQ(get_varint(&p, p + buf.size()), ~0ULL);
+}
+
+TEST(Varint, RejectsTenthBytePayloadBeyondBit63) {
+  // A 10th byte may only contribute bit 63. 0x7F there would silently
+  // shift 6 of its 7 payload bits past the top of the value — that is
+  // corruption masquerading as a tiny number, and must throw instead.
+  std::vector<std::uint8_t> buf(9, 0x80);
+  buf.push_back(0x7F);
+  const std::uint8_t* p = buf.data();
+  EXPECT_THROW(get_varint(&p, buf.data() + buf.size()), std::logic_error);
+  // 0x02 (bit 64) is equally out of range; 0x01 (bit 63) is the only
+  // acceptable payload.
+  buf[9] = 0x02;
+  p = buf.data();
+  EXPECT_THROW(get_varint(&p, buf.data() + buf.size()), std::logic_error);
+  buf[9] = 0x01;
+  p = buf.data();
+  EXPECT_EQ(get_varint(&p, buf.data() + buf.size()), 1ULL << 63);
+}
+
+TEST(Varint, RejectsTruncationAtEveryPrefixOfMaxEncoding) {
+  // Every strict prefix of the maximal encoding must fail as structured
+  // corruption (logic_error), never decode to a wrong value.
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, ~0ULL);
+  for (std::size_t keep = 0; keep < buf.size(); ++keep) {
+    const std::uint8_t* p = buf.data();
+    EXPECT_THROW(get_varint(&p, buf.data() + keep), std::logic_error)
+        << "prefix of " << keep << " bytes decoded";
+  }
+}
+
+TEST(Zigzag, MaximalDeltasRoundTripThroughVarint) {
+  // Address deltas of both extreme signs exercise the full varint width:
+  // INT64_MIN zigzags to UINT64_MAX (the ten-byte encoding above).
+  for (std::int64_t v : {INT64_MIN, INT64_MAX, INT64_MIN + 1}) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, zigzag(v));
+    const std::uint8_t* p = buf.data();
+    EXPECT_EQ(unzigzag(get_varint(&p, p + buf.size())), v);
+    EXPECT_EQ(p, buf.data() + buf.size());
+  }
+}
+
 TEST(Zigzag, RoundTripsSignedRange) {
   const std::int64_t cases[] = {0,  1,  -1, 63, -64, 1'000'000, -1'000'000,
                                 INT64_MAX, INT64_MIN};
@@ -316,6 +370,53 @@ TEST_F(TapeFileTest, RejectsBadMagicTruncationAndStatMismatch) {
   // unassigned opcode: the load-time decode sweep must reject the stream.
   rewrite([](std::vector<std::uint8_t>& raw) { raw[72] = 0x07; });
   EXPECT_THROW(load_tape(path_), std::logic_error);
+
+  // A header that claims a body far larger than the file must be rejected
+  // BEFORE the body buffer is sized from it (a lying n_bytes used to drive
+  // a multi-gigabyte resize). n_bytes lives at offset 64 (8 magic + 56).
+  ASSERT_TRUE(save_tape(t, path_));
+  rewrite([](std::vector<std::uint8_t>& raw) {
+    raw[64] = 0xFF;
+    raw[65] = 0xFF;
+    raw[66] = 0xFF;
+    raw[67] = 0xFF;  // n_bytes low word -> ~4 GB
+  });
+  EXPECT_THROW(load_tape(path_), std::logic_error);
+
+  // Truncated tail: every strict prefix of a valid file is structured
+  // corruption (logic_error), never a short-but-successful load.
+  ASSERT_TRUE(save_tape(t, path_));
+  std::vector<std::uint8_t> whole(std::filesystem::file_size(path_));
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fread(whole.data(), 1, whole.size(), f), whole.size());
+    std::fclose(f);
+  }
+  for (std::size_t keep : {std::size_t{0}, std::size_t{4}, std::size_t{8},
+                           std::size_t{40}, std::size_t{71},
+                           whole.size() - 1}) {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(whole.data(), 1, keep, f), keep);
+    std::fclose(f);
+    EXPECT_THROW(load_tape(path_), std::logic_error) << "kept " << keep;
+  }
+}
+
+TEST_F(TapeFileTest, ExtremeAddressDeltasRoundTripThroughDisk) {
+  // Jumps between opposite ends of the 64-bit address space force maximal
+  // zigzag varints through the real encoder, the file layer, and replay.
+  TapeBuilder b;
+  b.load(0, false);
+  b.load(~0ULL & ~31ULL, true);  // +MAX-ish delta
+  b.store(32);                   // huge negative delta
+  b.load(1ULL << 63, false);     // bit-63 delta (the ten-byte encoding)
+  b.compute(~0ULL);              // maximal count varint
+  const Tape t = b.take();
+  ASSERT_TRUE(save_tape(t, path_));
+  const Tape loaded = load_tape(path_);
+  EXPECT_EQ(loaded, t);
 }
 
 // --- TapeCache ------------------------------------------------------------

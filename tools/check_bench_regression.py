@@ -8,10 +8,12 @@ Usage:
 Fails (exit 1) when:
   * either file is missing expected schema keys (a truncated or stale
     bench_throughput run would otherwise sail through the ratio checks),
-  * a compared metric is zero, negative, or non-numeric in either file —
-    a zero baseline means the baseline itself is broken and must never
-    silently disable the check,
+  * a compared metric is zero, negative, NaN, infinite, or non-numeric in
+    either file — a zero baseline means the baseline itself is broken and
+    must never silently disable the check,
   * the fresh run is not deterministic (parallel rows differed from serial),
+  * the fresh run's warm-store suite was not faster than its cold-fill one
+    (the store served nothing — incremental sweeps are broken),
   * serial accesses/sec dropped more than --tolerance below the baseline,
   * parallel speedup dropped more than --tolerance below the baseline —
     only checked when both hosts have more than one hardware thread, since
@@ -25,6 +27,7 @@ if any scenario misbehaves; CI runs it so the checker cannot rot.
 """
 import argparse
 import json
+import math
 import os
 import sys
 import tempfile
@@ -43,6 +46,8 @@ EXPECTED_KEYS = frozenset({
     "serial_seconds",
     "simulated_accesses",
     "speedup",
+    "store_cold_suite_seconds",
+    "store_warm_suite_seconds",
     "tape_bytes_per_access",
     "tape_record_accesses_per_sec",
     "tape_replay_accesses_per_sec",
@@ -73,9 +78,14 @@ def check_schema(path, data):
 
 
 def _positive_number(value):
-    """True for int/float > 0; bools are not numbers here."""
+    """True for FINITE int/float > 0; bools are not numbers here.
+
+    NaN and Infinity must be rejected explicitly: ``float("inf") > 0`` is
+    True, so without the isfinite() gate an Inf metric (a zero-time divide
+    in the bench) would sail through every ratio check.
+    """
     return (isinstance(value, (int, float)) and not isinstance(value, bool)
-            and value > 0)
+            and math.isfinite(value) and value > 0)
 
 
 def check_ratio(failures, log, name, baseline, fresh, tolerance,
@@ -126,6 +136,24 @@ def evaluate(base, fresh, tolerance, base_path="baseline",
         failures.append("fresh run was NOT deterministic "
                         "(parallel rows differed from serial)")
 
+    # Intra-file direction check: the warm-store pass serves every cell from
+    # disk, so it must beat the cold fill OF THE SAME RUN. This is
+    # host-independent (both times come from one process), so no tolerance —
+    # warm >= cold means the store served nothing.
+    for path, data in ((fresh_path, fresh), (base_path, base)):
+        cold = data.get("store_cold_suite_seconds")
+        warm = data.get("store_warm_suite_seconds")
+        if not _positive_number(cold) or not _positive_number(warm):
+            failures.append(f"{path}: store suite seconds not positive "
+                            f"finite numbers (cold={cold!r}, warm={warm!r})")
+        elif warm >= cold:
+            failures.append(f"{path}: warm store suite ({warm:.3f}s) not "
+                            f"faster than cold fill ({cold:.3f}s) — the "
+                            f"result store served nothing")
+        else:
+            log.append(f"{path}: store warm {warm:.3f}s vs cold {cold:.3f}s "
+                       f"({cold / warm:.1f}x)")
+
     check_ratio(failures, log, "serial accesses/sec",
                 base.get("serial_accesses_per_sec"),
                 fresh.get("serial_accesses_per_sec"), tolerance,
@@ -175,6 +203,8 @@ def _fixture(**overrides):
         "serial_seconds": 4.0,
         "simulated_accesses": 80000000,
         "speedup": 4.0,
+        "store_cold_suite_seconds": 4.2,
+        "store_warm_suite_seconds": 0.3,
         "tape_bytes_per_access": 2.5,
         "tape_record_accesses_per_sec": 1.8e7,
         "tape_replay_accesses_per_sec": 2.6e7,
@@ -223,12 +253,30 @@ def self_test():
          {"hardware_threads": 1, "speedup": 0}, 0.15, False),
         ("missing schema key fails",
          {}, "drop-speedup", 0.15, True),
+        ("NaN baseline metric fails",
+         {"serial_accesses_per_sec": float("nan")}, {}, 0.15, True),
+        ("Inf fresh metric fails (inf > 0 would pass a naive check)",
+         {}, {"tape_replay_accesses_per_sec": float("inf")}, 0.15, True),
+        ("Inf store cold seconds fails",
+         {}, {"store_cold_suite_seconds": float("inf")}, 0.15, True),
+        ("warm store slower than cold fill fails",
+         {}, {"store_warm_suite_seconds": 5.0}, 0.15, True),
+        ("warm store equal to cold fill fails",
+         {}, {"store_warm_suite_seconds": 4.2}, 0.15, True),
+        ("zero warm store seconds fails",
+         {}, {"store_warm_suite_seconds": 0}, 0.15, True),
+        ("missing store keys fails (schema drift)",
+         {}, "drop-store-keys", 0.15, True),
     ]
     problems = []
     for name, b_over, f_over, tol, expect_fail in scenarios:
         base = _fixture(**b_over) if isinstance(b_over, dict) else _fixture()
         if isinstance(f_over, dict):
             fresh = _fixture(**f_over)
+        elif f_over == "drop-store-keys":
+            fresh = _fixture()
+            del fresh["store_cold_suite_seconds"]
+            del fresh["store_warm_suite_seconds"]
         else:  # "drop-speedup": remove a key to trigger the schema check
             fresh = _fixture()
             del fresh["speedup"]

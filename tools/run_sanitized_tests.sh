@@ -58,6 +58,23 @@ diff -r "$tracedir/interp" "$tracedir/taped"
 diff "$tracedir/interp.txt" "$tracedir/taped.txt"
 echo "taped sweep: interpreted and replayed outputs identical"
 
+# Persistent-store round trip under sanitizers: a warm sweep served from
+# the store must be byte-identical to the cold run that filled it, and a
+# truncated cell must degrade to a miss (re-simulated, healed, same rows).
+storedir="$tracedir/store"
+"$cli" sweep --workload Compress --threads 1 --store "$storedir" \
+  > "$tracedir/store_cold.txt"
+"$cli" sweep --workload Compress --threads 4 --store "$storedir" \
+  > "$tracedir/store_warm.txt"
+diff "$tracedir/store_cold.txt" "$tracedir/store_warm.txt"
+victim="$(ls "$storedir/cells" | head -1)"
+head -c 10 "$storedir/cells/$victim" > "$storedir/trunc.tmp"
+mv "$storedir/trunc.tmp" "$storedir/cells/$victim"
+"$cli" sweep --workload Compress --threads 1 --store "$storedir" \
+  > "$tracedir/store_healed.txt"
+diff "$tracedir/store_cold.txt" "$tracedir/store_healed.txt"
+echo "stored sweep: cold, warm, and healed outputs identical"
+
 # Record-once/replay-many figure sweep, also under sanitizers.
 tools/run_tape_figure_test.sh build-asan/bench/bench_fig5_memlat
 

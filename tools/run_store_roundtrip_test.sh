@@ -1,0 +1,94 @@
+#!/bin/sh
+# End-to-end persistent-store contract: a suite served entirely from a warm
+# store must publish byte-identical stdout to the cold run that filled it,
+# at any thread count; damaged entries (truncated or bit-flipped) must be
+# treated as misses — re-simulated and healed, never an error and never a
+# wrong row; and the store subcommand must report/prune the same directory.
+#
+# Usage: run_store_roundtrip_test.sh path/to/selcache
+set -eu
+
+BIN="${1:?usage: run_store_roundtrip_test.sh path/to/selcache}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+STORE="$TMP/store"
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# --- cold fill -------------------------------------------------------------
+"$BIN" suite --store "$STORE" --threads 1 \
+  > "$TMP/cold.txt" 2> "$TMP/cold.err" \
+  || fail "cold suite exited nonzero"
+grep -q '^store: ' "$TMP/cold.err" || fail "no store ledger on stderr"
+grep -q ' 65 cells written' "$TMP/cold.err" \
+  || fail "cold run did not write 65 cells: $(cat "$TMP/cold.err")"
+
+# --- warm runs are byte-identical at 1/4/8 threads -------------------------
+for t in 1 4 8; do
+  "$BIN" suite --store "$STORE" --threads "$t" \
+    > "$TMP/warm$t.txt" 2> "$TMP/warm$t.err" \
+    || fail "warm suite (threads=$t) exited nonzero"
+  cmp -s "$TMP/cold.txt" "$TMP/warm$t.txt" || {
+    diff -u "$TMP/cold.txt" "$TMP/warm$t.txt" | head -40 >&2
+    fail "warm suite stdout (threads=$t) differs from cold"
+  }
+  grep -q ' 65 hits, 0 misses (0 corrupt), 0 cells written' "$TMP/warm$t.err" \
+    || fail "warm run (threads=$t) was not all-hits: $(cat "$TMP/warm$t.err")"
+done
+
+# --- a truncated entry is a miss, not an error -----------------------------
+victim=$(ls "$STORE/cells" | head -1)
+head -c 10 "$STORE/cells/$victim" > "$TMP/trunc" \
+  && mv "$TMP/trunc" "$STORE/cells/$victim"
+"$BIN" suite --store "$STORE" --threads 4 \
+  > "$TMP/healed.txt" 2> "$TMP/healed.err" \
+  || fail "suite with truncated entry exited nonzero"
+cmp -s "$TMP/cold.txt" "$TMP/healed.txt" \
+  || fail "truncated-entry run published different rows"
+grep -q ' 64 hits, 1 misses (1 corrupt), 1 cells written' "$TMP/healed.err" \
+  || fail "truncated entry not treated as one corrupt miss: $(cat "$TMP/healed.err")"
+
+# --- a bit-flipped entry is a miss, not a wrong result ---------------------
+victim=$(ls "$STORE/cells" | head -1)
+# Flip bytes in the middle of the payload (past magic + length header).
+printf 'XXXX' | dd of="$STORE/cells/$victim" bs=1 seek=40 conv=notrunc 2>/dev/null
+"$BIN" suite --store "$STORE" --threads 1 \
+  > "$TMP/flipped.txt" 2> "$TMP/flipped.err" \
+  || fail "suite with corrupted entry exited nonzero"
+cmp -s "$TMP/cold.txt" "$TMP/flipped.txt" \
+  || fail "corrupted-entry run published different rows"
+grep -q '(1 corrupt)' "$TMP/flipped.err" \
+  || fail "bit-flipped entry not counted corrupt: $(cat "$TMP/flipped.err")"
+
+# --- read-only mode serves hits but never writes ---------------------------
+victim=$(ls "$STORE/cells" | head -1)
+head -c 10 "$STORE/cells/$victim" > "$TMP/trunc" \
+  && mv "$TMP/trunc" "$STORE/cells/$victim"
+"$BIN" suite --store "$STORE" --store-readonly --threads 1 \
+  > "$TMP/ro.txt" 2> "$TMP/ro.err" \
+  || fail "read-only suite exited nonzero"
+cmp -s "$TMP/cold.txt" "$TMP/ro.txt" || fail "read-only run differs"
+grep -q ' 0 cells written' "$TMP/ro.err" \
+  || fail "read-only run wrote cells: $(cat "$TMP/ro.err")"
+
+# --- store subcommand: stats / ls / gc -------------------------------------
+"$BIN" store stats --store "$STORE" > "$TMP/stats.txt" \
+  || fail "store stats exited nonzero"
+grep -q ' cells, ' "$TMP/stats.txt" || fail "stats output malformed"
+n_ls=$("$BIN" store ls --store "$STORE" | wc -l)
+[ "$n_ls" -ge 64 ] || fail "store ls listed only $n_ls entries"
+"$BIN" store gc --store "$STORE" --max-bytes 0 > "$TMP/gc.txt" \
+  || fail "store gc exited nonzero"
+grep -q '0 bytes remain' "$TMP/gc.txt" || fail "gc did not empty the store"
+"$BIN" store stats --store "$STORE" | grep -q '^.*: 0 cells, 0 tapes' \
+  || fail "store not empty after gc --max-bytes 0"
+
+# --- flag contract ---------------------------------------------------------
+"$BIN" suite --store-readonly > /dev/null 2>&1 && rc=0 || rc=$?
+[ "$rc" -eq 2 ] || fail "--store-readonly without --store should exit 2 (got $rc)"
+"$BIN" store bogus --store "$STORE" > /dev/null 2>&1 && rc=0 || rc=$?
+[ "$rc" -eq 2 ] || fail "unknown store action should exit 2 (got $rc)"
+
+echo "store_roundtrip OK: warm suite byte-identical (threads 1/4/8)," \
+     "damaged entries healed as misses, stats/ls/gc clean"

@@ -19,6 +19,11 @@
 //   selcache faultsim WORKLOAD VERSION [--fault-kind K] [--fault-rate R]
 //                [--fault-seed N] [--rates R1,R2,..] [--fault-budget N]
 //                [--integrity-checks] [--watchdog-accesses N] [--stats]
+//   selcache store ACTION --store DIR [--max-bytes N]   # stats | ls | gc
+//
+// sweep/suite accept --store DIR (persistent result store: cells hit on
+// disk skip simulation entirely), --store-readonly, --store-clear. Store
+// accounting prints to stderr so stdout stays byte-identical cold vs warm.
 //
 // Exit code 0 on success, 1 when verification reports diagnostics or a
 // single faultsim run dies to an injected fault, 2 on usage errors
@@ -32,6 +37,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -50,7 +56,9 @@
 #include "locality/format.h"
 #include "locality/predictor.h"
 #include "ir/printer.h"
+#include "store/store.h"
 #include "support/table.h"
+#include "tape/cache.h"
 #include "trace/jsonl.h"
 #include "trace/timeline.h"
 #include "transform/pipeline.h"
@@ -69,9 +77,15 @@ int usage() {
                "  selcache sweep --workload NAME [--machine M] [--scheme S]"
                " [--threads N]\n"
                "                 [--trace-dir DIR] [--epoch N] [--reuse-tape]\n"
+               "                 [--store DIR] [--store-readonly]"
+               " [--store-clear]\n"
                "  selcache suite [--machine M] [--scheme S] [--threads N]"
                " [--verify-pipeline] [--trace-dir DIR] [--epoch N]"
                " [--reuse-tape]\n"
+               "                 [--store DIR] [--store-readonly]"
+               " [--store-clear]\n"
+               "  selcache store ACTION --store DIR [--max-bytes N]"
+               "   # ACTION: stats ls gc\n"
                "  selcache show  --workload NAME [--optimized] [--marked]\n"
                "  selcache run-file FILE.loop [--machine M] [--version V]"
                " [--scheme S]\n"
@@ -654,6 +668,127 @@ int cmd_tape(const std::string& wname, const std::string& vname,
   return 0;
 }
 
+/// The tape cache a store-enabled sweep records into / replays from.
+tape::TapeCache& sweep_tape_cache(const core::RunOptions& opt) {
+  return opt.tape_cache != nullptr ? *opt.tape_cache
+                                   : tape::TapeCache::global();
+}
+
+/// Open the persistent result store requested by --store/--store-readonly/
+/// --store-clear into `opt`. Returns the owning handle (nullptr when no
+/// store was requested); sets *ok=false after a one-line diagnostic on
+/// misuse or an un-creatable directory. Preloads persisted tapes when the
+/// sweep replays tapes, so figure-style warm runs skip recording too.
+std::unique_ptr<store::ResultStore> open_store_flags(
+    const std::map<std::string, std::string>& flags, core::RunOptions* opt,
+    bool* ok) {
+  *ok = true;
+  const bool read_only = flags.count("store-readonly") > 0;
+  const bool clear = flags.count("store-clear") > 0;
+  if (!flags.count("store")) {
+    if (read_only || clear) {
+      std::fprintf(stderr,
+                   "selcache: '--store-readonly'/'--store-clear' require"
+                   " '--store DIR'\n");
+      *ok = false;
+    }
+    return nullptr;
+  }
+  if (read_only && clear) {
+    std::fprintf(stderr,
+                 "selcache: '--store-readonly' and '--store-clear' are"
+                 " mutually exclusive\n");
+    *ok = false;
+    return nullptr;
+  }
+  try {
+    auto s = std::make_unique<store::ResultStore>(
+        flags.at("store"), store::ResultStore::Options{.read_only = read_only});
+    if (clear) s->clear();
+    if (opt->reuse_tape) s->preload_tapes(sweep_tape_cache(*opt));
+    opt->result_store = s.get();
+    return s;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selcache: %s\n", e.what());
+    *ok = false;
+    return nullptr;
+  }
+}
+
+/// Persist freshly recorded tapes and report the store's hit/miss ledger.
+/// Accounting goes to stderr: stdout must stay byte-identical between a
+/// cold and a warm run.
+void finish_store(store::ResultStore* s, const core::RunOptions& opt) {
+  if (s == nullptr) return;
+  std::size_t tapes = 0;
+  if (opt.reuse_tape) tapes = s->persist_tapes(sweep_tape_cache(opt));
+  const store::StoreCounters c = s->counters();
+  std::fprintf(stderr,
+               "store: %llu hits, %llu misses (%llu corrupt), %llu cells"
+               " written, %zu tapes persisted -> %s\n",
+               static_cast<unsigned long long>(c.hits),
+               static_cast<unsigned long long>(c.misses),
+               static_cast<unsigned long long>(c.corrupt),
+               static_cast<unsigned long long>(c.writes), tapes,
+               s->dir().c_str());
+}
+
+/// `selcache store ACTION --store DIR` — inspect or prune a store.
+int cmd_store(const std::string& action,
+              const std::map<std::string, std::string>& flags) {
+  if (!flags.count("store")) {
+    std::fprintf(stderr, "selcache: 'store' expects '--store DIR'\n");
+    return 2;
+  }
+  std::optional<store::ResultStore> s;
+  try {
+    s.emplace(flags.at("store"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selcache: %s\n", e.what());
+    return 2;
+  }
+  if (action == "stats") {
+    std::uint64_t cells = 0, tapes = 0, bytes = 0;
+    for (const auto& e : s->entries()) {
+      bytes += e.bytes;
+      (e.path.size() > 5 && e.path.rfind(".cell") == e.path.size() - 5
+           ? cells
+           : tapes)++;
+    }
+    std::printf("%s: %llu cells, %llu tapes, %llu bytes\n",
+                s->dir().c_str(), static_cast<unsigned long long>(cells),
+                static_cast<unsigned long long>(tapes),
+                static_cast<unsigned long long>(bytes));
+    return 0;
+  }
+  if (action == "ls") {
+    for (const auto& e : s->entries())
+      std::printf("%10llu  %s  %s\n",
+                  static_cast<unsigned long long>(e.bytes),
+                  std::filesystem::path(e.path).filename().string().c_str(),
+                  e.key.empty() ? "<unreadable>" : e.key.c_str());
+    return 0;
+  }
+  if (action == "gc") {
+    if (!flags.count("max-bytes")) {
+      std::fprintf(stderr, "selcache: 'store gc' expects '--max-bytes N'\n");
+      return 2;
+    }
+    std::uint64_t max_bytes = 0;
+    if (!parse_u64_flag(flags, "max-bytes", &max_bytes)) return 2;
+    const std::size_t removed = s->gc(max_bytes);
+    std::printf("gc: removed %zu files, %llu bytes remain in %s\n", removed,
+                static_cast<unsigned long long>(s->total_bytes()),
+                s->dir().c_str());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "selcache: unknown store action '%s' (actions: stats ls"
+               " gc)\n",
+               action.c_str());
+  return 2;
+}
+
 int cmd_sweep(const std::map<std::string, std::string>& flags) {
   const auto* w = workload_by_name(flags.count("workload")
                                        ? flags.at("workload")
@@ -673,6 +808,9 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   core::FaultSweepOptions fopt;
   bool faulted = false;
   if (!parse_sweep_fault_flags(flags, &fopt, &faulted)) return 2;
+  bool store_ok = true;
+  const auto rstore = open_store_flags(flags, &opt, &store_ok);
+  if (!store_ok) return 2;
   std::vector<core::TraceCapture> traces;
   const bool tracing = flags.count("trace-dir") > 0;
   core::ImprovementRow row;
@@ -696,6 +834,7 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
     for (core::Version v : core::kEvaluatedVersions)
       std::printf("  %-14s %+7.2f%%\n", to_string(v), row.pct.at(v));
   }
+  finish_store(rstore.get(), opt);
   if (tracing) return write_trace_dir(traces, flags.at("trace-dir"));
   return 0;
 }
@@ -758,6 +897,9 @@ int cmd_suite(const std::map<std::string, std::string>& flags) {
   core::FaultSweepOptions fopt;
   bool faulted = false;
   if (!parse_sweep_fault_flags(flags, &fopt, &faulted)) return 2;
+  bool store_ok = true;
+  const auto rstore = open_store_flags(flags, &opt, &store_ok);
+  if (!store_ok) return 2;
   std::vector<core::TraceCapture> traces;
   const bool tracing = flags.count("trace-dir") > 0;
   std::vector<core::ImprovementRow> rows;
@@ -778,6 +920,7 @@ int cmd_suite(const std::map<std::string, std::string>& flags) {
                           rows)
                           .c_str());
   }
+  finish_store(rstore.get(), opt);
   if (tracing) return write_trace_dir(traces, flags.at("trace-dir"));
   return 0;
 }
@@ -1195,15 +1338,18 @@ int main(int argc, char** argv) {
        {"sweep",
         {"workload", "machine", "scheme", "threads", "trace-dir", "epoch",
          "fault-kind", "fault-rate", "fault-seed", "fault-budget",
-         "watchdog-accesses", "max-retries", "failures-out", "failures-jsonl"},
-        {"inject-faults", "integrity-checks", "reuse-tape"}}},
+         "watchdog-accesses", "max-retries", "failures-out", "failures-jsonl",
+         "store"},
+        {"inject-faults", "integrity-checks", "reuse-tape", "store-readonly",
+         "store-clear"}}},
       {"suite",
        {"suite",
         {"machine", "scheme", "threads", "trace-dir", "epoch", "fault-kind",
          "fault-rate", "fault-seed", "fault-budget", "watchdog-accesses",
-         "max-retries", "failures-out", "failures-jsonl"},
-        {"verify-pipeline", "inject-faults", "integrity-checks",
-         "reuse-tape"}}},
+         "max-retries", "failures-out", "failures-jsonl", "store"},
+        {"verify-pipeline", "inject-faults", "integrity-checks", "reuse-tape",
+         "store-readonly", "store-clear"}}},
+      {"store", {"store", {"store", "max-bytes"}, {}}},
       {"faultsim",
        {"faultsim",
         {"machine", "scheme", "fault-kind", "fault-rate", "fault-seed",
@@ -1254,6 +1400,15 @@ int main(int argc, char** argv) {
                  cmd.c_str());
     return 2;
   }
+  if (cmd == "store") {
+    if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "selcache: 'store' expects an ACTION (stats ls gc)\n");
+      return 2;
+    }
+    positional = argv[2];
+    flag_start = 3;
+  }
   if (cmd == "trace" || cmd == "faultsim" || cmd == "tape" ||
       cmd == "predict") {
     if (argc < 4 || std::string(argv[2]).rfind("--", 0) == 0 ||
@@ -1284,6 +1439,7 @@ int main(int argc, char** argv) {
   if (cmd == "trace-record") return cmd_trace_record(flags);
   if (cmd == "trace-replay") return cmd_trace_replay(positional, flags);
   if (cmd == "tape") return cmd_tape(positional, positional2, flags);
+  if (cmd == "store") return cmd_store(positional, flags);
   if (cmd == "predict") return cmd_predict(positional, positional2, flags);
   if (cmd == "predict-matrix") return cmd_predict_matrix(flags);
   return cmd_verify(positional, flags);
