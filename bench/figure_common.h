@@ -29,6 +29,7 @@
 #include "core/report.h"
 #include "core/runner.h"
 #include "store/store.h"
+#include "support/signal_guard.h"
 #include "tape/cache.h"
 
 namespace selcache::bench {
@@ -151,8 +152,22 @@ inline int run_figure_sweep(std::vector<SweepPoint> points,
   }
   const core::ParallelSweepOptions par{.num_threads = fopt.threads};
 
+  // Graceful shutdown: a SIGINT/SIGTERM mid-axis finishes nothing torn —
+  // the current machine point is abandoned between points, tapes and store
+  // cells already persisted stay valid (a rerun serves them as hits), and
+  // the process exits with the conventional 128+signo code.
+  support::SignalGuard guard;
+
   const auto sweep_t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < points.size(); ++i) {
+    if (support::SignalGuard::stop_requested()) {
+      std::fprintf(stderr,
+                   "interrupted after %zu of %zu machine points; persisted "
+                   "store entries stay valid for the next run\n",
+                   i, points.size());
+      if (rstore != nullptr && opt.reuse_tape) rstore->persist_tapes(cache);
+      return support::SignalGuard::exit_code();
+    }
     const auto t0 = std::chrono::steady_clock::now();
     const auto rows = core::sweep_suite(points[i].machine, opt, par);
     const auto dt = std::chrono::duration<double>(

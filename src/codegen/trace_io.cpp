@@ -1,12 +1,10 @@
 #include "codegen/trace_io.h"
 
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
-#include <system_error>
 
 #include "support/check.h"
+#include "support/io.h"
 
 namespace selcache::codegen {
 
@@ -51,33 +49,20 @@ static_assert(sizeof(Record) == 16, "stable on-disk layout");
 }  // namespace
 
 bool save_trace(const Trace& trace, const std::string& path) {
-  // Crash-safe like core::write_text_file: .tmp sibling + atomic rename, so
-  // a killed run never leaves a truncated trace that load_trace rejects.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(kMagic, sizeof(kMagic));
-    const std::uint64_t n = trace.size();
-    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-    for (const TraceEvent& e : trace) {
-      Record r{static_cast<std::uint8_t>(e.kind), e.flags, 0, e.value, e.addr};
-      out.write(reinterpret_cast<const char*>(&r), sizeof(r));
-    }
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(tmp.c_str());
-      return false;
-    }
+  // Serialize into memory, then write through the hardened atomic writer
+  // (unique .tmp sibling + rename, every OS step checked) — a killed or
+  // out-of-space run never leaves a truncated trace that load_trace rejects.
+  std::string data;
+  data.reserve(sizeof(kMagic) + sizeof(std::uint64_t) +
+               trace.size() * sizeof(Record));
+  data.append(kMagic, sizeof(kMagic));
+  const std::uint64_t n = trace.size();
+  data.append(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const TraceEvent& e : trace) {
+    Record r{static_cast<std::uint8_t>(e.kind), e.flags, 0, e.value, e.addr};
+    data.append(reinterpret_cast<const char*>(&r), sizeof(r));
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return support::write_file_atomic(path, data).ok();
 }
 
 Trace load_trace(const std::string& path) {

@@ -52,4 +52,14 @@ const std::vector<MachineConfig>& all_machines() {
   return kAll;
 }
 
+std::optional<MachineConfig> machine_by_name(const std::string& n) {
+  if (n.empty() || n == "base") return base_machine();
+  if (n == "memlat") return higher_mem_latency();
+  if (n == "l2size") return larger_l2();
+  if (n == "l1size") return larger_l1();
+  if (n == "l2assoc") return higher_l2_assoc();
+  if (n == "l1assoc") return higher_l1_assoc();
+  return std::nullopt;
+}
+
 }  // namespace selcache::core

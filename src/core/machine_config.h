@@ -2,6 +2,7 @@
 // evaluated in §5 (Figures 5-9 / Table 3 rows).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,5 +28,10 @@ MachineConfig higher_l1_assoc();     ///< Figure 9: L1 8-way
 
 /// Table 3 row order.
 const std::vector<MachineConfig>& all_machines();
+
+/// Lookup by the stable CLI short id (base, memlat, l2size, l1size,
+/// l2assoc, l1assoc; "" = base). The run ledger journals this id, so it is
+/// part of the resume contract — ids never change meaning.
+std::optional<MachineConfig> machine_by_name(const std::string& n);
 
 }  // namespace selcache::core

@@ -1,10 +1,6 @@
 #include "core/report.h"
 
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
-#include <system_error>
 
 #include "support/table.h"
 
@@ -63,29 +59,26 @@ std::string figure_csv(const std::vector<ImprovementRow>& rows) {
   return os.str();
 }
 
+std::string figure_jsonl(const std::vector<ImprovementRow>& rows) {
+  std::ostringstream os;
+  for (const auto& row : rows) {
+    os << "{\"benchmark\":\"" << row.benchmark << "\",\"category\":\""
+       << to_string(row.category) << "\",\"pure_hw\":"
+       << TextTable::num(row.pct.at(Version::PureHardware)) << ",\"pure_sw\":"
+       << TextTable::num(row.pct.at(Version::PureSoftware)) << ",\"combined\":"
+       << TextTable::num(row.pct.at(Version::Combined)) << ",\"selective\":"
+       << TextTable::num(row.pct.at(Version::Selective)) << "}\n";
+  }
+  return os.str();
+}
+
+support::WriteStatus write_text_file_status(const std::string& path,
+                                            const std::string& content) {
+  return support::write_file_atomic(path, content);
+}
+
 bool write_text_file(const std::string& path, const std::string& content) {
-  // Crash-safe: write a .tmp sibling, then atomically rename over the
-  // target. A run killed mid-write leaves either the old file or nothing —
-  // never a truncated JSONL/CSV that downstream tools would mis-parse.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-    if (!out) return false;
-    out << content;
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return write_text_file_status(path, content).ok();
 }
 
 std::string format_machine(const MachineConfig& m) {

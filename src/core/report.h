@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/runner.h"
+#include "support/io.h"
 
 namespace selcache::core {
 
@@ -19,12 +20,21 @@ std::string format_machine(const MachineConfig& m);
 /// selective) — for plotting the paper's bar charts.
 std::string figure_csv(const std::vector<ImprovementRow>& rows);
 
-/// Write `content` to `path`; returns false (and leaves no partial file
-/// guarantee) on I/O failure.
-/// Write `content` to `path` crash-safely: the bytes land in a `.tmp`
-/// sibling first and are atomically renamed into place, so readers never
-/// observe a truncated file. Returns false (and cleans up the sibling) on
-/// any I/O failure.
+/// Figures 4-9 as JSONL: one object per benchmark row, fields matching the
+/// CSV columns. The run-ledger e2e harness byte-diffs this (and the CSV)
+/// between interrupted-and-resumed and uninterrupted sweeps.
+std::string figure_jsonl(const std::vector<ImprovementRow>& rows);
+
+/// Write `content` to `path` crash-safely (unique `.tmp` sibling + atomic
+/// rename via support::write_file_atomic), so readers never observe a
+/// truncated file. The returned status carries the failing stage and errno
+/// text; on failure the sibling is cleaned up and the target keeps its old
+/// contents.
+support::WriteStatus write_text_file_status(const std::string& path,
+                                            const std::string& content);
+
+/// Boolean convenience wrapper around write_text_file_status for callers
+/// that only branch on success.
 bool write_text_file(const std::string& path, const std::string& content);
 
 }  // namespace selcache::core

@@ -25,10 +25,12 @@ std::uint64_t l1_accesses(const RunResult& r) {
          r.stats.get("l1i.hits") + r.stats.get("l1i.misses");
 }
 
+}  // namespace
+
 /// Assemble one figure row from the five per-version results. Shared by the
-/// serial and parallel paths so their outputs are bit-identical.
-ImprovementRow make_row(const workloads::WorkloadInfo& w,
-                        const std::array<RunResult, 5>& results) {
+/// serial, parallel, and checkpoint paths so their outputs are bit-identical.
+ImprovementRow make_improvement_row(const workloads::WorkloadInfo& w,
+                                    const std::array<RunResult, 5>& results) {
   ImprovementRow row;
   row.benchmark = w.name;
   row.category = w.category;
@@ -42,8 +44,6 @@ ImprovementRow make_row(const workloads::WorkloadInfo& w,
   }
   return row;
 }
-
-}  // namespace
 
 const char* version_key(Version v) {
   switch (v) {
@@ -91,6 +91,10 @@ struct Simulation {
         controller(scheme.get()),
         cpu(m.cpu, hierarchy, controller) {
     hierarchy.attach_hw(scheme.get());
+    // Optional run supervision (stop token / wall-clock deadline): exports
+    // no stats and changes no results — only adds exit paths — so it is
+    // invisible to the tape and store eligibility rules.
+    if (opt.run_guard != nullptr) hierarchy.set_run_guard(opt.run_guard);
 
     // Optional fault campaign: the injector lives on this task's stack like
     // the trace recorder, and attaching it is the only thing that makes any
@@ -151,6 +155,8 @@ struct Simulation {
 
 constexpr auto fnv1a = fnv1a_u64;  // shared fold (support/fingerprint.h)
 
+}  // namespace
+
 /// Hash of every RunOptions field the recorded stream depends on. The
 /// machine and scheme are deliberately excluded (the stream is invariant
 /// under both: geometry only changes the hierarchy's response, and the
@@ -177,12 +183,6 @@ std::uint64_t stream_fingerprint(const RunOptions& opt) {
   // A method predictor reshapes the marked program, so its configuration
   // fingerprint is part of the stream identity.
   return fnv1a(h, o.method_predictor_fingerprint);
-}
-
-/// Is this run allowed on the tape path? Fault campaigns and watchdogs
-/// perturb or truncate the run midstream, so they always interpret.
-bool tape_eligible(const RunOptions& opt) {
-  return opt.reuse_tape && !opt.fault.enabled() && opt.watchdog_accesses == 0;
 }
 
 /// Fingerprint of every machine parameter a simulation's outputs depend
@@ -215,6 +215,14 @@ std::uint64_t machine_fingerprint(const MachineConfig& m) {
   h = fnv1a(h, m.cpu.toggle_latency);
   h = fnv1a(h, m.cpu.model_ifetch ? 1 : 0);
   return h;
+}
+
+namespace {
+
+/// Is this run allowed on the tape path? Fault campaigns and watchdogs
+/// perturb or truncate the run midstream, so they always interpret.
+bool tape_eligible(const RunOptions& opt) {
+  return opt.reuse_tape && !opt.fault.enabled() && opt.watchdog_accesses == 0;
 }
 
 /// Is this run allowed on the persistent-store path? Stored results carry
@@ -392,7 +400,7 @@ ImprovementRow improvements_for(const workloads::WorkloadInfo& w,
                                tracing ? &recs[i] : nullptr);
   }
   append_captures(w, recs, traces);
-  return make_row(w, results);
+  return make_improvement_row(w, results);
 }
 
 std::vector<ImprovementRow> sweep_suite(const MachineConfig& m,
@@ -431,7 +439,7 @@ std::vector<ImprovementRow> sweep_suite(const MachineConfig& m,
     std::array<RunResult, 5> results;
     for (std::size_t vi = 0; vi < kAllVersions.size(); ++vi)
       results[vi] = futures[wi][vi].get();
-    rows.push_back(make_row(suite[wi], results));
+    rows.push_back(make_improvement_row(suite[wi], results));
     if (traces != nullptr) append_captures(suite[wi], recs[wi], traces);
   }
   return rows;

@@ -9,6 +9,7 @@
 // a serial sweep, regardless of thread count or scheduling.
 #pragma once
 
+#include <array>
 #include <map>
 
 #include "core/versions.h"
@@ -24,6 +25,10 @@ class TapeCache;
 
 namespace selcache::store {
 class ResultStore;
+}
+
+namespace selcache::support {
+class RunGuard;
 }
 
 namespace selcache::core {
@@ -62,6 +67,13 @@ struct RunOptions {
   /// (mirroring the tape rule: their outputs are not pure functions of the
   /// cell key, or carry a recording the store does not).
   store::ResultStore* result_store = nullptr;
+  /// Run-supervision guard polled once per hierarchy access (nullptr = no
+  /// supervision). Unlike the fault injector it exports no stats and never
+  /// perturbs results, so it does NOT affect tape or store eligibility —
+  /// it only adds two exit paths (support::RunSuspended on the run's stop
+  /// token, support::CellDeadlineExceeded on the cell's wall clock). Not
+  /// thread-safe: give each parallel task its own guard.
+  support::RunGuard* run_guard = nullptr;
 };
 
 /// How to schedule the independent simulations of a sweep.
@@ -148,6 +160,22 @@ struct ImprovementRow {
   /// (e.g. "selective.l1d.misses"). Part of the determinism contract.
   StatSet stats;
 };
+
+/// Assemble one figure row from the five per-version results (kAllVersions
+/// order). This is the exact row constructor the sweep engines use, exposed
+/// so the checkpoint engine can rebuild rows from per-cell results (stored
+/// or fresh) and stay bit-identical to an uninterrupted sweep.
+ImprovementRow make_improvement_row(const workloads::WorkloadInfo& w,
+                                    const std::array<RunResult, 5>& results);
+
+/// Fingerprint of every RunOptions field the recorded access stream depends
+/// on (data seed + optimization pipeline + method-predictor config). One
+/// input of the run-ledger RunId.
+std::uint64_t stream_fingerprint(const RunOptions& opt);
+
+/// Fingerprint of every machine parameter a simulation's outputs depend on.
+/// The other machine-side input of the run-ledger RunId.
+std::uint64_t machine_fingerprint(const MachineConfig& m);
 
 /// When `traces` is non-null, every per-version run is traced and its
 /// recording appended in fixed version order (the determinism contract

@@ -1,0 +1,259 @@
+#include "run/journal.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/fingerprint.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace selcache::run {
+
+namespace {
+
+/// Bytes that must be escaped in keys/values: the payload separators (TAB,
+/// '='), the escape char itself, and line breaks (journals stay greppable
+/// line-by-line even though the frame is binary).
+bool needs_escape(char c) {
+  return c == '%' || c == '\t' || c == '\n' || c == '\r' || c == '=';
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (needs_escape(c)) {
+      static const char* hex = "0123456789ABCDEF";
+      out += '%';
+      out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+      out += hex[static_cast<unsigned char>(c) & 0xF];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+/// Unescape; false on a malformed %-sequence.
+bool unescape(const std::string& s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      *out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) return false;
+    const int hi = hex_nibble(s[i + 1]);
+    const int lo = hex_nibble(s[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    *out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return true;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+constexpr std::size_t kFrameHeader = 4 + 8;  // u32 length + u64 checksum
+
+/// Sanity cap on one record's payload; anything larger is framing
+/// corruption, not a real record (the largest legitimate record is a
+/// failure reason of a few hundred bytes).
+constexpr std::uint32_t kMaxPayload = 1 << 20;
+
+}  // namespace
+
+JournalRecord& JournalRecord::add(const std::string& key,
+                                  std::uint64_t value) {
+  return add(key, std::to_string(value));
+}
+
+const std::string* JournalRecord::find(const std::string& key) const {
+  for (const auto& [k, v] : fields)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string JournalRecord::get(const std::string& key,
+                               const std::string& dflt) const {
+  const std::string* v = find(key);
+  return v != nullptr ? *v : dflt;
+}
+
+std::uint64_t JournalRecord::get_u64(const std::string& key,
+                                     std::uint64_t dflt) const {
+  const std::string* v = find(key);
+  if (v == nullptr || v->empty() ||
+      v->find_first_not_of("0123456789") != std::string::npos)
+    return dflt;
+  return std::strtoull(v->c_str(), nullptr, 10);
+}
+
+std::string encode_record(const JournalRecord& rec) {
+  std::string payload = escape(rec.type);
+  for (const auto& [k, v] : rec.fields) {
+    payload += '\t';
+    payload += escape(k);
+    payload += '=';
+    payload += escape(v);
+  }
+  return payload;
+}
+
+bool decode_record(const std::string& payload, JournalRecord* out) {
+  out->type.clear();
+  out->fields.clear();
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= payload.size()) {
+    const std::size_t tab = payload.find('\t', pos);
+    const std::string tok = payload.substr(
+        pos, tab == std::string::npos ? std::string::npos : tab - pos);
+    if (first) {
+      if (tok.empty() || !unescape(tok, &out->type)) return false;
+      first = false;
+    } else {
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos) return false;
+      std::string k, v;
+      if (!unescape(tok.substr(0, eq), &k) ||
+          !unescape(tok.substr(eq + 1), &v))
+        return false;
+      out->fields.emplace_back(std::move(k), std::move(v));
+    }
+    if (tab == std::string::npos) break;
+    pos = tab + 1;
+  }
+  return !first;
+}
+
+JournalWriter::JournalWriter(const std::string& path, bool sync_each)
+    : sync_each_(sync_each) {
+  f_ = std::fopen(path.c_str(), "ab");
+  if (f_ == nullptr)
+    error_ = "open: " + std::string(std::strerror(errno));
+}
+
+JournalWriter::~JournalWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+bool JournalWriter::append(const JournalRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (f_ == nullptr) return false;
+  const std::string payload = encode_record(rec);
+  std::string frame;
+  frame.reserve(kFrameHeader + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u64(frame, fnv1a_bytes(kFnv1aOffset, payload.data(), payload.size()));
+  frame += payload;
+
+  errno = 0;
+  if (std::fwrite(frame.data(), 1, frame.size(), f_) != frame.size()) {
+    error_ = "write: " + std::string(std::strerror(errno));
+    return false;
+  }
+  if (std::fflush(f_) != 0) {
+    error_ = "flush: " + std::string(std::strerror(errno));
+    return false;
+  }
+#ifndef _WIN32
+  // The write-ahead contract: a record acknowledged here survives SIGKILL.
+  if (sync_each_ && ::fsync(::fileno(f_)) != 0) {
+    error_ = "fsync: " + std::string(std::strerror(errno));
+    return false;
+  }
+#endif
+  return true;
+}
+
+std::string JournalWriter::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+JournalReadResult read_journal(const std::string& path) {
+  JournalReadResult out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;  // no journal: zero records
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    // A frame that does not fully fit, fails its checksum, or does not
+    // decode is the torn tail if nothing follows it — expected after a
+    // kill mid-append — and corruption otherwise.
+    bool intact = false;
+    std::size_t next = pos;
+    if (pos + kFrameHeader <= data.size()) {
+      const std::uint32_t len = get_u32(p + pos);
+      const std::uint64_t want = get_u64(p + pos + 4);
+      if (len <= kMaxPayload && pos + kFrameHeader + len <= data.size()) {
+        const char* payload = data.data() + pos + kFrameHeader;
+        if (fnv1a_bytes(kFnv1aOffset, payload, len) == want) {
+          JournalRecord rec;
+          if (decode_record(std::string(payload, len), &rec)) {
+            out.records.push_back(std::move(rec));
+            next = pos + kFrameHeader + len;
+            intact = true;
+          }
+        }
+      }
+    }
+    if (!intact) {
+      out.bytes_dropped = data.size() - pos;
+      out.torn_tail = true;
+      // Distinguish a torn tail (kill mid-append: the remainder is shorter
+      // than or equal to one frame attempt) from mid-file corruption. We
+      // cannot re-synchronize reliably — frames are not self-delimiting —
+      // so everything from here on is dropped either way; `corrupt` just
+      // records that the drop was larger than one plausible frame.
+      if (pos + kFrameHeader <= data.size()) {
+        const std::uint32_t len = get_u32(p + pos);
+        if (len <= kMaxPayload && pos + kFrameHeader + len < data.size())
+          out.corrupt = true;
+      }
+      break;
+    }
+    pos = next;
+  }
+  return out;
+}
+
+}  // namespace selcache::run

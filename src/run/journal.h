@@ -1,0 +1,100 @@
+// Append-only, checksummed write-ahead journal for run ledgers.
+//
+// The journal is the source of truth for a checkpointed run: one record per
+// cell-state transition (planned -> started -> done|failed|quarantined),
+// plus run-level records (run header, suspended, complete). It follows the
+// store's crash-safe discipline, adapted from rewrite-whole-file to
+// append-only:
+//
+//   * every append is framed [u32 length][u64 FNV-1a checksum][payload] and
+//     fsync'd before the writer reports success, so an acknowledged record
+//     survives SIGKILL;
+//   * the reader tolerates a torn tail: a final record whose frame is
+//     truncated or whose checksum mismatches is detected by the
+//     length+checksum pair and DROPPED, never mis-parsed — everything
+//     before it is trusted. A torn frame mid-file (not the tail) marks the
+//     journal corrupt from that point on; records before it are still
+//     returned.
+//
+// Payloads are text: `type<TAB>key=value<TAB>key=value`, with %-escaping
+// for the five bytes that would break framing or parsing (%, TAB, LF, CR,
+// '='). Text keeps journals greppable; the binary frame keeps them safe.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace selcache::run {
+
+/// One journal record: a type tag plus ordered key=value fields.
+struct JournalRecord {
+  std::string type;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  JournalRecord() = default;
+  explicit JournalRecord(std::string t) : type(std::move(t)) {}
+
+  JournalRecord& add(const std::string& key, const std::string& value) {
+    fields.emplace_back(key, value);
+    return *this;
+  }
+  JournalRecord& add(const std::string& key, std::uint64_t value);
+
+  /// First value for `key`, or nullptr.
+  const std::string* find(const std::string& key) const;
+  /// find() with a default for optional fields.
+  std::string get(const std::string& key, const std::string& dflt = "") const;
+  /// Parsed unsigned field; `dflt` when absent or malformed.
+  std::uint64_t get_u64(const std::string& key, std::uint64_t dflt = 0) const;
+};
+
+/// Serialize / parse one record payload (exposed for tests). parse returns
+/// false on a malformed payload (empty, or a field without '=').
+std::string encode_record(const JournalRecord& rec);
+bool decode_record(const std::string& payload, JournalRecord* out);
+
+/// Appending half. Thread-safe: append() serializes internally, so parallel
+/// cell tasks can journal their own transitions.
+class JournalWriter {
+ public:
+  /// Opens `path` for appending (creating it if absent). `sync_each` fsyncs
+  /// after every record — the write-ahead contract; tests may turn it off.
+  explicit JournalWriter(const std::string& path, bool sync_each = true);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// False when the file could not be opened; append() then always fails.
+  bool ok() const { return f_ != nullptr; }
+
+  /// Frame, write, flush, fsync. Returns false (and records last_error)
+  /// when any step fails — the caller decides whether that is fatal.
+  bool append(const JournalRecord& rec);
+
+  std::string last_error() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* f_ = nullptr;
+  std::string error_;
+  bool sync_each_;
+};
+
+/// Result of replaying a journal file.
+struct JournalReadResult {
+  std::vector<JournalRecord> records;  ///< every intact record, in order
+  bool torn_tail = false;   ///< final record truncated/corrupt and dropped
+  bool corrupt = false;     ///< corruption before the tail (suffix dropped)
+  std::uint64_t bytes_dropped = 0;  ///< bytes after the last intact record
+};
+
+/// Replay `path`. A missing file reads as zero records (not an error) —
+/// callers distinguish "no journal" via records.empty().
+JournalReadResult read_journal(const std::string& path);
+
+}  // namespace selcache::run

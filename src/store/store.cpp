@@ -1,7 +1,6 @@
 #include "store/store.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -11,6 +10,7 @@
 
 #include "support/check.h"
 #include "support/fingerprint.h"
+#include "support/io.h"
 #include "tape/tape.h"
 
 namespace fs = std::filesystem;
@@ -154,32 +154,6 @@ std::optional<std::string> read_file(const std::string& path) {
   return data;
 }
 
-/// Crash-safe write: unique .tmp sibling + atomic rename. Returns false on
-/// I/O failure (the store treats failed writes as non-events).
-bool write_file_atomic(const std::string& path, const std::string& data) {
-  static std::atomic<std::uint64_t> seq{0};
-  const std::string tmp =
-      path + ".tmp" + std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
-}
-
 std::int64_t mtime_seconds(const fs::path& p) {
   std::error_code ec;
   const auto t = fs::last_write_time(p, ec);
@@ -277,7 +251,25 @@ void ResultStore::save(const std::string& key, const StoredResult& r) {
   put_u64(data, payload.size());
   put_u64(data, fnv1a_bytes(kFnv1aOffset, payload.data(), payload.size()));
   data += payload;
-  if (write_file_atomic(cell_path(key), data)) count(&StoreCounters::writes);
+  note_write(support::write_file_atomic(cell_path(key), data));
+}
+
+void ResultStore::note_write(const support::WriteStatus& st) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (st.ok()) {
+    ++counters_.writes;
+  } else {
+    // A failed write is a non-event for correctness (the cell simply
+    // re-simulates next time) but never a silent one: it is counted and its
+    // stage+errno text retained for diagnostics.
+    ++counters_.write_errors;
+    last_write_error_ = st.message();
+  }
+}
+
+std::string ResultStore::last_write_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_write_error_;
 }
 
 std::size_t ResultStore::preload_tapes(tape::TapeCache& cache) {
@@ -319,8 +311,16 @@ std::size_t ResultStore::persist_tapes(const tape::TapeCache& cache) {
     // pair; a crash between the two leaves an orphan .tape that is simply
     // rewritten next time.
     if (fs::exists(stem + ".key", ec)) continue;
-    if (!tape::save_tape(*tp, stem + ".tape")) continue;
-    if (write_file_atomic(stem + ".key", key + "\n")) ++written;
+    const support::WriteStatus tape_st =
+        tape::save_tape_status(*tp, stem + ".tape");
+    if (!tape_st.ok()) {
+      note_write(tape_st);
+      continue;
+    }
+    const support::WriteStatus key_st =
+        support::write_file_atomic(stem + ".key", key + "\n");
+    note_write(key_st);
+    if (key_st.ok()) ++written;
   }
   return written;
 }

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "support/io.h"
 #include "support/stats.h"
 #include "tape/cache.h"
 
@@ -63,12 +64,15 @@ struct StoredResult {
 
 /// Hit/miss/write accounting for one store handle's lifetime. `corrupt`
 /// counts loads that found a file but rejected it (also counted in
-/// `misses` — corruption is a miss, never an error).
+/// `misses` — corruption is a miss, never an error). `write_errors` counts
+/// saves the filesystem rejected (ENOSPC/EIO/...): correctness-neutral (the
+/// cell re-simulates next run) but never silent — see last_write_error().
 struct StoreCounters {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t writes = 0;
   std::uint64_t corrupt = 0;
+  std::uint64_t write_errors = 0;
 };
 
 class ResultStore {
@@ -130,14 +134,20 @@ class ResultStore {
   /// This handle's hit/miss/write counters (thread-safe snapshot).
   StoreCounters counters() const;
 
+  /// "stage: errno text" of the most recent failed write (empty if none) —
+  /// the diagnostic companion of counters().write_errors.
+  std::string last_write_error() const;
+
  private:
   std::string cell_path(const std::string& key) const;
   void count(std::uint64_t StoreCounters::* field);
+  void note_write(const support::WriteStatus& st);
 
   std::string dir_;
   Options opt_;
   mutable std::mutex mu_;  ///< guards counters_ (file ops are lock-free)
   StoreCounters counters_;
+  std::string last_write_error_;
 };
 
 }  // namespace selcache::store

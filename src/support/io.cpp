@@ -1,0 +1,100 @@
+#include "support/io.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace selcache::support {
+
+std::string WriteStatus::message() const {
+  if (ok()) return {};
+  return stage + ": " + (error.empty() ? "unknown error" : error);
+}
+
+std::function<bool(const std::string&, const char*)>& write_fault_hook() {
+  static std::function<bool(const std::string&, const char*)> hook;
+  return hook;
+}
+
+namespace {
+
+WriteStatus fail(const char* stage, const char* detail = nullptr) {
+  WriteStatus s;
+  s.stage = stage;
+  s.error = detail != nullptr ? detail
+            : errno != 0     ? std::strerror(errno)
+                             : "unknown error";
+  return s;
+}
+
+/// One Bernoulli consult of the fault hook; true = simulate failure here.
+bool hook_fires(const std::string& path, const char* stage) {
+  auto& hook = write_fault_hook();
+  return hook && hook(path, stage);
+}
+
+}  // namespace
+
+WriteStatus write_file_atomic(const std::string& path, const std::string& data,
+                              const WriteOptions& opt) {
+  // Unique .tmp sibling: concurrent writers of the same target never stomp
+  // each other's temporary, and a lost rename race is harmless.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp =
+      path + ".tmp" + std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+
+  errno = 0;
+  if (hook_fires(path, "open")) return fail("open", "injected fault");
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return fail("open");
+
+  const auto cleanup_fail = [&](const char* stage,
+                                const char* detail = nullptr) {
+    WriteStatus s = fail(stage, detail);
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return s;
+  };
+
+  if (hook_fires(path, "write")) return cleanup_fail("write", "injected fault");
+  if (!data.empty() &&
+      std::fwrite(data.data(), 1, data.size(), f) != data.size())
+    return cleanup_fail("write");
+
+  // fflush pushes libc buffers to the kernel and is where ENOSPC on a full
+  // filesystem typically surfaces for buffered writes.
+  if (hook_fires(path, "flush")) return cleanup_fail("flush", "injected fault");
+  if (std::fflush(f) != 0) return cleanup_fail("flush");
+
+#ifndef _WIN32
+  if (opt.sync) {
+    if (hook_fires(path, "fsync"))
+      return cleanup_fail("fsync", "injected fault");
+    if (::fsync(::fileno(f)) != 0) return cleanup_fail("fsync");
+  }
+#endif
+
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return fail("flush");  // close flushes the last buffer; treat alike
+  }
+
+  errno = 0;
+  if (hook_fires(path, "rename")) {
+    std::remove(tmp.c_str());
+    return fail("rename", "injected fault");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    WriteStatus s = fail("rename");
+    std::remove(tmp.c_str());
+    return s;
+  }
+  return {};
+}
+
+}  // namespace selcache::support

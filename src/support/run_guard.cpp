@@ -1,0 +1,16 @@
+#include "support/run_guard.h"
+
+namespace selcache::support {
+
+void RunGuard::slow_poll() {
+  if (stop_ != nullptr && stop_->load(std::memory_order_relaxed) != 0)
+    throw RunSuspended("run suspended (stop token tripped)");
+  if (!has_deadline_ && !has_run_deadline_) return;
+  const auto now = Clock::now();
+  if (has_run_deadline_ && now > run_deadline_)
+    throw RunSuspended("run suspended (run deadline expired)");
+  if (has_deadline_ && now > deadline_)
+    throw CellDeadlineExceeded("cell wall-clock deadline exceeded");
+}
+
+}  // namespace selcache::support

@@ -1,0 +1,63 @@
+#include "support/signal_guard.h"
+
+#include "support/check.h"
+
+#ifndef _WIN32
+#include <csignal>
+#endif
+
+namespace selcache::support {
+
+std::atomic<int> SignalGuard::signo_{0};
+
+int SignalGuard::exit_code() {
+  const int s = signal_number();
+  return s == 0 ? 0 : 128 + s;
+}
+
+#ifndef _WIN32
+
+struct SignalGuard::Saved {
+  struct sigaction prev_int;
+  struct sigaction prev_term;
+};
+
+namespace {
+
+bool g_installed = false;  ///< scoped-singleton check (main thread only)
+
+extern "C" void selcache_signal_handler(int signo) {
+  // Only the first signal is recorded: a second Ctrl-C during the graceful
+  // drain must not overwrite the code the process is about to exit with.
+  SignalGuard::note_signal(signo);
+}
+
+}  // namespace
+
+SignalGuard::SignalGuard() : saved_(new Saved{}) {
+  SELCACHE_CHECK_MSG(!g_installed, "nested SignalGuard");
+  g_installed = true;
+  struct sigaction sa = {};
+  sa.sa_handler = selcache_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: let blocking syscalls see EINTR
+  sigaction(SIGINT, &sa, &saved_->prev_int);
+  sigaction(SIGTERM, &sa, &saved_->prev_term);
+}
+
+SignalGuard::~SignalGuard() {
+  sigaction(SIGINT, &saved_->prev_int, nullptr);
+  sigaction(SIGTERM, &saved_->prev_term, nullptr);
+  g_installed = false;
+  delete saved_;
+}
+
+#else  // _WIN32: no sigaction; the guard is inert.
+
+struct SignalGuard::Saved {};
+SignalGuard::SignalGuard() : saved_(nullptr) {}
+SignalGuard::~SignalGuard() { delete saved_; }
+
+#endif
+
+}  // namespace selcache::support

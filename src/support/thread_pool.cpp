@@ -45,6 +45,19 @@ std::size_t ThreadPool::pending() const {
   return queue_.size();
 }
 
+void ThreadPool::request_stop() {
+  std::deque<std::function<void()>> discarded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancel_.store(true, std::memory_order_relaxed);
+    // Swap the queue out and destroy it outside the lock: dropping a task
+    // destroys its packaged_task, which resolves the task's future with
+    // broken_promise — and that may run arbitrary shared-state teardown.
+    discarded.swap(queue_);
+  }
+  cv_.notify_all();
+}
+
 unsigned ThreadPool::hardware_threads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }

@@ -13,6 +13,13 @@
 // that somehow throws outside its packaged_task wrapper (a broken_promise
 // pathway, a hostile std::function) is swallowed by a worker-loop backstop
 // and counted in stray_exceptions() rather than escaping the thread.
+//
+// Cooperative cancellation: request_stop() flips an atomic stop token and
+// discards every not-yet-started task (their futures resolve with
+// broken_promise — never a hang), while in-flight tasks run to completion.
+// This is the drain path graceful shutdown rides on: a SIGINT mid-sweep
+// abandons the queued cells, finishes or aborts the running ones, and the
+// destructor joins promptly instead of simulating the rest of the sweep.
 #pragma once
 
 #include <atomic>
@@ -54,11 +61,30 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
+      // Submissions after a stop request are dropped immediately: the
+      // caller gets a future that reports broken_promise, the same way a
+      // queued-but-discarded task does.
+      if (!cancel_.load(std::memory_order_relaxed))
+        queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
     return result;
   }
+
+  /// Cooperative cancellation: discard every queued (not yet started) task
+  /// — their futures resolve with std::future_error (broken_promise) — and
+  /// let in-flight tasks finish. Idempotent; callable from any thread
+  /// (including a task running on the pool).
+  void request_stop();
+
+  /// Has request_stop() been called?
+  bool stop_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  /// The stop token as a pollable atomic (nonzero = stop), for handing to
+  /// cooperative cancellation points inside running tasks.
+  const std::atomic<bool>* stop_token() const { return &cancel_; }
 
   std::size_t num_threads() const { return workers_.size(); }
 
@@ -86,7 +112,8 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  bool stop_ = false;                 ///< destructor drain (completes queue)
+  std::atomic<bool> cancel_{false};   ///< request_stop (discards queue)
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> stray_exceptions_{0};
 };

@@ -1,10 +1,9 @@
 #include "tape/tape.h"
 
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
-#include <system_error>
+
+#include "support/io.h"
 
 namespace selcache::tape {
 
@@ -30,40 +29,31 @@ static_assert(sizeof(FileHeader) == 64, "stable on-disk layout");
 
 }  // namespace
 
+support::WriteStatus save_tape_status(const Tape& tape,
+                                      const std::string& path) {
+  // Serialize into memory, then hand the bytes to the hardened atomic
+  // writer: every OS-level step is checked there, so ENOSPC/EIO surface as
+  // a structured status instead of a silently-truncated tape.
+  std::string data;
+  data.reserve(sizeof(kMagic) + sizeof(FileHeader) + tape.bytes.size());
+  data.append(kMagic, sizeof(kMagic));
+  FileHeader h{};
+  h.version = tape.version;
+  h.loads = tape.stats.loads;
+  h.stores = tape.stats.stores;
+  h.ifetch_batches = tape.stats.ifetch_batches;
+  h.branches = tape.stats.branches;
+  h.computes = tape.stats.computes;
+  h.toggles = tape.stats.toggles;
+  h.n_bytes = tape.bytes.size();
+  data.append(reinterpret_cast<const char*>(&h), sizeof(h));
+  data.append(reinterpret_cast<const char*>(tape.bytes.data()),
+              tape.bytes.size());
+  return support::write_file_atomic(path, data);
+}
+
 bool save_tape(const Tape& tape, const std::string& path) {
-  // Crash-safe like core::write_text_file / codegen::save_trace: write a
-  // .tmp sibling, then atomically rename over the target.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(kMagic, sizeof(kMagic));
-    FileHeader h{};
-    h.version = tape.version;
-    h.loads = tape.stats.loads;
-    h.stores = tape.stats.stores;
-    h.ifetch_batches = tape.stats.ifetch_batches;
-    h.branches = tape.stats.branches;
-    h.computes = tape.stats.computes;
-    h.toggles = tape.stats.toggles;
-    h.n_bytes = tape.bytes.size();
-    out.write(reinterpret_cast<const char*>(&h), sizeof(h));
-    out.write(reinterpret_cast<const char*>(tape.bytes.data()),
-              static_cast<std::streamsize>(tape.bytes.size()));
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return save_tape_status(tape, path).ok();
 }
 
 Tape load_tape(const std::string& path) {
@@ -108,15 +98,37 @@ Tape load_tape(const std::string& path) {
   // Cross-check: the stream must decode cleanly and contain exactly the
   // operation counts the header claims (a counting null sink costs one
   // linear pass at load time — loads are rare next to replays).
+  //
+  // The decode pass is bounded by the header's claim: a Loop record's rep
+  // count comes straight from an untrusted varint, so without a budget a
+  // corrupt tape could encode a near-2^64-iteration loop and turn this
+  // validation pass into a hang. Exceeding the claimed total aborts as
+  // corruption immediately — semantics-preserving for valid tapes, which
+  // must match the claim exactly anyway. The claim itself is sanity-capped:
+  // real tapes are bounded by what a simulation can emit in reasonable
+  // wall-clock time, orders of magnitude under the cap.
+  const std::uint64_t claimed = h.loads + h.stores + h.ifetch_batches +
+                                h.branches + h.computes + h.toggles;
+  constexpr std::uint64_t kMaxTapeOps = 1ULL << 33;
+  SELCACHE_CHECK_MSG(claimed <= kMaxTapeOps,
+                     "implausible tape op count in " + path);
   struct CountingSink {
     TapeStats s;
-    void load(Addr, bool) { ++s.loads; }
-    void store(Addr) { ++s.stores; }
-    void touch_code(Addr, std::uint32_t) { ++s.ifetch_batches; }
-    void branch(Addr, bool) { ++s.branches; }
-    void compute(std::uint64_t) { ++s.computes; }
-    void toggle(bool, std::int32_t) { ++s.toggles; }
+    std::uint64_t total = 0;
+    std::uint64_t budget = 0;
+    void bump() {
+      ++total;
+      SELCACHE_CHECK_MSG(total <= budget,
+                         "tape stream exceeds declared op counts");
+    }
+    void load(Addr, bool) { bump(); ++s.loads; }
+    void store(Addr) { bump(); ++s.stores; }
+    void touch_code(Addr, std::uint32_t) { bump(); ++s.ifetch_batches; }
+    void branch(Addr, bool) { bump(); ++s.branches; }
+    void compute(std::uint64_t) { bump(); ++s.computes; }
+    void toggle(bool, std::int32_t) { bump(); ++s.toggles; }
   } counter;
+  counter.budget = claimed;
   replay_into(tape, counter);
   SELCACHE_CHECK_MSG(counter.s == tape.stats,
                      "tape stats disagree with stream in " + path);

@@ -74,6 +74,7 @@
 #include <vector>
 
 #include "support/check.h"
+#include "support/io.h"
 #include "support/types.h"
 
 namespace selcache::tape {
@@ -582,8 +583,13 @@ void replay_into(const Tape& tape, Sink& sink) {
 // -- file round-trip ---------------------------------------------------------
 
 /// Binary save with a versioned header ("SCTAPE01" magic, stats, byte
-/// count). Crash-safe: .tmp sibling + atomic rename. Returns false on I/O
-/// failure.
+/// count). Crash-safe: unique .tmp sibling + atomic rename through
+/// support::write_file_atomic; the status carries the failing stage and
+/// errno text (ENOSPC/EIO surface here, never as a truncated tape).
+support::WriteStatus save_tape_status(const Tape& tape,
+                                      const std::string& path);
+
+/// Boolean convenience wrapper around save_tape_status.
 bool save_tape(const Tape& tape, const std::string& path);
 
 /// Load and validate a saved tape; throws std::logic_error on malformed

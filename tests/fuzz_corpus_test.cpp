@@ -1,0 +1,309 @@
+// Deterministic corpus fuzzing of the three untrusted-input readers:
+//
+//   * ir::parse_program      — text workloads from the CLI (run-file)
+//   * tape::load_tape        — binary trace tapes from disk
+//   * store::ResultStore     — persistent result-store cell files
+//
+// Each target gets a small committed/canonical corpus; a seed-driven
+// mutator (splitmix64, fixed seed list — byte-identical across runs and
+// platforms) derives a few hundred corrupted variants per corpus entry.
+// The contract under fuzz is the readers' documented trust edge:
+//
+//   * parse_program / load_tape: return a value or throw std::logic_error
+//     with a message — never crash, hang, or throw anything else;
+//   * the store read path: corruption is a MISS (nullopt) or, when the
+//     mutation missed the validated region, the original value — never an
+//     exception, never a different value (the embedded checksum gates it).
+//
+// This is not coverage-guided fuzzing; it is a deterministic regression
+// harness over known-interesting corpora, cheap enough for every CI run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ir/parser.h"
+#include "store/store.h"
+#include "tape/tape.h"
+
+#ifndef SELCACHE_CORPORA_DIR
+#error "build must define SELCACHE_CORPORA_DIR"
+#endif
+
+namespace selcache {
+namespace {
+
+namespace fs = std::filesystem;
+
+// -- deterministic mutator ---------------------------------------------------
+
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+/// Apply 1..8 structural mutations to `data`: single-byte smashes, bit
+/// flips, truncations, insertions, chunk duplication, and chunk zeroing —
+/// the corruption shapes torn writes and bad media actually produce.
+std::string mutate(const std::string& data, std::uint64_t seed) {
+  SplitMix64 rng{seed * 0x9E3779B97F4A7C15ULL + 1};
+  std::string out = data;
+  const std::uint64_t n_mut = 1 + rng.below(8);
+  for (std::uint64_t m = 0; m < n_mut; ++m) {
+    if (out.empty()) {
+      out.push_back(static_cast<char>(rng.next() & 0xFF));
+      continue;
+    }
+    switch (rng.below(6)) {
+      case 0:  // smash one byte
+        out[rng.below(out.size())] = static_cast<char>(rng.next() & 0xFF);
+        break;
+      case 1:  // flip one bit
+        out[rng.below(out.size())] ^=
+            static_cast<char>(1u << rng.below(8));
+        break;
+      case 2:  // truncate
+        out.resize(rng.below(out.size()));
+        break;
+      case 3:  // insert a byte
+        out.insert(out.begin() +
+                       static_cast<std::ptrdiff_t>(rng.below(out.size() + 1)),
+                   static_cast<char>(rng.next() & 0xFF));
+        break;
+      case 4: {  // duplicate a chunk onto a random position
+        const std::size_t len = 1 + rng.below(16);
+        const std::size_t src = rng.below(out.size());
+        const std::size_t take = std::min(len, out.size() - src);
+        out.insert(rng.below(out.size()), out.substr(src, take));
+        break;
+      }
+      case 5: {  // zero a chunk
+        const std::size_t len = 1 + rng.below(16);
+        const std::size_t at = rng.below(out.size());
+        for (std::size_t i = at; i < out.size() && i < at + len; ++i)
+          out[i] = 0;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+constexpr std::uint64_t kSeedsPerEntry = 200;
+
+TEST(FuzzMutator, IsDeterministic) {
+  const std::string base = "the quick brown fox";
+  for (std::uint64_t s = 0; s < 32; ++s)
+    EXPECT_EQ(mutate(base, s), mutate(base, s)) << "seed " << s;
+}
+
+// -- ir::parse_program -------------------------------------------------------
+
+std::vector<fs::path> ir_corpus() {
+  std::vector<fs::path> files;
+  for (const auto& e :
+       fs::directory_iterator(fs::path(SELCACHE_CORPORA_DIR) / "ir"))
+    if (e.path().extension() == ".loop") files.push_back(e.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f), {});
+}
+
+TEST(FuzzIrParser, SeedCorporaAreValid) {
+  const auto files = ir_corpus();
+  ASSERT_GE(files.size(), 4u) << "committed corpus went missing";
+  for (const auto& p : files)
+    EXPECT_NO_THROW(ir::parse_program(slurp(p))) << p;
+}
+
+TEST(FuzzIrParser, MutatedCorporaNeverEscapeLogicError) {
+  for (const auto& p : ir_corpus()) {
+    const std::string base = slurp(p);
+    for (std::uint64_t seed = 0; seed < kSeedsPerEntry; ++seed) {
+      const std::string text = mutate(base, seed);
+      try {
+        (void)ir::parse_program(text);  // accepting a mutant is fine
+      } catch (const std::logic_error& e) {
+        EXPECT_NE(std::string(e.what()), "")
+            << p << " seed " << seed << ": diagnostic must not be empty";
+      } catch (...) {
+        FAIL() << p << " seed " << seed
+               << ": parse_program threw something other than logic_error";
+      }
+    }
+  }
+}
+
+// -- tape::load_tape ---------------------------------------------------------
+
+class FuzzFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("selcache_fuzz_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write_raw(const std::string& path, const std::string& bytes) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+};
+
+/// Canonical tape corpus: exercises every record kind including Loop runs
+/// (strided iteration bodies long enough for the run detector to fire).
+tape::Tape corpus_tape() {
+  tape::TapeBuilder b;
+  for (int it = 0; it < 64; ++it) {
+    b.ifetch(0x1000, 4);
+    b.load(0x80000 + static_cast<Addr>(it) * 64, false);
+    b.compute(3);
+    b.store(0xA0000 + static_cast<Addr>(it) * 8);
+    b.branch(0x1000, it + 1 < 64);
+  }
+  b.toggle(true, 2);
+  b.load(0xF0000, true);  // dependent (pointer-chase) load
+  b.toggle(false, 2);
+  return b.take();
+}
+
+/// Drain every record through the replay decoder — where truncated varints
+/// and corrupt opcodes surface.
+struct CountingSink {
+  std::uint64_t ops = 0;
+  void load(Addr, bool) { ++ops; }
+  void store(Addr) { ++ops; }
+  void touch_code(Addr, std::uint32_t) { ++ops; }
+  void branch(Addr, bool) { ++ops; }
+  void compute(std::uint64_t) { ++ops; }
+  void toggle(bool, std::int32_t) { ++ops; }
+};
+
+TEST_F(FuzzFileTest, TapeSeedRoundTrips) {
+  const tape::Tape t = corpus_tape();
+  const std::string path = dir_ + "/seed.tape";
+  ASSERT_TRUE(tape::save_tape(t, path));
+  const tape::Tape back = tape::load_tape(path);
+  EXPECT_EQ(back, t);
+  CountingSink sink;
+  tape::replay_into(back, sink);
+  EXPECT_GT(sink.ops, 0u);
+}
+
+TEST_F(FuzzFileTest, MutatedTapesNeverEscapeLogicError) {
+  const tape::Tape t = corpus_tape();
+  const std::string seed_path = dir_ + "/seed.tape";
+  ASSERT_TRUE(tape::save_tape(t, seed_path));
+  const std::string base = slurp(seed_path);
+  const std::string path = dir_ + "/mutant.tape";
+  for (std::uint64_t seed = 0; seed < kSeedsPerEntry; ++seed) {
+    write_raw(path, mutate(base, seed));
+    try {
+      const tape::Tape loaded = tape::load_tape(path);
+      CountingSink sink;
+      tape::replay_into(loaded, sink);  // decode the whole stream too
+    } catch (const std::logic_error&) {
+      // Rejected with a diagnostic: the expected outcome for corruption.
+    } catch (...) {
+      FAIL() << "seed " << seed
+             << ": tape reader threw something other than logic_error";
+    }
+  }
+}
+
+// Regression for a weakness this harness exposed: a Loop record's rep
+// count is an untrusted varint, so a crafted tape could claim few ops in
+// the header yet encode a near-2^64-iteration loop — turning load_tape's
+// validation decode into a hang. The decode budget must reject it fast.
+TEST_F(FuzzFileTest, GiantLoopRepCountIsRejectedNotDecoded) {
+  tape::Tape t;
+  // Loop record: opcode Loop (6) with 2 slots inline in the nibble, then
+  // reps as a varint, then the two slot templates (Load + Store, addr 0,
+  // stride 0).
+  t.bytes.push_back(0x26);  // op=Loop, nibble=2 slots
+  tape::put_varint(t.bytes, (1ULL << 62));  // reps: absurd
+  t.bytes.push_back(0x00);  // slot: Load, inline val 0
+  tape::put_varint(t.bytes, 0);  // addr
+  tape::put_varint(t.bytes, 0);  // stride
+  t.bytes.push_back(0x01);  // slot: Store
+  tape::put_varint(t.bytes, 0);
+  tape::put_varint(t.bytes, 0);
+  t.stats.loads = 4;  // header claims 8 ops; the loop encodes 2^63
+  t.stats.stores = 4;
+  const std::string path = dir_ + "/giant.tape";
+  ASSERT_TRUE(tape::save_tape(t, path));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(tape::load_tape(path), std::logic_error);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(dt).count(), 5)
+      << "rejection must come from the decode budget, not loop exhaustion";
+}
+
+// -- store cell reader -------------------------------------------------------
+
+TEST_F(FuzzFileTest, MutatedStoreCellsAreMissesNeverErrors) {
+  store::StoredResult r;
+  r.cycles = 123456;
+  r.instructions = 654321;
+  r.l1_miss_rate = 0.125;
+  r.l2_miss_rate = 0.5;
+  r.conflict_share = 0.25;
+  r.toggles = 9;
+  r.stats.add("l1d.hits", 4096);
+  r.stats.add("cpu.cycles", 123456);
+
+  const std::string key = "fuzz/cell/key";
+  std::string cell_path;
+  std::string base;
+  {
+    store::ResultStore s(dir_ + "/store");
+    s.save(key, r);
+    const auto entries = s.entries();
+    ASSERT_EQ(entries.size(), 1u);
+    cell_path = entries[0].path;
+    base = slurp(cell_path);
+  }
+
+  for (std::uint64_t seed = 0; seed < kSeedsPerEntry; ++seed) {
+    write_raw(cell_path, mutate(base, seed));
+    store::ResultStore s(dir_ + "/store");
+    std::optional<store::StoredResult> got;
+    try {
+      got = s.load(key);
+    } catch (...) {
+      FAIL() << "seed " << seed << ": store read path must never throw";
+    }
+    if (got.has_value()) {
+      // The embedded checksum gates acceptance: a surviving load means the
+      // mutation missed the validated region, so the value is unchanged.
+      EXPECT_EQ(got->cycles, r.cycles) << "seed " << seed;
+      EXPECT_EQ(got->instructions, r.instructions) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace selcache

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -376,6 +377,47 @@ TEST_F(StoreTest, CorruptStoredCellResimulates) {
   EXPECT_EQ(s.counters().writes, 2u);
   const auto warm = core::run_version(w, m, core::Version::Base, opt);
   expect_equal_runs(cold, warm);
+}
+
+// -- failing filesystem ------------------------------------------------------
+// ENOSPC/EIO on the write path must be counted and diagnosable, never
+// silent, and must degrade to a miss on the next load — the same trust
+// contract corruption follows.
+
+TEST_F(StoreTest, FailedWriteIsCountedAndDiagnosable) {
+  ResultStore s(dir_);
+  support::write_fault_hook() = [](const std::string&, const char* stage) {
+    return std::strcmp(stage, "write") == 0;
+  };
+  s.save("cell-key-1", sample_result());
+  support::write_fault_hook() = nullptr;
+
+  const auto c = s.counters();
+  EXPECT_EQ(c.write_errors, 1u);
+  EXPECT_EQ(c.writes, 0u) << "a failed save is not a completed write";
+  EXPECT_NE(s.last_write_error().find("write"), std::string::npos)
+      << "diagnostic must name the failing stage: " << s.last_write_error();
+
+  // A failed save leaves no entry behind: the load is a clean miss, so the
+  // cell re-simulates next run instead of reading garbage.
+  EXPECT_FALSE(s.load("cell-key-1").has_value());
+  EXPECT_TRUE(s.entries().empty());
+}
+
+TEST_F(StoreTest, WriteRecoversWhenFilesystemHeals) {
+  ResultStore s(dir_);
+  support::write_fault_hook() = [](const std::string&, const char* stage) {
+    return std::strcmp(stage, "rename") == 0;
+  };
+  s.save("cell-key-2", sample_result());
+  support::write_fault_hook() = nullptr;
+  EXPECT_EQ(s.counters().write_errors, 1u);
+
+  s.save("cell-key-2", sample_result());
+  EXPECT_EQ(s.counters().write_errors, 1u) << "healed save must not count";
+  const auto r = s.load("cell-key-2");
+  ASSERT_TRUE(r.has_value());
+  expect_equal(*r, sample_result());
 }
 
 }  // namespace

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Crash-safe checkpointed sweeps, end to end:
+#
+#   * an uninterrupted checkpointed run is byte-identical to the plain
+#     sweep engine on stdout (and emits the figure CSV/JSONL);
+#   * SIGKILL at several distinct cell counts (via the deterministic
+#     SELCACHE_CRASH_AFTER_CELLS hook) exits 137 and leaves a journal that
+#     `selcache resume` — at any thread count — replays to stdout, CSV,
+#     and JSONL byte-identical to the uninterrupted golden run;
+#   * resuming an already-complete run re-emits identical output purely
+#     from the ledger (no re-simulation);
+#   * SIGINT mid-suite shuts down gracefully (exit 130, `suspended` state,
+#     no torn artifacts) and resumes to the uninterrupted suite's bytes;
+#   * --deadline-ms expiry suspends with exit 124 and resumes cleanly;
+#   * a run directory refuses a conflicting spec (franken-run guard);
+#   * trace directories are flushed before the failure ledger on faulted
+#     runs (the flush-ordering contract), both on the same run.
+#
+# Usage: run_kill_resume_test.sh path/to/selcache
+set -u
+
+BIN="${1:?usage: run_kill_resume_test.sh path/to/selcache}"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+W=Chaos
+
+# -- golden: plain engine vs uninterrupted checkpointed run -------------------
+"$BIN" sweep --workload "$W" > "$work/plain.txt" 2>/dev/null \
+  || fail "plain sweep failed"
+"$BIN" sweep --workload "$W" --run-dir "$work/golden" \
+    --csv-out "$work/golden.csv" --jsonl-out "$work/golden.jsonl" \
+    > "$work/golden.txt" 2>/dev/null \
+  || fail "uninterrupted checkpointed sweep failed"
+diff "$work/plain.txt" "$work/golden.txt" >/dev/null \
+  || fail "checkpointed stdout differs from the plain engine"
+[ -s "$work/golden.csv" ] || fail "checkpointed run wrote no CSV"
+[ -s "$work/golden.jsonl" ] || fail "checkpointed run wrote no JSONL"
+
+# -- SIGKILL at distinct cells; resume at several thread counts ---------------
+kill_points=(1 2 4)
+resume_threads=(1 4 8)
+for i in 0 1 2; do
+  cells="${kill_points[$i]}"
+  t="${resume_threads[$i]}"
+  dir="$work/kill$cells"
+  SELCACHE_CRASH_AFTER_CELLS="$cells" "$BIN" sweep --workload "$W" \
+      --run-dir "$dir" --csv-out "$dir.csv" --jsonl-out "$dir.jsonl" \
+      >/dev/null 2>&1
+  rc=$?
+  [ "$rc" -eq 137 ] || fail "kill at cell $cells exited $rc (want 137)"
+  [ -e "$dir.csv" ] && fail "killed run must not have written its CSV yet"
+
+  "$BIN" resume "$dir" --status 2>/dev/null | grep -q 'state: in progress' \
+    || fail "status after kill at cell $cells is not 'in progress'"
+
+  "$BIN" resume "$dir" --threads "$t" > "$work/resumed$cells.txt" 2>/dev/null \
+    || fail "resume after kill at cell $cells failed"
+  diff "$work/golden.txt" "$work/resumed$cells.txt" >/dev/null \
+    || fail "stdout differs after kill at cell $cells (threads $t)"
+  diff "$work/golden.csv" "$dir.csv" >/dev/null \
+    || fail "CSV differs after kill at cell $cells"
+  diff "$work/golden.jsonl" "$dir.jsonl" >/dev/null \
+    || fail "JSONL differs after kill at cell $cells"
+
+  # Resuming the now-complete run replays from the ledger, byte-identically.
+  "$BIN" resume "$dir" > "$work/again$cells.txt" 2>"$work/again$cells.err" \
+    || fail "resume of a complete run failed"
+  diff "$work/golden.txt" "$work/again$cells.txt" >/dev/null \
+    || fail "re-resume of complete run differs at cell $cells"
+  grep -q ' 0 cells simulated' "$work/again$cells.err" \
+    || fail "re-resume of complete run re-simulated cells"
+done
+echo "kill/resume: 3 kill points byte-identical to uninterrupted run"
+
+# -- whole-run deadline: suspend with exit 124, then resume -------------------
+"$BIN" sweep --workload "$W" --run-dir "$work/dl" --deadline-ms 1 \
+    >/dev/null 2>&1
+rc=$?
+[ "$rc" -eq 124 ] || fail "deadline expiry exited $rc (want 124)"
+"$BIN" resume "$work/dl" --status 2>/dev/null | grep -q 'state: suspended' \
+  || fail "deadline-suspended run not reported as suspended"
+"$BIN" resume "$work/dl" > "$work/dl.txt" 2>/dev/null \
+  || fail "resume after deadline failed"
+diff "$work/plain.txt" "$work/dl.txt" >/dev/null \
+  || fail "stdout differs after deadline suspension"
+echo "deadline: exit 124, suspended, resumed byte-identical"
+
+# -- franken-run guard: a run dir refuses a conflicting spec ------------------
+"$BIN" sweep --workload Vpenta --run-dir "$work/golden" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "run dir accepted a conflicting workload spec"
+"$BIN" resume "$work/nonexistent-run" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "resume of a journal-less dir did not exit 2"
+echo "spec guard: conflicting spec and missing journal rejected"
+
+# -- SIGINT mid-suite: graceful shutdown, resume at another thread count ------
+"$BIN" suite --run-dir "$work/suite_golden" > "$work/suite_golden.txt" \
+    2>/dev/null || fail "uninterrupted checkpointed suite failed"
+"$BIN" suite --run-dir "$work/suite_int" > /dev/null 2>&1 &
+pid=$!
+sleep 1
+kill -INT "$pid" 2>/dev/null
+wait "$pid"
+rc=$?
+[ "$rc" -eq 130 ] || fail "SIGINT suite exited $rc (want 130)"
+"$BIN" resume "$work/suite_int" --status 2>/dev/null \
+    | grep -q 'state: suspended' \
+  || fail "interrupted suite not reported as suspended"
+"$BIN" resume "$work/suite_int" --threads 8 > "$work/suite_resumed.txt" \
+    2>/dev/null || fail "resume of interrupted suite failed"
+diff "$work/suite_golden.txt" "$work/suite_resumed.txt" >/dev/null \
+  || fail "suite stdout differs after SIGINT + threaded resume"
+echo "SIGINT: exit 130, graceful suspend, resume byte-identical at --threads 8"
+
+# -- flush ordering: traces land before the failure ledger --------------------
+out=$("$BIN" sweep --workload "$W" --inject-faults --fault-kind task-crash \
+      --fault-rate 5e-7 --max-retries 1 --trace-dir "$work/traces" 2>&1) \
+  || fail "faulted traced sweep exited nonzero"
+echo "$out" | awk '/phase traces:/{t=NR} /fault report:/{f=NR}
+                   END{exit !(t && f && t<f)}' \
+  || fail "trace flush must be reported before the fault report: $out"
+[ -d "$work/traces" ] || fail "trace dir missing on faulted run"
+echo "flush order: traces before failure ledger on a faulted run"
+
+echo "OK: kill/resume, deadline, SIGINT, spec-guard, flush-order all hold"

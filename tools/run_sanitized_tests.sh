@@ -81,3 +81,8 @@ tools/run_tape_figure_test.sh build-asan/bench/bench_fig5_memlat
 # End-to-end failure isolation (injected crashes quarantine only their
 # cells), also under sanitizers.
 tools/run_crash_sweep_test.sh "$cli"
+
+# Crash-safe checkpointing (SIGKILL / SIGINT / deadline + resume) under
+# sanitizers: the journal writer, signal path, and pool drain are exactly
+# where a latent race or lifetime bug would hide.
+tools/run_kill_resume_test.sh "$cli"

@@ -20,17 +20,29 @@
 //                [--fault-seed N] [--rates R1,R2,..] [--fault-budget N]
 //                [--integrity-checks] [--watchdog-accesses N] [--stats]
 //   selcache store ACTION --store DIR [--max-bytes N]   # stats | ls | gc
+//   selcache resume RUN_DIR [--threads N] [--status]
 //
 // sweep/suite accept --store DIR (persistent result store: cells hit on
 // disk skip simulation entirely), --store-readonly, --store-clear. Store
 // accounting prints to stderr so stdout stays byte-identical cold vs warm.
 //
+// sweep/suite accept --run-dir DIR: the run becomes crash-safe and
+// checkpointed (write-ahead journal + per-cell result store in DIR). A run
+// killed at any point — SIGKILL included — is picked up by `selcache
+// resume DIR`, whose output is byte-identical to an uninterrupted run at
+// any --threads. SIGINT/SIGTERM suspend gracefully at a cell boundary
+// (exit 130/143); --deadline-ms suspends the same way when the wall-clock
+// budget expires (exit 124). --run-dir is mutually exclusive with fault
+// injection, tracing, and an external --store (the run directory has its
+// own store and ledger).
+//
 // Exit code 0 on success, 1 when verification reports diagnostics or a
 // single faultsim run dies to an injected fault, 2 on usage errors
 // (including missing/unreadable/malformed input files — every file-handling
 // path prints a one-line diagnostic instead of letting an exception
-// escape). Unknown subcommands and malformed flags get a one-line
-// diagnostic on stderr.
+// escape), 124 when a checkpointed run suspends on its --deadline-ms,
+// 128+signo after a graceful signal suspension. Unknown subcommands and
+// malformed flags get a one-line diagnostic on stderr.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -56,7 +68,9 @@
 #include "locality/format.h"
 #include "locality/predictor.h"
 #include "ir/printer.h"
+#include "run/checkpoint.h"
 #include "store/store.h"
+#include "support/signal_guard.h"
 #include "support/table.h"
 #include "tape/cache.h"
 #include "trace/jsonl.h"
@@ -79,13 +93,23 @@ int usage() {
                "                 [--trace-dir DIR] [--epoch N] [--reuse-tape]\n"
                "                 [--store DIR] [--store-readonly]"
                " [--store-clear]\n"
+               "                 [--run-dir DIR] [--deadline-ms N]"
+               " [--cell-deadline-ms N]\n"
+               "                 [--cell-retries N] [--retry-backoff-ms N]"
+               " [--csv-out F] [--jsonl-out F]\n"
                "  selcache suite [--machine M] [--scheme S] [--threads N]"
                " [--verify-pipeline] [--trace-dir DIR] [--epoch N]"
                " [--reuse-tape]\n"
                "                 [--store DIR] [--store-readonly]"
                " [--store-clear]\n"
+               "                 [--run-dir DIR] [--deadline-ms N]"
+               " [--cell-deadline-ms N]\n"
+               "                 [--cell-retries N] [--retry-backoff-ms N]"
+               " [--csv-out F] [--jsonl-out F]\n"
                "  selcache store ACTION --store DIR [--max-bytes N]"
                "   # ACTION: stats ls gc\n"
+               "  selcache resume RUN_DIR [--threads N] [--deadline-ms N]"
+               " [--status]\n"
                "  selcache show  --workload NAME [--optimized] [--marked]\n"
                "  selcache run-file FILE.loop [--machine M] [--version V]"
                " [--scheme S]\n"
@@ -213,13 +237,7 @@ bool parse_u64_flag(const std::map<std::string, std::string>& flags,
 }
 
 std::optional<core::MachineConfig> machine_by_name(const std::string& n) {
-  if (n.empty() || n == "base") return core::base_machine();
-  if (n == "memlat") return core::higher_mem_latency();
-  if (n == "l2size") return core::larger_l2();
-  if (n == "l1size") return core::larger_l1();
-  if (n == "l2assoc") return core::higher_l2_assoc();
-  if (n == "l1assoc") return core::higher_l1_assoc();
-  return std::nullopt;
+  return core::machine_by_name(n);
 }
 
 std::optional<core::Version> version_by_name(const std::string& n) {
@@ -789,6 +807,199 @@ int cmd_store(const std::string& action,
   return 2;
 }
 
+/// One sweep's stdout block: the header line plus the four evaluated
+/// versions. Shared by the plain, resilient, and checkpointed paths so a
+/// resumed run is byte-identical to an uninterrupted one.
+void print_sweep_row(const core::ImprovementRow& row,
+                     const std::string& machine_name, hw::SchemeKind scheme) {
+  std::printf("%s on %s (%s scheme): base %llu cycles\n", row.benchmark.c_str(),
+              machine_name.c_str(), hw::to_string(scheme),
+              static_cast<unsigned long long>(row.base_cycles));
+  for (core::Version v : core::kEvaluatedVersions)
+    std::printf("  %-14s %+7.2f%%\n", to_string(v), row.pct.at(v));
+}
+
+/// Write the figure rows to --csv-out / --jsonl-out when asked (atomic
+/// writes; same serializers for fresh and resumed runs).
+int emit_figure_files(const std::vector<core::ImprovementRow>& rows,
+                      const std::string& csv_out,
+                      const std::string& jsonl_out) {
+  if (!csv_out.empty() &&
+      !core::write_text_file(csv_out, core::figure_csv(rows))) {
+    std::fprintf(stderr, "selcache: cannot write %s\n", csv_out.c_str());
+    return 2;
+  }
+  if (!jsonl_out.empty() &&
+      !core::write_text_file(jsonl_out, core::figure_jsonl(rows))) {
+    std::fprintf(stderr, "selcache: cannot write %s\n", jsonl_out.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+/// Parse the checkpoint-engine flags shared by --run-dir sweeps/suites and
+/// `resume`. Returns false after a one-line diagnostic.
+bool parse_checkpoint_options(const std::map<std::string, std::string>& flags,
+                              run::CheckpointOptions* copts) {
+  core::ParallelSweepOptions par;
+  if (!parse_threads_flag(flags, &par)) return false;
+  copts->threads = par.num_threads;
+  if (!parse_u64_flag(flags, "deadline-ms", &copts->run_deadline_ms))
+    return false;
+  if (!parse_u64_flag(flags, "cell-deadline-ms", &copts->cell_deadline_ms))
+    return false;
+  std::uint64_t retries = copts->cell_retries;
+  if (!parse_u64_flag(flags, "cell-retries", &retries)) return false;
+  if (retries > 100) {
+    std::fprintf(stderr,
+                 "selcache: flag '--cell-retries' out of range (max 100)\n");
+    return false;
+  }
+  copts->cell_retries = static_cast<std::uint32_t>(retries);
+  if (!parse_u64_flag(flags, "retry-backoff-ms", &copts->retry_backoff_ms))
+    return false;
+  return true;
+}
+
+/// Report a checkpointed run's outcome: print the figure for a completed
+/// run (byte-identical to the uncheckpointed path), a resume hint for a
+/// suspended one. Accounting goes to stderr, mirroring the store rule.
+int finish_checkpoint(const std::string& run_dir, const run::RunSpec& spec,
+                      const run::CheckpointOutcome& out) {
+  if (!out.error.empty()) {
+    std::fprintf(stderr, "selcache: %s\n", out.error.c_str());
+    return 2;
+  }
+  if (out.suspended) {
+    const std::uint64_t settled =
+        out.cells_done + out.cells_from_store + out.cells_quarantined;
+    std::fprintf(stderr,
+                 "selcache: run %s suspended (%llu/%zu cells settled);"
+                 " resume with 'selcache resume %s'\n",
+                 out.id.c_str(), static_cast<unsigned long long>(settled),
+                 out.cells.size(), run_dir.c_str());
+    // A recorded signal gets its conventional code; otherwise the
+    // suspension came from --deadline-ms (the `timeout` convention).
+    const int sig = support::SignalGuard::exit_code();
+    return sig != 0 ? sig : 124;
+  }
+
+  const auto machine = core::machine_by_name(spec.machine);
+  const auto scheme = scheme_by_name(spec.scheme);
+  if (!machine || !scheme || out.rows.empty()) {
+    std::fprintf(stderr, "selcache: run %s produced no result\n",
+                 out.id.c_str());
+    return 2;
+  }
+  if (spec.kind == "sweep") {
+    print_sweep_row(out.rows.front(), machine->name, *scheme);
+  } else {
+    std::printf("%s", core::format_figure(machine->name + " (" +
+                                              hw::to_string(*scheme) + ")",
+                                          out.rows)
+                          .c_str());
+  }
+  const int rc = emit_figure_files(out.rows, spec.csv_out, spec.jsonl_out);
+  if (rc != 0) return rc;
+  std::fprintf(stderr,
+               "run %s: %llu cells simulated, %llu from ledger, %llu"
+               " quarantined, %llu failed attempts -> %s\n",
+               out.id.c_str(),
+               static_cast<unsigned long long>(out.cells_done),
+               static_cast<unsigned long long>(out.cells_from_store),
+               static_cast<unsigned long long>(out.cells_quarantined),
+               static_cast<unsigned long long>(out.failed_attempts),
+               run_dir.c_str());
+  return 0;
+}
+
+/// The checkpointed execution path behind `sweep/suite --run-dir`.
+/// `w` is null for a suite.
+int cmd_checkpointed(const std::string& kind,
+                     const workloads::WorkloadInfo* w,
+                     const core::MachineConfig& machine,
+                     hw::SchemeKind scheme,
+                     const std::map<std::string, std::string>& flags) {
+  // The run directory owns its ledger, store, and retry policy; features
+  // that perturb results (faults, watchdogs) or attach per-run sinks
+  // (tracing, an external store) are incompatible by design.
+  static const char* kIncompatible[] = {
+      "inject-faults", "fault-kind",   "fault-rate",     "fault-seed",
+      "fault-budget",  "integrity-checks", "watchdog-accesses",
+      "max-retries",   "failures-out", "failures-jsonl", "trace-dir",
+      "store",         "store-readonly", "store-clear"};
+  for (const char* f : kIncompatible) {
+    if (flags.count(f)) {
+      std::fprintf(stderr,
+                   "selcache: '--run-dir' is incompatible with '--%s'"
+                   " (checkpointed runs own their store and ledger)\n",
+                   f);
+      return 2;
+    }
+  }
+
+  run::RunSpec spec;
+  spec.kind = kind;
+  spec.workload = w != nullptr ? w->name : "";
+  spec.machine = flags.count("machine") ? flags.at("machine") : "base";
+  spec.scheme = flags.count("scheme") ? flags.at("scheme") : "bypass";
+  spec.reuse_tape = flags.count("reuse-tape") > 0;
+  if (flags.count("csv-out")) spec.csv_out = flags.at("csv-out");
+  if (flags.count("jsonl-out")) spec.jsonl_out = flags.at("jsonl-out");
+  core::RunOptions base;
+  base.scheme = scheme;
+  base.reuse_tape = spec.reuse_tape;
+  spec.machine_fp = core::machine_fingerprint(machine);
+  spec.stream_fp = core::stream_fingerprint(base);
+
+  run::CheckpointOptions copts;
+  if (!parse_checkpoint_options(flags, &copts)) return 2;
+  support::SignalGuard guard;
+  copts.stop = support::SignalGuard::token();
+  const run::CheckpointOutcome out =
+      run::run_checkpointed(flags.at("run-dir"), spec, copts);
+  return finish_checkpoint(flags.at("run-dir"), spec, out);
+}
+
+/// `selcache resume RUN_DIR` — pick a checkpointed run back up (or, with
+/// --status, just report where it stands).
+int cmd_resume(const std::string& run_dir,
+               const std::map<std::string, std::string>& flags) {
+  const run::RunStatus st = run::inspect_run(run_dir);
+  if (!st.error.empty()) {
+    std::fprintf(stderr, "selcache: %s\n", st.error.c_str());
+    return 2;
+  }
+  if (flags.count("status")) {
+    std::printf("run %s: %s%s%s machine=%s scheme=%s\n", st.id.c_str(),
+                st.spec.kind.c_str(),
+                st.spec.workload.empty() ? "" : " ",
+                st.spec.workload.c_str(), st.spec.machine.c_str(),
+                st.spec.scheme.c_str());
+    std::size_t done = 0;
+    for (const auto& c : st.cells) {
+      if (c.status == "done") ++done;
+      std::printf("  %-12s %-10s %-12s attempts=%u%s%s\n", c.workload.c_str(),
+                  c.version.c_str(), c.status.c_str(), c.attempts,
+                  c.reason.empty() ? "" : "  ", c.reason.c_str());
+    }
+    std::printf("state: %s (%zu/%zu cells done)%s\n",
+                st.complete     ? "complete"
+                : st.suspended  ? "suspended"
+                                : "in progress",
+                done, st.cells.size(),
+                st.torn_tail ? "  [torn journal tail dropped]" : "");
+    return 0;
+  }
+
+  run::CheckpointOptions copts;
+  if (!parse_checkpoint_options(flags, &copts)) return 2;
+  support::SignalGuard guard;
+  copts.stop = support::SignalGuard::token();
+  const run::CheckpointOutcome out = run::resume_checkpointed(run_dir, copts);
+  return finish_checkpoint(run_dir, st.spec, out);
+}
+
 int cmd_sweep(const std::map<std::string, std::string>& flags) {
   const auto* w = workload_by_name(flags.count("workload")
                                        ? flags.at("workload")
@@ -798,6 +1009,9 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   const auto scheme =
       scheme_by_name(flags.count("scheme") ? flags.at("scheme") : "");
   if (w == nullptr || !machine || !scheme) return usage();
+
+  if (flags.count("run-dir"))
+    return cmd_checkpointed("sweep", w, *machine, *scheme, flags);
 
   core::RunOptions opt;
   opt.scheme = *scheme;
@@ -814,29 +1028,30 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   std::vector<core::TraceCapture> traces;
   const bool tracing = flags.count("trace-dir") > 0;
   core::ImprovementRow row;
+  int rc = 0;
   if (faulted) {
     const core::ResilientSweep rs = core::improvements_for_resilient(
         *w, *machine, opt, par, fopt, tracing ? &traces : nullptr);
     row = rs.rows.front();
-    std::printf("%s on %s (%s scheme): base %llu cycles\n", w->name.c_str(),
-                machine->name.c_str(), hw::to_string(*scheme),
-                static_cast<unsigned long long>(row.base_cycles));
-    for (core::Version v : core::kEvaluatedVersions)
-      std::printf("  %-14s %+7.2f%%\n", to_string(v), row.pct.at(v));
-    const int rc = emit_failure_report(rs.report, flags);
-    if (rc != 0) return rc;
+    print_sweep_row(row, machine->name, *scheme);
+    // Flush ordering is deterministic: traces first, then the failure
+    // ledger — a ledger row must never exist without the trace data it
+    // points at. Both are attempted even if the first fails; the first
+    // error wins.
+    if (tracing) rc = write_trace_dir(traces, flags.at("trace-dir"));
+    const int frc = emit_failure_report(rs.report, flags);
+    if (rc == 0) rc = frc;
   } else {
     row = core::improvements_for(*w, *machine, opt, par,
                                  tracing ? &traces : nullptr);
-    std::printf("%s on %s (%s scheme): base %llu cycles\n", w->name.c_str(),
-                machine->name.c_str(), hw::to_string(*scheme),
-                static_cast<unsigned long long>(row.base_cycles));
-    for (core::Version v : core::kEvaluatedVersions)
-      std::printf("  %-14s %+7.2f%%\n", to_string(v), row.pct.at(v));
+    print_sweep_row(row, machine->name, *scheme);
+    if (tracing) rc = write_trace_dir(traces, flags.at("trace-dir"));
   }
   finish_store(rstore.get(), opt);
-  if (tracing) return write_trace_dir(traces, flags.at("trace-dir"));
-  return 0;
+  const int erc = emit_figure_files(
+      {row}, flags.count("csv-out") ? flags.at("csv-out") : "",
+      flags.count("jsonl-out") ? flags.at("jsonl-out") : "");
+  return rc != 0 ? rc : erc;
 }
 
 /// Run every requested (workload, version) product through the optimizer
@@ -894,6 +1109,8 @@ int cmd_suite(const std::map<std::string, std::string>& flags) {
     }
     std::printf("pipeline verification: %zu products clean\n", products);
   }
+  if (flags.count("run-dir"))
+    return cmd_checkpointed("suite", nullptr, *machine, *scheme, flags);
   core::FaultSweepOptions fopt;
   bool faulted = false;
   if (!parse_sweep_fault_flags(flags, &fopt, &faulted)) return 2;
@@ -903,6 +1120,7 @@ int cmd_suite(const std::map<std::string, std::string>& flags) {
   std::vector<core::TraceCapture> traces;
   const bool tracing = flags.count("trace-dir") > 0;
   std::vector<core::ImprovementRow> rows;
+  int rc = 0;
   if (faulted) {
     core::ResilientSweep rs = core::sweep_suite_resilient(
         *machine, opt, par, fopt, tracing ? &traces : nullptr);
@@ -911,18 +1129,25 @@ int cmd_suite(const std::map<std::string, std::string>& flags) {
                           machine->name + " (" + hw::to_string(*scheme) + ")",
                           rows)
                           .c_str());
-    const int rc = emit_failure_report(rs.report, flags);
-    if (rc != 0) return rc;
+    // Same deterministic flush ordering as cmd_sweep: trace data lands
+    // before the failure ledger that references it, and both writes are
+    // attempted even when the first fails.
+    if (tracing) rc = write_trace_dir(traces, flags.at("trace-dir"));
+    const int frc = emit_failure_report(rs.report, flags);
+    if (rc == 0) rc = frc;
   } else {
     rows = core::sweep_suite(*machine, opt, par, tracing ? &traces : nullptr);
     std::printf("%s", core::format_figure(
                           machine->name + " (" + hw::to_string(*scheme) + ")",
                           rows)
                           .c_str());
+    if (tracing) rc = write_trace_dir(traces, flags.at("trace-dir"));
   }
   finish_store(rstore.get(), opt);
-  if (tracing) return write_trace_dir(traces, flags.at("trace-dir"));
-  return 0;
+  const int erc = emit_figure_files(
+      rows, flags.count("csv-out") ? flags.at("csv-out") : "",
+      flags.count("jsonl-out") ? flags.at("jsonl-out") : "");
+  return rc != 0 ? rc : erc;
 }
 
 int cmd_show(const std::map<std::string, std::string>& flags) {
@@ -1339,17 +1564,25 @@ int main(int argc, char** argv) {
         {"workload", "machine", "scheme", "threads", "trace-dir", "epoch",
          "fault-kind", "fault-rate", "fault-seed", "fault-budget",
          "watchdog-accesses", "max-retries", "failures-out", "failures-jsonl",
-         "store"},
+         "store", "run-dir", "deadline-ms", "cell-deadline-ms",
+         "cell-retries", "retry-backoff-ms", "csv-out", "jsonl-out"},
         {"inject-faults", "integrity-checks", "reuse-tape", "store-readonly",
          "store-clear"}}},
       {"suite",
        {"suite",
         {"machine", "scheme", "threads", "trace-dir", "epoch", "fault-kind",
          "fault-rate", "fault-seed", "fault-budget", "watchdog-accesses",
-         "max-retries", "failures-out", "failures-jsonl", "store"},
+         "max-retries", "failures-out", "failures-jsonl", "store", "run-dir",
+         "deadline-ms", "cell-deadline-ms", "cell-retries",
+         "retry-backoff-ms", "csv-out", "jsonl-out"},
         {"verify-pipeline", "inject-faults", "integrity-checks", "reuse-tape",
          "store-readonly", "store-clear"}}},
       {"store", {"store", {"store", "max-bytes"}, {}}},
+      {"resume",
+       {"resume",
+        {"threads", "deadline-ms", "cell-deadline-ms", "cell-retries",
+         "retry-backoff-ms"},
+        {"status"}}},
       {"faultsim",
        {"faultsim",
         {"machine", "scheme", "fault-kind", "fault-rate", "fault-seed",
@@ -1409,6 +1642,15 @@ int main(int argc, char** argv) {
     positional = argv[2];
     flag_start = 3;
   }
+  if (cmd == "resume") {
+    if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "selcache: 'resume' expects a RUN_DIR argument\n");
+      return 2;
+    }
+    positional = argv[2];
+    flag_start = 3;
+  }
   if (cmd == "trace" || cmd == "faultsim" || cmd == "tape" ||
       cmd == "predict") {
     if (argc < 4 || std::string(argv[2]).rfind("--", 0) == 0 ||
@@ -1440,6 +1682,7 @@ int main(int argc, char** argv) {
   if (cmd == "trace-replay") return cmd_trace_replay(positional, flags);
   if (cmd == "tape") return cmd_tape(positional, positional2, flags);
   if (cmd == "store") return cmd_store(positional, flags);
+  if (cmd == "resume") return cmd_resume(positional, flags);
   if (cmd == "predict") return cmd_predict(positional, positional2, flags);
   if (cmd == "predict-matrix") return cmd_predict_matrix(flags);
   return cmd_verify(positional, flags);
