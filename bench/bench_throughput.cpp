@@ -1,16 +1,23 @@
 // Engine-throughput benchmark: simulated accesses/second for the full
 // 13-benchmark DATE-2003 sweep — serial vs. the parallel experiment engine,
-// and interpreted vs. the trace-tape record/replay path.
+// interpreted vs. the trace-tape record/replay path, vectorized vs. scalar
+// probe kernels, and per-point vs. shared-decode multi-config replay.
 //
 //   bench_throughput [--threads N] [--out FILE] [--scheme bypass|victim]
 //
 // Reports wall-clock, simulated-accesses/second, the parallel speedup, the
-// tape record/replay throughput plus encoded density, and the persistent
-// result store's cold-fill vs warm-serve suite times; verifies the parallel,
-// tape, and store passes are all bit-identical to the serial interpreted
-// one, and writes a JSON baseline (default
+// probe-kernel (SIMD vs forced-scalar) speedup measured in-process, the tape
+// record/replay throughput plus encoded density, the batched multi-config
+// replay throughput over a 4-point memory-latency axis (per-point replay vs
+// shared decode), and the persistent result store's cold-fill vs warm-serve
+// suite times. Verifies every pass is bit-identical to the serial
+// interpreted one, and writes a JSON baseline (default
 // results/BENCH_throughput.json) that tools/check_bench_regression.py
 // compares future runs against.
+//
+// Every timing section records the worker-thread count it actually used;
+// `hardware_threads` reports the host so the regression checker can skip
+// parallel-speedup comparisons on single-core machines.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -19,6 +26,7 @@
 
 #include "core/report.h"
 #include "core/runner.h"
+#include "memsys/probe_kernels.h"
 #include "store/store.h"
 #include "support/thread_pool.h"
 #include "tape/cache.h"
@@ -74,21 +82,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  const unsigned hw_threads =
+      selcache::support::ThreadPool::hardware_threads();
   const selcache::core::MachineConfig machine = selcache::core::base_machine();
   selcache::core::RunOptions opt;
   opt.scheme = scheme;
 
   std::printf("engine throughput: full 13-benchmark sweep, scheme=%s\n",
               selcache::hw::to_string(scheme));
-  std::printf("host: %u hardware thread(s)\n",
-              selcache::support::ThreadPool::hardware_threads());
+  std::printf("host: %u hardware thread(s), probe kernels: %s\n", hw_threads,
+              selcache::memsys::kernels::active_kernel());
 
   auto t0 = std::chrono::steady_clock::now();
   const auto serial_rows = selcache::core::sweep_suite(machine, opt);
   const double serial_s = seconds_since(t0);
   const std::uint64_t accesses = total_accesses(serial_rows);
   const double serial_aps = static_cast<double>(accesses) / serial_s;
-  std::printf("serial:    %6.2fs  %12.0f accesses/s\n", serial_s, serial_aps);
+  std::printf("serial:    %6.2fs  %12.0f accesses/s  (%s kernels)\n",
+              serial_s, serial_aps,
+              selcache::memsys::kernels::active_kernel());
+
+  // Probe-kernel A/B in ONE process: force the scalar fallback, repeat the
+  // serial sweep, restore the startup selection. In-process comparison
+  // avoids most of the host noise a pair of separate runs would carry.
+  selcache::memsys::kernels::force_scalar(true);
+  t0 = std::chrono::steady_clock::now();
+  const auto scalar_rows = selcache::core::sweep_suite(machine, opt);
+  const double scalar_s = seconds_since(t0);
+  selcache::memsys::kernels::force_scalar(false);
+  const double scalar_aps = static_cast<double>(accesses) / scalar_s;
+  const double simd_speedup = scalar_s > 0 ? scalar_s / serial_s : 0.0;
+  std::printf("scalar:    %6.2fs  %12.0f accesses/s  (simd probe: %.2fx)\n",
+              scalar_s, scalar_aps, simd_speedup);
 
   t0 = std::chrono::steady_clock::now();
   const auto parallel_rows = selcache::core::sweep_suite(
@@ -132,6 +157,47 @@ int main(int argc, char** argv) {
               static_cast<double>(cache.total_bytes()) / (1024.0 * 1024.0),
               tape_bytes_per_access);
 
+  // Multi-config replay phases over a 4-point memory-latency axis (the
+  // fig5_memlat shape), all points served from the tapes recorded above:
+  // the classic loop replays each cell once PER POINT; the shared-decode
+  // engine decodes each cell once and fans the batches out to all points.
+  std::vector<selcache::core::MachineConfig> axis;
+  for (unsigned lat : {100u, 150u, 200u, 300u}) {
+    selcache::core::MachineConfig m = selcache::core::higher_mem_latency();
+    m.hierarchy.mem.access_latency = lat;
+    m.name = "memlat" + std::to_string(lat);
+    axis.push_back(m);
+  }
+  // Cell-level fan-out only helps with real cores; record what we used.
+  const unsigned mr_threads = hw_threads > 1 ? threads : 1;
+  const selcache::core::ParallelSweepOptions mr_par{.num_threads = mr_threads};
+  const std::uint64_t axis_accesses =
+      accesses * static_cast<std::uint64_t>(axis.size());
+
+  t0 = std::chrono::steady_clock::now();
+  std::vector<std::vector<ImprovementRow>> per_point_rows;
+  for (const auto& m : axis)
+    per_point_rows.push_back(selcache::core::sweep_suite(m, taped, mr_par));
+  const double per_point_s = seconds_since(t0);
+  std::printf("axis x%zu per-point:     %6.2fs  %12.0f accesses/s\n",
+              axis.size(), per_point_s,
+              static_cast<double>(axis_accesses) / per_point_s);
+
+  t0 = std::chrono::steady_clock::now();
+  const auto shared_rows =
+      selcache::core::sweep_axis_shared_decode(axis, taped, mr_par);
+  const double shared_s = seconds_since(t0);
+  const double multi_replay_aps =
+      static_cast<double>(axis_accesses) / shared_s;
+  const double shared_speedup = shared_s > 0 ? per_point_s / shared_s : 0.0;
+  std::printf("axis x%zu shared-decode: %6.2fs  %12.0f accesses/s  "
+              "(%.2fx vs per-point)\n",
+              axis.size(), shared_s, multi_replay_aps, shared_speedup);
+
+  bool multi_replay_identical = shared_rows.size() == axis.size();
+  for (std::size_t i = 0; multi_replay_identical && i < axis.size(); ++i)
+    multi_replay_identical = identical(per_point_rows[i], shared_rows[i]);
+
   // Store phases: one sweep that fills a fresh on-disk result store (cold),
   // then one that serves every cell from it (warm). Warm over cold is the
   // incremental-sweep win a repeated suite run enjoys across processes.
@@ -160,15 +226,18 @@ int main(int argc, char** argv) {
   std::error_code ec;
   std::filesystem::remove_all(store_dir, ec);
 
-  const bool deterministic = identical(serial_rows, parallel_rows) &&
+  const bool deterministic = identical(serial_rows, scalar_rows) &&
+                             identical(serial_rows, parallel_rows) &&
                              identical(serial_rows, recorded_rows) &&
                              identical(serial_rows, replayed_rows) &&
                              identical(serial_rows, store_cold_rows) &&
-                             identical(serial_rows, store_warm_rows);
-  std::printf("determinism: parallel + tape + store rows %s serial rows\n",
+                             identical(serial_rows, store_warm_rows) &&
+                             multi_replay_identical;
+  std::printf("determinism: scalar + parallel + tape + multi-replay + store "
+              "rows %s serial rows\n",
               deterministic ? "IDENTICAL to" : "DIFFER from");
 
-  char json[2048];
+  char json[4096];
   std::snprintf(json, sizeof(json),
                 "{\n"
                 "  \"benchmark\": \"bench_throughput\",\n"
@@ -177,24 +246,39 @@ int main(int argc, char** argv) {
                 "  \"hardware_threads\": %u,\n"
                 "  \"threads\": %u,\n"
                 "  \"simulated_accesses\": %llu,\n"
+                "  \"simd_probe\": \"%s\",\n"
+                "  \"simd_probe_speedup\": %.3f,\n"
                 "  \"serial_seconds\": %.3f,\n"
                 "  \"serial_accesses_per_sec\": %.0f,\n"
+                "  \"serial_threads_used\": 1,\n"
+                "  \"scalar_serial_seconds\": %.3f,\n"
+                "  \"scalar_serial_accesses_per_sec\": %.0f,\n"
                 "  \"parallel_seconds\": %.3f,\n"
                 "  \"parallel_accesses_per_sec\": %.0f,\n"
+                "  \"parallel_threads_used\": %u,\n"
                 "  \"speedup\": %.3f,\n"
                 "  \"tape_record_accesses_per_sec\": %.0f,\n"
                 "  \"tape_replay_accesses_per_sec\": %.0f,\n"
                 "  \"tape_bytes_per_access\": %.3f,\n"
+                "  \"multi_replay_points\": %zu,\n"
+                "  \"multi_replay_threads_used\": %u,\n"
+                "  \"multi_replay_accesses_per_sec\": %.0f,\n"
+                "  \"fig5_per_point_seconds\": %.3f,\n"
+                "  \"fig5_shared_decode_seconds\": %.3f,\n"
+                "  \"fig5_shared_decode_speedup\": %.3f,\n"
                 "  \"store_cold_suite_seconds\": %.3f,\n"
                 "  \"store_warm_suite_seconds\": %.3f,\n"
                 "  \"deterministic\": %s\n"
                 "}\n",
                 selcache::hw::to_string(scheme), serial_rows.size(),
-                selcache::support::ThreadPool::hardware_threads(), threads,
-                static_cast<unsigned long long>(accesses), serial_s,
-                serial_aps, parallel_s, parallel_aps, speedup, record_aps,
-                replay_aps, tape_bytes_per_access, store_cold_s, store_warm_s,
-                deterministic ? "true" : "false");
+                hw_threads, threads,
+                static_cast<unsigned long long>(accesses),
+                selcache::memsys::kernels::active_kernel(), simd_speedup,
+                serial_s, serial_aps, scalar_s, scalar_aps, parallel_s,
+                parallel_aps, threads, speedup, record_aps, replay_aps,
+                tape_bytes_per_access, axis.size(), mr_threads,
+                multi_replay_aps, per_point_s, shared_s, shared_speedup,
+                store_cold_s, store_warm_s, deterministic ? "true" : "false");
   if (!selcache::core::write_text_file(out, json)) {
     std::fprintf(stderr, "warning: could not write %s\n", out.c_str());
   } else {

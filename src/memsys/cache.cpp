@@ -16,12 +16,11 @@ Cache::Cache(CacheConfig cfg) : cfg_(std::move(cfg)) {
 
 bool Cache::access_scan(std::uint64_t si, Addr tag, bool is_write) {
   Block* set = &blocks_[si * cfg_.assoc];
-  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-    if (set[w].valid && set[w].tag == tag) {
-      touch_hit(set[w], is_write);
-      way_[si] = w;
-      return true;
-    }
+  const std::uint32_t w = kernels::match_way(set, cfg_.assoc, tag);
+  if (w != kernels::kNoWay) {
+    touch_hit(set[w], is_write);
+    way_[si] = w;
+    return true;
   }
   demand_.record(false);
   return false;
@@ -29,43 +28,28 @@ bool Cache::access_scan(std::uint64_t si, Addr tag, bool is_write) {
 
 Cache::LookupResult Cache::access_with_victim_scan(std::uint64_t si, Addr tag,
                                                    bool is_write) {
-  constexpr std::uint32_t kNone = ~0u;
   Block* set = &blocks_[si * cfg_.assoc];
-  std::uint32_t free_way = kNone;
-  std::uint32_t lru_way = kNone;
-  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-    Block& b = set[w];
-    if (b.valid && b.tag == tag) {
-      touch_hit(b, is_write);
-      way_[si] = w;
-      return {.hit = true};
-    }
-    if (!b.valid) {
-      if (free_way == kNone) free_way = w;
-    } else if (lru_way == kNone || b.lru < set[lru_way].lru) {
-      lru_way = w;
-    }
+  const kernels::ProbeResult pr = kernels::probe_way(set, cfg_.assoc, tag);
+  if (pr.hit) {
+    touch_hit(set[pr.way], is_write);
+    way_[si] = pr.way;
+    return {.hit = true, .victim = std::nullopt};
   }
   demand_.record(false);
   LookupResult r;
-  if (free_way == kNone) {
+  r.fill_way = pr.way;
+  if (!pr.free) {
     // Same victim fill() would pick: the LRU way of a full set.
-    r.fill_way = lru_way;
-    r.victim = static_cast<Addr>(set[lru_way].tag) << block_shift_;
-  } else {
-    r.fill_way = free_way;
+    r.victim = static_cast<Addr>(set[pr.way].tag) << block_shift_;
   }
   return r;
 }
 
 std::optional<Addr> Cache::victim_for(Addr addr) const {
   const Block* set = set_of(addr);
-  const Block* lru = nullptr;
-  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-    if (!set[w].valid) return std::nullopt;  // free way, no eviction
-    if (lru == nullptr || set[w].lru < lru->lru) lru = &set[w];
-  }
-  return static_cast<Addr>(lru->tag) << block_shift_;
+  const kernels::VictimWay v = kernels::victim_way(set, cfg_.assoc);
+  if (v.free) return std::nullopt;  // free way, no eviction
+  return static_cast<Addr>(set[v.way].tag) << block_shift_;
 }
 
 std::optional<Eviction> Cache::fill(Addr addr, bool dirty) {

@@ -22,12 +22,14 @@
 // bit, same counters.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <optional>
 #include <vector>
 
 #include "memsys/cache_config.h"
+#include "memsys/probe_kernels.h"
 #include "support/bitutil.h"
 #include "support/stats.h"
 
@@ -115,6 +117,15 @@ class Cache {
   std::uint64_t fills() const { return fills_; }
   std::uint64_t resident_blocks() const;
 
+  /// Host-side prefetch of the set `addr` maps to — a pure performance hint
+  /// for batched-replay lookahead. Touches no simulator state or statistics
+  /// (a 4-way set is one 64-byte line, so one prefetch covers the scan).
+  void prefetch_set(Addr addr) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&blocks_[set_index(addr) * cfg_.assoc]);
+#endif
+  }
+
   /// Set index of the block containing `addr` (public so tests can check the
   /// shift/mask form against the reference div/mod formula).
   std::uint64_t set_index(Addr addr) const {
@@ -148,7 +159,12 @@ class Cache {
     bool valid = false;
     bool dirty = false;
   };
-  static_assert(sizeof(Block) == 16);
+  static_assert(sizeof(Block) == kernels::kSlotBytes);
+  // The probe kernels (memsys/probe_kernels.h) address tag/lru/valid by raw
+  // byte offset — the layout shared with Tlb::Entry is part of their API.
+  static_assert(offsetof(Block, tag) == kernels::kSlotKeyOff);
+  static_assert(offsetof(Block, lru) == kernels::kSlotLruOff);
+  static_assert(offsetof(Block, valid) == kernels::kSlotValidOff);
 
   Addr tag_of(Addr addr) const { return addr >> block_shift_; }
   Block* set_of(Addr addr) { return &blocks_[set_index(addr) * cfg_.assoc]; }
@@ -171,11 +187,9 @@ class Cache {
   }
 
   Block* find(Addr addr) {
-    const Addr tag = tag_of(addr);
     Block* set = set_of(addr);
-    for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
-      if (set[w].valid && set[w].tag == tag) return &set[w];
-    return nullptr;
+    const std::uint32_t w = kernels::match_way(set, cfg_.assoc, tag_of(addr));
+    return w == kernels::kNoWay ? nullptr : &set[w];
   }
   const Block* find(Addr addr) const {
     return const_cast<Cache*>(this)->find(addr);

@@ -1,0 +1,24 @@
+#include "memsys/probe_kernels.h"
+
+#include <cstdlib>
+
+namespace selcache::memsys::kernels {
+namespace detail {
+
+namespace {
+bool env_disables_simd() {
+  const char* e = std::getenv("SELCACHE_NO_SIMD");
+  if (e == nullptr || e[0] == '\0') return false;
+  return !(e[0] == '0' && e[1] == '\0');  // SELCACHE_NO_SIMD=0 keeps SIMD on
+}
+}  // namespace
+
+bool g_use_simd = simd_compiled() && !env_disables_simd();
+
+}  // namespace detail
+
+void force_scalar(bool on) {
+  detail::g_use_simd = simd_compiled() && !on && !detail::env_disables_simd();
+}
+
+}  // namespace selcache::memsys::kernels

@@ -21,26 +21,21 @@ Tlb::Tlb(TlbConfig cfg) : cfg_(std::move(cfg)) {
 
 Cycle Tlb::access_scan(std::uint64_t si, Addr vpn) {
   Entry* set = &entries_[si * cfg_.assoc];
-  Entry* victim = nullptr;
-  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-    Entry& e = set[w];
-    if (e.valid && e.vpn == vpn) {
-      e.lru = bump();
-      stats_.record(true);
-      way_[si] = w;
-      return 0;
-    }
-    if (victim == nullptr || !e.valid ||
-        (victim->valid && e.lru < victim->lru)) {
-      if (victim == nullptr || victim->valid) victim = &e;
-    }
+  const kernels::ProbeResult pr = kernels::probe_way(set, cfg_.assoc, vpn);
+  if (pr.hit) {
+    set[pr.way].lru = bump();
+    stats_.record(true);
+    way_[si] = pr.way;
+    return 0;
   }
   stats_.record(false);
-  victim->valid = true;
-  victim->vpn = vpn;
-  victim->lru = bump();
+  // Refill where a fill would go: first invalid entry, else the LRU entry.
+  Entry& victim = set[pr.way];
+  victim.valid = true;
+  victim.vpn = vpn;
+  victim.lru = bump();
   // The freshly refilled way is the likeliest next hit in this set.
-  way_[si] = static_cast<std::uint32_t>(victim - set);
+  way_[si] = static_cast<std::uint32_t>(&victim - set);
   return cfg_.miss_penalty;
 }
 
@@ -58,9 +53,7 @@ void Tlb::renormalize() {
 bool Tlb::probe(Addr addr) const {
   const Addr vpn = vpn_of(addr);
   const Entry* set = &entries_[set_index(vpn) * cfg_.assoc];
-  for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
-    if (set[w].valid && set[w].vpn == vpn) return true;
-  return false;
+  return kernels::match_way(set, cfg_.assoc, vpn) != kernels::kNoWay;
 }
 
 void Tlb::export_stats(StatSet& out) const {

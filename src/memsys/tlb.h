@@ -6,12 +6,14 @@
 // 64 instruction-TLB entries, matching SimpleScalar's defaults.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "memsys/probe_kernels.h"
 #include "support/bitutil.h"
 #include "support/stats.h"
 #include "support/types.h"
@@ -51,6 +53,14 @@ class Tlb {
 
   bool probe(Addr addr) const;
 
+  /// Host-side prefetch of the set `addr` maps to (batched-replay
+  /// lookahead); no simulator state or statistics are touched.
+  void prefetch_set(Addr addr) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&entries_[set_index(vpn_of(addr)) * cfg_.assoc]);
+#endif
+  }
+
   const TlbConfig& config() const { return cfg_; }
   const HitMiss& stats() const { return stats_; }
   void export_stats(StatSet& out) const;
@@ -77,7 +87,12 @@ class Tlb {
     std::uint32_t lru = 0;
     bool valid = false;
   };
-  static_assert(sizeof(Entry) == 16);
+  static_assert(sizeof(Entry) == kernels::kSlotBytes);
+  // Same 16-byte slot layout as Cache::Block: the shared probe kernels
+  // (memsys/probe_kernels.h) address vpn/lru/valid by raw byte offset.
+  static_assert(offsetof(Entry, vpn) == kernels::kSlotKeyOff);
+  static_assert(offsetof(Entry, lru) == kernels::kSlotLruOff);
+  static_assert(offsetof(Entry, valid) == kernels::kSlotValidOff);
 
   std::uint32_t bump() {
     if (stamp_ == std::numeric_limits<std::uint32_t>::max()) renormalize();

@@ -282,8 +282,7 @@ class TapeBuilder {
     tmpl_.assign(a, a + body);
     stride_.resize(body);
     for (std::size_t j = 0; j < body; ++j)
-      stride_[j] = static_cast<std::int64_t>(b[j].addr) -
-                   static_cast<std::int64_t>(a[j].addr);
+      stride_[j] = static_cast<std::int64_t>(b[j].addr - a[j].addr);
     flush_pending(sz - 2 * body);
     pend_.clear();
     in_run_ = true;
@@ -296,8 +295,7 @@ class TapeBuilder {
   void extend_run(const RawOp& r) {
     const RawOp& t = tmpl_[slot_];
     const Addr want =
-        static_cast<Addr>(static_cast<std::int64_t>(t.addr) +
-                          static_cast<std::int64_t>(reps_) * stride_[slot_]);
+        t.addr + reps_ * static_cast<Addr>(stride_[slot_]);
     if (r.same_shape(t) && (!t.has_addr() || r.addr == want)) {
       if (++slot_ == tmpl_.size()) {
         ++reps_;
@@ -329,8 +327,7 @@ class TapeBuilder {
   static RawOp advanced(const RawOp& t, std::int64_t stride, std::uint64_t k) {
     RawOp r = t;
     if (r.has_addr())
-      r.addr = static_cast<Addr>(static_cast<std::int64_t>(r.addr) +
-                                 static_cast<std::int64_t>(k) * stride);
+      r.addr = r.addr + k * static_cast<Addr>(stride);
     return r;
   }
 
@@ -393,8 +390,7 @@ class TapeBuilder {
   }
 
   static std::int64_t delta(Addr addr, Addr* last) {
-    const std::int64_t d = static_cast<std::int64_t>(addr) -
-                           static_cast<std::int64_t>(*last);
+    const std::int64_t d = static_cast<std::int64_t>(addr - *last);
     *last = addr;
     return d;
   }
@@ -466,28 +462,24 @@ void replay_into(const Tape& tape, Sink& sink) {
     const std::uint8_t nibble = b >> 4;
     switch (op) {
       case Op::Load: {
-        last_data = static_cast<Addr>(static_cast<std::int64_t>(last_data) +
-                                      unzigzag(get_varint(&p, end)));
+        last_data += static_cast<Addr>(unzigzag(get_varint(&p, end)));
         sink.load(last_data, flag);
         break;
       }
       case Op::Store: {
-        last_data = static_cast<Addr>(static_cast<std::int64_t>(last_data) +
-                                      unzigzag(get_varint(&p, end)));
+        last_data += static_cast<Addr>(unzigzag(get_varint(&p, end)));
         sink.store(last_data);
         break;
       }
       case Op::Ifetch: {
         const std::uint64_t n =
             nibble < 15 ? nibble : get_varint(&p, end);
-        last_code = static_cast<Addr>(static_cast<std::int64_t>(last_code) +
-                                      unzigzag(get_varint(&p, end)));
+        last_code += static_cast<Addr>(unzigzag(get_varint(&p, end)));
         sink.touch_code(last_code, static_cast<std::uint32_t>(n));
         break;
       }
       case Op::Branch: {
-        last_code = static_cast<Addr>(static_cast<std::int64_t>(last_code) +
-                                      unzigzag(get_varint(&p, end)));
+        last_code += static_cast<Addr>(unzigzag(get_varint(&p, end)));
         sink.branch(last_code, flag);
         break;
       }
@@ -500,8 +492,8 @@ void replay_into(const Tape& tape, Sink& sink) {
       case Op::Toggle: {
         const std::uint64_t r =
             nibble < 15 ? nibble : get_varint(&p, end);
-        sink.toggle(flag, static_cast<std::int32_t>(
-                              static_cast<std::int64_t>(r) - 1));
+        sink.toggle(flag,
+                    static_cast<std::int32_t>(static_cast<std::int64_t>(r - 1)));
         break;
       }
       case Op::Loop: {
@@ -563,13 +555,12 @@ void replay_into(const Tape& tape, Sink& sink) {
               case Op::Toggle:
                 sink.toggle(s.flag,
                             static_cast<std::int32_t>(
-                                static_cast<std::int64_t>(s.val) - 1));
+                                static_cast<std::int64_t>(s.val - 1)));
                 break;
               case Op::Loop:
                 break;  // rejected at slot decode
             }
-            s.addr = static_cast<Addr>(static_cast<std::int64_t>(s.addr) +
-                                       s.stride);
+            s.addr += static_cast<Addr>(s.stride);
           }
         }
         break;

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CLI contract for the predict subcommands: unknown flags and malformed
+# CLI contract for the predict subcommands plus the replay-engine flags
+# (--batch / --no-simd / tape --stat): unknown flags and malformed
 # invocations must exit 2 (same as every other subcommand), good runs 0,
 # and a failed cross-check 1.
 #
@@ -38,6 +39,18 @@ expect 0 "$cli" predict Vpenta base --csv
 expect 0 "$cli" predict Perl base                    # non-analyzable is not an error
 expect 0 "$cli" predict Vpenta base --check
 expect 0 "$cli" predict Vpenta base --check --predict-classify
+
+# Replay-engine flags: a --batch value that does not parse as a plain
+# number must fail loudly (not silently flip the engine), and --no-simd /
+# tape --stat are ordinary healthy invocations.
+expect 2 "$cli" sweep --workload Perl --batch abc
+expect 2 "$cli" sweep --workload Perl --batch -1
+expect 2 "$cli" sweep --workload Perl --batch            # value flag, no value
+expect 2 "$cli" suite --batch 1e9
+expect 2 "$cli" tape Perl base --stat --bogus
+expect 0 "$cli" sweep --workload Perl --reuse-tape --batch 512 --no-simd
+expect 0 "$cli" sweep --workload Perl --no-simd
+expect 0 "$cli" tape Perl base --stat
 
 if [ "$fails" -ne 0 ]; then
   echo "cli flag contract: $fails failure(s)"

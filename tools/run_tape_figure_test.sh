@@ -17,15 +17,25 @@ strip_timing() {
   grep -v -e '^(simulated in ' -e '^axis total: ' "$1" > "$2"
 }
 
+# Default mode: shared decode (one decode per cell, batched fan-out to all
+# machine points).
 "$BENCH" --max-points 2 --threads 1 > "$TMP/tape_raw.txt"
 "$BENCH" --max-points 2 --threads 1 --no-reuse-tape > "$TMP/interp_raw.txt"
-strip_timing "$TMP/tape_raw.txt" "$TMP/tape.txt"
-strip_timing "$TMP/interp_raw.txt" "$TMP/interp.txt"
+# Classic per-point replay (the pre-batching engine).
+"$BENCH" --max-points 2 --threads 1 --batch 0 > "$TMP/perpoint_raw.txt"
+# Shared decode on the scalar probe kernels (vectorization force-disabled).
+"$BENCH" --max-points 2 --threads 1 --no-simd > "$TMP/scalar_raw.txt"
+for mode in tape interp perpoint scalar; do
+  strip_timing "$TMP/${mode}_raw.txt" "$TMP/${mode}.txt"
+done
 
-if ! cmp -s "$TMP/interp.txt" "$TMP/tape.txt"; then
-  echo "FAIL: tape-replay figure output differs from interpreted output" >&2
-  diff -u "$TMP/interp.txt" "$TMP/tape.txt" | head -40 >&2
-  exit 1
-fi
+for mode in tape perpoint scalar; do
+  if ! cmp -s "$TMP/interp.txt" "$TMP/$mode.txt"; then
+    echo "FAIL: $mode figure output differs from interpreted output" >&2
+    diff -u "$TMP/interp.txt" "$TMP/$mode.txt" | head -40 >&2
+    exit 1
+  fi
+done
 
-echo "tape_figure_smoke OK: fig5 (2 points) byte-identical with tape reuse"
+echo "tape_figure_smoke OK: fig5 (2 points) byte-identical across" \
+     "interpreted / per-point replay / shared-decode / scalar kernels"

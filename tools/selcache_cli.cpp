@@ -65,6 +65,8 @@
 #include "core/runner.h"
 #include "ir/parser.h"
 #include "locality/crosscheck.h"
+#include "memsys/probe_kernels.h"
+#include "tape/multi_replayer.h"
 #include "locality/format.h"
 #include "locality/predictor.h"
 #include "ir/printer.h"
@@ -90,7 +92,8 @@ int usage() {
                " [--scheme S] [--threshold T] [--stats]\n"
                "  selcache sweep --workload NAME [--machine M] [--scheme S]"
                " [--threads N]\n"
-               "                 [--trace-dir DIR] [--epoch N] [--reuse-tape]\n"
+               "                 [--trace-dir DIR] [--epoch N] [--reuse-tape]"
+               " [--batch N] [--no-simd]\n"
                "                 [--store DIR] [--store-readonly]"
                " [--store-clear]\n"
                "                 [--run-dir DIR] [--deadline-ms N]"
@@ -100,6 +103,7 @@ int usage() {
                "  selcache suite [--machine M] [--scheme S] [--threads N]"
                " [--verify-pipeline] [--trace-dir DIR] [--epoch N]"
                " [--reuse-tape]\n"
+               "                 [--batch N] [--no-simd]\n"
                "                 [--store DIR] [--store-readonly]"
                " [--store-clear]\n"
                "                 [--run-dir DIR] [--deadline-ms N]"
@@ -121,7 +125,7 @@ int usage() {
                " [--version V] [--scheme S]\n"
                "  selcache trace-replay FILE [--machine M] [--scheme S]\n"
                "  selcache tape  WORKLOAD VERSION [--machine M] [--scheme S]"
-               " [--out FILE]\n"
+               " [--out FILE] [--stat]\n"
                "  selcache verify [FILE.loop] [--workload NAME] [--version V]"
                " [--csv]\n"
                "  selcache predict WORKLOAD VERSION [--machine M] [--csv]"
@@ -442,6 +446,25 @@ bool parse_threads_flag(const std::map<std::string, std::string>& flags,
   return true;
 }
 
+/// Parse --batch (ops per decoded replay batch; 0 = classic streaming
+/// replay) and apply --no-simd (force the scalar probe kernels). Returns
+/// false after a diagnostic on a malformed --batch value.
+bool parse_engine_flags(const std::map<std::string, std::string>& flags,
+                        core::RunOptions* opt) {
+  std::uint64_t b = opt->batch;
+  if (!parse_u64_flag(flags, "batch", &b)) return false;
+  if (b > 0xffffffffULL) {
+    std::fprintf(stderr,
+                 "selcache: flag '--batch' out of range (max 2^32-1), "
+                 "got '%s'\n",
+                 flags.at("batch").c_str());
+    return false;
+  }
+  opt->batch = static_cast<std::uint32_t>(b);
+  if (flags.count("no-simd")) memsys::kernels::force_scalar(true);
+  return true;
+}
+
 /// Parse the fault-campaign flags shared by faultsim and sweep/suite into
 /// a FaultConfig + DegradePolicy + watchdog. Returns false after a one-line
 /// diagnostic.
@@ -675,6 +698,49 @@ int cmd_tape(const std::string& wname, const std::string& vname,
   std::printf("  recording run: %llu cycles, L1 miss %.2f%%\n",
               static_cast<unsigned long long>(r.cycles),
               100.0 * r.l1_miss_rate);
+  if (flags.count("stat")) {
+    // Decoded-op histogram: the exact call stream the batched multi-replay
+    // engine feeds each machine point, and how many fan-out batches the
+    // default batch size cuts it into (the numbers kDefaultBatchOps was
+    // sized from).
+    struct CountingSink {
+      std::uint64_t loads = 0, stores = 0, ifetches = 0, branches = 0,
+                    computes = 0, toggles = 0;
+      void load(Addr, bool) { ++loads; }
+      void store(Addr) { ++stores; }
+      void touch_code(Addr, std::uint32_t) { ++ifetches; }
+      void branch(Addr, bool) { ++branches; }
+      void compute(std::uint64_t) { ++computes; }
+      void toggle(bool, std::int32_t) { ++toggles; }
+    } c;
+    tape::replay_into(t, c);
+    const std::uint64_t total = c.loads + c.stores + c.ifetches +
+                                c.branches + c.computes + c.toggles;
+    const auto pct = [total](std::uint64_t n) {
+      return total > 0 ? 100.0 * static_cast<double>(n) /
+                             static_cast<double>(total)
+                       : 0.0;
+    };
+    std::printf("  decoded ops: %llu total\n",
+                static_cast<unsigned long long>(total));
+    std::printf("    load    %12llu  (%5.1f%%)\n",
+                static_cast<unsigned long long>(c.loads), pct(c.loads));
+    std::printf("    store   %12llu  (%5.1f%%)\n",
+                static_cast<unsigned long long>(c.stores), pct(c.stores));
+    std::printf("    ifetch  %12llu  (%5.1f%%)\n",
+                static_cast<unsigned long long>(c.ifetches), pct(c.ifetches));
+    std::printf("    branch  %12llu  (%5.1f%%)\n",
+                static_cast<unsigned long long>(c.branches), pct(c.branches));
+    std::printf("    compute %12llu  (%5.1f%%)\n",
+                static_cast<unsigned long long>(c.computes), pct(c.computes));
+    std::printf("    toggle  %12llu  (%5.1f%%)\n",
+                static_cast<unsigned long long>(c.toggles), pct(c.toggles));
+    const std::uint64_t batches =
+        (total + tape::kDefaultBatchOps - 1) / tape::kDefaultBatchOps;
+    std::printf("  batches: %llu of up to %u ops (default --batch %u)\n",
+                static_cast<unsigned long long>(batches),
+                tape::kDefaultBatchOps, tape::kDefaultBatchOps);
+  }
   if (flags.count("out")) {
     if (!tape::save_tape(t, flags.at("out"))) {
       std::fprintf(stderr, "selcache: cannot write %s\n",
@@ -1017,6 +1083,7 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   opt.scheme = *scheme;
   opt.reuse_tape = flags.count("reuse-tape") > 0;
   if (!parse_epoch_flag(flags, &opt.trace_epoch)) return 2;
+  if (!parse_engine_flags(flags, &opt)) return 2;
   core::ParallelSweepOptions par;
   if (!parse_threads_flag(flags, &par)) return 2;
   core::FaultSweepOptions fopt;
@@ -1095,6 +1162,7 @@ int cmd_suite(const std::map<std::string, std::string>& flags) {
   core::ParallelSweepOptions par;
   if (!parse_threads_flag(flags, &par)) return 2;
   if (!parse_epoch_flag(flags, &opt.trace_epoch)) return 2;
+  if (!parse_engine_flags(flags, &opt)) return 2;
   if (flags.count("verify-pipeline")) {
     std::vector<const workloads::WorkloadInfo*> ws;
     for (const auto& w : workloads::all_workloads()) ws.push_back(&w);
@@ -1562,21 +1630,21 @@ int main(int argc, char** argv) {
       {"sweep",
        {"sweep",
         {"workload", "machine", "scheme", "threads", "trace-dir", "epoch",
+         "batch", "fault-kind", "fault-rate", "fault-seed", "fault-budget",
+         "watchdog-accesses", "max-retries", "failures-out", "failures-jsonl",
+         "store", "run-dir", "deadline-ms", "cell-deadline-ms",
+         "cell-retries", "retry-backoff-ms", "csv-out", "jsonl-out"},
+        {"inject-faults", "integrity-checks", "reuse-tape", "no-simd",
+         "store-readonly", "store-clear"}}},
+      {"suite",
+       {"suite",
+        {"machine", "scheme", "threads", "trace-dir", "epoch", "batch",
          "fault-kind", "fault-rate", "fault-seed", "fault-budget",
          "watchdog-accesses", "max-retries", "failures-out", "failures-jsonl",
          "store", "run-dir", "deadline-ms", "cell-deadline-ms",
          "cell-retries", "retry-backoff-ms", "csv-out", "jsonl-out"},
-        {"inject-faults", "integrity-checks", "reuse-tape", "store-readonly",
-         "store-clear"}}},
-      {"suite",
-       {"suite",
-        {"machine", "scheme", "threads", "trace-dir", "epoch", "fault-kind",
-         "fault-rate", "fault-seed", "fault-budget", "watchdog-accesses",
-         "max-retries", "failures-out", "failures-jsonl", "store", "run-dir",
-         "deadline-ms", "cell-deadline-ms", "cell-retries",
-         "retry-backoff-ms", "csv-out", "jsonl-out"},
         {"verify-pipeline", "inject-faults", "integrity-checks", "reuse-tape",
-         "store-readonly", "store-clear"}}},
+         "no-simd", "store-readonly", "store-clear"}}},
       {"store", {"store", {"store", "max-bytes"}, {}}},
       {"resume",
        {"resume",
@@ -1598,7 +1666,7 @@ int main(int argc, char** argv) {
       {"trace-record",
        {"trace-record", {"workload", "out", "version", "scheme"}, {}}},
       {"trace-replay", {"trace-replay", {"machine", "scheme"}, {}}},
-      {"tape", {"tape", {"machine", "scheme", "out"}, {}}},
+      {"tape", {"tape", {"machine", "scheme", "out"}, {"stat"}}},
       {"verify", {"verify", {"workload", "version"}, {"csv"}}},
       {"predict",
        {"predict", {"machine", "threshold", "capacity-fraction"},
